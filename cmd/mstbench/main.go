@@ -1,0 +1,229 @@
+// Command mstbench runs the experiment sweeps behind EXPERIMENTS.md and
+// prints the Table-1-style series as aligned text tables.
+//
+//	mstbench -exp shape      work/edge vs batch size (the l·lg(1+n/l) law)
+//	mstbench -exp t1         every Table 1 row, incremental + sliding window
+//	mstbench -exp crossover  batch MSF vs sequential link-cut baseline
+//	mstbench -exp speedup    GOMAXPROCS self-speedup for one batch insert
+//	mstbench -exp all        everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro"
+	"repro/internal/graphgen"
+	"repro/internal/linkcut"
+	"repro/internal/wgraph"
+)
+
+var (
+	nFlag    = flag.Int("n", 50_000, "number of vertices")
+	mFlag    = flag.Int("m", 400_000, "stream length (edges)")
+	seedFlag = flag.Uint64("seed", 0xC0FFEE, "workload seed")
+)
+
+func main() {
+	exp := flag.String("exp", "shape", "experiment: shape | t1 | crossover | speedup | all")
+	flag.Parse()
+	switch *exp {
+	case "shape":
+		shape()
+	case "t1":
+		table1()
+	case "crossover":
+		crossover()
+	case "speedup":
+		speedup()
+	case "all":
+		shape()
+		crossover()
+		table1()
+		speedup()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+// timeBatches feeds the stream in batches of ell and returns ns/edge.
+func timeBatches(ell int, sink func([]wgraph.Edge)) float64 {
+	stream := graphgen.ErdosRenyi(*nFlag, *mFlag, 1<<40, *seedFlag)
+	start := time.Now()
+	for _, b := range graphgen.Batches(stream, ell) {
+		sink(b)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(len(stream))
+}
+
+func shape() {
+	n := *nFlag
+	fmt.Printf("== S1: batch-incremental MSF work per edge vs batch size (n=%d, m=%d) ==\n", n, *mFlag)
+	fmt.Printf("%10s %12s %14s %18s\n", "l", "ns/edge", "lg(1+n/l)", "ns/edge/lg(1+n/l)")
+	for _, ell := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536} {
+		m := repro.NewBatchMSF(n, *seedFlag)
+		ns := timeBatches(ell, func(b []wgraph.Edge) { m.BatchInsert(b) })
+		lg := math.Log2(1 + float64(n)/float64(ell))
+		fmt.Printf("%10d %12.0f %14.2f %18.0f\n", ell, ns, lg, ns/lg)
+	}
+	fmt.Println()
+}
+
+func crossover() {
+	n := *nFlag
+	fmt.Printf("== S2: batch MSF vs sequential link-cut incremental MSF (n=%d, m=%d) ==\n", n, *mFlag)
+	lc := linkcut.NewIncrementalMSF(n)
+	lcNS := timeBatches(1, func(b []wgraph.Edge) {
+		for _, e := range b {
+			lc.Insert(e)
+		}
+	})
+	fmt.Printf("%24s %12.0f ns/edge\n", "link-cut (l=1)", lcNS)
+	for _, ell := range []int{1, 16, 256, 4096, 65536} {
+		m := repro.NewBatchMSF(n, *seedFlag)
+		ns := timeBatches(ell, func(b []wgraph.Edge) { m.BatchInsert(b) })
+		fmt.Printf("%17s l=%-6d %12.0f ns/edge   (x%.2f vs link-cut)\n", "batch MSF", ell, ns, lcNS/ns)
+	}
+	fmt.Println()
+}
+
+func table1() {
+	n := *nFlag
+	const ell = 1024
+	fmt.Printf("== Table 1: measured ns/edge at l=%d (n=%d, m=%d) ==\n", ell, n, *mFlag)
+	fmt.Printf("%-18s %14s %16s\n", "problem", "incremental", "sliding window")
+
+	row := func(name string, incNS, swNS float64) {
+		fmt.Printf("%-18s %14.0f %16.0f\n", name, incNS, swNS)
+	}
+
+	// Connectivity.
+	ic := repro.NewIncConn(n)
+	incNS := timeBatches(ell, func(b []wgraph.Edge) { ic.BatchInsert(b) })
+	row("connectivity", incNS, timeSliding(ell, func() (func([]repro.StreamEdge), func(int)) {
+		c := repro.NewSWConnEager(n, *seedFlag)
+		return c.BatchInsert, c.BatchExpire
+	}))
+
+	// k-certificate (k=4).
+	ik := repro.NewIncKCert(n, 4)
+	incNS = timeBatches(ell, func(b []wgraph.Edge) { ik.BatchInsert(b) })
+	row("k-certificate(4)", incNS, timeSliding(ell, func() (func([]repro.StreamEdge), func(int)) {
+		c := repro.NewSWKCert(n, 4, *seedFlag)
+		return c.BatchInsert, c.BatchExpire
+	}))
+
+	// Bipartiteness.
+	ib := repro.NewIncBipartite(n)
+	incNS = timeBatches(ell, func(b []wgraph.Edge) { ib.BatchInsert(b) })
+	row("bipartiteness", incNS, timeSliding(ell, func() (func([]repro.StreamEdge), func(int)) {
+		c := repro.NewSWBipartite(n, *seedFlag)
+		return c.BatchInsert, c.BatchExpire
+	}))
+
+	// Cycle-freeness.
+	icf := repro.NewIncCycleFree(n)
+	incNS = timeBatches(ell, func(b []wgraph.Edge) { icf.BatchInsert(b) })
+	row("cycle-freeness", incNS, timeSliding(ell, func() (func([]repro.StreamEdge), func(int)) {
+		c := repro.NewSWCycleFree(n, *seedFlag)
+		return c.BatchInsert, c.BatchExpire
+	}))
+
+	// MSF: incremental exact (Theorem 1.1) vs sliding-window (1+eps).
+	bm := repro.NewBatchMSF(n, *seedFlag)
+	incNS = timeBatches(ell, func(b []wgraph.Edge) { bm.BatchInsert(b) })
+	swNS := timeApproxMSF(n, ell, 0.5)
+	row("MSF / (1+0.5)-MSF", incNS, swNS)
+
+	// Sparsifier (scaled constants; smaller n).
+	spN := 2000
+	cfg := repro.SparsifierConfig{Eps: 0.5, Levels: 8, Trials: 2, CertOrder: 8, SampleConst: 8}
+	sp := repro.NewSWSparsifier(spN, cfg, *seedFlag)
+	s := graphgen.SlidingStream(spN, 128, 256, 4000, *seedFlag)
+	start := time.Now()
+	total := 0
+	for _, r := range s.Rounds {
+		batch := make([]repro.StreamEdge, len(r.Insert))
+		for i, p := range r.Insert {
+			batch[i] = repro.StreamEdge{U: p[0], V: p[1]}
+		}
+		sp.BatchInsert(batch)
+		sp.BatchExpire(r.Expire)
+		total += len(batch)
+	}
+	row("eps-sparsifier*", math.NaN(), float64(time.Since(start).Nanoseconds())/float64(total))
+	fmt.Println("(*sparsifier at n=2000 with scaled constants; NaN = not applicable)")
+	fmt.Println()
+}
+
+func timeSliding(ell int, mk func() (func([]repro.StreamEdge), func(int))) float64 {
+	n := *nFlag
+	rounds := *mFlag / ell
+	if rounds > 256 {
+		rounds = 256
+	}
+	s := graphgen.SlidingStream(n, rounds, ell, 2*n, *seedFlag)
+	insert, expire := mk()
+	start := time.Now()
+	total := 0
+	for _, r := range s.Rounds {
+		batch := make([]repro.StreamEdge, len(r.Insert))
+		for i, p := range r.Insert {
+			batch[i] = repro.StreamEdge{U: p[0], V: p[1]}
+		}
+		insert(batch)
+		expire(r.Expire)
+		total += len(batch)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total)
+}
+
+func timeApproxMSF(n, ell int, eps float64) float64 {
+	const maxW = 1 << 20
+	a := repro.NewSWApproxMSF(n, eps, maxW, *seedFlag)
+	rounds := 64
+	s := graphgen.SlidingStream(n, rounds, ell, 2*n, *seedFlag)
+	wsrc := graphgen.ErdosRenyi(n, rounds*ell, maxW, *seedFlag+1)
+	wi := 0
+	start := time.Now()
+	total := 0
+	for _, r := range s.Rounds {
+		batch := make([]repro.WeightedStreamEdge, len(r.Insert))
+		for i, p := range r.Insert {
+			batch[i] = repro.WeightedStreamEdge{U: p[0], V: p[1], W: wsrc[wi].W}
+			wi++
+		}
+		a.BatchInsert(batch)
+		a.BatchExpire(r.Expire)
+		_ = a.Weight()
+		total += len(batch)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(total)
+}
+
+func speedup() {
+	n := *nFlag
+	fmt.Printf("== S3: self-relative speedup of one big batch insert (n=%d) ==\n", n)
+	edges := graphgen.ErdosRenyi(n, *mFlag, 1<<40, *seedFlag)
+	var base float64
+	for _, p := range []int{1, runtime.NumCPU()} {
+		runtime.GOMAXPROCS(p)
+		m := repro.NewBatchMSF(n, *seedFlag)
+		start := time.Now()
+		for _, b := range graphgen.Batches(edges, 65536) {
+			m.BatchInsert(b)
+		}
+		el := float64(time.Since(start).Nanoseconds())
+		if p == 1 {
+			base = el
+		}
+		fmt.Printf("  GOMAXPROCS=%d: %8.0f ns/edge  speedup x%.2f\n", p, el/float64(len(edges)), base/el)
+	}
+	runtime.GOMAXPROCS(runtime.NumCPU())
+	fmt.Println()
+}

@@ -1,0 +1,76 @@
+// kcert maintains a sliding-window k-certificate (Theorem 5.5) over a
+// stream of overlay links and uses it to watch the network's resilience:
+// the certificate preserves every cut of size <= k, so a global min-cut on
+// its O(kn) edges (Stoer–Wagner here, standing in for the parallel min-cut
+// of the paper's Section 5.4) reports min(k, edge connectivity) of the full
+// window graph — without ever storing the window.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/mincut"
+	"repro/internal/parallel"
+)
+
+const (
+	nodes  = 60
+	k      = 4
+	window = 1_500
+	batch  = 150
+	rounds = 40
+)
+
+func main() {
+	cert := repro.NewSWKCert(nodes, k, 5)
+	rng := parallel.NewRNG(11)
+
+	fmt.Printf("k-certificate (k=%d) over %d nodes, window %d links\n\n", k, nodes, window)
+	fmt.Printf("%6s %11s %12s %22s\n", "round", "certEdges", "kept/window", "min(k, connectivity)")
+	live := 0
+	for round := 1; round <= rounds; round++ {
+		links := make([]repro.StreamEdge, batch)
+		for i := range links {
+			// Early rounds: dense random mesh (connectivity >= k).
+			// Later rounds: the overlay splits into two halves joined by a
+			// single flaky link that appears once per round — window
+			// connectivity collapses to the handful of live bridge copies.
+			switch {
+			case round <= 25:
+				u, v := int32(rng.Intn(nodes)), int32(rng.Intn(nodes))
+				if u == v {
+					v = (v + 1) % nodes
+				}
+				links[i] = repro.StreamEdge{U: u, V: v}
+			case i == 0 && round%4 == 0: // rare bridge heartbeat
+				links[i] = repro.StreamEdge{U: 0, V: nodes / 2}
+			default:
+				half := int32(rng.Intn(2)) * nodes / 2
+				u := half + int32(rng.Intn(nodes/2))
+				v := half + int32(rng.Intn(nodes/2))
+				if u == v {
+					v = half + (v-half+1)%(nodes/2)
+				}
+				links[i] = repro.StreamEdge{U: u, V: v}
+			}
+		}
+		cert.BatchInsert(links)
+		live += batch
+		if live > window {
+			cert.BatchExpire(live - window)
+			live = window
+		}
+		if round%5 == 0 {
+			ce := cert.Certificate()
+			conn := mincut.EdgeConnectivity(nodes, ce)
+			if conn > k {
+				conn = k
+			}
+			fmt.Printf("%6d %11d %7d/%-6d %22d\n", round, len(ce), cert.Size(), live, conn)
+		}
+	}
+	fmt.Println("\nonce the mesh ages out, the certificate exposes the fragile topology:")
+	fmt.Println("the min-cut collapses to the few live bridge copies even though the")
+	fmt.Println("monitor never stored the window itself.")
+}

@@ -1,0 +1,43 @@
+// Quickstart: maintain a minimum spanning forest under batch edge
+// insertions (Theorem 1.1 of the paper) in ~30 lines.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	// A forest over 6 vertices.
+	msf := repro.NewBatchMSF(6, 42)
+
+	// Insert a batch of weighted edges. IDs must be unique forever.
+	added, removed, rejected := msf.BatchInsert([]repro.Edge{
+		{ID: 1, U: 0, V: 1, W: 4},
+		{ID: 2, U: 1, V: 2, W: 9},
+		{ID: 3, U: 3, V: 4, W: 2},
+		{ID: 4, U: 4, V: 5, W: 7},
+	})
+	fmt.Printf("batch 1: added %d, removed %d, rejected %d edges\n",
+		len(added), len(removed), len(rejected))
+	fmt.Printf("forest weight %d across %d components\n\n",
+		msf.Weight(), msf.NumComponents())
+
+	// A second batch: one edge bridges the components, another closes a
+	// cycle and evicts the heaviest edge on it (the red rule).
+	added, removed, _ = msf.BatchInsert([]repro.Edge{
+		{ID: 5, U: 2, V: 3, W: 1}, // bridge
+		{ID: 6, U: 0, V: 2, W: 3}, // cheaper than edge 2 (w=9): evicts it
+	})
+	fmt.Printf("batch 2: added %v\n", added)
+	fmt.Printf("batch 2: evicted %v\n", removed)
+
+	// Queries: connectivity and the heaviest edge on a forest path, both
+	// O(lg n).
+	fmt.Printf("\nconnected(0, 5) = %v\n", msf.Connected(0, 5))
+	if e, ok := msf.PathMaxEdge(0, 5); ok {
+		fmt.Printf("bottleneck edge between 0 and 5: %v\n", e)
+	}
+	fmt.Printf("final weight %d, %d forest edges\n", msf.Weight(), msf.Size())
+}

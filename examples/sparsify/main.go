@@ -1,0 +1,81 @@
+// sparsify maintains a windowed ε-cut-sparsifier (Theorem 5.8): a compact
+// weighted subgraph whose cuts approximate the cuts of the full sliding
+// window. The demo streams a two-community graph, sparsifies, and compares
+// the community-separating cut in the sparsifier against the true window.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/parallel"
+)
+
+const (
+	nodes  = 64
+	window = 4_000
+	batch  = 400
+	rounds = 25
+)
+
+func main() {
+	cfg := repro.SparsifierConfig{Eps: 0.5, Levels: 6, Trials: 2, CertOrder: 32, SampleConst: 8}
+	sp := repro.NewSWSparsifier(nodes, cfg, 3)
+	rng := parallel.NewRNG(23)
+
+	var windowBuf []repro.StreamEdge
+	inLeft := func(v int32) bool { return v < nodes/2 }
+
+	fmt.Printf("windowed cut sparsifier over %d nodes (window %d edges)\n\n", nodes, window)
+	fmt.Printf("%6s %10s %12s %14s %14s %8s\n",
+		"round", "window", "sparsifier", "trueCut", "sparseCut", "ratio")
+	for round := 1; round <= rounds; round++ {
+		b := make([]repro.StreamEdge, batch)
+		for i := range b {
+			u := int32(rng.Intn(nodes))
+			var v int32
+			if rng.Intn(10) == 0 { // 10% cross-community edges
+				v = (u + nodes/2) % nodes
+			} else { // dense intra-community chatter
+				base := int32(0)
+				if !inLeft(u) {
+					base = nodes / 2
+				}
+				v = base + int32(rng.Intn(nodes/2))
+				if v == u {
+					v = base + (v-base+1)%(nodes/2)
+				}
+			}
+			b[i] = repro.StreamEdge{U: u, V: v}
+		}
+		sp.BatchInsert(b)
+		windowBuf = append(windowBuf, b...)
+		if len(windowBuf) > window {
+			sp.BatchExpire(len(windowBuf) - window)
+			windowBuf = windowBuf[len(windowBuf)-window:]
+		}
+		if round%5 == 0 {
+			out := sp.Sparsify()
+			trueCut := 0
+			for _, e := range windowBuf {
+				if inLeft(e.U) != inLeft(e.V) {
+					trueCut++
+				}
+			}
+			sparseCut := 0.0
+			for _, e := range out {
+				if inLeft(e.U) != inLeft(e.V) {
+					sparseCut += e.Weight
+				}
+			}
+			ratio := 0.0
+			if trueCut > 0 {
+				ratio = sparseCut / float64(trueCut)
+			}
+			fmt.Printf("%6d %10d %12d %14d %14.0f %8.2f\n",
+				round, len(windowBuf), len(out), trueCut, sparseCut, ratio)
+		}
+	}
+	fmt.Println("\nthe sparsifier holds a fraction of the window yet tracks the")
+	fmt.Println("community-separating cut within the configured tolerance.")
+}

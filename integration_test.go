@@ -1,0 +1,180 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/msf"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+// TestIntegrationOneStreamAllStructures runs every public structure over
+// the same synthetic sliding-window stream and cross-checks them against
+// brute-force recomputation — the end-to-end pipeline test.
+func TestIntegrationOneStreamAllStructures(t *testing.T) {
+	const (
+		n      = 48
+		rounds = 60
+		batch  = 30
+		window = 500
+		maxW   = 1 << 10
+		eps    = 0.5
+	)
+	r := parallel.NewRNG(7)
+
+	conn := NewSWConnEager(n, 1)
+	lazy := NewSWConn(n, 2)
+	bip := NewSWBipartite(n, 3)
+	cyc := NewSWCycleFree(n, 4)
+	kc := NewSWKCert(n, 3, 5)
+	amsf := NewSWApproxMSF(n, eps, maxW, 6)
+
+	type arrival struct {
+		u, v int32
+		w    int64
+	}
+	var win []arrival
+	for round := 0; round < rounds; round++ {
+		plain := make([]StreamEdge, 0, batch)
+		weighted := make([]WeightedStreamEdge, 0, batch)
+		for i := 0; i < batch; i++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			w := 1 + r.Int63()%maxW
+			plain = append(plain, StreamEdge{U: u, V: v})
+			weighted = append(weighted, WeightedStreamEdge{U: u, V: v, W: w})
+			win = append(win, arrival{u, v, w})
+		}
+		conn.BatchInsert(plain)
+		lazy.BatchInsert(plain)
+		bip.BatchInsert(plain)
+		cyc.BatchInsert(plain)
+		kc.BatchInsert(plain)
+		amsf.BatchInsert(weighted)
+		if len(win) > window {
+			d := len(win) - window
+			conn.BatchExpire(d)
+			lazy.BatchExpire(d)
+			bip.BatchExpire(d)
+			cyc.BatchExpire(d)
+			kc.BatchExpire(d)
+			amsf.BatchExpire(d)
+			win = win[d:]
+		}
+
+		// Brute-force window state.
+		uf := unionfind.New(n)
+		loops := 0
+		adj := make([][]int32, n)
+		for _, a := range win {
+			uf.Union(a.u, a.v)
+			adj[a.u] = append(adj[a.u], a.v)
+			adj[a.v] = append(adj[a.v], a.u)
+			_ = loops
+		}
+		wantComps := uf.NumComponents()
+		if got := conn.NumComponents(); got != wantComps {
+			t.Fatalf("round %d: components %d want %d", round, got, wantComps)
+		}
+		for q := 0; q < 25; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			want := uf.Connected(u, v)
+			if conn.IsConnected(u, v) != want || lazy.IsConnected(u, v) != want || kc.IsConnected(u, v) != want {
+				t.Fatalf("round %d: connectivity disagreement at (%d,%d)", round, u, v)
+			}
+		}
+		// Cycle-freeness: |E| > n - components means a cycle exists.
+		wantCycle := len(win) > n-wantComps
+		if got := cyc.HasCycle(); got != wantCycle {
+			t.Fatalf("round %d: hasCycle=%v want %v", round, got, wantCycle)
+		}
+		// Bipartiteness via 2-colouring.
+		if got, want := bip.IsBipartite(), twoColorable(n, adj); got != want {
+			t.Fatalf("round %d: bipartite=%v want %v", round, got, want)
+		}
+		// Approximate MSF within its guarantee.
+		exactEdges := make([]wgraph.Edge, len(win))
+		for i, a := range win {
+			exactEdges[i] = wgraph.Edge{ID: wgraph.EdgeID(i + 1), U: a.u, V: a.v, W: a.w}
+		}
+		exact := float64(wgraph.TotalWeight(msf.Kruskal(n, exactEdges)))
+		got := amsf.Weight()
+		if got < exact-1e-6 || got > (1+eps)*exact+1e-6 {
+			t.Fatalf("round %d: approx weight %v outside [%v, %v]", round, got, exact, (1+eps)*exact)
+		}
+		// Certificate size bound.
+		if kc.Size() > 3*(n-1) {
+			t.Fatalf("round %d: certificate too big: %d", round, kc.Size())
+		}
+	}
+}
+
+func twoColorable(n int, adj [][]int32) bool {
+	color := make([]int8, n)
+	for s := 0; s < n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		stack := []int32{int32(s)}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if color[y] == 0 {
+					color[y] = -color[x]
+					stack = append(stack, y)
+				} else if color[y] == color[x] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestIntegrationIncrementalMatchesSlidingWithoutExpiry verifies the
+// paper's remark that sliding-window structures subsume the incremental
+// setting by never expiring: both sides must agree on every query.
+func TestIntegrationIncrementalMatchesSlidingWithoutExpiry(t *testing.T) {
+	const n = 40
+	edges := graphgen.ErdosRenyi(n, 300, 1, 11)
+	swc := NewSWConnEager(n, 1)
+	ic := NewIncConn(n)
+	swb := NewSWBipartite(n, 2)
+	ib := NewIncBipartite(n)
+	swf := NewSWCycleFree(n, 3)
+	icf := NewIncCycleFree(n)
+	for _, b := range graphgen.Batches(edges, 37) {
+		plain := make([]StreamEdge, len(b))
+		for i, e := range b {
+			plain[i] = StreamEdge{U: e.U, V: e.V}
+		}
+		swc.BatchInsert(plain)
+		ic.BatchInsert(b)
+		swb.BatchInsert(plain)
+		ib.BatchInsert(b)
+		swf.BatchInsert(plain)
+		icf.BatchInsert(b)
+		if swc.NumComponents() != ic.NumComponents() {
+			t.Fatalf("components: sw=%d inc=%d", swc.NumComponents(), ic.NumComponents())
+		}
+		if swb.IsBipartite() != ib.IsBipartite() {
+			t.Fatal("bipartite disagreement")
+		}
+		if swf.HasCycle() != icf.HasCycle() {
+			t.Fatal("cycle disagreement")
+		}
+	}
+	r := parallel.NewRNG(5)
+	for q := 0; q < 200; q++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if swc.IsConnected(u, v) != ic.IsConnected(u, v) {
+			t.Fatalf("connectivity (%d,%d)", u, v)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkcut"
+	"repro/internal/msf"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+// TestCompressedPathsPublicAPI checks the real-vertex compressed path tree
+// against naive pairwise path maxima on random forests with arbitrary
+// degrees (the gadget contraction must be invisible).
+func TestCompressedPathsPublicAPI(t *testing.T) {
+	r := parallel.NewRNG(5)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(60)
+		m := New(n, uint64(trial)+3)
+		lc := linkcut.New(n)
+		uf := unionfind.New(n)
+		id := wgraph.EdgeID(1)
+		// Arbitrary-degree random forest (no degree cap!).
+		for tries := 0; tries < 6*n; tries++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v || !uf.Union(u, v) {
+				continue
+			}
+			e := wgraph.Edge{ID: id, U: u, V: v, W: r.Int63() % 1000}
+			id++
+			m.BatchInsert([]wgraph.Edge{e})
+			lc.Link(e)
+		}
+		nm := 2 + r.Intn(6)
+		markSet := map[int32]bool{}
+		for len(markSet) < nm {
+			markSet[int32(r.Intn(n))] = true
+		}
+		var marked []int32
+		for v := range markSet {
+			marked = append(marked, v)
+		}
+		res := m.CompressedPaths(marked)
+		// Build CPT adjacency for naive queries.
+		adj := map[int32][]struct {
+			to int32
+			k  wgraph.Key
+		}{}
+		for _, e := range res {
+			adj[e.U] = append(adj[e.U], struct {
+				to int32
+				k  wgraph.Key
+			}{e.V, e.Key})
+			adj[e.V] = append(adj[e.V], struct {
+				to int32
+				k  wgraph.Key
+			}{e.U, e.Key})
+		}
+		var walk func(at, target int32, best wgraph.Key, seen map[int32]bool) (wgraph.Key, bool)
+		walk = func(at, target int32, best wgraph.Key, seen map[int32]bool) (wgraph.Key, bool) {
+			if at == target {
+				return best, true
+			}
+			seen[at] = true
+			for _, h := range adj[at] {
+				if seen[h.to] {
+					continue
+				}
+				b := best
+				if b.Less(h.k) {
+					b = h.k
+				}
+				if r, ok := walk(h.to, target, b, seen); ok {
+					return r, true
+				}
+			}
+			return wgraph.Key{}, false
+		}
+		for _, u := range marked {
+			for _, v := range marked {
+				if u >= v {
+					continue
+				}
+				wantE, wantOK := lc.PathMax(u, v)
+				got, gotOK := walk(u, v, wgraph.MinKey, map[int32]bool{})
+				if gotOK != wantOK {
+					t.Fatalf("trial %d: cpt path(%d,%d) ok=%v want %v", trial, u, v, gotOK, wantOK)
+				}
+				if gotOK && got != wgraph.KeyOf(wantE) {
+					t.Fatalf("trial %d: cpt path(%d,%d)=%v want %v", trial, u, v, got, wgraph.KeyOf(wantE))
+				}
+			}
+		}
+		// No virtual leftovers and no same-owner self loops.
+		for _, e := range res {
+			if e.U == e.V {
+				t.Fatalf("trial %d: self loop %+v", trial, e)
+			}
+			if e.Key.ID < 0 {
+				t.Fatalf("trial %d: virtual key escaped: %+v", trial, e)
+			}
+		}
+	}
+}
+
+func TestCompressedPathsHub(t *testing.T) {
+	// Star with hub 0: CPT of three leaves must be three edges at the hub.
+	const n = 30
+	m := New(n, 7)
+	var batch []wgraph.Edge
+	for i := 1; i < n; i++ {
+		batch = append(batch, wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i), W: int64(i)})
+	}
+	m.BatchInsert(batch)
+	res := m.CompressedPaths([]int32{3, 7, 20})
+	if len(res) != 3 {
+		t.Fatalf("cpt=%+v", res)
+	}
+	for _, e := range res {
+		if e.U != 0 && e.V != 0 {
+			t.Fatalf("edge %+v does not touch the hub Steiner vertex", e)
+		}
+	}
+}
+
+func TestQuickBatchesMatchOffline(t *testing.T) {
+	f := func(ops []uint32) bool {
+		const n = 24
+		m := New(n, 99)
+		var all []wgraph.Edge
+		id := wgraph.EdgeID(1)
+		i := 0
+		for i+2 < len(ops) {
+			ell := int(ops[i]%5) + 1
+			i++
+			var batch []wgraph.Edge
+			for j := 0; j < ell && i+1 < len(ops); j++ {
+				batch = append(batch, wgraph.Edge{
+					ID: id,
+					U:  int32(ops[i] % n),
+					V:  int32(ops[i+1] % n),
+					W:  int64(ops[i] % 64),
+				})
+				id++
+				i += 2
+			}
+			all = append(all, batch...)
+			m.BatchInsert(batch)
+		}
+		want := msf.Kruskal(n, all)
+		if len(want) != m.Size() || wgraph.TotalWeight(want) != m.Weight() {
+			return false
+		}
+		for _, e := range want {
+			if !m.HasEdge(e.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeByID(t *testing.T) {
+	m := New(3, 1)
+	e := wgraph.Edge{ID: 9, U: 0, V: 1, W: 4}
+	m.BatchInsert([]wgraph.Edge{e})
+	got, ok := m.EdgeByID(9)
+	if !ok || got != e {
+		t.Fatalf("EdgeByID=%v,%v", got, ok)
+	}
+	if _, ok := m.EdgeByID(10); ok {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestWeightOutOfRangePanics(t *testing.T) {
+	m := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BatchInsert([]wgraph.Edge{{ID: 1, U: 0, V: 1, W: -1 << 63}})
+}
+
+func TestInterleavedInsertDeleteFuzz(t *testing.T) {
+	// Long fuzz of mixed BatchInsert/BatchDelete against a link-cut mirror.
+	const n = 40
+	r := parallel.NewRNG(1001)
+	m := New(n, 31)
+	lc := linkcut.New(n)
+	live := map[wgraph.EdgeID]bool{}
+	id := wgraph.EdgeID(1)
+	for round := 0; round < 150; round++ {
+		if r.Intn(3) > 0 {
+			var batch []wgraph.Edge
+			for j := 0; j < 1+r.Intn(6); j++ {
+				batch = append(batch, wgraph.Edge{ID: id, U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Int63() % 200})
+				id++
+			}
+			added, removed, _ := m.BatchInsert(batch)
+			for _, e := range removed {
+				lc.Cut(e.ID)
+				delete(live, e.ID)
+			}
+			for _, e := range added {
+				lc.Link(e)
+				live[e.ID] = true
+			}
+		} else {
+			var del []wgraph.EdgeID
+			for eid := range live {
+				if len(del) >= 2 {
+					break
+				}
+				del = append(del, eid)
+			}
+			m.BatchDelete(del)
+			for _, eid := range del {
+				lc.Cut(eid)
+				delete(live, eid)
+			}
+		}
+		for q := 0; q < 20; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if m.Connected(u, v) != lc.Connected(u, v) {
+				t.Fatalf("round %d: connectivity mismatch (%d,%d)", round, u, v)
+			}
+		}
+		if m.Size() != len(live) {
+			t.Fatalf("round %d: size %d want %d", round, m.Size(), len(live))
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/linkcut"
+	"repro/internal/msf"
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+func edgeIDs(es []wgraph.Edge) []wgraph.EdgeID {
+	out := make([]wgraph.EdgeID, len(es))
+	for i, e := range es {
+		out[i] = e.ID
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sameIDs(t *testing.T, name string, got, want []wgraph.Edge) {
+	t.Helper()
+	g, w := edgeIDs(got), edgeIDs(want)
+	if len(g) != len(w) {
+		t.Fatalf("%s: %v want %v", name, g, w)
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("%s: %v want %v", name, g, w)
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	m := New(4, 1)
+	a, r, j := m.BatchInsert(nil)
+	if a != nil || r != nil || j != nil {
+		t.Fatal("non-nil results for empty batch")
+	}
+	if m.Size() != 0 || m.Weight() != 0 || m.NumComponents() != 4 {
+		t.Fatal("state changed")
+	}
+}
+
+func TestSingleEdgeBatch(t *testing.T) {
+	m := New(3, 1)
+	e := wgraph.Edge{ID: 1, U: 0, V: 1, W: 10}
+	added, removed, rejected := m.BatchInsert([]wgraph.Edge{e})
+	if len(added) != 1 || added[0].ID != 1 || len(removed) != 0 || len(rejected) != 0 {
+		t.Fatalf("added=%v removed=%v rejected=%v", added, removed, rejected)
+	}
+	if !m.Connected(0, 1) || m.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	if m.Weight() != 10 || m.Size() != 1 || m.NumComponents() != 2 {
+		t.Fatalf("weight=%d size=%d comps=%d", m.Weight(), m.Size(), m.NumComponents())
+	}
+}
+
+func TestSelfLoopRejected(t *testing.T) {
+	m := New(2, 1)
+	_, _, rejected := m.BatchInsert([]wgraph.Edge{{ID: 1, U: 0, V: 0, W: -5}})
+	if len(rejected) != 1 || m.Size() != 0 {
+		t.Fatalf("rejected=%v size=%d", rejected, m.Size())
+	}
+}
+
+func TestRedRuleEviction(t *testing.T) {
+	m := New(3, 1)
+	m.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 10},
+		{ID: 2, U: 1, V: 2, W: 20},
+	})
+	added, removed, rejected := m.BatchInsert([]wgraph.Edge{{ID: 3, U: 0, V: 2, W: 5}})
+	if len(added) != 1 || added[0].ID != 3 {
+		t.Fatalf("added=%v", added)
+	}
+	if len(removed) != 1 || removed[0].ID != 2 {
+		t.Fatalf("removed=%v", removed)
+	}
+	if len(rejected) != 0 {
+		t.Fatalf("rejected=%v", rejected)
+	}
+	if m.Weight() != 15 {
+		t.Fatalf("weight=%d", m.Weight())
+	}
+	// A heavier parallel edge must be rejected without evictions.
+	added, removed, rejected = m.BatchInsert([]wgraph.Edge{{ID: 4, U: 0, V: 2, W: 99}})
+	if len(added) != 0 || len(removed) != 0 || len(rejected) != 1 {
+		t.Fatalf("added=%v removed=%v rejected=%v", added, removed, rejected)
+	}
+}
+
+func TestBatchWithInternalCycle(t *testing.T) {
+	// A whole cycle arrives in one batch: exactly its heaviest edge is
+	// rejected.
+	m := New(4, 3)
+	_, removed, rejected := m.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 1},
+		{ID: 2, U: 1, V: 2, W: 2},
+		{ID: 3, U: 2, V: 3, W: 3},
+		{ID: 4, U: 3, V: 0, W: 4},
+	})
+	if len(removed) != 0 {
+		t.Fatalf("removed=%v", removed)
+	}
+	if len(rejected) != 1 || rejected[0].ID != 4 {
+		t.Fatalf("rejected=%v", rejected)
+	}
+	if m.Size() != 3 || m.Weight() != 6 {
+		t.Fatalf("size=%d weight=%d", m.Size(), m.Weight())
+	}
+}
+
+// TestMatchesOfflineKruskal drives random batches and compares the
+// maintained forest to the offline MSF of everything inserted so far. With
+// the (W, ID) total order the MSF is unique, so the comparison is exact.
+func TestMatchesOfflineKruskal(t *testing.T) {
+	for _, cfg := range []struct {
+		n, batches, maxBatch int
+		wrange               int64
+		seed                 uint64
+	}{
+		{n: 30, batches: 40, maxBatch: 8, wrange: 1_000_000, seed: 1},
+		{n: 100, batches: 30, maxBatch: 40, wrange: 10, seed: 2}, // heavy ties
+		{n: 200, batches: 15, maxBatch: 300, wrange: 1 << 40, seed: 3},
+		{n: 8, batches: 60, maxBatch: 4, wrange: 5, seed: 4},
+	} {
+		r := parallel.NewRNG(cfg.seed)
+		m := New(cfg.n, cfg.seed*17+5)
+		var all []wgraph.Edge
+		id := wgraph.EdgeID(1)
+		for b := 0; b < cfg.batches; b++ {
+			ell := 1 + r.Intn(cfg.maxBatch)
+			batch := make([]wgraph.Edge, ell)
+			for i := range batch {
+				batch[i] = wgraph.Edge{
+					ID: id, U: int32(r.Intn(cfg.n)), V: int32(r.Intn(cfg.n)),
+					W: r.Int63() % cfg.wrange,
+				}
+				id++
+			}
+			all = append(all, batch...)
+			added, removed, rejected := m.BatchInsert(batch)
+			if len(added)+len(rejected) != len(batch) {
+				t.Fatalf("cfg=%+v batch %d: added+rejected=%d want %d", cfg, b, len(added)+len(rejected), len(batch))
+			}
+			want := msf.Kruskal(cfg.n, all)
+			got := m.ForestEdges()
+			sameIDs(t, "forest", got, want)
+			if m.Weight() != wgraph.TotalWeight(want) {
+				t.Fatalf("cfg=%+v batch %d: weight %d want %d", cfg, b, m.Weight(), wgraph.TotalWeight(want))
+			}
+			for _, e := range removed {
+				if m.HasEdge(e.ID) {
+					t.Fatalf("removed edge %v still present", e)
+				}
+			}
+		}
+	}
+}
+
+func TestMatchesLinkCutSingleInserts(t *testing.T) {
+	const n = 60
+	r := parallel.NewRNG(7)
+	m := New(n, 9)
+	lc := linkcut.NewIncrementalMSF(n)
+	for i := 0; i < 500; i++ {
+		e := wgraph.Edge{ID: wgraph.EdgeID(i + 1), U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Int63() % 100}
+		added, removed, _ := m.BatchInsert([]wgraph.Edge{e})
+		lcAdded, lcEv, lcHas := lc.Insert(e)
+		if (len(added) == 1) != lcAdded {
+			t.Fatalf("step %d: added mismatch", i)
+		}
+		if (len(removed) == 1) != lcHas {
+			t.Fatalf("step %d: eviction mismatch", i)
+		}
+		if lcHas && removed[0].ID != lcEv.ID {
+			t.Fatalf("step %d: evicted %v want %v", i, removed[0], lcEv)
+		}
+		if m.Weight() != lc.Weight() {
+			t.Fatalf("step %d: weight %d want %d", i, m.Weight(), lc.Weight())
+		}
+	}
+}
+
+func TestPathMaxEdge(t *testing.T) {
+	m := New(4, 5)
+	m.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 10},
+		{ID: 2, U: 1, V: 2, W: 30},
+		{ID: 3, U: 2, V: 3, W: 20},
+	})
+	e, ok := m.PathMaxEdge(0, 3)
+	if !ok || e.ID != 2 {
+		t.Fatalf("got %v,%v", e, ok)
+	}
+	if _, ok := m.PathMaxEdge(0, 0); ok {
+		t.Fatal("trivial path")
+	}
+	m2 := New(4, 5)
+	if _, ok := m2.PathMaxEdge(0, 3); ok {
+		t.Fatal("disconnected path")
+	}
+}
+
+func TestBatchDelete(t *testing.T) {
+	const n = 30
+	r := parallel.NewRNG(21)
+	m := New(n, 13)
+	lc := linkcut.New(n)
+	live := map[wgraph.EdgeID]wgraph.Edge{}
+	id := wgraph.EdgeID(1)
+	for round := 0; round < 25; round++ {
+		// Insert a batch.
+		var batch []wgraph.Edge
+		for i := 0; i < 1+r.Intn(10); i++ {
+			batch = append(batch, wgraph.Edge{ID: id, U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Int63() % 1000})
+			id++
+		}
+		added, removed, _ := m.BatchInsert(batch)
+		for _, e := range removed {
+			lc.Cut(e.ID)
+			delete(live, e.ID)
+		}
+		for _, e := range added {
+			lc.Link(e)
+			live[e.ID] = e
+		}
+		// Delete a couple of forest edges outright.
+		var del []wgraph.EdgeID
+		for eid := range live {
+			if len(del) >= r.Intn(3) {
+				break
+			}
+			del = append(del, eid)
+		}
+		for _, eid := range del {
+			lc.Cut(eid)
+			delete(live, eid)
+		}
+		m.BatchDelete(del)
+		// Compare connectivity and path maxima.
+		for q := 0; q < 30; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := m.Connected(u, v), lc.Connected(u, v); got != want {
+				t.Fatalf("round %d: Connected(%d,%d)=%v want %v", round, u, v, got, want)
+			}
+			ge, gok := m.PathMaxEdge(u, v)
+			we, wok := lc.PathMax(u, v)
+			if gok != wok || (gok && ge.ID != we.ID) {
+				t.Fatalf("round %d: PathMax(%d,%d)=(%v,%v) want (%v,%v)", round, u, v, ge, gok, we, wok)
+			}
+		}
+		if m.Size() != len(live) {
+			t.Fatalf("round %d: size=%d want %d", round, m.Size(), len(live))
+		}
+	}
+}
+
+func TestDeleteUnknownPanics(t *testing.T) {
+	m := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.BatchDelete([]wgraph.EdgeID{4})
+}
+
+func TestComponentsMergeAcrossBatches(t *testing.T) {
+	m := New(6, 3)
+	m.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 1},
+		{ID: 2, U: 2, V: 3, W: 1},
+		{ID: 3, U: 4, V: 5, W: 1},
+	})
+	if m.NumComponents() != 3 {
+		t.Fatalf("components=%d", m.NumComponents())
+	}
+	m.BatchInsert([]wgraph.Edge{
+		{ID: 4, U: 1, V: 2, W: 1},
+		{ID: 5, U: 3, V: 4, W: 1},
+	})
+	if m.NumComponents() != 1 {
+		t.Fatalf("components=%d", m.NumComponents())
+	}
+	if !m.Connected(0, 5) {
+		t.Fatal("ends not connected")
+	}
+}
+
+func TestHighDegreeHub(t *testing.T) {
+	// All edges incident to one hub; exercises the ternary adapter under the
+	// MSF layer with churn on a single gadget.
+	const n = 40
+	m := New(n, 17)
+	var batch []wgraph.Edge
+	for i := 1; i < n; i++ {
+		batch = append(batch, wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i), W: int64(1000 - i)})
+	}
+	m.BatchInsert(batch)
+	if m.Size() != n-1 {
+		t.Fatalf("size=%d", m.Size())
+	}
+	// Now a cheaper ring connecting the leaves evicts most hub edges.
+	var ring []wgraph.Edge
+	for i := 1; i < n-1; i++ {
+		ring = append(ring, wgraph.Edge{ID: wgraph.EdgeID(1000 + i), U: int32(i), V: int32(i + 1), W: 1})
+	}
+	_, removed, _ := m.BatchInsert(ring)
+	if len(removed) != len(ring) {
+		t.Fatalf("removed %d hub edges, want %d", len(removed), len(ring))
+	}
+	all := append(batch, ring...)
+	sameIDs(t, "hub forest", m.ForestEdges(), msf.Kruskal(n, all))
+}
+
+func TestDuplicateEdgesInOneBatch(t *testing.T) {
+	m := New(2, 1)
+	added, _, rejected := m.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 7},
+		{ID: 2, U: 0, V: 1, W: 7}, // tie: ID 1 wins
+		{ID: 3, U: 1, V: 0, W: 9},
+	})
+	if len(added) != 1 || added[0].ID != 1 {
+		t.Fatalf("added=%v", added)
+	}
+	if len(rejected) != 2 {
+		t.Fatalf("rejected=%v", rejected)
+	}
+}

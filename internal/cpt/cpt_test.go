@@ -1,0 +1,313 @@
+package cpt
+
+import (
+	"testing"
+
+	"repro/internal/linkcut"
+	"repro/internal/parallel"
+	"repro/internal/rctree"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+func key(id int) wgraph.Key { return wgraph.Key{W: int64(id * 10), ID: wgraph.EdgeID(id)} }
+
+// cptPathMax answers heaviest-edge queries inside a Result by DFS.
+func cptPathMax(res Result, u, v int32) (wgraph.Key, bool) {
+	if u == v {
+		return wgraph.Key{}, false
+	}
+	adj := map[int32][]Edge{}
+	for _, e := range res.Edges {
+		adj[e.U] = append(adj[e.U], e)
+		adj[e.V] = append(adj[e.V], Edge{U: e.V, V: e.U, Key: e.Key})
+	}
+	type frame struct {
+		at   int32
+		best wgraph.Key
+		has  bool
+	}
+	seen := map[int32]bool{u: true}
+	stack := []frame{{at: u}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range adj[f.at] {
+			w := e.V
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			best, has := f.best, f.has
+			if !has || best.Less(e.Key) {
+				best, has = e.Key, true
+			}
+			if w == v {
+				return best, has
+			}
+			stack = append(stack, frame{at: w, best: best, has: has})
+		}
+	}
+	return wgraph.Key{}, false
+}
+
+func hasVertex(res Result, v int32) bool {
+	for _, x := range res.Vertices {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEmptyMarkedSet(t *testing.T) {
+	tr := rctree.New(4, 1)
+	tr.BatchUpdate([]rctree.Edge{{U: 0, V: 1, Key: key(1)}}, nil)
+	res := Build(tr, nil)
+	if len(res.Vertices) != 0 || len(res.Edges) != 0 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestSingleMarkedVertex(t *testing.T) {
+	tr := rctree.New(5, 1)
+	tr.BatchUpdate([]rctree.Edge{
+		{U: 0, V: 1, Key: key(1)},
+		{U: 1, V: 2, Key: key(2)},
+		{U: 2, V: 3, Key: key(3)},
+	}, nil)
+	res := Build(tr, []int32{2})
+	if len(res.Vertices) != 1 || res.Vertices[0] != 2 || len(res.Edges) != 0 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestIsolatedMarkedVertex(t *testing.T) {
+	tr := rctree.New(3, 1)
+	res := Build(tr, []int32{1})
+	if len(res.Vertices) != 1 || res.Vertices[0] != 1 || len(res.Edges) != 0 {
+		t.Fatalf("got %+v", res)
+	}
+}
+
+func TestTwoMarkedOnPath(t *testing.T) {
+	// 0-1-2-3-4 with increasing weights; mark 0 and 4: the CPT must be the
+	// single edge (0,4) carrying the heaviest key, edge 4.
+	tr := rctree.New(5, 7)
+	var ins []rctree.Edge
+	for i := 0; i < 4; i++ {
+		ins = append(ins, rctree.Edge{U: int32(i), V: int32(i + 1), Key: key(i + 1)})
+	}
+	tr.BatchUpdate(ins, nil)
+	res := Build(tr, []int32{0, 4})
+	if len(res.Edges) != 1 {
+		t.Fatalf("edges: %+v", res.Edges)
+	}
+	e := res.Edges[0]
+	if !(e.U == 0 && e.V == 4 || e.U == 4 && e.V == 0) {
+		t.Fatalf("edge endpoints: %+v", e)
+	}
+	if e.Key != key(4) {
+		t.Fatalf("edge key %v want %v", e.Key, key(4))
+	}
+	if len(res.Vertices) != 2 {
+		t.Fatalf("vertices: %v", res.Vertices)
+	}
+}
+
+func TestSteinerVertexAppears(t *testing.T) {
+	// Star with center 0 and leaves 1,2,3 (all marked leaves): center is a
+	// Steiner vertex of degree 3 and must be retained.
+	tr := rctree.New(4, 5)
+	tr.BatchUpdate([]rctree.Edge{
+		{U: 0, V: 1, Key: key(1)},
+		{U: 0, V: 2, Key: key(2)},
+		{U: 0, V: 3, Key: key(3)},
+	}, nil)
+	res := Build(tr, []int32{1, 2, 3})
+	if len(res.Edges) != 3 {
+		t.Fatalf("edges: %+v", res.Edges)
+	}
+	if !hasVertex(res, 0) {
+		t.Fatalf("Steiner center missing: %v", res.Vertices)
+	}
+	k, ok := cptPathMax(res, 1, 3)
+	if !ok || k != key(3) {
+		t.Fatalf("cpt pathmax(1,3)=%v,%v", k, ok)
+	}
+}
+
+func TestMarkAllEqualsOriginalTree(t *testing.T) {
+	// When every vertex is marked, the CPT is the original tree.
+	r := parallel.NewRNG(3)
+	const n = 40
+	tr := rctree.New(n, 9)
+	uf := unionfind.New(n)
+	deg := make([]int, n)
+	var ins []rctree.Edge
+	id := 1
+	for len(ins) < n-1 {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v || deg[u] >= 3 || deg[v] >= 3 || !uf.Union(u, v) {
+			continue
+		}
+		deg[u]++
+		deg[v]++
+		ins = append(ins, rctree.Edge{U: u, V: v, Key: key(id)})
+		id++
+	}
+	tr.BatchUpdate(ins, nil)
+	var all []int32
+	for i := int32(0); i < n; i++ {
+		all = append(all, i)
+	}
+	res := Build(tr, all)
+	if len(res.Edges) != len(ins) {
+		t.Fatalf("edges %d want %d", len(res.Edges), len(ins))
+	}
+	want := map[[2]int32]wgraph.Key{}
+	for _, e := range ins {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		want[[2]int32{a, b}] = e.Key
+	}
+	for _, e := range res.Edges {
+		a, b := e.U, e.V
+		if a > b {
+			a, b = b, a
+		}
+		k, ok := want[[2]int32{a, b}]
+		if !ok || k != e.Key {
+			t.Fatalf("unexpected CPT edge %+v", e)
+		}
+	}
+}
+
+// TestQueryEquivalenceRandom is the core property: for random forests and
+// random marked sets, heaviest-edge queries inside the CPT agree with the
+// original forest for every pair of marked vertices, the CPT has O(l)
+// vertices, no unmarked vertex has degree < 3, and the CPT is a forest.
+func TestQueryEquivalenceRandom(t *testing.T) {
+	r := parallel.NewRNG(77)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + r.Intn(150)
+		tr := rctree.New(n, uint64(trial)*3+1)
+		lc := linkcut.New(n)
+		uf := unionfind.New(n)
+		deg := make([]int, n)
+		var ins []rctree.Edge
+		id := 1
+		target := r.Intn(n)
+		for len(ins) < target {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v || deg[u] >= 3 || deg[v] >= 3 || !uf.Union(u, v) {
+				continue
+			}
+			deg[u]++
+			deg[v]++
+			k := key(id)
+			ins = append(ins, rctree.Edge{U: u, V: v, Key: k})
+			lc.Link(wgraph.Edge{ID: k.ID, U: u, V: v, W: k.W})
+			id++
+		}
+		tr.BatchUpdate(ins, nil)
+		// Random marked set.
+		nm := 1 + r.Intn(8)
+		markSet := map[int32]bool{}
+		for len(markSet) < nm {
+			markSet[int32(r.Intn(n))] = true
+		}
+		var marked []int32
+		for v := range markSet {
+			marked = append(marked, v)
+		}
+		res := Build(tr, marked)
+		// All marked vertices present.
+		for _, v := range marked {
+			if !hasVertex(res, v) {
+				t.Fatalf("trial %d: marked %d missing from CPT", trial, v)
+			}
+		}
+		// Size bound: <= 2l vertices per component set (standard bound for
+		// trees with l leaves and no degree-2 internal vertices; allow 2l).
+		if len(res.Vertices) > 2*len(marked) {
+			t.Fatalf("trial %d: CPT has %d vertices for %d marked", trial, len(res.Vertices), len(marked))
+		}
+		// Minimality: unmarked CPT vertices have degree >= 3.
+		degc := map[int32]int{}
+		for _, e := range res.Edges {
+			degc[e.U]++
+			degc[e.V]++
+		}
+		for v, d := range degc {
+			if !markSet[v] && d < 3 {
+				t.Fatalf("trial %d: Steiner vertex %d has degree %d", trial, v, d)
+			}
+		}
+		// Acyclic.
+		cuf := unionfind.New(n)
+		for _, e := range res.Edges {
+			if !cuf.Union(e.U, e.V) {
+				t.Fatalf("trial %d: CPT has a cycle at %+v", trial, e)
+			}
+		}
+		// Query equivalence for every marked pair.
+		for _, u := range marked {
+			for _, v := range marked {
+				if u >= v {
+					continue
+				}
+				wantE, wantOK := lc.PathMax(u, v)
+				gotK, gotOK := cptPathMax(res, u, v)
+				if gotOK != wantOK {
+					t.Fatalf("trial %d: pathmax(%d,%d) ok=%v want %v", trial, u, v, gotOK, wantOK)
+				}
+				if gotOK && gotK != wgraph.KeyOf(wantE) {
+					t.Fatalf("trial %d: pathmax(%d,%d)=%v want %v", trial, u, v, gotK, wgraph.KeyOf(wantE))
+				}
+			}
+		}
+	}
+}
+
+func TestMarkedAcrossComponents(t *testing.T) {
+	tr := rctree.New(6, 2)
+	tr.BatchUpdate([]rctree.Edge{
+		{U: 0, V: 1, Key: key(1)},
+		{U: 2, V: 3, Key: key(2)},
+	}, nil)
+	res := Build(tr, []int32{0, 1, 2, 3, 5})
+	if len(res.Edges) != 2 {
+		t.Fatalf("edges: %+v", res.Edges)
+	}
+	if !hasVertex(res, 5) {
+		t.Fatal("isolated marked vertex missing")
+	}
+	if _, ok := cptPathMax(res, 0, 2); ok {
+		t.Fatal("cross-component path in CPT")
+	}
+}
+
+func TestCPTAfterDynamicUpdates(t *testing.T) {
+	// The CPT must reflect the current forest after batched updates.
+	tr := rctree.New(5, 4)
+	hs := tr.BatchUpdate([]rctree.Edge{
+		{U: 0, V: 1, Key: key(1)},
+		{U: 1, V: 2, Key: key(5)},
+		{U: 2, V: 3, Key: key(2)},
+	}, nil)
+	res := Build(tr, []int32{0, 3})
+	k, ok := cptPathMax(res, 0, 3)
+	if !ok || k != key(5) {
+		t.Fatalf("pathmax=%v,%v", k, ok)
+	}
+	// Replace the heavy middle edge with a light one.
+	tr.BatchUpdate([]rctree.Edge{{U: 1, V: 2, Key: key(3)}}, []rctree.Handle{hs[1]})
+	res = Build(tr, []int32{0, 3})
+	k, ok = cptPathMax(res, 0, 3)
+	if !ok || k != key(3) {
+		t.Fatalf("pathmax after update=%v,%v", k, ok)
+	}
+}

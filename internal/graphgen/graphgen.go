@@ -1,0 +1,190 @@
+// Package graphgen provides the deterministic workload generators behind
+// the benchmark harness and examples: random graphs, structured graphs
+// (paths, stars, grids, preferential attachment), weight assignments, and
+// sliding-window edge streams. Everything is seeded, so every experiment in
+// EXPERIMENTS.md is reproducible bit-for-bit.
+package graphgen
+
+import (
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+// ErdosRenyi returns m uniformly random edges (with replacement, self-loops
+// filtered by redraw) over n vertices, with weights uniform in [1, maxW].
+func ErdosRenyi(n, m int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	out := make([]wgraph.Edge, m)
+	for i := range out {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		for v == u {
+			v = int32(r.Intn(n))
+		}
+		out[i] = wgraph.Edge{ID: wgraph.EdgeID(i + 1), U: u, V: v, W: 1 + r.Int63()%maxW}
+	}
+	return out
+}
+
+// RandomTree returns a uniformly-ish random spanning tree over n vertices
+// (random attachment), weights uniform in [1, maxW].
+func RandomTree(n int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	out := make([]wgraph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		u := int32(r.Intn(v))
+		out = append(out, wgraph.Edge{ID: wgraph.EdgeID(v), U: u, V: int32(v), W: 1 + r.Int63()%maxW})
+	}
+	return out
+}
+
+// BoundedDegreeTree returns a random spanning tree over n vertices in which
+// every vertex has degree at most maxDeg (>= 2). Useful for driving the
+// rake-compress tree directly, which requires degree <= 3.
+func BoundedDegreeTree(n, maxDeg int, maxW int64, seed uint64) []wgraph.Edge {
+	if maxDeg < 2 {
+		panic("graphgen: maxDeg must be at least 2")
+	}
+	r := parallel.NewRNG(seed)
+	out := make([]wgraph.Edge, 0, n-1)
+	deg := make([]int, n)
+	avail := make([]int32, 0, n) // vertices with spare capacity
+	avail = append(avail, 0)
+	for v := 1; v < n; v++ {
+		i := r.Intn(len(avail))
+		u := avail[i]
+		out = append(out, wgraph.Edge{ID: wgraph.EdgeID(v), U: u, V: int32(v), W: 1 + r.Int63()%maxW})
+		deg[u]++
+		deg[v]++
+		if deg[u] >= maxDeg {
+			avail[i] = avail[len(avail)-1]
+			avail = avail[:len(avail)-1]
+		}
+		if deg[v] < maxDeg {
+			avail = append(avail, int32(v))
+		}
+	}
+	return out
+}
+
+// Path returns the path 0-1-...-(n-1) with the given weights source.
+func Path(n int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	out := make([]wgraph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		out = append(out, wgraph.Edge{ID: wgraph.EdgeID(v), U: int32(v - 1), V: int32(v), W: 1 + r.Int63()%maxW})
+	}
+	return out
+}
+
+// Star returns a star centered at 0.
+func Star(n int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	out := make([]wgraph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		out = append(out, wgraph.Edge{ID: wgraph.EdgeID(v), U: 0, V: int32(v), W: 1 + r.Int63()%maxW})
+	}
+	return out
+}
+
+// Grid returns the rows x cols grid graph (n = rows*cols vertices).
+func Grid(rows, cols int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	var out []wgraph.Edge
+	id := wgraph.EdgeID(1)
+	at := func(i, j int) int32 { return int32(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				out = append(out, wgraph.Edge{ID: id, U: at(i, j), V: at(i, j+1), W: 1 + r.Int63()%maxW})
+				id++
+			}
+			if i+1 < rows {
+				out = append(out, wgraph.Edge{ID: id, U: at(i, j), V: at(i+1, j), W: 1 + r.Int63()%maxW})
+				id++
+			}
+		}
+	}
+	return out
+}
+
+// PreferentialAttachment returns a Barabási–Albert-style graph: each new
+// vertex attaches deg edges to endpoints sampled from the existing
+// half-edge list (rich get richer). Hub degrees stress the ternary adapter.
+func PreferentialAttachment(n, deg int, maxW int64, seed uint64) []wgraph.Edge {
+	r := parallel.NewRNG(seed)
+	var out []wgraph.Edge
+	targets := []int32{0}
+	id := wgraph.EdgeID(1)
+	for v := 1; v < n; v++ {
+		for d := 0; d < deg; d++ {
+			u := targets[r.Intn(len(targets))]
+			if u == int32(v) {
+				continue
+			}
+			out = append(out, wgraph.Edge{ID: id, U: u, V: int32(v), W: 1 + r.Int63()%maxW})
+			id++
+			targets = append(targets, u)
+		}
+		targets = append(targets, int32(v))
+	}
+	return out
+}
+
+// Batches slices an edge list into batches of the given size (the last may
+// be short).
+func Batches(edges []wgraph.Edge, batch int) [][]wgraph.Edge {
+	if batch < 1 {
+		batch = 1
+	}
+	var out [][]wgraph.Edge
+	for lo := 0; lo < len(edges); lo += batch {
+		hi := lo + batch
+		if hi > len(edges) {
+			hi = len(edges)
+		}
+		out = append(out, edges[lo:hi])
+	}
+	return out
+}
+
+// Stream is a sliding-window workload: a sequence of rounds, each
+// inserting Insert edges and expiring Expire arrivals.
+type Stream struct {
+	N      int
+	Rounds []StreamRound
+}
+
+// StreamRound is one round of a sliding-window workload.
+type StreamRound struct {
+	Insert [][2]int32
+	Expire int
+}
+
+// SlidingStream generates a steady-state sliding-window workload: `rounds`
+// rounds of `batch` random edge arrivals over n vertices; once `window`
+// arrivals are live, each round also expires `batch` oldest arrivals.
+func SlidingStream(n, rounds, batch, window int, seed uint64) Stream {
+	r := parallel.NewRNG(seed)
+	s := Stream{N: n}
+	live := 0
+	for i := 0; i < rounds; i++ {
+		ins := make([][2]int32, batch)
+		for j := range ins {
+			u := int32(r.Intn(n))
+			v := int32(r.Intn(n))
+			for v == u {
+				v = int32(r.Intn(n))
+			}
+			ins[j] = [2]int32{u, v}
+		}
+		live += batch
+		exp := 0
+		if live > window {
+			exp = live - window
+			live = window
+		}
+		s.Rounds = append(s.Rounds, StreamRound{Insert: ins, Expire: exp})
+	}
+	return s
+}

@@ -1,0 +1,153 @@
+package graphgen
+
+import (
+	"testing"
+
+	"repro/internal/unionfind"
+)
+
+func TestErdosRenyiShape(t *testing.T) {
+	edges := ErdosRenyi(100, 500, 50, 1)
+	if len(edges) != 500 {
+		t.Fatalf("m=%d", len(edges))
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			t.Fatalf("self loop %v", e)
+		}
+		if e.W < 1 || e.W > 50 {
+			t.Fatalf("weight %v", e)
+		}
+		if e.U < 0 || e.U >= 100 || e.V < 0 || e.V >= 100 {
+			t.Fatalf("vertex out of range %v", e)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := ErdosRenyi(50, 100, 10, 7)
+	b := ErdosRenyi(50, 100, 10, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+	c := ErdosRenyi(50, 100, 10, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical output")
+	}
+}
+
+func TestRandomTreeIsSpanningTree(t *testing.T) {
+	const n = 200
+	edges := RandomTree(n, 100, 3)
+	if len(edges) != n-1 {
+		t.Fatalf("edges=%d", len(edges))
+	}
+	uf := unionfind.New(n)
+	for _, e := range edges {
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("cycle at %v", e)
+		}
+	}
+	if uf.NumComponents() != 1 {
+		t.Fatalf("components=%d", uf.NumComponents())
+	}
+}
+
+func TestPathAndStar(t *testing.T) {
+	p := Path(5, 10, 1)
+	if len(p) != 4 || p[0].U != 0 || p[3].V != 4 {
+		t.Fatalf("path=%v", p)
+	}
+	s := Star(5, 10, 1)
+	if len(s) != 4 {
+		t.Fatalf("star=%v", s)
+	}
+	for _, e := range s {
+		if e.U != 0 {
+			t.Fatalf("star edge %v not centered", e)
+		}
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g := Grid(3, 4, 10, 1)
+	// 3x4 grid: 3*3 horizontal + 2*4 vertical = 17 edges.
+	if len(g) != 17 {
+		t.Fatalf("grid edges=%d", len(g))
+	}
+	uf := unionfind.New(12)
+	for _, e := range g {
+		uf.Union(e.U, e.V)
+	}
+	if uf.NumComponents() != 1 {
+		t.Fatal("grid not connected")
+	}
+}
+
+func TestPreferentialAttachmentConnected(t *testing.T) {
+	edges := PreferentialAttachment(100, 2, 10, 5)
+	uf := unionfind.New(100)
+	for _, e := range edges {
+		uf.Union(e.U, e.V)
+	}
+	if uf.NumComponents() != 1 {
+		t.Fatalf("components=%d", uf.NumComponents())
+	}
+	// Hubs exist: max degree should be well above the minimum.
+	deg := make([]int, 100)
+	for _, e := range edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	if max < 6 {
+		t.Fatalf("no hubs: max degree %d", max)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	edges := Path(11, 5, 1) // 10 edges
+	bs := Batches(edges, 4)
+	if len(bs) != 3 || len(bs[0]) != 4 || len(bs[2]) != 2 {
+		t.Fatalf("batches: %d groups", len(bs))
+	}
+	if got := Batches(edges, 0); len(got) != 10 {
+		t.Fatalf("batch=0 should clamp to 1, got %d groups", len(got))
+	}
+}
+
+func TestSlidingStreamWindowBound(t *testing.T) {
+	s := SlidingStream(50, 20, 10, 45, 3)
+	if len(s.Rounds) != 20 {
+		t.Fatalf("rounds=%d", len(s.Rounds))
+	}
+	live := 0
+	for i, r := range s.Rounds {
+		if len(r.Insert) != 10 {
+			t.Fatalf("round %d: insert=%d", i, len(r.Insert))
+		}
+		live += len(r.Insert) - r.Expire
+		if live > 45 {
+			t.Fatalf("round %d: live=%d exceeds window", i, live)
+		}
+		for _, p := range r.Insert {
+			if p[0] == p[1] {
+				t.Fatalf("round %d: self loop", i)
+			}
+		}
+	}
+}

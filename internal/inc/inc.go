@@ -1,0 +1,172 @@
+// Package inc implements the incremental-model (insert-only) structures of
+// Table 1's first column, following Section 5.7 of the paper: batch
+// union-find (Simsiri et al. [46]) replaces the recency-weighted MSF, which
+// turns the lg(1+n/l) work factor into α(n).
+//
+// Structures: connectivity with component counting, bipartiteness,
+// cycle-freeness, and k-certificates. The incremental MSF itself is package
+// core (Theorem 1.1), which Table 1 lists in the same column.
+package inc
+
+import (
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+// Conn is incremental connectivity with component counting: batch inserts
+// in O(l·α(n)) expected work via batch union-find, with the spanning-forest
+// edge list maintained as described in Section 5.7.
+type Conn struct {
+	uf     *unionfind.Batch
+	forest []wgraph.Edge
+}
+
+// NewConn returns an incremental connectivity structure over n vertices.
+func NewConn(n int) *Conn { return &Conn{uf: unionfind.NewBatch(n)} }
+
+// BatchInsert inserts edges and returns the ones that joined two components
+// (the new spanning-forest edges).
+func (c *Conn) BatchInsert(edges []wgraph.Edge) []wgraph.Edge {
+	added := c.uf.BatchInsert(edges)
+	c.forest = append(c.forest, added...)
+	return added
+}
+
+// IsConnected reports connectivity in O(α(n)).
+func (c *Conn) IsConnected(u, v int32) bool { return c.uf.Connected(u, v) }
+
+// NumComponents returns the component count in O(1).
+func (c *Conn) NumComponents() int { return c.uf.NumComponents() }
+
+// ForestEdges returns the maintained spanning forest.
+func (c *Conn) ForestEdges() []wgraph.Edge { return c.forest }
+
+// Bipartite is incremental bipartiteness via the cycle double cover: once
+// an odd cycle appears it never disappears (no deletions), so the answer is
+// monotone.
+type Bipartite struct {
+	n int
+	g *Conn
+	d *Conn
+}
+
+// NewBipartite returns an incremental bipartiteness monitor.
+func NewBipartite(n int) *Bipartite {
+	return &Bipartite{n: n, g: NewConn(n), d: NewConn(2 * n)}
+}
+
+// BatchInsert inserts edges.
+func (b *Bipartite) BatchInsert(edges []wgraph.Edge) {
+	b.g.BatchInsert(edges)
+	dcc := make([]wgraph.Edge, 0, 2*len(edges))
+	n32 := int32(b.n)
+	for _, e := range edges {
+		dcc = append(dcc,
+			wgraph.Edge{ID: 2 * e.ID, U: e.U, V: e.V + n32},
+			wgraph.Edge{ID: 2*e.ID + 1, U: e.U + n32, V: e.V},
+		)
+	}
+	b.d.BatchInsert(dcc)
+}
+
+// IsBipartite reports whether the inserted graph is bipartite, in O(1).
+func (b *Bipartite) IsBipartite() bool {
+	return b.d.NumComponents() == 2*b.g.NumComponents()
+}
+
+// CycleFree is incremental cycle detection: a cycle appears exactly when an
+// inserted edge fails to join two components.
+type CycleFree struct {
+	uf    *unionfind.Batch
+	found bool
+}
+
+// NewCycleFree returns an incremental cycle monitor over n vertices.
+func NewCycleFree(n int) *CycleFree { return &CycleFree{uf: unionfind.NewBatch(n)} }
+
+// BatchInsert inserts edges.
+func (c *CycleFree) BatchInsert(edges []wgraph.Edge) {
+	kept := c.uf.BatchInsert(edges)
+	loops := 0
+	for _, e := range edges {
+		if e.IsLoop() {
+			loops++
+		}
+	}
+	if len(kept) < len(edges)-loops || loops > 0 {
+		c.found = true
+	}
+}
+
+// HasCycle reports whether any cycle has appeared, in O(1).
+func (c *CycleFree) HasCycle() bool { return c.found }
+
+// KCert maintains an incremental k-certificate: a maximal spanning forest
+// decomposition built by cascading rejected edges down k batch union-find
+// forests (the insert-only specialization of Theorem 5.5).
+type KCert struct {
+	k      int
+	n      int
+	uf     []*unionfind.Batch
+	forest [][]wgraph.Edge
+}
+
+// NewKCert returns an incremental k-certificate over n vertices.
+func NewKCert(n, k int) *KCert {
+	if k < 1 {
+		panic("inc: k must be at least 1")
+	}
+	c := &KCert{k: k, n: n}
+	for i := 0; i < k; i++ {
+		c.uf = append(c.uf, unionfind.NewBatch(n))
+		c.forest = append(c.forest, nil)
+	}
+	return c
+}
+
+// BatchInsert inserts edges, cascading rejects down the forests.
+func (c *KCert) BatchInsert(edges []wgraph.Edge) {
+	o := make([]wgraph.Edge, 0, len(edges))
+	for _, e := range edges {
+		if !e.IsLoop() {
+			o = append(o, e)
+		}
+	}
+	for i := 0; i < c.k && len(o) > 0; i++ {
+		kept := c.uf[i].BatchInsert(o)
+		c.forest[i] = append(c.forest[i], kept...)
+		inKept := make(map[wgraph.EdgeID]bool, len(kept))
+		for _, e := range kept {
+			inKept[e.ID] = true
+		}
+		next := o[:0]
+		for _, e := range o {
+			if !inKept[e.ID] {
+				next = append(next, e)
+			}
+		}
+		o = next
+	}
+}
+
+// Certificate returns the union of the k forests: at most k(n-1) edges
+// preserving all cuts of size <= k.
+func (c *KCert) Certificate() []wgraph.Edge {
+	var out []wgraph.Edge
+	for i := 0; i < c.k; i++ {
+		out = append(out, c.forest[i]...)
+	}
+	return out
+}
+
+// IsConnected reports connectivity (forest 1 spans the graph).
+func (c *KCert) IsConnected(u, v int32) bool { return c.uf[0].Connected(u, v) }
+
+// Size returns the number of certificate edges.
+func (c *KCert) Size() int {
+	s := 0
+	for i := 0; i < c.k; i++ {
+		s += len(c.forest[i])
+	}
+	return s
+}

@@ -1,0 +1,152 @@
+package inc
+
+import (
+	"testing"
+
+	"repro/internal/graphgen"
+	"repro/internal/mincut"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+func TestConnBasics(t *testing.T) {
+	c := NewConn(5)
+	added := c.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1}, {ID: 2, U: 1, V: 2}, {ID: 3, U: 0, V: 2},
+	})
+	if len(added) != 2 {
+		t.Fatalf("added=%v", added)
+	}
+	if !c.IsConnected(0, 2) || c.IsConnected(0, 3) {
+		t.Fatal("connectivity wrong")
+	}
+	if c.NumComponents() != 3 {
+		t.Fatalf("components=%d", c.NumComponents())
+	}
+	if len(c.ForestEdges()) != 2 {
+		t.Fatalf("forest=%v", c.ForestEdges())
+	}
+}
+
+func TestConnForestSpans(t *testing.T) {
+	const n = 200
+	edges := graphgen.ErdosRenyi(n, 600, 100, 3)
+	c := NewConn(n)
+	for _, b := range graphgen.Batches(edges, 50) {
+		c.BatchInsert(b)
+	}
+	// The forest must reproduce exactly the same connectivity.
+	uf := unionfind.New(n)
+	for _, e := range c.ForestEdges() {
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("forest has a cycle at %v", e)
+		}
+	}
+	for _, e := range edges {
+		if !uf.Connected(e.U, e.V) {
+			t.Fatalf("forest misses edge %v", e)
+		}
+	}
+	if uf.NumComponents() != c.NumComponents() {
+		t.Fatalf("components %d vs %d", uf.NumComponents(), c.NumComponents())
+	}
+}
+
+func TestBipartiteIncremental(t *testing.T) {
+	b := NewBipartite(5)
+	b.BatchInsert([]wgraph.Edge{{ID: 1, U: 0, V: 1}, {ID: 2, U: 1, V: 2}, {ID: 3, U: 2, V: 3}, {ID: 4, U: 3, V: 0}})
+	if !b.IsBipartite() {
+		t.Fatal("even cycle misreported")
+	}
+	b.BatchInsert([]wgraph.Edge{{ID: 5, U: 0, V: 2}})
+	if b.IsBipartite() {
+		t.Fatal("odd cycle missed")
+	}
+	// Monotone: more edges never restore bipartiteness.
+	b.BatchInsert([]wgraph.Edge{{ID: 6, U: 3, V: 4}})
+	if b.IsBipartite() {
+		t.Fatal("bipartiteness resurrected")
+	}
+}
+
+func TestCycleFreeIncremental(t *testing.T) {
+	c := NewCycleFree(4)
+	c.BatchInsert([]wgraph.Edge{{ID: 1, U: 0, V: 1}, {ID: 2, U: 1, V: 2}})
+	if c.HasCycle() {
+		t.Fatal("path misreported")
+	}
+	c.BatchInsert([]wgraph.Edge{{ID: 3, U: 2, V: 0}})
+	if !c.HasCycle() {
+		t.Fatal("triangle missed")
+	}
+}
+
+func TestCycleFreeSelfLoop(t *testing.T) {
+	c := NewCycleFree(2)
+	c.BatchInsert([]wgraph.Edge{{ID: 1, U: 1, V: 1}})
+	if !c.HasCycle() {
+		t.Fatal("self-loop is a cycle")
+	}
+}
+
+func TestCycleFreeWholeBatchCycle(t *testing.T) {
+	c := NewCycleFree(3)
+	c.BatchInsert([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1}, {ID: 2, U: 1, V: 2}, {ID: 3, U: 2, V: 0},
+	})
+	if !c.HasCycle() {
+		t.Fatal("cycle within one batch missed")
+	}
+}
+
+func TestKCertPreservesSmallCuts(t *testing.T) {
+	// Property P3: the certificate's global min cut equals
+	// min(k, mincut(G)).
+	const n = 12
+	const k = 3
+	r := parallel.NewRNG(9)
+	for trial := 0; trial < 10; trial++ {
+		m := 2*n + r.Intn(3*n)
+		edges := graphgen.ErdosRenyi(n, m, 1, uint64(trial)+100)
+		c := NewKCert(n, k)
+		for _, b := range graphgen.Batches(edges, 7) {
+			c.BatchInsert(b)
+		}
+		cert := c.Certificate()
+		if len(cert) > k*(n-1) {
+			t.Fatalf("trial %d: cert too big: %d", trial, len(cert))
+		}
+		wantCut := mincut.EdgeConnectivity(n, edges)
+		if wantCut > int64(k) {
+			wantCut = int64(k)
+		}
+		gotCut := mincut.EdgeConnectivity(n, cert)
+		if gotCut > int64(k) {
+			gotCut = int64(k)
+		}
+		if gotCut != wantCut {
+			t.Fatalf("trial %d: cert min(k,cut)=%d graph=%d", trial, gotCut, wantCut)
+		}
+	}
+}
+
+func TestKCertConnectivity(t *testing.T) {
+	const n = 50
+	edges := graphgen.ErdosRenyi(n, 120, 1, 77)
+	c := NewKCert(n, 2)
+	uf := unionfind.New(n)
+	for _, b := range graphgen.Batches(edges, 13) {
+		c.BatchInsert(b)
+		for _, e := range b {
+			uf.Union(e.U, e.V)
+		}
+	}
+	r := parallel.NewRNG(5)
+	for q := 0; q < 200; q++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if c.IsConnected(u, v) != uf.Connected(u, v) {
+			t.Fatalf("IsConnected(%d,%d) mismatch", u, v)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package linkcut
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+// TestQuickScriptedOps decodes arbitrary byte scripts into valid link/cut/
+// query sequences and cross-checks connectivity against union-find rebuilt
+// from the live edge set.
+func TestQuickScriptedOps(t *testing.T) {
+	f := func(script []uint8) bool {
+		const n = 24
+		fo := New(n)
+		live := map[wgraph.EdgeID]wgraph.Edge{}
+		nextID := wgraph.EdgeID(1)
+		i := 0
+		for i+2 < len(script) {
+			op := script[i] % 3
+			u := int32(script[i+1]) % n
+			v := int32(script[i+2]) % n
+			i += 3
+			switch op {
+			case 0: // link if valid
+				if u == v {
+					continue
+				}
+				uf := unionfind.New(n)
+				for _, e := range live {
+					uf.Union(e.U, e.V)
+				}
+				if !uf.Union(u, v) {
+					continue
+				}
+				e := wgraph.Edge{ID: nextID, U: u, V: v, W: int64(script[i-1])}
+				nextID++
+				fo.Link(e)
+				live[e.ID] = e
+			case 1: // cut some live edge deterministically
+				for id := range live {
+					fo.Cut(id)
+					delete(live, id)
+					break
+				}
+			case 2: // query
+				uf := unionfind.New(n)
+				for _, e := range live {
+					uf.Union(e.U, e.V)
+				}
+				if fo.Connected(u, v) != uf.Connected(u, v) {
+					return false
+				}
+			}
+		}
+		return fo.NumEdges() == len(live)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvertHeavyUsage(t *testing.T) {
+	// Exercise makeRoot-heavy access patterns: query every ordered pair on
+	// a path both ways; the lazy flip propagation must stay consistent.
+	const n = 60
+	f := New(n)
+	for i := 0; i < n-1; i++ {
+		f.Link(wgraph.Edge{ID: wgraph.EdgeID(i + 1), U: int32(i), V: int32(i + 1), W: int64(i + 1)})
+	}
+	for u := int32(0); u < n; u += 5 {
+		for v := int32(0); v < n; v += 7 {
+			if u == v {
+				continue
+			}
+			e, ok := f.PathMax(u, v)
+			if !ok {
+				t.Fatalf("PathMax(%d,%d) not found", u, v)
+			}
+			lo, hi := u, v
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if e.ID != wgraph.EdgeID(hi) {
+				t.Fatalf("PathMax(%d,%d)=%v want edge %d", u, v, e, hi)
+			}
+		}
+	}
+}
+
+func TestIncrementalMSFDisconnectedComponents(t *testing.T) {
+	m := NewIncrementalMSF(6)
+	m.Insert(wgraph.Edge{ID: 1, U: 0, V: 1, W: 5})
+	m.Insert(wgraph.Edge{ID: 2, U: 3, V: 4, W: 7})
+	if m.Connected(0, 3) {
+		t.Fatal("separate components connected")
+	}
+	if m.Weight() != 12 || m.Size() != 2 {
+		t.Fatalf("weight=%d size=%d", m.Weight(), m.Size())
+	}
+	m.Insert(wgraph.Edge{ID: 3, U: 1, V: 3, W: 1})
+	if !m.Connected(0, 4) {
+		t.Fatal("bridge failed")
+	}
+}

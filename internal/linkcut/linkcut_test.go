@@ -1,0 +1,284 @@
+package linkcut
+
+import (
+	"testing"
+
+	"repro/internal/msf"
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+// naiveForest mirrors Forest operations on a plain adjacency list for
+// differential testing.
+type naiveForest struct {
+	n     int
+	edges map[wgraph.EdgeID]wgraph.Edge
+}
+
+func newNaive(n int) *naiveForest {
+	return &naiveForest{n: n, edges: map[wgraph.EdgeID]wgraph.Edge{}}
+}
+
+func (nf *naiveForest) adj() map[int32][]wgraph.Edge {
+	a := map[int32][]wgraph.Edge{}
+	for _, e := range nf.edges {
+		a[e.U] = append(a[e.U], e)
+		a[e.V] = append(a[e.V], e)
+	}
+	return a
+}
+
+// pathMax does a DFS from u to v and returns the max-key edge on the path.
+func (nf *naiveForest) pathMax(u, v int32) (wgraph.Edge, bool) {
+	if u == v {
+		return wgraph.Edge{}, false
+	}
+	a := nf.adj()
+	type frame struct {
+		vertex int32
+		best   wgraph.Edge
+		has    bool
+	}
+	seen := map[int32]bool{u: true}
+	stack := []frame{{vertex: u}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range a[f.vertex] {
+			w := e.Other(f.vertex)
+			if seen[w] {
+				continue
+			}
+			seen[w] = true
+			best, has := f.best, f.has
+			if !has || wgraph.KeyOf(best).Less(wgraph.KeyOf(e)) {
+				best, has = e, true
+			}
+			if w == v {
+				return best, has
+			}
+			stack = append(stack, frame{vertex: w, best: best, has: has})
+		}
+	}
+	return wgraph.Edge{}, false
+}
+
+func (nf *naiveForest) connected(u, v int32) bool {
+	if u == v {
+		return true
+	}
+	_, ok := nf.pathMax(u, v)
+	if u != v && ok {
+		return true
+	}
+	// pathMax returns false for disconnected; also false only when u==v.
+	return false
+}
+
+func TestLinkCutBasic(t *testing.T) {
+	f := New(4)
+	if f.Connected(0, 1) {
+		t.Fatal("fresh forest should be disconnected")
+	}
+	f.Link(wgraph.Edge{ID: 1, U: 0, V: 1, W: 5})
+	f.Link(wgraph.Edge{ID: 2, U: 1, V: 2, W: 9})
+	f.Link(wgraph.Edge{ID: 3, U: 2, V: 3, W: 2})
+	if !f.Connected(0, 3) {
+		t.Fatal("path should connect 0..3")
+	}
+	e, ok := f.PathMax(0, 3)
+	if !ok || e.ID != 2 {
+		t.Fatalf("PathMax(0,3)=%v,%v want edge 2", e, ok)
+	}
+	e, ok = f.PathMax(2, 3)
+	if !ok || e.ID != 3 {
+		t.Fatalf("PathMax(2,3)=%v,%v want edge 3", e, ok)
+	}
+	cut := f.Cut(2)
+	if cut.ID != 2 {
+		t.Fatalf("cut returned %v", cut)
+	}
+	if f.Connected(0, 3) {
+		t.Fatal("cut should disconnect")
+	}
+	if !f.Connected(0, 1) || !f.Connected(2, 3) {
+		t.Fatal("remaining links broken")
+	}
+}
+
+func TestPathMaxDisconnected(t *testing.T) {
+	f := New(3)
+	if _, ok := f.PathMax(0, 2); ok {
+		t.Fatal("disconnected PathMax should be false")
+	}
+	if _, ok := f.PathMax(1, 1); ok {
+		t.Fatal("trivial PathMax should be false")
+	}
+}
+
+func TestLinkPanicsOnCycle(t *testing.T) {
+	f := New(3)
+	f.Link(wgraph.Edge{ID: 1, U: 0, V: 1, W: 1})
+	f.Link(wgraph.Edge{ID: 2, U: 1, V: 2, W: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("linking a cycle must panic")
+		}
+	}()
+	f.Link(wgraph.Edge{ID: 3, U: 0, V: 2, W: 1})
+}
+
+func TestCutPanicsOnUnknown(t *testing.T) {
+	f := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cutting unknown edge must panic")
+		}
+	}()
+	f.Cut(42)
+}
+
+func TestEdgeNodeRecycling(t *testing.T) {
+	f := New(2)
+	for i := 0; i < 100; i++ {
+		f.Link(wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: 1, W: int64(i)})
+		f.Cut(wgraph.EdgeID(i))
+	}
+	if len(f.nodes) > 4 {
+		t.Fatalf("edge nodes not recycled: %d nodes", len(f.nodes))
+	}
+}
+
+func TestRandomOpsVsNaive(t *testing.T) {
+	const n = 40
+	r := parallel.NewRNG(123)
+	f := New(n)
+	nf := newNaive(n)
+	nextID := wgraph.EdgeID(0)
+	liveIDs := []wgraph.EdgeID{}
+	for step := 0; step < 3000; step++ {
+		op := r.Intn(10)
+		switch {
+		case op < 4: // try link
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v || nf.connected(u, v) {
+				continue
+			}
+			e := wgraph.Edge{ID: nextID, U: u, V: v, W: r.Int63() % 100}
+			nextID++
+			f.Link(e)
+			nf.edges[e.ID] = e
+			liveIDs = append(liveIDs, e.ID)
+		case op < 6: // cut random live edge
+			if len(liveIDs) == 0 {
+				continue
+			}
+			i := r.Intn(len(liveIDs))
+			id := liveIDs[i]
+			liveIDs[i] = liveIDs[len(liveIDs)-1]
+			liveIDs = liveIDs[:len(liveIDs)-1]
+			f.Cut(id)
+			delete(nf.edges, id)
+		default: // query
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			wantConn := nf.connected(u, v)
+			if got := f.Connected(u, v); got != wantConn {
+				t.Fatalf("step %d: Connected(%d,%d)=%v want %v", step, u, v, got, wantConn)
+			}
+			wantE, wantOK := nf.pathMax(u, v)
+			gotE, gotOK := f.PathMax(u, v)
+			if gotOK != wantOK || (gotOK && gotE.ID != wantE.ID) {
+				t.Fatalf("step %d: PathMax(%d,%d)=(%v,%v) want (%v,%v)", step, u, v, gotE, gotOK, wantE, wantOK)
+			}
+		}
+	}
+}
+
+func TestIncrementalMSFMatchesKruskal(t *testing.T) {
+	const n = 100
+	r := parallel.NewRNG(7)
+	for trial := 0; trial < 10; trial++ {
+		m := NewIncrementalMSF(n)
+		var all []wgraph.Edge
+		for i := 0; i < 400; i++ {
+			e := wgraph.Edge{
+				ID: wgraph.EdgeID(trial*1000 + i),
+				U:  int32(r.Intn(n)),
+				V:  int32(r.Intn(n)),
+				W:  r.Int63() % 50, // force ties
+			}
+			all = append(all, e)
+			m.Insert(e)
+		}
+		want := msf.Kruskal(n, all)
+		if int64(wgraph.TotalWeight(want)) != m.Weight() {
+			t.Fatalf("trial %d: weight %d want %d", trial, m.Weight(), wgraph.TotalWeight(want))
+		}
+		if len(want) != m.Size() {
+			t.Fatalf("trial %d: size %d want %d", trial, m.Size(), len(want))
+		}
+		for _, e := range want {
+			if !m.F.HasEdge(e.ID) {
+				t.Fatalf("trial %d: forest missing MSF edge %v", trial, e)
+			}
+		}
+	}
+}
+
+func TestIncrementalMSFEviction(t *testing.T) {
+	m := NewIncrementalMSF(3)
+	m.Insert(wgraph.Edge{ID: 1, U: 0, V: 1, W: 10})
+	m.Insert(wgraph.Edge{ID: 2, U: 1, V: 2, W: 20})
+	added, ev, has := m.Insert(wgraph.Edge{ID: 3, U: 0, V: 2, W: 5})
+	if !added || !has || ev.ID != 2 {
+		t.Fatalf("added=%v evicted=%v has=%v", added, ev, has)
+	}
+	added, _, has = m.Insert(wgraph.Edge{ID: 4, U: 0, V: 2, W: 99})
+	if added || has {
+		t.Fatal("heavy parallel edge should be rejected")
+	}
+	if m.Weight() != 15 {
+		t.Fatalf("weight=%d", m.Weight())
+	}
+}
+
+func TestIncrementalMSFSelfLoop(t *testing.T) {
+	m := NewIncrementalMSF(2)
+	added, _, has := m.Insert(wgraph.Edge{ID: 1, U: 1, V: 1, W: -5})
+	if added || has {
+		t.Fatal("self loop must be rejected")
+	}
+}
+
+func TestLongPathStress(t *testing.T) {
+	const n = 2000
+	f := New(n)
+	for i := 0; i < n-1; i++ {
+		f.Link(wgraph.Edge{ID: wgraph.EdgeID(i), U: int32(i), V: int32(i + 1), W: int64(i)})
+	}
+	e, ok := f.PathMax(0, n-1)
+	if !ok || e.ID != n-2 {
+		t.Fatalf("got %v %v", e, ok)
+	}
+	// Cut in the middle and re-check.
+	f.Cut(wgraph.EdgeID(n / 2))
+	if f.Connected(0, n-1) {
+		t.Fatal("should be disconnected")
+	}
+	e, ok = f.PathMax(0, n/2)
+	if !ok || e.ID != wgraph.EdgeID(n/2-1) {
+		t.Fatalf("got %v %v", e, ok)
+	}
+}
+
+func TestStarStress(t *testing.T) {
+	const n = 1000
+	f := New(n)
+	for i := 1; i < n; i++ {
+		f.Link(wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i), W: int64(i)})
+	}
+	e, ok := f.PathMax(5, 900)
+	if !ok || e.ID != 900 {
+		t.Fatalf("got %v %v", e, ok)
+	}
+}

@@ -1,0 +1,94 @@
+// Package mincut implements the Stoer–Wagner global minimum cut algorithm.
+// The paper tests k-connectivity by running a global min-cut over the
+// k-certificate (Section 5.4, using [27, 28]); Stoer–Wagner is our
+// deterministic stand-in at certificate scale (O(kn) edges), see
+// DESIGN.md §2.
+package mincut
+
+import "repro/internal/wgraph"
+
+// Global returns the weight of a global minimum cut of the multigraph on n
+// vertices (edge weights count as capacities; parallel edges accumulate).
+// Returns 0 when the graph is disconnected or has fewer than 2 vertices.
+func Global(n int, edges []wgraph.Edge) int64 {
+	if n < 2 {
+		return 0
+	}
+	// Dense capacity matrix; certificates have O(kn) edges so n is small.
+	w := make([][]int64, n)
+	for i := range w {
+		w[i] = make([]int64, n)
+	}
+	for _, e := range edges {
+		if e.U == e.V {
+			continue
+		}
+		w[e.U][e.V] += e.W
+		w[e.V][e.U] += e.W
+	}
+	active := make([]int, n)
+	for i := range active {
+		active[i] = i
+	}
+	best := int64(1) << 62
+	// n-1 minimum-cut phases; each merges the last two vertices of a
+	// maximum-adjacency ordering.
+	for len(active) > 1 {
+		// Maximum adjacency search over the active vertices.
+		m := len(active)
+		inA := make([]bool, m)
+		conn := make([]int64, m)
+		order := make([]int, 0, m)
+		for it := 0; it < m; it++ {
+			sel := -1
+			for i := 0; i < m; i++ {
+				if !inA[i] && (sel == -1 || conn[i] > conn[sel]) {
+					sel = i
+				}
+			}
+			inA[sel] = true
+			order = append(order, sel)
+			for i := 0; i < m; i++ {
+				if !inA[i] {
+					conn[i] += w[active[sel]][active[i]]
+				}
+			}
+		}
+		t := order[m-1]
+		s := order[m-2]
+		cutOfPhase := int64(0)
+		for i := 0; i < m; i++ {
+			if i != t {
+				cutOfPhase += w[active[t]][active[i]]
+			}
+		}
+		if cutOfPhase < best {
+			best = cutOfPhase
+		}
+		// Merge t into s.
+		vt, vs := active[t], active[s]
+		for i := 0; i < m; i++ {
+			if i == t || i == s {
+				continue
+			}
+			w[vs][active[i]] += w[vt][active[i]]
+			w[active[i]][vs] = w[vs][active[i]]
+		}
+		active = append(active[:t], active[t+1:]...)
+	}
+	if best >= int64(1)<<62 {
+		return 0
+	}
+	return best
+}
+
+// EdgeConnectivity returns the unweighted global edge connectivity (every
+// edge treated as capacity 1).
+func EdgeConnectivity(n int, edges []wgraph.Edge) int64 {
+	unit := make([]wgraph.Edge, len(edges))
+	for i, e := range edges {
+		e.W = 1
+		unit[i] = e
+	}
+	return Global(n, unit)
+}

@@ -1,0 +1,59 @@
+package msf
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+// Benchmarks for the static MSF algorithms: Algorithm 2 runs them on
+// O(l)-size compressed graphs, so small-m performance is what matters.
+func BenchmarkStaticMSF(b *testing.B) {
+	for _, m := range []int{64, 1024, 16384} {
+		n := m / 2
+		r := parallel.NewRNG(uint64(m))
+		edges := make([]wgraph.Edge, m)
+		for i := range edges {
+			edges[i] = wgraph.Edge{
+				ID: wgraph.EdgeID(i), U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: r.Int63() % 1000,
+			}
+		}
+		b.Run(fmt.Sprintf("kruskal/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Kruskal(n, edges)
+			}
+		})
+		b.Run(fmt.Sprintf("boruvka/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Boruvka(n, edges)
+			}
+		})
+	}
+}
+
+func TestBoruvkaSingleVertex(t *testing.T) {
+	if got := Boruvka(1, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestKruskalStopsAtSpanningTree(t *testing.T) {
+	// A complete-ish graph: Kruskal must return exactly n-1 edges and the
+	// early-exit path must not truncate a legitimate forest.
+	const n = 50
+	r := parallel.NewRNG(9)
+	var edges []wgraph.Edge
+	id := wgraph.EdgeID(0)
+	for i := int32(0); i < n; i++ {
+		for j := i + 1; j < n; j += 3 {
+			edges = append(edges, wgraph.Edge{ID: id, U: i, V: j, W: r.Int63() % 100})
+			id++
+		}
+	}
+	got := Kruskal(n, edges)
+	if len(got) != n-1 {
+		t.Fatalf("forest size %d want %d", len(got), n-1)
+	}
+}

@@ -1,0 +1,257 @@
+package msf
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+func randomGraph(r *parallel.RNG, n, m int, wrange int64) []wgraph.Edge {
+	edges := make([]wgraph.Edge, m)
+	for i := range edges {
+		edges[i] = wgraph.Edge{
+			ID: wgraph.EdgeID(i),
+			U:  int32(r.Intn(n)),
+			V:  int32(r.Intn(n)),
+			W:  r.Int63() % wrange,
+		}
+	}
+	return edges
+}
+
+func sortByID(es []wgraph.Edge) []wgraph.Edge {
+	cp := append([]wgraph.Edge(nil), es...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].ID < cp[j].ID })
+	return cp
+}
+
+func sameEdgeSet(t *testing.T, name string, a, b []wgraph.Edge) {
+	t.Helper()
+	as, bs := sortByID(a), sortByID(b)
+	if len(as) != len(bs) {
+		t.Fatalf("%s: sizes differ %d vs %d", name, len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].ID != bs[i].ID {
+			t.Fatalf("%s: edge sets differ at %d: %v vs %v", name, i, as[i], bs[i])
+		}
+	}
+}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	if got := Kruskal(0, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Kruskal(3, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Boruvka(3, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if got := Prim(3, nil); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelfLoopsIgnored(t *testing.T) {
+	edges := []wgraph.Edge{
+		{ID: 0, U: 0, V: 0, W: -100},
+		{ID: 1, U: 0, V: 1, W: 5},
+	}
+	for name, f := range map[string]func(int, []wgraph.Edge) []wgraph.Edge{
+		"kruskal": Kruskal, "boruvka": Boruvka, "prim": Prim,
+	} {
+		got := f(2, edges)
+		if len(got) != 1 || got[0].ID != 1 {
+			t.Fatalf("%s: got %v", name, got)
+		}
+	}
+}
+
+func TestParallelEdgesPickCheapest(t *testing.T) {
+	edges := []wgraph.Edge{
+		{ID: 0, U: 0, V: 1, W: 9},
+		{ID: 1, U: 0, V: 1, W: 2},
+		{ID: 2, U: 1, V: 0, W: 2}, // tie on W: ID 1 wins
+	}
+	for name, f := range map[string]func(int, []wgraph.Edge) []wgraph.Edge{
+		"kruskal": Kruskal, "boruvka": Boruvka, "prim": Prim,
+	} {
+		got := f(2, edges)
+		if len(got) != 1 || got[0].ID != 1 {
+			t.Fatalf("%s: got %v", name, got)
+		}
+	}
+}
+
+func TestKnownMST(t *testing.T) {
+	// Classic 4-cycle with a chord.
+	edges := []wgraph.Edge{
+		{ID: 0, U: 0, V: 1, W: 1},
+		{ID: 1, U: 1, V: 2, W: 2},
+		{ID: 2, U: 2, V: 3, W: 3},
+		{ID: 3, U: 3, V: 0, W: 4},
+		{ID: 4, U: 0, V: 2, W: 5},
+	}
+	want := []wgraph.EdgeID{0, 1, 2}
+	got := Kruskal(4, edges)
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	for i, e := range got {
+		if e.ID != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestAllThreeAgreeOnRandomGraphs(t *testing.T) {
+	r := parallel.NewRNG(3)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(60)
+		m := r.Intn(4 * n)
+		edges := randomGraph(r, n, m, 1_000_000)
+		k := Kruskal(n, edges)
+		b := Boruvka(n, edges)
+		p := Prim(n, edges)
+		sameEdgeSet(t, "kruskal-vs-boruvka", k, b)
+		sameEdgeSet(t, "kruskal-vs-prim", k, p)
+	}
+}
+
+func TestAgreeWithHeavyTies(t *testing.T) {
+	// Tiny weight range forces many ties: the (W, ID) order must keep all
+	// three algorithms in exact agreement.
+	r := parallel.NewRNG(9)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(40)
+		m := r.Intn(5 * n)
+		edges := randomGraph(r, n, m, 3)
+		sameEdgeSet(t, "ties", Kruskal(n, edges), Boruvka(n, edges))
+		sameEdgeSet(t, "ties-prim", Kruskal(n, edges), Prim(n, edges))
+	}
+}
+
+func TestForestOutputIsSpanningForest(t *testing.T) {
+	r := parallel.NewRNG(17)
+	n := 200
+	edges := randomGraph(r, n, 500, 1000)
+	out := Kruskal(n, edges)
+	// Acyclic.
+	uf := unionfind.New(n)
+	for _, e := range out {
+		if !uf.Union(e.U, e.V) {
+			t.Fatalf("cycle at %v", e)
+		}
+	}
+	// Spanning: every input edge's endpoints are connected in the forest.
+	for _, e := range edges {
+		if e.IsLoop() {
+			continue
+		}
+		if !uf.Connected(e.U, e.V) {
+			t.Fatalf("forest does not span edge %v", e)
+		}
+	}
+}
+
+func TestCutPropertyOnSmallGraphs(t *testing.T) {
+	// For every forest edge e, e must be the minimum edge crossing the cut
+	// defined by removing it — verified exhaustively on small random graphs.
+	r := parallel.NewRNG(23)
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + r.Intn(12)
+		edges := randomGraph(r, n, 2*n, 50)
+		forest := Kruskal(n, edges)
+		for fi, fe := range forest {
+			// Split components with forest minus fe.
+			uf := unionfind.New(n)
+			for j, other := range forest {
+				if j != fi {
+					uf.Union(other.U, other.V)
+				}
+			}
+			// fe must be minimal among edges crossing the cut.
+			for _, e := range edges {
+				if e.IsLoop() || uf.Connected(e.U, e.V) {
+					continue
+				}
+				// e crosses the same cut as fe only if it reconnects fe's sides.
+				if uf.Find(e.U) != uf.Find(fe.U) && uf.Find(e.U) != uf.Find(fe.V) {
+					continue
+				}
+				if uf.Find(e.V) != uf.Find(fe.U) && uf.Find(e.V) != uf.Find(fe.V) {
+					continue
+				}
+				if wgraph.KeyOf(e).Less(wgraph.KeyOf(fe)) {
+					t.Fatalf("cut property violated: %v beats forest edge %v", e, fe)
+				}
+			}
+		}
+	}
+}
+
+func TestWeightEqualityQuick(t *testing.T) {
+	f := func(raw []uint32) bool {
+		n := 30
+		edges := make([]wgraph.Edge, 0, len(raw)/3)
+		for i := 0; i+2 < len(raw); i += 3 {
+			edges = append(edges, wgraph.Edge{
+				ID: wgraph.EdgeID(i),
+				U:  int32(raw[i] % uint32(n)),
+				V:  int32(raw[i+1] % uint32(n)),
+				W:  int64(raw[i+2] % 100),
+			})
+		}
+		k := Kruskal(n, edges)
+		b := Boruvka(n, edges)
+		return wgraph.TotalWeight(k) == wgraph.TotalWeight(b) && len(k) == len(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisconnectedComponents(t *testing.T) {
+	// Two separate triangles.
+	edges := []wgraph.Edge{
+		{ID: 0, U: 0, V: 1, W: 1}, {ID: 1, U: 1, V: 2, W: 2}, {ID: 2, U: 2, V: 0, W: 3},
+		{ID: 3, U: 3, V: 4, W: 1}, {ID: 4, U: 4, V: 5, W: 2}, {ID: 5, U: 5, V: 3, W: 3},
+	}
+	got := Kruskal(6, edges)
+	if len(got) != 4 {
+		t.Fatalf("got %d edges, want 4 (two trees of 2 edges)", len(got))
+	}
+	sameEdgeSet(t, "disconnected", got, Boruvka(6, edges))
+}
+
+func TestLargeSparseAgreement(t *testing.T) {
+	r := parallel.NewRNG(99)
+	n := 20_000
+	edges := randomGraph(r, n, 60_000, 1<<40)
+	k := Kruskal(n, edges)
+	b := Boruvka(n, edges)
+	sameEdgeSet(t, "large", k, b)
+}
+
+func TestNegativeWeights(t *testing.T) {
+	edges := []wgraph.Edge{
+		{ID: 0, U: 0, V: 1, W: -10},
+		{ID: 1, U: 1, V: 2, W: -20},
+		{ID: 2, U: 0, V: 2, W: -5},
+	}
+	got := Kruskal(3, edges)
+	ids := map[wgraph.EdgeID]bool{}
+	for _, e := range got {
+		ids[e.ID] = true
+	}
+	if !ids[0] || !ids[1] || ids[2] {
+		t.Fatalf("got %v", got)
+	}
+	sameEdgeSet(t, "negative", got, Boruvka(3, edges))
+	sameEdgeSet(t, "negative-prim", got, Prim(3, edges))
+}

@@ -1,0 +1,254 @@
+package ordset
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+func ev(id int64) wgraph.Edge { return wgraph.Edge{ID: wgraph.EdgeID(id), W: id * 3} }
+
+func TestEmpty(t *testing.T) {
+	s := New(1)
+	if s.Len() != 0 {
+		t.Fatal("nonzero len")
+	}
+	if _, ok := s.Get(5); ok {
+		t.Fatal("phantom entry")
+	}
+	if s.Delete(5) {
+		t.Fatal("phantom delete")
+	}
+	if got := s.SplitLeq(100); got != nil {
+		t.Fatalf("split of empty: %v", got)
+	}
+	if _, _, ok := s.Min(); ok {
+		t.Fatal("min of empty")
+	}
+	if _, _, ok := s.Max(); ok {
+		t.Fatal("max of empty")
+	}
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	s := New(1)
+	s.Insert(5, ev(5))
+	s.Insert(3, ev(3))
+	s.Insert(9, ev(9))
+	if s.Len() != 3 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	if v, ok := s.Get(3); !ok || v.ID != 3 {
+		t.Fatalf("get(3)=%v,%v", v, ok)
+	}
+	if !s.Has(9) || s.Has(4) {
+		t.Fatal("Has wrong")
+	}
+	s.Insert(3, ev(33)) // replace
+	if v, _ := s.Get(3); v.ID != 33 {
+		t.Fatalf("replace failed: %v", v)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("len after replace=%d", s.Len())
+	}
+	if !s.Delete(5) || s.Has(5) || s.Len() != 2 {
+		t.Fatal("delete failed")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxOrder(t *testing.T) {
+	s := New(7)
+	for _, k := range []int64{42, 7, 19, 3, 88} {
+		s.Insert(k, ev(k))
+	}
+	if k, _, _ := s.Min(); k != 3 {
+		t.Fatalf("min=%d", k)
+	}
+	if k, _, _ := s.Max(); k != 88 {
+		t.Fatalf("max=%d", k)
+	}
+	var keys []int64
+	s.ForEach(func(k int64, _ wgraph.Edge) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatalf("not sorted: %v", keys)
+	}
+	if len(keys) != 5 {
+		t.Fatalf("keys=%v", keys)
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	s := New(3)
+	for k := int64(0); k < 10; k++ {
+		s.Insert(k, ev(k))
+	}
+	count := 0
+	s.ForEach(func(int64, wgraph.Edge) bool {
+		count++
+		return count < 4
+	})
+	if count != 4 {
+		t.Fatalf("count=%d", count)
+	}
+}
+
+func TestSplitLeq(t *testing.T) {
+	s := New(5)
+	for k := int64(1); k <= 20; k++ {
+		s.Insert(k, ev(k))
+	}
+	got := s.SplitLeq(7)
+	if len(got) != 7 {
+		t.Fatalf("split returned %d", len(got))
+	}
+	for i, e := range got {
+		if e.ID != wgraph.EdgeID(i+1) {
+			t.Fatalf("split order wrong: %v", got)
+		}
+	}
+	if s.Len() != 13 || s.Has(7) || !s.Has(8) {
+		t.Fatal("wrong remainder")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Splitting below the minimum is a no-op.
+	if got := s.SplitLeq(0); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	// Splitting above the maximum drains the set.
+	got = s.SplitLeq(1 << 40)
+	if len(got) != 13 || s.Len() != 0 {
+		t.Fatalf("drain: %d left %d", len(got), s.Len())
+	}
+}
+
+func TestVsMapModel(t *testing.T) {
+	r := parallel.NewRNG(9)
+	s := New(11)
+	model := map[int64]wgraph.Edge{}
+	for step := 0; step < 5000; step++ {
+		switch r.Intn(4) {
+		case 0, 1:
+			k := int64(r.Intn(500))
+			s.Insert(k, ev(k))
+			model[k] = ev(k)
+		case 2:
+			k := int64(r.Intn(500))
+			want := false
+			if _, ok := model[k]; ok {
+				want = true
+				delete(model, k)
+			}
+			if got := s.Delete(k); got != want {
+				t.Fatalf("step %d: delete(%d)=%v want %v", step, k, got, want)
+			}
+		case 3:
+			k := int64(r.Intn(500))
+			wantV, wantOK := model[k]
+			gotV, gotOK := s.Get(k)
+			if gotOK != wantOK || (gotOK && gotV != wantV) {
+				t.Fatalf("step %d: get(%d)", step, k)
+			}
+		}
+		if s.Len() != len(model) {
+			t.Fatalf("step %d: len %d want %d", step, s.Len(), len(model))
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Drain via watermarks and compare against the sorted model.
+	var want []int64
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := s.SplitLeq(1 << 60)
+	if len(got) != len(want) {
+		t.Fatalf("drain %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if int64(got[i].ID) != want[i] {
+			t.Fatalf("drain order at %d", i)
+		}
+	}
+}
+
+func TestHistoryIndependence(t *testing.T) {
+	// Same key set inserted in different orders yields identical traversal
+	// (priorities are a pure hash of the key).
+	a, b := New(4), New(4)
+	keys := []int64{9, 2, 7, 5, 1, 8}
+	for _, k := range keys {
+		a.Insert(k, ev(k))
+	}
+	for i := len(keys) - 1; i >= 0; i-- {
+		b.Insert(keys[i], ev(keys[i]))
+	}
+	var ka, kb []int64
+	a.ForEach(func(k int64, _ wgraph.Edge) bool { ka = append(ka, k); return true })
+	b.ForEach(func(k int64, _ wgraph.Edge) bool { kb = append(kb, k); return true })
+	if len(ka) != len(kb) {
+		t.Fatal("length mismatch")
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatal("order mismatch")
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(keys []int16, mark int16) bool {
+		s := New(99)
+		model := map[int64]bool{}
+		for _, k := range keys {
+			s.Insert(int64(k), ev(int64(k)))
+			model[int64(k)] = true
+		}
+		out := s.SplitLeq(int64(mark))
+		for _, e := range out {
+			if int64(e.ID) > int64(mark) || !model[int64(e.ID)] {
+				return false
+			}
+			delete(model, int64(e.ID))
+		}
+		for k := range model {
+			if k <= int64(mark) {
+				return false
+			}
+		}
+		return s.Len() == len(model) && s.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeScale(t *testing.T) {
+	s := New(2)
+	const n = 100_000
+	for k := int64(0); k < n; k++ {
+		s.Insert(k, ev(k))
+	}
+	if s.Len() != n {
+		t.Fatalf("len=%d", s.Len())
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	out := s.SplitLeq(n / 2)
+	if len(out) != n/2+1 {
+		t.Fatalf("split=%d", len(out))
+	}
+}

@@ -1,0 +1,222 @@
+// Package parallel provides the fork-join primitives used throughout the
+// repository: grained parallel loops, reductions, prefix sums, packing, and a
+// parallel comparison sort. It stands in for the CRCW PRAM of the paper; see
+// DESIGN.md §2 for the substitution argument.
+//
+// All primitives degrade to their sequential forms below a grain threshold so
+// that asymptotic work matches the sequential algorithm (work-efficiency),
+// with goroutine fan-out only at the top levels of the recursion.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultGrain is the default number of loop iterations executed serially per
+// spawned task. Chosen large enough that goroutine overhead (~100ns) is well
+// under 1% of per-task work for the loop bodies in this repository.
+const DefaultGrain = 2048
+
+// Procs returns the current parallelism level.
+func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0, n) with the default grain.
+func For(n int, body func(i int)) {
+	ForGrained(n, DefaultGrain, body)
+}
+
+// ForGrained runs body(i) for every i in [0, n), chunking iterations into
+// blocks of at least `grain`. Iterations must be independent.
+func ForGrained(n, grain int, body func(i int)) {
+	BlockedFor(n, grain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// BlockedFor partitions [0, n) into contiguous blocks of size >= grain and
+// runs body(lo, hi) on each block, in parallel across blocks. It never spawns
+// more than a small multiple of GOMAXPROCS goroutines.
+func BlockedFor(n, grain int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	p := Procs()
+	if n <= grain || p == 1 {
+		body(0, n)
+		return
+	}
+	// Number of blocks: enough for load balance, bounded by work available.
+	blocks := (n + grain - 1) / grain
+	if max := 8 * p; blocks > max {
+		blocks = max
+	}
+	chunk := (n + blocks - 1) / blocks
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Do runs the given thunks in parallel (fork-join).
+func Do(fns ...func()) {
+	if len(fns) == 0 {
+		return
+	}
+	if len(fns) == 1 || Procs() == 1 {
+		for _, f := range fns {
+			f()
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(fns) - 1)
+	for _, f := range fns[1:] {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(f)
+	}
+	fns[0]()
+	wg.Wait()
+}
+
+// ReduceInt64 reduces f(i) over [0, n) with +.
+func ReduceInt64(n, grain int, f func(i int) int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	nb := (n + grain - 1) / grain
+	if max := 8 * Procs(); nb > max {
+		nb = max
+	}
+	partial := make([]int64, nb)
+	chunk := (n + nb - 1) / nb
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		lo := b * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			var s int64
+			for i := lo; i < hi; i++ {
+				s += f(i)
+			}
+			partial[b] = s
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	var s int64
+	for _, v := range partial {
+		s += v
+	}
+	return s
+}
+
+// ExclusiveScan replaces xs with its exclusive prefix sum and returns the
+// total. Parallel two-pass (block sums, then block offsets).
+func ExclusiveScan(xs []int) int {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	const grain = 4096
+	if n <= grain || Procs() == 1 {
+		sum := 0
+		for i := range xs {
+			v := xs[i]
+			xs[i] = sum
+			sum += v
+		}
+		return sum
+	}
+	nb := (n + grain - 1) / grain
+	if max := 8 * Procs(); nb > max {
+		nb = max
+	}
+	chunk := (n + nb - 1) / nb
+	sums := make([]int, nb)
+	BlockedFor(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*chunk, (b+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			s := 0
+			for i := lo; i < hi; i++ {
+				s += xs[i]
+			}
+			sums[b] = s
+		}
+	})
+	total := 0
+	for b := 0; b < nb; b++ {
+		v := sums[b]
+		sums[b] = total
+		total += v
+	}
+	BlockedFor(nb, 1, func(blo, bhi int) {
+		for b := blo; b < bhi; b++ {
+			lo, hi := b*chunk, (b+1)*chunk
+			if hi > n {
+				hi = n
+			}
+			s := sums[b]
+			for i := lo; i < hi; i++ {
+				v := xs[i]
+				xs[i] = s
+				s += v
+			}
+		}
+	})
+	return total
+}
+
+// Pack returns the elements of xs whose flag is true, preserving order.
+func Pack[T any](xs []T, keep func(i int) bool) []T {
+	n := len(xs)
+	if n == 0 {
+		return nil
+	}
+	flags := make([]int, n)
+	ForGrained(n, 8192, func(i int) {
+		if keep(i) {
+			flags[i] = 1
+		}
+	})
+	total := ExclusiveScan(flags)
+	out := make([]T, total)
+	ForGrained(n, 8192, func(i int) {
+		// flags[i] now holds the output slot iff the element is kept: the
+		// element is kept when its slot differs from the next prefix value,
+		// which we recover by re-evaluating keep (cheap, pure predicate).
+		if keep(i) {
+			out[flags[i]] = xs[i]
+		}
+	})
+	return out
+}

@@ -1,0 +1,256 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, 2048, 2049, 100_000} {
+		hits := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForGrainedSmallGrain(t *testing.T) {
+	n := 10_000
+	var sum int64
+	hits := make([]int32, n)
+	ForGrained(n, 1, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d hit %d times", i, h)
+		}
+		sum += int64(h)
+	}
+	if sum != int64(n) {
+		t.Fatalf("sum=%d want %d", sum, n)
+	}
+}
+
+func TestBlockedForPartition(t *testing.T) {
+	n := 12_345
+	var total int64
+	var calls int64
+	BlockedFor(n, 100, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty block [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+		atomic.AddInt64(&calls, 1)
+	})
+	if total != int64(n) {
+		t.Fatalf("covered %d of %d", total, n)
+	}
+	if calls > int64(8*Procs()+1) {
+		t.Fatalf("too many blocks: %d", calls)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.AddInt32(&a, 1) },
+		func() { atomic.AddInt32(&b, 1) },
+		func() { atomic.AddInt32(&c, 1) },
+	)
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatalf("a=%d b=%d c=%d", a, b, c)
+	}
+	Do() // must not hang
+}
+
+func TestReduceInt64(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 4096, 100_001} {
+		got := ReduceInt64(n, 128, func(i int) int64 { return int64(i) })
+		want := int64(n) * int64(n-1) / 2
+		if n == 0 {
+			want = 0
+		}
+		if got != want {
+			t.Fatalf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestExclusiveScanMatchesSequential(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 4096, 4097, 50_000} {
+		xs := make([]int, n)
+		ref := make([]int, n)
+		r := NewRNG(uint64(n) + 1)
+		for i := range xs {
+			xs[i] = r.Intn(10)
+			ref[i] = xs[i]
+		}
+		total := ExclusiveScan(xs)
+		sum := 0
+		for i := 0; i < n; i++ {
+			if xs[i] != sum {
+				t.Fatalf("n=%d: prefix[%d]=%d want %d", n, i, xs[i], sum)
+			}
+			sum += ref[i]
+		}
+		if total != sum {
+			t.Fatalf("n=%d: total=%d want %d", n, total, sum)
+		}
+	}
+}
+
+func TestPack(t *testing.T) {
+	n := 10_000
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	out := Pack(xs, func(i int) bool { return xs[i]%3 == 0 })
+	want := 0
+	for _, v := range out {
+		if v != want {
+			t.Fatalf("got %d want %d", v, want)
+		}
+		want += 3
+	}
+	if len(out) != (n+2)/3 {
+		t.Fatalf("len=%d", len(out))
+	}
+}
+
+func TestPackEmpty(t *testing.T) {
+	if got := Pack([]int{}, func(int) bool { return true }); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+	xs := []int{1, 2, 3}
+	if got := Pack(xs, func(int) bool { return false }); len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 1000, 8192, 8193, 100_000} {
+		xs := make([]int64, n)
+		r := NewRNG(42 + uint64(n))
+		for i := range xs {
+			xs[i] = r.Int63() % 1000
+		}
+		Sort(xs, func(a, b int64) bool { return a < b })
+		for i := 1; i < n; i++ {
+			if xs[i-1] > xs[i] {
+				t.Fatalf("n=%d: out of order at %d: %d > %d", n, i, xs[i-1], xs[i])
+			}
+		}
+	}
+}
+
+func TestSortPermutationProperty(t *testing.T) {
+	f := func(xs []int32) bool {
+		counts := map[int32]int{}
+		for _, v := range xs {
+			counts[v]++
+		}
+		cp := append([]int32(nil), xs...)
+		Sort(cp, func(a, b int32) bool { return a < b })
+		for _, v := range cp {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		for i := 1; i < len(cp); i++ {
+			if cp[i-1] > cp[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupByInt32(t *testing.T) {
+	items := []int32{5, 3, 5, 1, 3, 5}
+	keys, groups := GroupByInt32(items, func(x int32) int32 { return x })
+	if len(keys) != 3 {
+		t.Fatalf("keys=%v", keys)
+	}
+	total := 0
+	for i, k := range keys {
+		for _, v := range groups[i] {
+			if v != k {
+				t.Fatalf("group %d contains %d", k, v)
+			}
+		}
+		total += len(groups[i])
+	}
+	if total != len(items) {
+		t.Fatalf("grouped %d of %d", total, len(items))
+	}
+}
+
+func TestGroupByEmpty(t *testing.T) {
+	keys, groups := GroupByInt32(nil, func(x int32) int32 { return x })
+	if keys != nil || groups != nil {
+		t.Fatalf("got %v %v", keys, groups)
+	}
+}
+
+func TestSplitmixDeterministic(t *testing.T) {
+	if Splitmix64(1) != Splitmix64(1) {
+		t.Fatal("not deterministic")
+	}
+	if Splitmix64(1) == Splitmix64(2) {
+		t.Fatal("suspicious collision")
+	}
+	if Hash2(1, 2) == Hash2(2, 1) {
+		t.Fatal("Hash2 should not be symmetric")
+	}
+	if Hash3(1, 2, 3) == Hash3(3, 2, 1) {
+		t.Fatal("Hash3 should not be symmetric")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10_000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if v := r.Float64(); v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+		if v := r.Int63(); v < 0 {
+			t.Fatalf("Int63 negative: %d", v)
+		}
+	}
+}
+
+func TestRNGCoinBalance(t *testing.T) {
+	r := NewRNG(99)
+	heads := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if r.Next()&1 == 1 {
+			heads++
+		}
+	}
+	if heads < n*45/100 || heads > n*55/100 {
+		t.Fatalf("biased coin: %d/%d heads", heads, n)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import "sort"
+
+// Sort sorts xs with the given less function using a parallel merge sort with
+// a sequential cutoff. Stable is not guaranteed.
+func Sort[T any](xs []T, less func(a, b T) bool) {
+	n := len(xs)
+	if n < 2 {
+		return
+	}
+	const cutoff = 8192
+	if n <= cutoff || Procs() == 1 {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	buf := make([]T, n)
+	mergeSort(xs, buf, less, 0)
+}
+
+// mergeSort sorts xs in place using buf as scratch. depth limits goroutine
+// fan-out to roughly 2^k >= procs leaves.
+func mergeSort[T any](xs, buf []T, less func(a, b T) bool, depth int) {
+	n := len(xs)
+	const cutoff = 8192
+	if n <= cutoff || depth >= 6 {
+		sort.Slice(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+		return
+	}
+	mid := n / 2
+	Do(
+		func() { mergeSort(xs[:mid], buf[:mid], less, depth+1) },
+		func() { mergeSort(xs[mid:], buf[mid:], less, depth+1) },
+	)
+	copy(buf, xs)
+	merge(buf[:mid], buf[mid:], xs, less)
+}
+
+func merge[T any](a, b, out []T, less func(x, y T) bool) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if less(b[j], a[i]) {
+			out[k] = b[j]
+			j++
+		} else {
+			out[k] = a[i]
+			i++
+		}
+		k++
+	}
+	for i < len(a) {
+		out[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		out[k] = b[j]
+		j++
+		k++
+	}
+}
+
+// GroupByInt32 semisorts items by an int32 key and returns the distinct keys
+// together with the grouped items (groups[i] are the items with key keys[i]).
+// Order of keys and of items within a group is unspecified but deterministic
+// for a given input. This is the "semisort" primitive of Algorithm 2, Line 2.
+func GroupByInt32[T any](items []T, key func(T) int32) (keys []int32, groups [][]T) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	type kv struct {
+		k int32
+		v T
+	}
+	tmp := make([]kv, len(items))
+	ForGrained(len(items), 8192, func(i int) { tmp[i] = kv{key(items[i]), items[i]} })
+	Sort(tmp, func(a, b kv) bool { return a.k < b.k })
+	for i := 0; i < len(tmp); {
+		j := i
+		for j < len(tmp) && tmp[j].k == tmp[i].k {
+			j++
+		}
+		g := make([]T, 0, j-i)
+		for t := i; t < j; t++ {
+			g = append(g, tmp[t].v)
+		}
+		keys = append(keys, tmp[i].k)
+		groups = append(groups, g)
+		i = j
+	}
+	return keys, groups
+}

@@ -1,0 +1,148 @@
+package rctree
+
+import "repro/internal/wgraph"
+
+// ComponentRoot returns the vertex whose nullary cluster is the root of v's
+// component in the RC tree. Two vertices are connected iff their roots are
+// equal. O(lg n) expected.
+func (t *Tree) ComponentRoot(v int32) int32 {
+	for {
+		p := t.verts[v].parentC
+		if p == nilVert {
+			return v
+		}
+		v = p
+	}
+}
+
+// Connected reports whether u and v lie in the same tree of the forest.
+func (t *Tree) Connected(u, v int32) bool {
+	if u == v {
+		return true
+	}
+	return t.ComponentRoot(u) == t.ComponentRoot(v)
+}
+
+// walkState carries, for one cluster on a leaf-to-root walk, the maximum key
+// on the path from the query vertex to each boundary vertex of the cluster.
+type walkState struct {
+	b [2]int32
+	k [2]wgraph.Key
+	n int
+}
+
+func (s *walkState) set(b int32, k wgraph.Key) {
+	s.b[s.n] = b
+	s.k[s.n] = k
+	s.n++
+}
+
+func (s *walkState) at(b int32) wgraph.Key {
+	for i := 0; i < s.n; i++ {
+		if s.b[i] == b {
+			return s.k[i]
+		}
+	}
+	panic("rctree: walk state missing boundary vertex")
+}
+
+// initState builds the walk state for the first cluster C(u) of u's chain:
+// the max key from u to each boundary is the key of the corresponding
+// consumed edge cluster.
+func (t *Tree) initState(u int32) walkState {
+	vr := &t.verts[u]
+	var s walkState
+	h := vr.hist[vr.death]
+	for i := int8(0); i < h.deg; i++ {
+		er := &t.edges[h.e[i]]
+		s.set(er.other(u), er.key)
+	}
+	return s
+}
+
+// stepState transitions the walk state from child cluster C(x) to its parent
+// C(y). For each boundary c of C(y) — the far endpoints of y's death edges —
+// the best path from the query vertex either stays inside C(x) (when that
+// death edge is x's own compress cluster, whose boundary value we already
+// hold) or routes through the shared representative y and across the death
+// edge.
+func (t *Tree) stepState(st walkState, x, y int32) walkState {
+	toRep := st.at(y) // every child cluster's boundary contains the parent rep
+	xComp := int32(nilEdge)
+	if t.verts[x].decision == Compress {
+		xComp = t.verts[x].compEdge
+	}
+	yr := &t.verts[y]
+	var ns walkState
+	h := yr.hist[yr.death]
+	for i := int8(0); i < h.deg; i++ {
+		s := h.e[i]
+		er := &t.edges[s]
+		c := er.other(y)
+		if s == xComp {
+			ns.set(c, st.at(c))
+		} else {
+			ns.set(c, wgraph.MaxKeyOf(toRep, er.key))
+		}
+	}
+	return ns
+}
+
+// PathMax returns the maximum (W, ID) key over the edges of the tree path
+// between u and v, and true; or false when u == v or they are disconnected.
+// O(lg n) expected: the two leaf-to-root cluster walks meet at their lowest
+// common cluster, whose representative lies on the u-v path, and the answer
+// combines the two sides' maxima at that representative.
+func (t *Tree) PathMax(u, v int32) (wgraph.Key, bool) {
+	if u == v {
+		return wgraph.Key{}, false
+	}
+	// Walk u's chain to the root, recording the state at every cluster.
+	type link struct {
+		vert  int32
+		state walkState
+	}
+	chain := make([]link, 0, 32)
+	idx := make(map[int32]int, 32)
+	x := u
+	st := t.initState(u)
+	chain = append(chain, link{vert: x, state: st})
+	idx[x] = 0
+	for {
+		y := t.verts[x].parentC
+		if y == nilVert {
+			break
+		}
+		st = t.stepState(st, x, y)
+		x = y
+		idx[x] = len(chain)
+		chain = append(chain, link{vert: x, state: st})
+	}
+	// Walk v's chain until it reaches a cluster on u's chain (the meet).
+	// Invariant: y is not on u's chain at the top of the loop.
+	if k, hit := idx[v]; hit {
+		// C(v) is on u's chain: v is the meet representative, so the whole
+		// path max is u's side value at boundary v of the child below C(v).
+		return chain[k-1].state.at(v), true
+	}
+	y := v
+	vst := t.initState(v)
+	for {
+		py := t.verts[y].parentC
+		if py == nilVert {
+			return wgraph.Key{}, false // different roots: disconnected
+		}
+		if k, hit := idx[py]; hit {
+			m := py
+			pathV := vst.at(m)
+			if k == 0 {
+				// The meet representative is u itself.
+				return pathV, true
+			}
+			pathU := chain[k-1].state.at(m)
+			return wgraph.MaxKeyOf(pathU, pathV), true
+		}
+		vst = t.stepState(vst, y, py)
+		y = py
+	}
+}

@@ -1,0 +1,106 @@
+package sw
+
+import (
+	"fmt"
+	"math"
+)
+
+// ApproxMSF is the sliding-window (1+ε)-approximate MSF weight structure of
+// Theorem 5.4, via the component-counting reduction [11, 4, 13]: with
+// G_i the subgraph of window edges of weight at most (1+ε)^i,
+//
+//	weight ≈ (n - cc(G_0)) + Σ_{i>=1} (cc(G_{i-1}) - cc(G_i))·(1+ε)^i,
+//
+// which overestimates each true MSF edge weight by at most a (1+ε) factor.
+// Each G_i is an eager sliding-window connectivity structure sharing global
+// timestamps, so expiry is uniform across all R = O(log_{1+ε} maxW) levels.
+type ApproxMSF struct {
+	n      int
+	eps    float64
+	maxW   int64
+	thresh []int64 // thresh[i] = floor((1+eps)^i), last >= maxW
+	inst   []*ConnEager
+	tau    int64
+	tw     int64
+}
+
+// NewApproxMSF returns an approximate-MSF-weight structure for edge weights
+// in [1, maxWeight].
+func NewApproxMSF(n int, eps float64, maxWeight int64, seed uint64) *ApproxMSF {
+	if eps <= 0 {
+		panic("sw: eps must be positive")
+	}
+	if maxWeight < 1 {
+		panic("sw: maxWeight must be at least 1")
+	}
+	a := &ApproxMSF{n: n, eps: eps, maxW: maxWeight}
+	for x := 1.0; ; x *= 1 + eps {
+		t := int64(math.Floor(x))
+		a.thresh = append(a.thresh, t)
+		a.inst = append(a.inst, NewConnEager(n, seed+uint64(len(a.inst))*0x2545F491+3))
+		if t >= maxWeight {
+			break
+		}
+	}
+	return a
+}
+
+// Levels returns R, the number of maintained connectivity levels.
+func (a *ApproxMSF) Levels() int { return len(a.inst) }
+
+// BatchInsert appends weighted edge arrivals (weights in [1, maxWeight]).
+func (a *ApproxMSF) BatchInsert(edges []WeightedStreamEdge) {
+	taus := make([]int64, len(edges))
+	for i, e := range edges {
+		if e.W < 1 || e.W > a.maxW {
+			panic(fmt.Sprintf("sw: weight %d outside [1, %d]", e.W, a.maxW))
+		}
+		a.tau++
+		taus[i] = a.tau
+	}
+	// Route each edge to every level whose threshold admits it. Levels are
+	// nested (G_0 ⊆ G_1 ⊆ ...), so each edge goes to a suffix of levels.
+	for i, inst := range a.inst {
+		var sub []StreamEdge
+		var subTau []int64
+		for j, e := range edges {
+			if e.W <= a.thresh[i] {
+				sub = append(sub, StreamEdge{U: e.U, V: e.V})
+				subTau = append(subTau, taus[j])
+			}
+		}
+		if len(sub) > 0 {
+			inst.batchInsertAt(sub, subTau)
+		}
+	}
+}
+
+// BatchExpire expires the oldest delta arrivals at every level.
+func (a *ApproxMSF) BatchExpire(delta int) {
+	a.tw += int64(delta)
+	if a.tw > a.tau {
+		a.tw = a.tau
+	}
+	for _, inst := range a.inst {
+		inst.expireTo(a.tw)
+	}
+}
+
+// Weight returns the (1+ε)-approximate MSF weight of the window graph,
+// treating each connected component separately (equation (1) of the paper).
+// O(R) work.
+func (a *ApproxMSF) Weight() float64 {
+	w := float64(a.n - a.inst[0].NumComponents())
+	scale := 1.0
+	for i := 1; i < len(a.inst); i++ {
+		scale *= 1 + a.eps
+		w += float64(a.inst[i-1].NumComponents()-a.inst[i].NumComponents()) * scale
+	}
+	return w
+}
+
+// NumComponents returns the number of connected components of the window
+// graph (the top level sees every edge).
+func (a *ApproxMSF) NumComponents() int {
+	return a.inst[len(a.inst)-1].NumComponents()
+}

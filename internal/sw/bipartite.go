@@ -1,0 +1,49 @@
+package sw
+
+// Bipartite is the sliding-window bipartiteness monitor of Theorem 5.3,
+// using the cycle-double-cover reduction [4, 13]: the window graph G is
+// bipartite iff its double cover D(G) — vertex v split into v1, v2 and edge
+// (u, v) doubled into (u1, v2), (u2, v1) — has exactly twice as many
+// connected components as G.
+type Bipartite struct {
+	n int
+	g *ConnEager // the window graph on n vertices
+	d *ConnEager // its double cover on 2n vertices
+}
+
+// NewBipartite returns a bipartiteness monitor over n vertices.
+func NewBipartite(n int, seed uint64) *Bipartite {
+	return &Bipartite{
+		n: n,
+		g: NewConnEager(n, seed),
+		d: NewConnEager(2*n, seed^0x5bd1e995),
+	}
+}
+
+// BatchInsert appends edge arrivals to the window.
+func (b *Bipartite) BatchInsert(edges []StreamEdge) {
+	b.g.BatchInsert(edges)
+	dcc := make([]StreamEdge, 0, 2*len(edges))
+	n32 := int32(b.n)
+	for _, e := range edges {
+		dcc = append(dcc,
+			StreamEdge{U: e.U, V: e.V + n32},
+			StreamEdge{U: e.U + n32, V: e.V},
+		)
+	}
+	b.d.BatchInsert(dcc)
+}
+
+// BatchExpire expires the oldest delta arrivals.
+func (b *Bipartite) BatchExpire(delta int) {
+	b.g.BatchExpire(delta)
+	b.d.BatchExpire(2 * delta) // each arrival contributed two cover edges
+}
+
+// IsBipartite reports whether the window graph is bipartite, in O(1).
+func (b *Bipartite) IsBipartite() bool {
+	return b.d.NumComponents() == 2*b.g.NumComponents()
+}
+
+// IsConnected exposes window connectivity on the underlying graph.
+func (b *Bipartite) IsConnected(u, v int32) bool { return b.g.IsConnected(u, v) }

@@ -1,0 +1,205 @@
+package sw
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/parallel"
+)
+
+// SparsifierConfig tunes the sliding-window ε-cut-sparsifier of
+// Theorem 5.8. The paper's constants (p̃_e >= 253·ε⁻²·lg²n / c_e and
+// certificate order k = O(ε⁻²·lg³n)) make every laptop-scale graph sample
+// with probability 1, so SampleConst and CertOrder default to scaled-down
+// values that preserve the structure (connectivity-estimated sampling
+// rates, certificate retention) while producing non-trivial sparsifiers at
+// test scale; see DESIGN.md §2 and EXPERIMENTS.md.
+type SparsifierConfig struct {
+	Eps         float64 // target cut error (default 0.5)
+	Levels      int     // L: sampling levels (default ceil(lg n))
+	Trials      int     // K: independent connectivity estimators (default 2)
+	CertOrder   int     // k of each Q_i (default 2*ceil(lg n))
+	SampleConst float64 // C in p̃_e = min(1, C·2^{-L(e)}) (default 4)
+}
+
+func (c *SparsifierConfig) fill(n int) {
+	lg := bits.Len(uint(n)) + 1
+	if c.Eps == 0 {
+		c.Eps = 0.5
+	}
+	if c.Levels == 0 {
+		c.Levels = lg
+	}
+	if c.Trials == 0 {
+		c.Trials = 2
+	}
+	if c.CertOrder == 0 {
+		c.CertOrder = 2 * lg
+	}
+	if c.SampleConst == 0 {
+		c.SampleConst = 4
+	}
+}
+
+// SparseEdge is one sparsifier output edge: the window arrival Tau with its
+// importance weight 1/p̃.
+type SparseEdge struct {
+	U, V   int32
+	Tau    int64
+	Weight float64
+}
+
+// Sparsifier maintains a sliding-window cut sparsifier: K·(L+1) lazy
+// connectivity structures over nested subsampled graphs G_i^(j) estimate
+// each edge's connectivity (Lemma 5.2), and L+1 k-certificates Q_i over
+// nested subsampled graphs H_i retain enough edges at every sampling rate
+// (Lemma 5.3). Sparsify() replays the sampling decision of every retained
+// edge with its estimated rate.
+type Sparsifier struct {
+	n    int
+	cfg  SparsifierConfig
+	conn [][]*Conn // [level][trial]
+	q    []*KCert  // [level]
+	seed uint64
+	tau  int64
+	tw   int64
+}
+
+// NewSparsifier returns a sliding-window cut sparsifier over n vertices.
+func NewSparsifier(n int, cfg SparsifierConfig, seed uint64) *Sparsifier {
+	cfg.fill(n)
+	s := &Sparsifier{n: n, cfg: cfg, seed: seed}
+	for i := 0; i <= cfg.Levels; i++ {
+		var row []*Conn
+		for j := 0; j < cfg.Trials; j++ {
+			row = append(row, NewConn(n, seed+uint64(i*977+j*131+1)))
+		}
+		s.conn = append(s.conn, row)
+		s.q = append(s.q, NewKCert(n, cfg.CertOrder, seed+uint64(i*7919+13)))
+	}
+	return s
+}
+
+// gLevel returns the highest i such that arrival tau belongs to G_i^(j)
+// (nested sampling with probability 2^-i).
+func (s *Sparsifier) gLevel(tau int64, j int) int {
+	h := parallel.Hash3(s.seed^0xA5A5, uint64(tau), uint64(j))
+	tz := bits.TrailingZeros64(h | 1<<63)
+	if tz > s.cfg.Levels {
+		return s.cfg.Levels
+	}
+	return tz
+}
+
+// hLevel returns the highest i such that arrival tau belongs to H_i.
+func (s *Sparsifier) hLevel(tau int64) int {
+	h := parallel.Hash2(s.seed^0xC3C3, uint64(tau))
+	tz := bits.TrailingZeros64(h | 1<<63)
+	if tz > s.cfg.Levels {
+		return s.cfg.Levels
+	}
+	return tz
+}
+
+// BatchInsert appends edge arrivals to the window.
+func (s *Sparsifier) BatchInsert(edges []StreamEdge) {
+	taus := make([]int64, len(edges))
+	for i := range edges {
+		s.tau++
+		taus[i] = s.tau
+	}
+	for i := 0; i <= s.cfg.Levels; i++ {
+		for j := 0; j < s.cfg.Trials; j++ {
+			var sub []StreamEdge
+			var st []int64
+			for x, e := range edges {
+				if s.gLevel(taus[x], j) >= i {
+					sub = append(sub, e)
+					st = append(st, taus[x])
+				}
+			}
+			if len(sub) > 0 {
+				s.conn[i][j].batchInsertAt(sub, st)
+			}
+		}
+		var sub []StreamEdge
+		var st []int64
+		for x, e := range edges {
+			if s.hLevel(taus[x]) >= i {
+				sub = append(sub, e)
+				st = append(st, taus[x])
+			}
+		}
+		if len(sub) > 0 {
+			s.q[i].batchInsertAt(sub, st)
+		}
+	}
+}
+
+// BatchExpire expires the oldest delta arrivals everywhere.
+func (s *Sparsifier) BatchExpire(delta int) {
+	s.tw += int64(delta)
+	if s.tw > s.tau {
+		s.tw = s.tau
+	}
+	for i := 0; i <= s.cfg.Levels; i++ {
+		for j := 0; j < s.cfg.Trials; j++ {
+			s.conn[i][j].expireTo(s.tw)
+		}
+		s.q[i].expireTo(s.tw)
+	}
+}
+
+// estLevel computes L(u, v): the largest i such that u and v are connected
+// in G_i^(j) for every trial j (Lemma 5.2 connectivity estimation).
+func (s *Sparsifier) estLevel(u, v int32) int {
+	for i := s.cfg.Levels; i >= 1; i-- {
+		all := true
+		for j := 0; j < s.cfg.Trials; j++ {
+			if !s.conn[i][j].IsConnected(u, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return i
+		}
+	}
+	return 0
+}
+
+// Sparsify returns an ε-cut-sparsifier of the window graph: every retained
+// certificate edge whose replayed sampling level matches its estimated rate,
+// weighted by the inverse sampling probability.
+func (s *Sparsifier) Sparsify() []SparseEdge {
+	var out []SparseEdge
+	seen := map[int64]bool{}
+	for i := 0; i <= s.cfg.Levels; i++ {
+		for _, e := range s.q[i].Certificate() {
+			tau := int64(e.ID)
+			if seen[tau] {
+				continue
+			}
+			seen[tau] = true
+			lvl := s.estLevel(e.U, e.V)
+			pt := math.Min(1, s.cfg.SampleConst*math.Pow(2, -float64(lvl)))
+			beta := int(math.Floor(-math.Log2(pt))) // halvings: p rounded to 2^-beta
+			if beta < 0 {
+				beta = 0
+			}
+			if beta > s.cfg.Levels {
+				beta = s.cfg.Levels
+			}
+			if s.hLevel(tau) >= beta && s.q[beta].Contains(tau) {
+				out = append(out, SparseEdge{
+					U: e.U, V: e.V, Tau: tau,
+					Weight: math.Pow(2, float64(beta)),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// WindowLen returns the number of unexpired arrivals.
+func (s *Sparsifier) WindowLen() int64 { return s.tau - s.tw }

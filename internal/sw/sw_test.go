@@ -1,0 +1,622 @@
+package sw
+
+import (
+	"testing"
+
+	"repro/internal/msf"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+// window is a brute-force sliding-window model: it stores every arrival and
+// recomputes from scratch.
+type window struct {
+	n        int
+	arrivals []StreamEdge
+	weights  []int64
+	tw       int
+}
+
+func (w *window) insert(es []StreamEdge, wts []int64) {
+	w.arrivals = append(w.arrivals, es...)
+	if wts == nil {
+		wts = make([]int64, len(es))
+	}
+	w.weights = append(w.weights, wts...)
+}
+
+func (w *window) expire(d int) {
+	w.tw += d
+	if w.tw > len(w.arrivals) {
+		w.tw = len(w.arrivals)
+	}
+}
+
+func (w *window) live() []StreamEdge { return w.arrivals[w.tw:] }
+
+func (w *window) uf() *unionfind.UF {
+	u := unionfind.New(w.n)
+	for _, e := range w.live() {
+		u.Union(e.U, e.V)
+	}
+	return u
+}
+
+func (w *window) liveWeighted() []wgraph.Edge {
+	var out []wgraph.Edge
+	for i := w.tw; i < len(w.arrivals); i++ {
+		e := w.arrivals[i]
+		out = append(out, wgraph.Edge{ID: wgraph.EdgeID(i + 1), U: e.U, V: e.V, W: w.weights[i]})
+	}
+	return out
+}
+
+func (w *window) hasCycle() bool {
+	u := unionfind.New(w.n)
+	for _, e := range w.live() {
+		if e.U == e.V || !u.Union(e.U, e.V) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *window) bipartite() bool {
+	color := make([]int8, w.n)
+	adj := make([][]int32, w.n)
+	for _, e := range w.live() {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	for s := 0; s < w.n; s++ {
+		if color[s] != 0 {
+			continue
+		}
+		color[s] = 1
+		stack := []int32{int32(s)}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range adj[x] {
+				if color[y] == 0 {
+					color[y] = -color[x]
+					stack = append(stack, y)
+				} else if color[y] == color[x] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func randStream(r *parallel.RNG, n, m int) []StreamEdge {
+	out := make([]StreamEdge, m)
+	for i := range out {
+		out[i] = StreamEdge{U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+	}
+	return out
+}
+
+// --- Conn / ConnEager --------------------------------------------------------
+
+func TestConnLazyVsBruteForce(t *testing.T) {
+	const n = 40
+	r := parallel.NewRNG(5)
+	c := NewConn(n, 11)
+	w := &window{n: n}
+	for round := 0; round < 60; round++ {
+		batch := randStream(r, n, 1+r.Intn(12))
+		c.BatchInsert(batch)
+		w.insert(batch, nil)
+		if r.Intn(2) == 0 {
+			d := r.Intn(10)
+			c.BatchExpire(d)
+			w.expire(d)
+		}
+		uf := w.uf()
+		for q := 0; q < 40; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := c.IsConnected(u, v), uf.Connected(u, v); got != want {
+				t.Fatalf("round %d: IsConnected(%d,%d)=%v want %v (window %d..%d)", round, u, v, got, want, w.tw, len(w.arrivals))
+			}
+		}
+	}
+}
+
+func TestConnEagerVsBruteForce(t *testing.T) {
+	const n = 35
+	r := parallel.NewRNG(7)
+	c := NewConnEager(n, 13)
+	w := &window{n: n}
+	for round := 0; round < 60; round++ {
+		batch := randStream(r, n, 1+r.Intn(10))
+		c.BatchInsert(batch)
+		w.insert(batch, nil)
+		d := r.Intn(12)
+		c.BatchExpire(d)
+		w.expire(d)
+		uf := w.uf()
+		if got, want := c.NumComponents(), uf.NumComponents(); got != want {
+			t.Fatalf("round %d: components=%d want %d", round, got, want)
+		}
+		for q := 0; q < 30; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := c.IsConnected(u, v), uf.Connected(u, v); got != want {
+				t.Fatalf("round %d: IsConnected(%d,%d)=%v want %v", round, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestConnExpireEverything(t *testing.T) {
+	c := NewConnEager(5, 3)
+	c.BatchInsert([]StreamEdge{{0, 1}, {1, 2}, {3, 4}})
+	if c.NumComponents() != 2 {
+		t.Fatalf("components=%d", c.NumComponents())
+	}
+	c.BatchExpire(1000) // over-expire clamps to the window
+	if c.NumComponents() != 5 {
+		t.Fatalf("components=%d after drain", c.NumComponents())
+	}
+	if c.IsConnected(0, 1) {
+		t.Fatal("connectivity survived drain")
+	}
+	// The window can refill after a drain.
+	c.BatchInsert([]StreamEdge{{0, 4}})
+	if !c.IsConnected(0, 4) || c.NumComponents() != 4 {
+		t.Fatal("refill failed")
+	}
+}
+
+func TestConnLazyExpireIsO1(t *testing.T) {
+	c := NewConn(4, 1)
+	c.BatchInsert([]StreamEdge{{0, 1}, {1, 2}})
+	c.BatchExpire(1)
+	if c.IsConnected(0, 1) {
+		t.Fatal("edge (0,1) expired but still connected")
+	}
+	if !c.IsConnected(1, 2) {
+		t.Fatal("edge (1,2) should survive")
+	}
+	if c.WindowLen() != 1 {
+		t.Fatalf("window len=%d", c.WindowLen())
+	}
+}
+
+func TestConnReinsertionAfterExpiry(t *testing.T) {
+	// The same logical edge re-arrives after expiring: recency weights make
+	// the fresh copy the forest edge.
+	c := NewConnEager(3, 9)
+	c.BatchInsert([]StreamEdge{{0, 1}})
+	c.BatchExpire(1)
+	if c.IsConnected(0, 1) {
+		t.Fatal("expired")
+	}
+	c.BatchInsert([]StreamEdge{{0, 1}})
+	if !c.IsConnected(0, 1) {
+		t.Fatal("re-arrival not connected")
+	}
+}
+
+// --- Bipartiteness -----------------------------------------------------------
+
+func TestBipartiteOddEvenCycles(t *testing.T) {
+	b := NewBipartite(6, 5)
+	// Even cycle 0-1-2-3-0: bipartite.
+	b.BatchInsert([]StreamEdge{{0, 1}, {1, 2}, {2, 3}, {3, 0}})
+	if !b.IsBipartite() {
+		t.Fatal("even cycle reported non-bipartite")
+	}
+	// Add a chord making a triangle: 0-2.
+	b.BatchInsert([]StreamEdge{{0, 2}})
+	if b.IsBipartite() {
+		t.Fatal("odd cycle missed")
+	}
+	// Expire the whole original cycle; the chord alone is bipartite.
+	b.BatchExpire(4)
+	if !b.IsBipartite() {
+		t.Fatal("expired odd cycle still reported")
+	}
+}
+
+func TestBipartiteVsBruteForce(t *testing.T) {
+	const n = 20
+	r := parallel.NewRNG(17)
+	b := NewBipartite(n, 23)
+	w := &window{n: n}
+	for round := 0; round < 80; round++ {
+		batch := randStream(r, n, 1+r.Intn(6))
+		// Filter self-loops for the model's 2-colouring (a self-loop makes
+		// the graph non-bipartite; keep them out to keep the oracle simple).
+		clean := batch[:0]
+		for _, e := range batch {
+			if e.U != e.V {
+				clean = append(clean, e)
+			}
+		}
+		b.BatchInsert(clean)
+		w.insert(clean, nil)
+		d := r.Intn(8)
+		b.BatchExpire(d)
+		w.expire(d)
+		if got, want := b.IsBipartite(), w.bipartite(); got != want {
+			t.Fatalf("round %d: IsBipartite=%v want %v", round, got, want)
+		}
+	}
+}
+
+// --- k-certificate -----------------------------------------------------------
+
+// maxFlow computes undirected edge connectivity between s and t via
+// Edmonds-Karp with per-direction unit capacities.
+func maxFlow(n int, edges []wgraph.Edge, s, t int32, cap int) int {
+	type arc struct {
+		to   int32
+		flow int8
+		rev  int
+	}
+	adj := make([][]int, n)
+	arcs := []arc{}
+	addEdge := func(u, v int32) {
+		adj[u] = append(adj[u], len(arcs))
+		arcs = append(arcs, arc{to: v, rev: len(arcs) + 1})
+		adj[v] = append(adj[v], len(arcs))
+		arcs = append(arcs, arc{to: u, rev: len(arcs) - 1})
+	}
+	for _, e := range edges {
+		if e.U != e.V {
+			addEdge(e.U, e.V)
+		}
+	}
+	flow := 0
+	for flow < cap {
+		// BFS for an augmenting path.
+		prev := make([]int, n)
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = -2
+		queue := []int32{s}
+		for len(queue) > 0 && prev[t] == -1 {
+			x := queue[0]
+			queue = queue[1:]
+			for _, ai := range adj[x] {
+				a := arcs[ai]
+				if a.flow < 1 && prev[a.to] == -1 {
+					prev[a.to] = ai
+					queue = append(queue, a.to)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			break
+		}
+		for x := t; x != s; {
+			ai := prev[x]
+			arcs[ai].flow++
+			arcs[arcs[ai].rev].flow--
+			x = arcs[arcs[ai].rev].to
+		}
+		flow++
+	}
+	return flow
+}
+
+func TestKCertPreservesPairwiseKConnectivity(t *testing.T) {
+	const n = 14
+	const k = 3
+	r := parallel.NewRNG(29)
+	c := NewKCert(n, k, 31)
+	w := &window{n: n}
+	for round := 0; round < 40; round++ {
+		batch := randStream(r, n, 1+r.Intn(8))
+		c.BatchInsert(batch)
+		w.insert(batch, nil)
+		d := r.Intn(6)
+		c.BatchExpire(d)
+		w.expire(d)
+		cert := c.Certificate()
+		if len(cert) > k*(n-1) {
+			t.Fatalf("round %d: cert size %d > k(n-1)", round, len(cert))
+		}
+		// Certificate edges are window arrivals.
+		for _, e := range cert {
+			if int(e.ID) <= w.tw || int(e.ID) > len(w.arrivals) {
+				t.Fatalf("round %d: cert edge τ=%d outside window (%d,%d]", round, e.ID, w.tw, len(w.arrivals))
+			}
+			a := w.arrivals[int(e.ID)-1]
+			if !(a.U == e.U && a.V == e.V || a.U == e.V && a.V == e.U) {
+				t.Fatalf("round %d: cert edge %v does not match arrival %v", round, e, a)
+			}
+		}
+		// Property P2: pairwise k-connectivity is preserved.
+		full := w.liveWeighted()
+		for q := 0; q < 8; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v {
+				continue
+			}
+			want := maxFlow(n, full, u, v, k)
+			got := maxFlow(n, cert, u, v, k)
+			if got != want {
+				t.Fatalf("round %d: min(k,flow)(%d,%d) cert=%d graph=%d", round, u, v, got, want)
+			}
+		}
+	}
+}
+
+func TestKCertForestsAreEdgeDisjointForests(t *testing.T) {
+	const n = 12
+	r := parallel.NewRNG(41)
+	c := NewKCert(n, 4, 43)
+	for round := 0; round < 20; round++ {
+		c.BatchInsert(randStream(r, n, 1+r.Intn(10)))
+		if r.Intn(3) == 0 {
+			c.BatchExpire(r.Intn(8))
+		}
+		seen := map[wgraph.EdgeID]bool{}
+		for i := 0; i < c.K(); i++ {
+			uf := unionfind.New(n)
+			c.d[i].ForEach(func(_ int64, e wgraph.Edge) bool {
+				if seen[e.ID] {
+					t.Fatalf("round %d: edge %d in two forests", round, e.ID)
+				}
+				seen[e.ID] = true
+				if !uf.Union(e.U, e.V) {
+					t.Fatalf("round %d: forest %d has a cycle", round, i)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestKCertConnectivityMatchesWindow(t *testing.T) {
+	const n = 25
+	r := parallel.NewRNG(47)
+	c := NewKCert(n, 2, 53)
+	w := &window{n: n}
+	for round := 0; round < 40; round++ {
+		batch := randStream(r, n, 1+r.Intn(8))
+		c.BatchInsert(batch)
+		w.insert(batch, nil)
+		d := r.Intn(6)
+		c.BatchExpire(d)
+		w.expire(d)
+		uf := w.uf()
+		for q := 0; q < 20; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := c.IsConnected(u, v), uf.Connected(u, v); got != want {
+				t.Fatalf("round %d: IsConnected(%d,%d)=%v want %v", round, u, v, got, want)
+			}
+		}
+	}
+}
+
+// --- Cycle-freeness ----------------------------------------------------------
+
+func TestCycleFreeVsBruteForce(t *testing.T) {
+	const n = 15
+	r := parallel.NewRNG(59)
+	c := NewCycleFree(n, 61)
+	w := &window{n: n}
+	for round := 0; round < 80; round++ {
+		batch := randStream(r, n, 1+r.Intn(4))
+		clean := batch[:0]
+		for _, e := range batch {
+			if e.U != e.V {
+				clean = append(clean, e)
+			}
+		}
+		c.BatchInsert(clean)
+		w.insert(clean, nil)
+		d := r.Intn(5)
+		c.BatchExpire(d)
+		w.expire(d)
+		if got, want := c.HasCycle(), w.hasCycle(); got != want {
+			t.Fatalf("round %d: HasCycle=%v want %v (window %d..%d)", round, got, want, w.tw, len(w.arrivals))
+		}
+	}
+}
+
+func TestCycleFreeSimple(t *testing.T) {
+	c := NewCycleFree(3, 1)
+	c.BatchInsert([]StreamEdge{{0, 1}, {1, 2}})
+	if c.HasCycle() {
+		t.Fatal("path has no cycle")
+	}
+	c.BatchInsert([]StreamEdge{{2, 0}})
+	if !c.HasCycle() {
+		t.Fatal("triangle missed")
+	}
+	c.BatchExpire(1) // expire (0,1): 1-2-0 is a path again
+	if c.HasCycle() {
+		t.Fatal("expired cycle still reported")
+	}
+}
+
+func TestCycleFreeParallelEdges(t *testing.T) {
+	c := NewCycleFree(2, 3)
+	c.BatchInsert([]StreamEdge{{0, 1}, {0, 1}})
+	if !c.HasCycle() {
+		t.Fatal("parallel edges form a cycle")
+	}
+	c.BatchExpire(1)
+	if c.HasCycle() {
+		t.Fatal("single edge is acyclic")
+	}
+}
+
+// --- Approximate MSF ---------------------------------------------------------
+
+func TestApproxMSFWithinFactor(t *testing.T) {
+	const n = 30
+	for _, eps := range []float64{0.1, 0.5, 1.0} {
+		r := parallel.NewRNG(67)
+		const maxW = 1000
+		a := NewApproxMSF(n, eps, maxW, 71)
+		w := &window{n: n}
+		for round := 0; round < 30; round++ {
+			ell := 1 + r.Intn(10)
+			batch := make([]WeightedStreamEdge, 0, ell)
+			plain := make([]StreamEdge, 0, ell)
+			wts := make([]int64, 0, ell)
+			for i := 0; i < ell; i++ {
+				e := WeightedStreamEdge{U: int32(r.Intn(n)), V: int32(r.Intn(n)), W: 1 + r.Int63()%maxW}
+				if e.U == e.V {
+					continue
+				}
+				batch = append(batch, e)
+				plain = append(plain, StreamEdge{U: e.U, V: e.V})
+				wts = append(wts, e.W)
+			}
+			a.BatchInsert(batch)
+			w.insert(plain, wts)
+			d := r.Intn(8)
+			a.BatchExpire(d)
+			w.expire(d)
+			exactEdges := msf.Kruskal(n, w.liveWeighted())
+			exact := float64(wgraph.TotalWeight(exactEdges))
+			got := a.Weight()
+			if got < exact-1e-6 || got > (1+eps)*exact+1e-6 {
+				t.Fatalf("eps=%v round %d: estimate %v outside [%v, %v]", eps, round, got, exact, (1+eps)*exact)
+			}
+		}
+	}
+}
+
+func TestApproxMSFWeightValidation(t *testing.T) {
+	a := NewApproxMSF(4, 0.5, 100, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range weight")
+		}
+	}()
+	a.BatchInsert([]WeightedStreamEdge{{U: 0, V: 1, W: 101}})
+}
+
+func TestApproxMSFComponents(t *testing.T) {
+	a := NewApproxMSF(5, 0.3, 50, 3)
+	a.BatchInsert([]WeightedStreamEdge{{0, 1, 10}, {2, 3, 50}})
+	if a.NumComponents() != 3 {
+		t.Fatalf("components=%d", a.NumComponents())
+	}
+	a.BatchExpire(1)
+	if a.NumComponents() != 4 {
+		t.Fatalf("components=%d", a.NumComponents())
+	}
+}
+
+// --- Sparsifier --------------------------------------------------------------
+
+// cutValue counts edges crossing a bipartition mask.
+func cutValue(edges []StreamEdge, inS func(int32) bool) int {
+	c := 0
+	for _, e := range edges {
+		if inS(e.U) != inS(e.V) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestSparsifierExactWhenSamplingIsOne(t *testing.T) {
+	// With a huge sampling constant every edge has p̃ = 1, and with
+	// certificate order >= window size every edge is retained: the
+	// sparsifier IS the window graph with unit weights.
+	const n = 10
+	cfg := SparsifierConfig{Eps: 0.5, Levels: 4, Trials: 2, CertOrder: 64, SampleConst: 1 << 30}
+	s := NewSparsifier(n, cfg, 3)
+	r := parallel.NewRNG(73)
+	var win []StreamEdge
+	for i := 0; i < 40; i++ {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		win = append(win, StreamEdge{U: u, V: v})
+	}
+	s.BatchInsert(win)
+	out := s.Sparsify()
+	if len(out) != len(win) {
+		t.Fatalf("sparsifier has %d edges, window has %d", len(out), len(win))
+	}
+	for _, e := range out {
+		if e.Weight != 1 {
+			t.Fatalf("weight %v != 1", e.Weight)
+		}
+	}
+	// Exact cut preservation for a few random cuts.
+	for trial := 0; trial < 10; trial++ {
+		mask := r.Next()
+		inS := func(v int32) bool { return mask>>uint(v)&1 == 1 }
+		want := cutValue(win, inS)
+		got := 0.0
+		for _, e := range out {
+			if inS(e.U) != inS(e.V) {
+				got += e.Weight
+			}
+		}
+		if int(got) != want {
+			t.Fatalf("cut mismatch: %v vs %d", got, want)
+		}
+	}
+}
+
+func TestSparsifierRespectsExpiry(t *testing.T) {
+	const n = 8
+	cfg := SparsifierConfig{Eps: 0.5, Levels: 3, Trials: 2, CertOrder: 32, SampleConst: 1 << 30}
+	s := NewSparsifier(n, cfg, 5)
+	s.BatchInsert([]StreamEdge{{0, 1}, {1, 2}, {2, 3}})
+	s.BatchExpire(2)
+	out := s.Sparsify()
+	if len(out) != 1 {
+		t.Fatalf("got %d edges, want 1", len(out))
+	}
+	if out[0].Tau != 3 {
+		t.Fatalf("surviving edge τ=%d", out[0].Tau)
+	}
+}
+
+func TestSparsifierCutApproximationStatistical(t *testing.T) {
+	// Moderate graph, scaled constants: the output must be smaller than the
+	// window on dense regions while keeping sampled cuts within a generous
+	// factor. Deterministic via fixed seeds.
+	const n = 24
+	cfg := SparsifierConfig{Eps: 0.5, Levels: 5, Trials: 2, CertOrder: 6, SampleConst: 8}
+	s := NewSparsifier(n, cfg, 7)
+	r := parallel.NewRNG(79)
+	var win []StreamEdge
+	// A dense random graph: 6n edges.
+	for len(win) < 6*n {
+		u, v := int32(r.Intn(n)), int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		win = append(win, StreamEdge{U: u, V: v})
+	}
+	s.BatchInsert(win)
+	out := s.Sparsify()
+	if len(out) == 0 {
+		t.Fatal("empty sparsifier")
+	}
+	for trial := 0; trial < 8; trial++ {
+		mask := r.Next()
+		inS := func(v int32) bool { return mask>>uint(v)&1 == 1 }
+		want := float64(cutValue(win, inS))
+		if want < float64(n)/2 {
+			continue // tiny cuts are too noisy for a smoke test
+		}
+		got := 0.0
+		for _, e := range out {
+			if inS(e.U) != inS(e.V) {
+				got += e.Weight
+			}
+		}
+		if got < want/2.5 || got > want*2.5 {
+			t.Fatalf("trial %d: cut %v vs %v out of tolerance", trial, got, want)
+		}
+	}
+}

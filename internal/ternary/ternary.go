@@ -1,0 +1,384 @@
+// Package ternary adapts an arbitrary-degree forest to the degree-<=3 forest
+// required by the rake-compress tree (the "bounded-degree equivalent" of
+// Section 2.2 of the paper, maintained dynamically as in reference [2]).
+//
+// Every real vertex v owns a gadget: a chain of virtual nodes
+//
+//	v — c1 — c2 — ... — ck
+//
+// where chain node ci anchors exactly one real edge incident to v. Chain
+// links are virtual edges of weight math.MinInt64+1 (strictly above the
+// rctree's MinKey identity, strictly below every real edge key), so they
+// never win a path-max query. The real edge (u, v) becomes an rctree edge
+// between u's and v's anchoring chain nodes, carrying the real key.
+//
+// Degrees: a real vertex touches only its first chain link (degree <= 1); a
+// chain node touches at most two chain links plus its real edge (degree
+// <= 3). Inserting an edge appends a chain node (O(1) virtual links);
+// deleting an edge splices its chain node out (O(1) virtual cuts/links). A
+// batch of l real operations becomes O(l) rctree operations, preserving the
+// paper's O(l·lg(1+n/l)) batch bound.
+package ternary
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rctree"
+	"repro/internal/wgraph"
+)
+
+// VirtualWeight is the weight of chain links. Real edge weights must be
+// strictly greater than math.MinInt64+1.
+const VirtualWeight = math.MinInt64 + 1
+
+const nilNode = int32(-1)
+
+type chainNode struct {
+	prev, next int32         // chain-node slots within the gadget (nilNode ends)
+	owner      int32         // real vertex owning the gadget
+	edge       wgraph.EdgeID // the real edge anchored here
+	prevLink   rctree.Handle // materialized link to prev side (or pending)
+	pendingIdx int32         // index into the current batch's pending links, -1 if materialized
+	inUse      bool
+}
+
+type gadget struct {
+	head, tail int32
+	deg        int
+}
+
+type edgeInfo struct {
+	e      wgraph.Edge
+	nodeU  int32 // chain-node slot anchoring e at e.U
+	nodeV  int32
+	handle rctree.Handle
+}
+
+// Forest maintains an arbitrary-degree dynamic forest on top of an rctree.
+type Forest struct {
+	t       *rctree.Tree
+	n       int
+	gadgets []gadget
+	nodes   []chainNode
+	nodeIDs []int32 // slot -> rctree vertex id
+	free    []int32
+	edges   map[wgraph.EdgeID]*edgeInfo
+	nextVID int64
+
+	// Per-batch scratch.
+	pend    []pendLink
+	rcCuts  []rctree.Handle
+	newReal []wgraph.EdgeID // ids of edges inserted this batch, in rcIns order
+}
+
+type pendLink struct {
+	a, b      int32 // rctree vertex ids
+	nodeSlot  int32 // node whose prevLink this is
+	cancelled bool
+}
+
+// New creates a forest over n real vertices (rctree vertices 0..n-1).
+func New(n int, seed uint64) *Forest {
+	f := &Forest{
+		t:       rctree.New(n, seed),
+		n:       n,
+		gadgets: make([]gadget, n),
+		edges:   make(map[wgraph.EdgeID]*edgeInfo),
+		nextVID: -2,
+	}
+	for i := range f.gadgets {
+		f.gadgets[i] = gadget{head: nilNode, tail: nilNode}
+	}
+	return f
+}
+
+// RC exposes the underlying rake-compress tree for compressed-path-tree
+// construction and queries over the virtual topology.
+func (f *Forest) RC() *rctree.Tree { return f.t }
+
+// N returns the number of real vertices.
+func (f *Forest) N() int { return f.n }
+
+// NumEdges returns the number of live real edges.
+func (f *Forest) NumEdges() int { return len(f.edges) }
+
+// HasEdge reports whether the real edge id is present.
+func (f *Forest) HasEdge(id wgraph.EdgeID) bool {
+	_, ok := f.edges[id]
+	return ok
+}
+
+// EdgeByID returns the stored edge for a live id.
+func (f *Forest) EdgeByID(id wgraph.EdgeID) (wgraph.Edge, bool) {
+	ei, ok := f.edges[id]
+	if !ok {
+		return wgraph.Edge{}, false
+	}
+	return ei.e, true
+}
+
+// RangeEdges calls fn for every live real edge until fn returns false.
+// Iteration order is unspecified.
+func (f *Forest) RangeEdges(fn func(wgraph.Edge) bool) {
+	for _, ei := range f.edges {
+		if !fn(ei.e) {
+			return
+		}
+	}
+}
+
+// OwnerOf maps any rctree vertex back to the real vertex whose gadget it
+// belongs to (real vertices map to themselves). Chain-node rctree ids are
+// allocated densely after the n real vertices.
+func (f *Forest) OwnerOf(rcID int32) int32 {
+	if int(rcID) < f.n {
+		return rcID
+	}
+	return f.nodes[int(rcID)-f.n].owner
+}
+
+// Degree returns the real degree of vertex v.
+func (f *Forest) Degree(v int32) int { return f.gadgets[v].deg }
+
+// Connected reports whether real vertices u and v are connected.
+func (f *Forest) Connected(u, v int32) bool { return f.t.Connected(u, v) }
+
+// NumComponents returns the number of components among the real vertices
+// (virtual chain nodes never form their own components).
+func (f *Forest) NumComponents() int {
+	// Each real component contributes one rctree root; chain nodes are
+	// always attached to their owner. Total rctree components = real
+	// components + 0 spare, but freed chain nodes linger as isolated rctree
+	// vertices, so subtract them.
+	return f.t.NumComponents() - f.isolatedSpares()
+}
+
+func (f *Forest) isolatedSpares() int {
+	return len(f.free)
+}
+
+// PathMax returns the heaviest real edge key on the real path between u and
+// v, or false when disconnected or equal. Virtual links can never be the
+// maximum because a nonempty real path contains at least one real edge.
+func (f *Forest) PathMax(u, v int32) (wgraph.Key, bool) {
+	if u == v {
+		return wgraph.Key{}, false
+	}
+	k, ok := f.t.PathMax(u, v)
+	if !ok {
+		return wgraph.Key{}, false
+	}
+	if k.W == VirtualWeight {
+		panic("ternary: path between distinct real vertices was purely virtual")
+	}
+	return k, true
+}
+
+func (f *Forest) virtualKey() wgraph.Key {
+	k := wgraph.Key{W: VirtualWeight, ID: wgraph.EdgeID(f.nextVID)}
+	f.nextVID--
+	return k
+}
+
+func (f *Forest) allocNode() int32 {
+	if len(f.free) > 0 {
+		s := f.free[len(f.free)-1]
+		f.free = f.free[:len(f.free)-1]
+		return s
+	}
+	vid := f.t.AddVertices(1)
+	f.nodes = append(f.nodes, chainNode{})
+	f.nodeIDs = append(f.nodeIDs, vid)
+	return int32(len(f.nodes) - 1)
+}
+
+// rcID returns the rctree vertex of a chain slot, or the real vertex when
+// slot is nilNode relative to owner v.
+func (f *Forest) rcID(v int32, slot int32) int32 {
+	if slot == nilNode {
+		return v
+	}
+	return f.nodeIDs[slot]
+}
+
+// killLink retires the prevLink of the given node: a pending link is
+// cancelled, a materialized one is queued for cutting.
+func (f *Forest) killLink(slot int32) {
+	nd := &f.nodes[slot]
+	if nd.pendingIdx >= 0 {
+		f.pend[nd.pendingIdx].cancelled = true
+		nd.pendingIdx = -1
+		return
+	}
+	f.rcCuts = append(f.rcCuts, nd.prevLink)
+}
+
+// makeLink plans a fresh virtual link from the prev side to node slot.
+func (f *Forest) makeLink(v, prevSlot, slot int32) {
+	nd := &f.nodes[slot]
+	nd.pendingIdx = int32(len(f.pend))
+	f.pend = append(f.pend, pendLink{a: f.rcID(v, prevSlot), b: f.nodeIDs[slot], nodeSlot: slot})
+}
+
+// appendNode grows v's gadget with a chain node anchoring edge id, returning
+// the new slot.
+func (f *Forest) appendNode(v int32, id wgraph.EdgeID) int32 {
+	slot := f.allocNode()
+	g := &f.gadgets[v]
+	f.nodes[slot] = chainNode{prev: g.tail, next: nilNode, owner: v, edge: id, pendingIdx: -1, inUse: true}
+	f.makeLink(v, g.tail, slot)
+	if g.tail != nilNode {
+		f.nodes[g.tail].next = slot
+	} else {
+		g.head = slot
+	}
+	g.tail = slot
+	g.deg++
+	return slot
+}
+
+// detachNode splices the chain node out of v's gadget.
+func (f *Forest) detachNode(v int32, slot int32) {
+	nd := &f.nodes[slot]
+	g := &f.gadgets[v]
+	prv, nxt := nd.prev, nd.next
+	f.killLink(slot)
+	if nxt != nilNode {
+		f.killLink(nxt)
+		f.nodes[nxt].prev = prv
+		f.makeLink(v, prv, nxt)
+		if prv != nilNode {
+			f.nodes[prv].next = nxt
+		} else {
+			g.head = nxt
+		}
+	} else {
+		if prv != nilNode {
+			f.nodes[prv].next = nilNode
+		} else {
+			g.head = nilNode
+		}
+		g.tail = prv
+	}
+	g.deg--
+	*nd = chainNode{pendingIdx: -1}
+	f.free = append(f.free, slot)
+}
+
+// BatchUpdate removes the edges named in cuts, then inserts ins, all in one
+// rctree batch. Cuts must name live edges; the surviving edge set must
+// remain a forest (no acyclicity check is performed here — the MSF layer
+// guarantees it); self-loops and duplicate ids panic.
+func (f *Forest) BatchUpdate(ins []wgraph.Edge, cuts []wgraph.EdgeID) {
+	f.pend = f.pend[:0]
+	f.rcCuts = f.rcCuts[:0]
+	f.newReal = f.newReal[:0]
+
+	for _, id := range cuts {
+		ei, ok := f.edges[id]
+		if !ok {
+			panic(fmt.Sprintf("ternary: cutting unknown edge %d", id))
+		}
+		f.rcCuts = append(f.rcCuts, ei.handle)
+		f.detachNode(ei.e.U, ei.nodeU)
+		f.detachNode(ei.e.V, ei.nodeV)
+		delete(f.edges, id)
+	}
+	for _, e := range ins {
+		if e.IsLoop() {
+			panic(fmt.Sprintf("ternary: self-loop %v", e))
+		}
+		if e.W <= VirtualWeight {
+			panic(fmt.Sprintf("ternary: weight %d not above VirtualWeight", e.W))
+		}
+		if _, dup := f.edges[e.ID]; dup {
+			panic(fmt.Sprintf("ternary: duplicate edge id %d", e.ID))
+		}
+		nu := f.appendNode(e.U, e.ID)
+		nv := f.appendNode(e.V, e.ID)
+		f.edges[e.ID] = &edgeInfo{e: e, nodeU: nu, nodeV: nv}
+		f.newReal = append(f.newReal, e.ID)
+	}
+
+	// Emit: surviving pending links first, then real edges; map handles back
+	// positionally.
+	rcIns := make([]rctree.Edge, 0, len(f.pend)+len(f.newReal))
+	slots := make([]int32, 0, len(f.pend))
+	for _, p := range f.pend {
+		if p.cancelled {
+			continue
+		}
+		rcIns = append(rcIns, rctree.Edge{U: p.a, V: p.b, Key: f.virtualKey()})
+		slots = append(slots, p.nodeSlot)
+	}
+	for _, id := range f.newReal {
+		ei := f.edges[id]
+		rcIns = append(rcIns, rctree.Edge{
+			U: f.nodeIDs[ei.nodeU], V: f.nodeIDs[ei.nodeV], Key: wgraph.KeyOf(ei.e),
+		})
+	}
+	handles := f.t.BatchUpdate(rcIns, f.rcCuts)
+	for i, slot := range slots {
+		f.nodes[slot].prevLink = handles[i]
+		f.nodes[slot].pendingIdx = -1
+	}
+	for i, id := range f.newReal {
+		f.edges[id].handle = handles[len(slots)+i]
+	}
+}
+
+// Validate checks gadget-chain and degree invariants plus the underlying
+// rctree's invariants. Test use only.
+func (f *Forest) Validate() error {
+	if err := f.t.Validate(); err != nil {
+		return err
+	}
+	degSum := 0
+	for v := int32(0); v < int32(f.n); v++ {
+		g := &f.gadgets[v]
+		count := 0
+		prev := nilNode
+		for s := g.head; s != nilNode; s = f.nodes[s].next {
+			nd := &f.nodes[s]
+			if !nd.inUse {
+				return fmt.Errorf("vertex %d: chain slot %d not in use", v, s)
+			}
+			if nd.owner != v {
+				return fmt.Errorf("vertex %d: chain slot %d owned by %d", v, s, nd.owner)
+			}
+			if nd.prev != prev {
+				return fmt.Errorf("vertex %d: chain slot %d prev=%d want %d", v, s, nd.prev, prev)
+			}
+			if nd.pendingIdx != -1 {
+				return fmt.Errorf("vertex %d: chain slot %d has pending link outside batch", v, s)
+			}
+			ei, ok := f.edges[nd.edge]
+			if !ok {
+				return fmt.Errorf("vertex %d: chain slot %d anchors dead edge %d", v, s, nd.edge)
+			}
+			if ei.nodeU != s && ei.nodeV != s {
+				return fmt.Errorf("vertex %d: edge %d does not reference slot %d", v, nd.edge, s)
+			}
+			prev = s
+			count++
+			if count > f.n*4 {
+				return fmt.Errorf("vertex %d: chain cycle", v)
+			}
+		}
+		if g.tail != prev {
+			return fmt.Errorf("vertex %d: tail %d want %d", v, g.tail, prev)
+		}
+		if count != g.deg {
+			return fmt.Errorf("vertex %d: chain length %d != degree %d", v, count, g.deg)
+		}
+		degSum += count
+		if f.t.Degree(v) > 1 {
+			return fmt.Errorf("real vertex %d has rctree degree %d", v, f.t.Degree(v))
+		}
+	}
+	if degSum != 2*len(f.edges) {
+		return fmt.Errorf("degree sum %d != 2*edges %d", degSum, 2*len(f.edges))
+	}
+	return nil
+}

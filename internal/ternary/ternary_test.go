@@ -1,0 +1,248 @@
+package ternary
+
+import (
+	"testing"
+
+	"repro/internal/linkcut"
+	"repro/internal/parallel"
+	"repro/internal/unionfind"
+	"repro/internal/wgraph"
+)
+
+func mustValidate(t *testing.T, f *Forest) {
+	t.Helper()
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyForest(t *testing.T) {
+	f := New(4, 1)
+	mustValidate(t, f)
+	if f.NumEdges() != 0 || f.Degree(0) != 0 {
+		t.Fatal("fresh forest not empty")
+	}
+	if f.Connected(0, 1) {
+		t.Fatal("spurious connectivity")
+	}
+	if _, ok := f.PathMax(0, 1); ok {
+		t.Fatal("spurious path")
+	}
+}
+
+func TestSingleEdgeLifecycle(t *testing.T) {
+	f := New(3, 1)
+	e := wgraph.Edge{ID: 10, U: 0, V: 1, W: 5}
+	f.BatchUpdate([]wgraph.Edge{e}, nil)
+	mustValidate(t, f)
+	if !f.Connected(0, 1) || f.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	k, ok := f.PathMax(0, 1)
+	if !ok || k != wgraph.KeyOf(e) {
+		t.Fatalf("pathmax=%v,%v", k, ok)
+	}
+	if !f.HasEdge(10) {
+		t.Fatal("edge missing")
+	}
+	got, ok := f.EdgeByID(10)
+	if !ok || got != e {
+		t.Fatalf("EdgeByID=%v", got)
+	}
+	f.BatchUpdate(nil, []wgraph.EdgeID{10})
+	mustValidate(t, f)
+	if f.Connected(0, 1) || f.HasEdge(10) {
+		t.Fatal("cut failed")
+	}
+}
+
+func TestHighDegreeStar(t *testing.T) {
+	// The whole point of the adapter: a star of degree 50.
+	const n = 51
+	f := New(n, 3)
+	var ins []wgraph.Edge
+	for i := 1; i < n; i++ {
+		ins = append(ins, wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i), W: int64(i * 7)})
+	}
+	f.BatchUpdate(ins, nil)
+	mustValidate(t, f)
+	if f.Degree(0) != n-1 {
+		t.Fatalf("degree=%d", f.Degree(0))
+	}
+	for i := 1; i < n; i++ {
+		if !f.Connected(0, int32(i)) {
+			t.Fatalf("leaf %d disconnected", i)
+		}
+	}
+	k, ok := f.PathMax(3, 50)
+	if !ok || k.W != 50*7 {
+		t.Fatalf("pathmax(3,50)=%v,%v", k, ok)
+	}
+	// Remove a middle chain entry and re-check.
+	f.BatchUpdate(nil, []wgraph.EdgeID{25})
+	mustValidate(t, f)
+	if f.Connected(0, 25) {
+		t.Fatal("cut leaf still attached")
+	}
+	if f.Degree(0) != n-2 {
+		t.Fatalf("degree=%d", f.Degree(0))
+	}
+	k, ok = f.PathMax(3, 50)
+	if !ok || k.W != 50*7 {
+		t.Fatalf("pathmax(3,50) after cut=%v,%v", k, ok)
+	}
+}
+
+func TestCutAndReinsertSameBatch(t *testing.T) {
+	f := New(3, 5)
+	f.BatchUpdate([]wgraph.Edge{
+		{ID: 1, U: 0, V: 1, W: 10},
+		{ID: 2, U: 1, V: 2, W: 20},
+	}, nil)
+	// Replace edge 1 with a heavier parallel edge in one batch.
+	f.BatchUpdate([]wgraph.Edge{{ID: 3, U: 0, V: 1, W: 30}}, []wgraph.EdgeID{1})
+	mustValidate(t, f)
+	k, ok := f.PathMax(0, 2)
+	if !ok || k.W != 30 {
+		t.Fatalf("pathmax=%v,%v", k, ok)
+	}
+}
+
+func TestCutTwoAdjacentEdgesOneBatch(t *testing.T) {
+	// Exercises the pending-link cancellation path: removing two edges
+	// anchored on neighbouring chain nodes of one gadget in a single batch.
+	const n = 6
+	f := New(n, 7)
+	var ins []wgraph.Edge
+	for i := 1; i < n; i++ {
+		ins = append(ins, wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i), W: int64(i)})
+	}
+	f.BatchUpdate(ins, nil)
+	f.BatchUpdate(nil, []wgraph.EdgeID{2, 3})
+	mustValidate(t, f)
+	if f.Connected(0, 2) || f.Connected(0, 3) {
+		t.Fatal("cut edges still connected")
+	}
+	for _, i := range []int32{1, 4, 5} {
+		if !f.Connected(0, i) {
+			t.Fatalf("leaf %d lost", i)
+		}
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	f := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.BatchUpdate([]wgraph.Edge{{ID: 1, U: 1, V: 1, W: 5}}, nil)
+}
+
+func TestDuplicateIDPanics(t *testing.T) {
+	f := New(3, 1)
+	f.BatchUpdate([]wgraph.Edge{{ID: 1, U: 0, V: 1, W: 5}}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.BatchUpdate([]wgraph.Edge{{ID: 1, U: 1, V: 2, W: 6}}, nil)
+}
+
+func TestCutUnknownPanics(t *testing.T) {
+	f := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.BatchUpdate(nil, []wgraph.EdgeID{99})
+}
+
+// TestRandomBatchesVsLinkCut runs mixed random batches over an
+// arbitrary-degree forest, checking connectivity, path maxima and component
+// counts against link-cut trees and union-find.
+func TestRandomBatchesVsLinkCut(t *testing.T) {
+	const n = 80
+	r := parallel.NewRNG(11)
+	f := New(n, 23)
+	lc := linkcut.New(n)
+	live := map[wgraph.EdgeID]wgraph.Edge{}
+	nextID := wgraph.EdgeID(1)
+	for batch := 0; batch < 50; batch++ {
+		// Cuts.
+		var cuts []wgraph.EdgeID
+		ncut := r.Intn(5)
+		for id, e := range live {
+			if len(cuts) >= ncut {
+				break
+			}
+			cuts = append(cuts, id)
+			lc.Cut(id)
+			delete(live, id)
+			_ = e
+		}
+		// Inserts keeping a forest (any degree).
+		uf := unionfind.New(n)
+		for _, e := range live {
+			uf.Union(e.U, e.V)
+		}
+		var ins []wgraph.Edge
+		for c := 0; c < r.Intn(10); c++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if u == v || !uf.Union(u, v) {
+				continue
+			}
+			e := wgraph.Edge{ID: nextID, U: u, V: v, W: r.Int63() % 1_000_000}
+			nextID++
+			ins = append(ins, e)
+			live[e.ID] = e
+			lc.Link(e)
+		}
+		f.BatchUpdate(ins, cuts)
+		mustValidate(t, f)
+		for q := 0; q < 40; q++ {
+			u, v := int32(r.Intn(n)), int32(r.Intn(n))
+			if got, want := f.Connected(u, v), lc.Connected(u, v); got != want {
+				t.Fatalf("batch %d: Connected(%d,%d)=%v want %v", batch, u, v, got, want)
+			}
+			gk, gok := f.PathMax(u, v)
+			we, wok := lc.PathMax(u, v)
+			if gok != wok || (gok && gk != wgraph.KeyOf(we)) {
+				t.Fatalf("batch %d: PathMax(%d,%d)=(%v,%v) want (%v,%v)", batch, u, v, gk, gok, wgraph.KeyOf(we), wok)
+			}
+		}
+		ufc := unionfind.New(n)
+		for _, e := range live {
+			ufc.Union(e.U, e.V)
+		}
+		if got, want := f.NumComponents(), ufc.NumComponents(); got != want {
+			t.Fatalf("batch %d: components=%d want %d", batch, got, want)
+		}
+	}
+}
+
+func TestChainNodeRecycling(t *testing.T) {
+	f := New(2, 1)
+	for i := 0; i < 50; i++ {
+		id := wgraph.EdgeID(i)
+		f.BatchUpdate([]wgraph.Edge{{ID: id, U: 0, V: 1, W: int64(i + 1)}}, nil)
+		f.BatchUpdate(nil, []wgraph.EdgeID{id})
+	}
+	mustValidate(t, f)
+	if got := f.RC().NumVertices(); got > 2+4 {
+		t.Fatalf("chain nodes not recycled: %d rctree vertices", got)
+	}
+}
+
+func TestWeightBelowVirtualPanics(t *testing.T) {
+	f := New(2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f.BatchUpdate([]wgraph.Edge{{ID: 1, U: 0, V: 1, W: VirtualWeight}}, nil)
+}

@@ -1,0 +1,268 @@
+package unionfind
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+func TestSequentialBasic(t *testing.T) {
+	u := New(5)
+	if u.NumComponents() != 5 {
+		t.Fatalf("components=%d", u.NumComponents())
+	}
+	if !u.Union(0, 1) {
+		t.Fatal("union 0-1 should merge")
+	}
+	if u.Union(1, 0) {
+		t.Fatal("union 1-0 should be no-op")
+	}
+	if !u.Connected(0, 1) || u.Connected(0, 2) {
+		t.Fatal("connectivity wrong")
+	}
+	u.Union(2, 3)
+	u.Union(0, 3)
+	if u.NumComponents() != 2 {
+		t.Fatalf("components=%d want 2", u.NumComponents())
+	}
+	if !u.Connected(1, 2) {
+		t.Fatal("1 and 2 should be connected")
+	}
+}
+
+func TestSequentialSingleton(t *testing.T) {
+	u := New(1)
+	if !u.Connected(0, 0) {
+		t.Fatal("self connectivity")
+	}
+	if u.Union(0, 0) {
+		t.Fatal("self union should be no-op")
+	}
+}
+
+// reference connectivity via BFS over an adjacency list.
+type refConn struct {
+	n   int
+	adj [][]int32
+}
+
+func newRefConn(n int) *refConn { return &refConn{n: n, adj: make([][]int32, n)} }
+
+func (r *refConn) add(u, v int32) {
+	r.adj[u] = append(r.adj[u], v)
+	r.adj[v] = append(r.adj[v], u)
+}
+
+func (r *refConn) connected(u, v int32) bool {
+	if u == v {
+		return true
+	}
+	seen := make([]bool, r.n)
+	stack := []int32{u}
+	seen[u] = true
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, y := range r.adj[x] {
+			if y == v {
+				return true
+			}
+			if !seen[y] {
+				seen[y] = true
+				stack = append(stack, y)
+			}
+		}
+	}
+	return false
+}
+
+func (r *refConn) numComponents() int {
+	seen := make([]bool, r.n)
+	comps := 0
+	for s := 0; s < r.n; s++ {
+		if seen[s] {
+			continue
+		}
+		comps++
+		stack := []int32{int32(s)}
+		seen[s] = true
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, y := range r.adj[x] {
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+func TestSequentialVsReferenceRandom(t *testing.T) {
+	const n = 60
+	r := parallel.NewRNG(11)
+	u := New(n)
+	ref := newRefConn(n)
+	for i := 0; i < 300; i++ {
+		a, b := int32(r.Intn(n)), int32(r.Intn(n))
+		u.Union(a, b)
+		ref.add(a, b)
+		x, y := int32(r.Intn(n)), int32(r.Intn(n))
+		if u.Connected(x, y) != ref.connected(x, y) {
+			t.Fatalf("step %d: Connected(%d,%d) mismatch", i, x, y)
+		}
+	}
+	if u.NumComponents() != ref.numComponents() {
+		t.Fatalf("components %d vs %d", u.NumComponents(), ref.numComponents())
+	}
+}
+
+func TestBatchEmptyInsert(t *testing.T) {
+	b := NewBatch(4)
+	if got := b.BatchInsert(nil); got != nil {
+		t.Fatalf("got %v", got)
+	}
+	if b.NumComponents() != 4 {
+		t.Fatal("components changed")
+	}
+}
+
+func TestBatchSelfLoopsAndDuplicates(t *testing.T) {
+	b := NewBatch(4)
+	edges := []wgraph.Edge{
+		{ID: 0, U: 1, V: 1},
+		{ID: 1, U: 0, V: 2},
+		{ID: 2, U: 0, V: 2},
+		{ID: 3, U: 2, V: 0},
+	}
+	forest := b.BatchInsert(edges)
+	if len(forest) != 1 {
+		t.Fatalf("forest=%v want exactly 1 edge", forest)
+	}
+	if !b.Connected(0, 2) || b.Connected(0, 1) {
+		t.Fatal("connectivity wrong")
+	}
+	if b.NumComponents() != 3 {
+		t.Fatalf("components=%d", b.NumComponents())
+	}
+}
+
+func TestBatchForestSizeEqualsComponentDrop(t *testing.T) {
+	const n = 500
+	r := parallel.NewRNG(5)
+	b := NewBatch(n)
+	for round := 0; round < 20; round++ {
+		ell := 1 + r.Intn(200)
+		batch := make([]wgraph.Edge, ell)
+		for i := range batch {
+			batch[i] = wgraph.Edge{ID: wgraph.EdgeID(round*1000 + i), U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+		}
+		before := b.NumComponents()
+		forest := b.BatchInsert(batch)
+		after := b.NumComponents()
+		if before-after != len(forest) {
+			t.Fatalf("round %d: component drop %d != forest size %d", round, before-after, len(forest))
+		}
+		// forest edges must each have joined distinct components: check
+		// acyclicity by re-running them through a fresh UF seeded with the
+		// pre-round structure is overkill; instead check no duplicates among
+		// forest endpoints pairs post-hoc via a fresh UF on just the forest.
+		f := New(n)
+		for _, e := range forest {
+			if !f.Union(e.U, e.V) {
+				t.Fatalf("round %d: forest has a cycle at %v", round, e)
+			}
+		}
+	}
+}
+
+func TestBatchMatchesSequentialConnectivity(t *testing.T) {
+	const n = 300
+	r := parallel.NewRNG(77)
+	b := NewBatch(n)
+	s := New(n)
+	id := wgraph.EdgeID(0)
+	for round := 0; round < 30; round++ {
+		ell := 1 + r.Intn(64)
+		batch := make([]wgraph.Edge, ell)
+		for i := range batch {
+			batch[i] = wgraph.Edge{ID: id, U: int32(r.Intn(n)), V: int32(r.Intn(n))}
+			id++
+		}
+		b.BatchInsert(batch)
+		for _, e := range batch {
+			s.Union(e.U, e.V)
+		}
+		for q := 0; q < 50; q++ {
+			x, y := int32(r.Intn(n)), int32(r.Intn(n))
+			if b.Connected(x, y) != s.Connected(x, y) {
+				t.Fatalf("round %d: mismatch at (%d,%d)", round, x, y)
+			}
+		}
+		if b.NumComponents() != s.NumComponents() {
+			t.Fatalf("round %d: components %d vs %d", round, b.NumComponents(), s.NumComponents())
+		}
+	}
+}
+
+func TestBatchSingleBigBatchConnectsPath(t *testing.T) {
+	const n = 10_000
+	b := NewBatch(n)
+	edges := make([]wgraph.Edge, n-1)
+	for i := range edges {
+		edges[i] = wgraph.Edge{ID: wgraph.EdgeID(i), U: int32(i), V: int32(i + 1)}
+	}
+	forest := b.BatchInsert(edges)
+	if len(forest) != n-1 {
+		t.Fatalf("forest size %d want %d", len(forest), n-1)
+	}
+	if !b.Connected(0, n-1) {
+		t.Fatal("path endpoints not connected")
+	}
+	if b.NumComponents() != 1 {
+		t.Fatalf("components=%d", b.NumComponents())
+	}
+}
+
+func TestBatchStarBatch(t *testing.T) {
+	const n = 5000
+	b := NewBatch(n)
+	edges := make([]wgraph.Edge, n-1)
+	for i := range edges {
+		edges[i] = wgraph.Edge{ID: wgraph.EdgeID(i), U: 0, V: int32(i + 1)}
+	}
+	forest := b.BatchInsert(edges)
+	if len(forest) != n-1 {
+		t.Fatalf("forest size %d", len(forest))
+	}
+	if b.NumComponents() != 1 {
+		t.Fatalf("components=%d", b.NumComponents())
+	}
+}
+
+func TestBatchQuickProperty(t *testing.T) {
+	f := func(pairs [][2]uint8, queries [][2]uint8) bool {
+		const n = 256
+		b := NewBatch(n)
+		s := New(n)
+		batch := make([]wgraph.Edge, len(pairs))
+		for i, p := range pairs {
+			batch[i] = wgraph.Edge{ID: wgraph.EdgeID(i), U: int32(p[0]), V: int32(p[1])}
+			s.Union(int32(p[0]), int32(p[1]))
+		}
+		b.BatchInsert(batch)
+		for _, q := range queries {
+			if b.Connected(int32(q[0]), int32(q[1])) != s.Connected(int32(q[0]), int32(q[1])) {
+				return false
+			}
+		}
+		return b.NumComponents() == s.NumComponents()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

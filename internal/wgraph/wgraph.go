@@ -1,0 +1,140 @@
+// Package wgraph defines the weighted-edge types shared by every module in
+// this repository: edges with 64-bit weights and stable IDs, the strict total
+// order on weights used for unique minimum spanning forests, and small helpers
+// for building edge lists and adjacency structures.
+//
+// The total order is the pair (W, ID) compared lexicographically. Using it
+// everywhere — static MSF tie-breaking, RC-tree path maxima, compressed path
+// tree argmax edges — guarantees that the minimum spanning forest of any
+// multigraph is unique, which in turn makes the paper's red-rule update
+// (Algorithm 2) and all of our differential tests deterministic.
+package wgraph
+
+import "fmt"
+
+// EdgeID identifies an edge for its entire lifetime. IDs are assigned by the
+// caller (typically an arrival counter) and never reused while the edge is
+// live.
+type EdgeID int64
+
+// NoEdge is the sentinel for "no edge" in argmax fields.
+const NoEdge EdgeID = -1
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	ID EdgeID
+	U  int32
+	V  int32
+	W  int64
+}
+
+// Other returns the endpoint of e that is not x. It panics if x is not an
+// endpoint.
+func (e Edge) Other(x int32) int32 {
+	switch x {
+	case e.U:
+		return e.V
+	case e.V:
+		return e.U
+	}
+	panic(fmt.Sprintf("wgraph: vertex %d is not an endpoint of edge %v", x, e))
+}
+
+// IsLoop reports whether e is a self-loop. Self-loops can never appear in a
+// spanning forest.
+func (e Edge) IsLoop() bool { return e.U == e.V }
+
+func (e Edge) String() string {
+	return fmt.Sprintf("e%d(%d-%d w=%d)", e.ID, e.U, e.V, e.W)
+}
+
+// Key is the strict total order on edges: weight first, then ID. Every module
+// compares edges with Key so that "heaviest edge on a path" and "minimum
+// spanning forest" agree on tie-breaking.
+type Key struct {
+	W  int64
+	ID EdgeID
+}
+
+// KeyOf returns the ordering key of e.
+func KeyOf(e Edge) Key { return Key{W: e.W, ID: e.ID} }
+
+// Less reports whether k orders strictly before o.
+func (k Key) Less(o Key) bool {
+	if k.W != o.W {
+		return k.W < o.W
+	}
+	return k.ID < o.ID
+}
+
+// MinKey is below every key of a real edge; MaxKey is above every one. They
+// serve as identities for max- and min-reductions respectively.
+var (
+	MinKey = Key{W: -1 << 63, ID: NoEdge}
+	MaxKey = Key{W: 1<<63 - 1, ID: 1<<63 - 1}
+)
+
+// MaxKeyOf returns the larger of two keys under the total order.
+func MaxKeyOf(a, b Key) Key {
+	if a.Less(b) {
+		return b
+	}
+	return a
+}
+
+// MinKeyOf returns the smaller of two keys under the total order.
+func MinKeyOf(a, b Key) Key {
+	if a.Less(b) {
+		return a
+	}
+	return b
+}
+
+// TotalWeight sums edge weights. It is used by tests comparing MSF weights.
+func TotalWeight(edges []Edge) int64 {
+	var s int64
+	for _, e := range edges {
+		s += e.W
+	}
+	return s
+}
+
+// Adjacency is a simple adjacency-list view of an edge set over n vertices,
+// used by naive reference implementations in tests and by the static MSF
+// algorithms.
+type Adjacency struct {
+	N    int
+	Nbr  [][]Half // Nbr[v] lists the half-edges incident to v
+	Edge []Edge   // indexed densely, position i holds the i-th added edge
+}
+
+// Half is one direction of an undirected edge: the far endpoint plus the
+// index of the edge in the owning Adjacency's Edge slice.
+type Half struct {
+	To  int32
+	Idx int32
+}
+
+// NewAdjacency builds an adjacency structure for n vertices containing the
+// given edges. Self-loops are kept (they simply produce a Half back to the
+// same vertex twice is avoided: a loop contributes one half-edge).
+func NewAdjacency(n int, edges []Edge) *Adjacency {
+	a := &Adjacency{N: n, Nbr: make([][]Half, n), Edge: make([]Edge, 0, len(edges))}
+	for _, e := range edges {
+		a.Add(e)
+	}
+	return a
+}
+
+// Add appends one edge.
+func (a *Adjacency) Add(e Edge) {
+	idx := int32(len(a.Edge))
+	a.Edge = append(a.Edge, e)
+	a.Nbr[e.U] = append(a.Nbr[e.U], Half{To: e.V, Idx: idx})
+	if e.U != e.V {
+		a.Nbr[e.V] = append(a.Nbr[e.V], Half{To: e.U, Idx: idx})
+	}
+}
+
+// Degree returns the number of half-edges at v.
+func (a *Adjacency) Degree(v int32) int { return len(a.Nbr[v]) }

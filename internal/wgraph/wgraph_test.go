@@ -1,0 +1,115 @@
+package wgraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyTotalOrder(t *testing.T) {
+	f := func(w1, w2 int64, id1, id2 int64) bool {
+		a := Key{W: w1, ID: EdgeID(id1)}
+		b := Key{W: w2, ID: EdgeID(id2)}
+		if a == b {
+			return !a.Less(b) && !b.Less(a)
+		}
+		// Strict totality: exactly one direction holds.
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyTransitivity(t *testing.T) {
+	f := func(w [3]int64, id [3]int64) bool {
+		ks := [3]Key{
+			{W: w[0], ID: EdgeID(id[0])},
+			{W: w[1], ID: EdgeID(id[1])},
+			{W: w[2], ID: EdgeID(id[2])},
+		}
+		if ks[0].Less(ks[1]) && ks[1].Less(ks[2]) {
+			return ks[0].Less(ks[2])
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMaxKeyBounds(t *testing.T) {
+	ks := []Key{{W: 0, ID: 0}, {W: -5, ID: 100}, {W: 1 << 40, ID: 3}}
+	for _, k := range ks {
+		if !MinKey.Less(k) {
+			t.Fatalf("MinKey not below %v", k)
+		}
+		if !k.Less(MaxKey) {
+			t.Fatalf("MaxKey not above %v", k)
+		}
+	}
+}
+
+func TestMaxMinKeyOf(t *testing.T) {
+	a := Key{W: 1, ID: 2}
+	b := Key{W: 1, ID: 3}
+	if MaxKeyOf(a, b) != b || MaxKeyOf(b, a) != b {
+		t.Fatal("MaxKeyOf tie-break by ID failed")
+	}
+	if MinKeyOf(a, b) != a || MinKeyOf(b, a) != a {
+		t.Fatal("MinKeyOf tie-break by ID failed")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{ID: 1, U: 3, V: 7}
+	if e.Other(3) != 7 || e.Other(7) != 3 {
+		t.Fatal("Other wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-endpoint")
+		}
+	}()
+	e.Other(5)
+}
+
+func TestEdgeLoop(t *testing.T) {
+	if !(Edge{U: 2, V: 2}).IsLoop() {
+		t.Fatal("loop not detected")
+	}
+	if (Edge{U: 2, V: 3}).IsLoop() {
+		t.Fatal("false loop")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	edges := []Edge{
+		{ID: 0, U: 0, V: 1, W: 5},
+		{ID: 1, U: 1, V: 2, W: 7},
+		{ID: 2, U: 2, V: 2, W: 9}, // self loop
+	}
+	a := NewAdjacency(3, edges)
+	if a.Degree(0) != 1 || a.Degree(1) != 2 || a.Degree(2) != 2 {
+		t.Fatalf("degrees: %d %d %d", a.Degree(0), a.Degree(1), a.Degree(2))
+	}
+	if got := a.Edge[a.Nbr[0][0].Idx]; got.ID != 0 {
+		t.Fatalf("half-edge maps to wrong edge: %v", got)
+	}
+}
+
+func TestTotalWeight(t *testing.T) {
+	edges := []Edge{{W: 3}, {W: -1}, {W: 10}}
+	if TotalWeight(edges) != 12 {
+		t.Fatalf("got %d", TotalWeight(edges))
+	}
+	if TotalWeight(nil) != 0 {
+		t.Fatal("empty should be 0")
+	}
+}
+
+func TestEdgeString(t *testing.T) {
+	e := Edge{ID: 4, U: 1, V: 2, W: -3}
+	if e.String() == "" {
+		t.Fatal("empty string")
+	}
+}

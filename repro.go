@@ -1,0 +1,127 @@
+// Package repro is a Go reproduction of "Work-efficient Batch-incremental
+// Minimum Spanning Trees with Applications to the Sliding Window Model"
+// (Anderson, Blelloch, Tangwongsan — SPAA 2020, arXiv:2002.05710).
+//
+// It exposes the repository's public API by re-exporting the internal
+// packages:
+//
+//   - BatchMSF — the batch-incremental minimum spanning forest of
+//     Theorem 1.1 (internal/core): BatchInsert processes l edges in
+//     O(l·lg(1+n/l)) expected work via compressed path trees over
+//     batch-dynamic rake-compress trees.
+//   - The sliding-window structures of Theorem 1.2 (internal/sw):
+//     connectivity (lazy and eager), bipartiteness, (1+ε)-approximate MSF
+//     weight, k-certificates, cycle-freeness and ε-cut-sparsifiers, all
+//     under batch inserts and batch expirations with global timestamps.
+//   - The incremental-model structures of Table 1 column 1 (internal/inc).
+//
+// See README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the reproduced tables and figures.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/inc"
+	"repro/internal/sw"
+	"repro/internal/wgraph"
+)
+
+// Edge is a weighted undirected edge. ID must be unique for the lifetime of
+// a structure; (W, ID) is the strict total order used everywhere, making
+// the minimum spanning forest unique.
+type Edge = wgraph.Edge
+
+// EdgeID identifies an edge.
+type EdgeID = wgraph.EdgeID
+
+// BatchMSF is the batch-incremental minimum spanning forest (Theorem 1.1).
+type BatchMSF = core.BatchMSF
+
+// NewBatchMSF returns an empty batch-incremental MSF over n vertices.
+func NewBatchMSF(n int, seed uint64) *BatchMSF { return core.New(n, seed) }
+
+// StreamEdge is an unweighted sliding-window edge arrival.
+type StreamEdge = sw.StreamEdge
+
+// WeightedStreamEdge is a weighted sliding-window edge arrival.
+type WeightedStreamEdge = sw.WeightedStreamEdge
+
+// SWConn is lazy sliding-window connectivity (Theorem 5.1).
+type SWConn = sw.Conn
+
+// NewSWConn returns a lazy sliding-window connectivity structure.
+func NewSWConn(n int, seed uint64) *SWConn { return sw.NewConn(n, seed) }
+
+// SWConnEager is sliding-window connectivity with O(1) component counting
+// (Theorem 5.2).
+type SWConnEager = sw.ConnEager
+
+// NewSWConnEager returns an eager sliding-window connectivity structure.
+func NewSWConnEager(n int, seed uint64) *SWConnEager { return sw.NewConnEager(n, seed) }
+
+// SWBipartite is sliding-window bipartiteness (Theorem 5.3).
+type SWBipartite = sw.Bipartite
+
+// NewSWBipartite returns a sliding-window bipartiteness monitor.
+func NewSWBipartite(n int, seed uint64) *SWBipartite { return sw.NewBipartite(n, seed) }
+
+// SWApproxMSF is the sliding-window (1+ε)-approximate MSF weight structure
+// (Theorem 5.4).
+type SWApproxMSF = sw.ApproxMSF
+
+// NewSWApproxMSF returns an approximate MSF weight monitor for weights in
+// [1, maxWeight].
+func NewSWApproxMSF(n int, eps float64, maxWeight int64, seed uint64) *SWApproxMSF {
+	return sw.NewApproxMSF(n, eps, maxWeight, seed)
+}
+
+// SWKCert is the sliding-window k-certificate (Theorem 5.5).
+type SWKCert = sw.KCert
+
+// NewSWKCert returns a sliding-window k-certificate structure.
+func NewSWKCert(n, k int, seed uint64) *SWKCert { return sw.NewKCert(n, k, seed) }
+
+// SWCycleFree is sliding-window cycle detection (Theorem 5.6).
+type SWCycleFree = sw.CycleFree
+
+// NewSWCycleFree returns a sliding-window cycle monitor.
+func NewSWCycleFree(n int, seed uint64) *SWCycleFree { return sw.NewCycleFree(n, seed) }
+
+// SWSparsifier is the sliding-window ε-cut-sparsifier (Theorem 5.8).
+type SWSparsifier = sw.Sparsifier
+
+// SparsifierConfig tunes the sparsifier; zero values select defaults.
+type SparsifierConfig = sw.SparsifierConfig
+
+// SparseEdge is a sparsifier output edge.
+type SparseEdge = sw.SparseEdge
+
+// NewSWSparsifier returns a sliding-window cut sparsifier.
+func NewSWSparsifier(n int, cfg SparsifierConfig, seed uint64) *SWSparsifier {
+	return sw.NewSparsifier(n, cfg, seed)
+}
+
+// IncConn is incremental (insert-only) connectivity with component counting
+// via batch union-find (Table 1 column 1).
+type IncConn = inc.Conn
+
+// NewIncConn returns an incremental connectivity structure.
+func NewIncConn(n int) *IncConn { return inc.NewConn(n) }
+
+// IncBipartite is incremental bipartiteness.
+type IncBipartite = inc.Bipartite
+
+// NewIncBipartite returns an incremental bipartiteness monitor.
+func NewIncBipartite(n int) *IncBipartite { return inc.NewBipartite(n) }
+
+// IncCycleFree is incremental cycle detection.
+type IncCycleFree = inc.CycleFree
+
+// NewIncCycleFree returns an incremental cycle monitor.
+func NewIncCycleFree(n int) *IncCycleFree { return inc.NewCycleFree(n) }
+
+// IncKCert is the incremental k-certificate.
+type IncKCert = inc.KCert
+
+// NewIncKCert returns an incremental k-certificate structure.
+func NewIncKCert(n, k int) *IncKCert { return inc.NewKCert(n, k) }
