@@ -1,11 +1,15 @@
 // Command mstbench runs the experiment sweeps behind EXPERIMENTS.md and
-// prints the Table-1-style series as aligned text tables.
+// prints the Table-1-style series as aligned text tables. With -json the
+// same results are also emitted as a machine-readable report, so perf
+// trajectories can be recorded across revisions (BENCH_*.json files).
 //
 //	mstbench -exp shape      work/edge vs batch size (the l·lg(1+n/l) law)
 //	mstbench -exp t1         every Table 1 row, incremental + sliding window
 //	mstbench -exp crossover  batch MSF vs sequential link-cut baseline
 //	mstbench -exp speedup    GOMAXPROCS self-speedup for one batch insert
 //	mstbench -exp all        everything
+//	mstbench -exp shape -json -          write the report to stdout
+//	mstbench -exp all -json bench.json   write the report to a file
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/cli"
 	"repro/internal/graphgen"
 	"repro/internal/linkcut"
 	"repro/internal/wgraph"
@@ -28,26 +33,87 @@ var (
 	seedFlag = flag.Uint64("seed", 0xC0FFEE, "workload seed")
 )
 
+// ShapeRow is one batch-size point of the S1 sweep.
+type ShapeRow struct {
+	L          int     `json:"l"`
+	NSPerEdge  float64 `json:"ns_per_edge"`
+	Lg         float64 `json:"lg_1_plus_n_over_l"`
+	Normalized float64 `json:"ns_per_edge_per_lg"`
+}
+
+// CrossoverRow is one batch-size point of the S2 comparison.
+type CrossoverRow struct {
+	L            int     `json:"l"`
+	NSPerEdge    float64 `json:"ns_per_edge"`
+	VsLinkCut    float64 `json:"speedup_vs_linkcut"`
+	LinkCutNSRef float64 `json:"linkcut_ns_per_edge"`
+}
+
+// Table1Row is one problem row of the Table 1 reproduction. IncrementalNS
+// is null where no incremental counterpart exists (the sparsifier row).
+type Table1Row struct {
+	Problem       string   `json:"problem"`
+	IncrementalNS *float64 `json:"incremental_ns_per_edge"`
+	SlidingNS     float64  `json:"sliding_window_ns_per_edge"`
+}
+
+// SpeedupRow is one GOMAXPROCS point of the S3 sweep.
+type SpeedupRow struct {
+	Procs     int     `json:"gomaxprocs"`
+	NSPerEdge float64 `json:"ns_per_edge"`
+	Speedup   float64 `json:"speedup"`
+}
+
+// Report is the machine-readable mstbench output.
+type Report struct {
+	N          int            `json:"n"`
+	M          int            `json:"m"`
+	Seed       uint64         `json:"seed"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Shape      []ShapeRow     `json:"shape,omitempty"`
+	Crossover  []CrossoverRow `json:"crossover,omitempty"`
+	Table1     []Table1Row    `json:"table1,omitempty"`
+	Speedup    []SpeedupRow   `json:"speedup,omitempty"`
+}
+
 func main() {
 	exp := flag.String("exp", "shape", "experiment: shape | t1 | crossover | speedup | all")
+	jsonPath := flag.String("json", "", "also write a JSON report to this path (\"-\" = stdout)")
 	flag.Parse()
+
+	// With -json - the report owns stdout; the human-readable tables move
+	// to stderr so the JSON stays machine-parseable.
+	jsonStdout := os.Stdout
+	if *jsonPath == "-" {
+		os.Stdout = os.Stderr
+	}
+
+	rep := &Report{N: *nFlag, M: *mFlag, Seed: *seedFlag, GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	switch *exp {
 	case "shape":
-		shape()
+		rep.Shape = shape()
 	case "t1":
-		table1()
+		rep.Table1 = table1()
 	case "crossover":
-		crossover()
+		rep.Crossover = crossover()
 	case "speedup":
-		speedup()
+		rep.Speedup = speedup()
 	case "all":
-		shape()
-		crossover()
-		table1()
-		speedup()
+		rep.Shape = shape()
+		rep.Crossover = crossover()
+		rep.Table1 = table1()
+		rep.Speedup = speedup()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if *jsonPath != "" {
+		os.Stdout = jsonStdout // restore: "-" writes the report to real stdout
+		if err := cli.WriteJSONReport(*jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }
 
@@ -61,20 +127,23 @@ func timeBatches(ell int, sink func([]wgraph.Edge)) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(len(stream))
 }
 
-func shape() {
+func shape() []ShapeRow {
 	n := *nFlag
 	fmt.Printf("== S1: batch-incremental MSF work per edge vs batch size (n=%d, m=%d) ==\n", n, *mFlag)
 	fmt.Printf("%10s %12s %14s %18s\n", "l", "ns/edge", "lg(1+n/l)", "ns/edge/lg(1+n/l)")
+	var rows []ShapeRow
 	for _, ell := range []int{1, 4, 16, 64, 256, 1024, 4096, 16384, 65536} {
 		m := repro.NewBatchMSF(n, *seedFlag)
 		ns := timeBatches(ell, func(b []wgraph.Edge) { m.BatchInsert(b) })
 		lg := math.Log2(1 + float64(n)/float64(ell))
+		rows = append(rows, ShapeRow{L: ell, NSPerEdge: ns, Lg: lg, Normalized: ns / lg})
 		fmt.Printf("%10d %12.0f %14.2f %18.0f\n", ell, ns, lg, ns/lg)
 	}
 	fmt.Println()
+	return rows
 }
 
-func crossover() {
+func crossover() []CrossoverRow {
 	n := *nFlag
 	fmt.Printf("== S2: batch MSF vs sequential link-cut incremental MSF (n=%d, m=%d) ==\n", n, *mFlag)
 	lc := linkcut.NewIncrementalMSF(n)
@@ -84,21 +153,30 @@ func crossover() {
 		}
 	})
 	fmt.Printf("%24s %12.0f ns/edge\n", "link-cut (l=1)", lcNS)
+	var rows []CrossoverRow
 	for _, ell := range []int{1, 16, 256, 4096, 65536} {
 		m := repro.NewBatchMSF(n, *seedFlag)
 		ns := timeBatches(ell, func(b []wgraph.Edge) { m.BatchInsert(b) })
+		rows = append(rows, CrossoverRow{L: ell, NSPerEdge: ns, VsLinkCut: lcNS / ns, LinkCutNSRef: lcNS})
 		fmt.Printf("%17s l=%-6d %12.0f ns/edge   (x%.2f vs link-cut)\n", "batch MSF", ell, ns, lcNS/ns)
 	}
 	fmt.Println()
+	return rows
 }
 
-func table1() {
+func table1() []Table1Row {
 	n := *nFlag
 	const ell = 1024
 	fmt.Printf("== Table 1: measured ns/edge at l=%d (n=%d, m=%d) ==\n", ell, n, *mFlag)
 	fmt.Printf("%-18s %14s %16s\n", "problem", "incremental", "sliding window")
 
+	var rows []Table1Row
 	row := func(name string, incNS, swNS float64) {
+		r := Table1Row{Problem: name, SlidingNS: swNS}
+		if !math.IsNaN(incNS) {
+			r.IncrementalNS = &incNS
+		}
+		rows = append(rows, r)
 		fmt.Printf("%-18s %14.0f %16.0f\n", name, incNS, swNS)
 	}
 
@@ -159,6 +237,7 @@ func table1() {
 	row("eps-sparsifier*", math.NaN(), float64(time.Since(start).Nanoseconds())/float64(total))
 	fmt.Println("(*sparsifier at n=2000 with scaled constants; NaN = not applicable)")
 	fmt.Println()
+	return rows
 }
 
 func timeSliding(ell int, mk func() (func([]repro.StreamEdge), func(int))) float64 {
@@ -206,11 +285,12 @@ func timeApproxMSF(n, ell int, eps float64) float64 {
 	return float64(time.Since(start).Nanoseconds()) / float64(total)
 }
 
-func speedup() {
+func speedup() []SpeedupRow {
 	n := *nFlag
 	fmt.Printf("== S3: self-relative speedup of one big batch insert (n=%d) ==\n", n)
 	edges := graphgen.ErdosRenyi(n, *mFlag, 1<<40, *seedFlag)
 	var base float64
+	var rows []SpeedupRow
 	for _, p := range []int{1, runtime.NumCPU()} {
 		runtime.GOMAXPROCS(p)
 		m := repro.NewBatchMSF(n, *seedFlag)
@@ -222,8 +302,10 @@ func speedup() {
 		if p == 1 {
 			base = el
 		}
+		rows = append(rows, SpeedupRow{Procs: p, NSPerEdge: el / float64(len(edges)), Speedup: base / el})
 		fmt.Printf("  GOMAXPROCS=%d: %8.0f ns/edge  speedup x%.2f\n", p, el/float64(len(edges)), base/el)
 	}
 	runtime.GOMAXPROCS(runtime.NumCPU())
 	fmt.Println()
+	return rows
 }

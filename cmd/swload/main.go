@@ -1,0 +1,361 @@
+// Command swload drives an swserver end-to-end and reports sustained
+// ingest throughput (edges/sec) and client-observed query latency (p50 and
+// p99). By default it spins up an in-process server on a loopback port, so
+// the whole HTTP → ingester → window pipeline is exercised; point -url at a
+// running swserver to load-test remotely.
+//
+// The -compare mode runs the same stream twice against a fresh in-process
+// server — once with the configured ingester batch threshold and once with
+// MaxBatch=1 (one edge per BatchInsert) — demonstrating the batch economics
+// of Theorem 1.1: the batched pipeline amortizes O(ℓ·lg(1+n/ℓ)) work over ℓ
+// edges where the unbatched one pays the full lg factor per edge.
+//
+//	swload -n 50000 -edges 200000 -producers 8 -chunk 256
+//	swload -compare -json results.json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/stream"
+)
+
+type options struct {
+	url       string
+	n         int
+	edges     int
+	producers int
+	chunk     int
+	readers   int
+	window    int
+	batch     int
+	delay     time.Duration
+	monitors  string
+	seed      int64
+	compare   bool
+	jsonPath  string
+}
+
+// LoadResult is the machine-readable outcome of one load run.
+type LoadResult struct {
+	Mode          string  `json:"mode"` // "batched" or "unbatched"
+	N             int     `json:"n"`
+	Edges         int64   `json:"edges"`
+	Producers     int     `json:"producers"`
+	Chunk         int     `json:"chunk"`
+	MaxBatch      int     `json:"max_batch"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	EdgesPerSec   float64 `json:"edges_per_sec"`
+	ServerBatches int64   `json:"server_batches"`
+	MeanBatchSize float64 `json:"mean_batch_size"`
+	Posts         int64   `json:"posts"`
+	PostP50Ms     float64 `json:"post_p50_ms"`
+	PostP99Ms     float64 `json:"post_p99_ms"`
+	Queries       int64   `json:"queries"`
+	QueryP50Ms    float64 `json:"query_p50_ms"`
+	QueryP99Ms    float64 `json:"query_p99_ms"`
+}
+
+// Report is the full swload output, one entry per mode.
+type Report struct {
+	Results []LoadResult `json:"results"`
+	// Speedup is edges_per_sec(batched) / edges_per_sec(unbatched); only
+	// set in -compare mode.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.url, "url", "", "target swserver base URL (empty = start one in-process)")
+	flag.IntVar(&o.n, "n", 50_000, "vertices (in-process server)")
+	flag.IntVar(&o.edges, "edges", 200_000, "total edges to ingest")
+	flag.IntVar(&o.producers, "producers", 8, "concurrent producer goroutines")
+	flag.IntVar(&o.chunk, "chunk", 256, "edges per POST /edges request")
+	flag.IntVar(&o.readers, "readers", 2, "concurrent query goroutines")
+	flag.IntVar(&o.window, "window", 0, "count-based window for the in-process server (0 = unbounded)")
+	flag.IntVar(&o.batch, "batch", 512, "ingester batch threshold (in-process server)")
+	flag.DurationVar(&o.delay, "delay", 5*time.Millisecond, "ingester flush deadline (in-process server)")
+	flag.StringVar(&o.monitors, "monitors", "conn", "monitors for the in-process server")
+	flag.Int64Var(&o.seed, "seed", 0xC0FFEE, "workload seed")
+	flag.BoolVar(&o.compare, "compare", false, "run batched vs one-edge-per-batch on the same stream (in-process only)")
+	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
+	flag.Parse()
+
+	if o.producers < 1 || o.chunk < 1 || o.readers < 0 || o.n < 2 || o.edges < 0 || o.batch < 1 {
+		fmt.Fprintln(os.Stderr, "swload: need -producers >= 1, -chunk >= 1, -readers >= 0, -n >= 2, -edges >= 0, -batch >= 1")
+		os.Exit(2)
+	}
+
+	// With -json - the report owns stdout; the human-readable result
+	// blocks move to stderr so the JSON stays machine-parseable.
+	jsonStdout := os.Stdout
+	if o.jsonPath == "-" {
+		os.Stdout = os.Stderr
+	}
+
+	var rep Report
+	if o.compare {
+		if o.url != "" {
+			fmt.Fprintln(os.Stderr, "-compare needs the in-process server; drop -url")
+			os.Exit(2)
+		}
+		batched := runInProc(o, "batched", o.batch)
+		unbatched := runInProc(o, "unbatched", 1)
+		rep.Results = []LoadResult{batched, unbatched}
+		if unbatched.EdgesPerSec > 0 {
+			rep.Speedup = batched.EdgesPerSec / unbatched.EdgesPerSec
+		}
+		printResult(batched)
+		printResult(unbatched)
+		fmt.Printf("\nbatched/unbatched ingest speedup: x%.2f\n", rep.Speedup)
+	} else if o.url != "" {
+		res := runLoad(o, "batched", o.url, nil)
+		rep.Results = []LoadResult{res}
+		printResult(res)
+	} else {
+		res := runInProc(o, "batched", o.batch)
+		rep.Results = []LoadResult{res}
+		printResult(res)
+	}
+
+	if o.jsonPath != "" {
+		os.Stdout = jsonStdout // restore: "-" writes the report to real stdout
+		if err := cli.WriteJSONReport(o.jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runInProc starts a loopback swserver with the given ingester threshold
+// and drives it.
+func runInProc(o options, mode string, maxBatch int) LoadResult {
+	names := stream.SplitMonitors(o.monitors)
+	svc, err := stream.NewService(stream.ServiceConfig{
+		Window: stream.WindowConfig{
+			N:           o.n,
+			Seed:        uint64(o.seed),
+			Monitors:    names,
+			MaxArrivals: o.window,
+		},
+		Ingest: stream.IngesterConfig{MaxBatch: maxBatch, MaxDelay: o.delay},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: stream.NewServer(svc).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	res := runLoad(o, mode, "http://"+ln.Addr().String(), svc)
+	res.MaxBatch = maxBatch
+	return res
+}
+
+// runLoad fires o.producers concurrent POST loops plus o.readers query
+// loops at base and collects the measurements.
+func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
+	// The default transport keeps only 2 idle conns per host, which makes
+	// every concurrent loop beyond that pay a fresh TCP handshake per
+	// request; raise it so the pipeline, not the client, is measured.
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = 4 * (o.producers + o.readers)
+	transport.MaxIdleConnsPerHost = 4 * (o.producers + o.readers)
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+	var postRec, queryRec stream.LatencyRecorder
+	var posted atomic.Int64
+	stop := make(chan struct{})
+
+	var prodWG, readWG sync.WaitGroup
+	perProducer := o.edges / o.producers
+	start := time.Now()
+	for p := 0; p < o.producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			r := rand.New(rand.NewSource(o.seed + int64(p)))
+			perProducer := perProducer
+			if p == 0 { // first producer absorbs the division remainder
+				perProducer += o.edges % o.producers
+			}
+			type wireEdge struct {
+				U int32 `json:"u"`
+				V int32 `json:"v"`
+				W int64 `json:"w,omitempty"`
+			}
+			for sent := 0; sent < perProducer; sent += o.chunk {
+				k := o.chunk
+				if k > perProducer-sent {
+					k = perProducer - sent
+				}
+				edges := make([]wireEdge, k)
+				for i := range edges {
+					u := int32(r.Intn(o.n))
+					v := int32(r.Intn(o.n))
+					for v == u {
+						v = int32(r.Intn(o.n))
+					}
+					edges[i] = wireEdge{U: u, V: v, W: 1 + r.Int63n(1<<10)}
+				}
+				body, _ := json.Marshal(map[string]any{"edges": edges})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "POST /edges: %v\n", err)
+					return
+				}
+				drainBody(resp)
+				if resp.StatusCode != http.StatusAccepted {
+					fmt.Fprintf(os.Stderr, "POST /edges: status %d\n", resp.StatusCode)
+					return
+				}
+				// Only successful posts count toward the latency stats.
+				postRec.Observe(time.Since(t0))
+				posted.Add(int64(k))
+			}
+		}(p)
+	}
+
+	// Query only the endpoints the configured monitors can answer.
+	var queryPaths []string
+	hasConn := false
+	for _, m := range stream.SplitMonitors(o.monitors) {
+		switch m {
+		case stream.MonitorConn:
+			hasConn = true
+			queryPaths = append(queryPaths, "/query/components")
+		case stream.MonitorBipartite:
+			queryPaths = append(queryPaths, "/query/bipartite")
+		case stream.MonitorMSFWeight:
+			queryPaths = append(queryPaths, "/query/msfweight")
+		case stream.MonitorCycleFree:
+			queryPaths = append(queryPaths, "/query/cycle")
+		case stream.MonitorKCert:
+			// Note: /query/kcert runs a min-cut over the certificate, so
+			// including it makes the query mix much heavier.
+			queryPaths = append(queryPaths, "/query/kcert")
+		}
+	}
+	if len(queryPaths) == 0 {
+		queryPaths = []string{"/healthz"}
+	}
+	for q := 0; q < o.readers; q++ {
+		readWG.Add(1)
+		go func(q int) {
+			defer readWG.Done()
+			r := rand.New(rand.NewSource(o.seed + 1000 + int64(q)))
+			badLogged := false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				path := queryPaths[i%len(queryPaths)]
+				if hasConn && i%2 == 0 {
+					path = fmt.Sprintf("/query/connected?u=%d&v=%d", r.Intn(o.n), r.Intn(o.n))
+				}
+				t0 := time.Now()
+				resp, err := client.Get(base + path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "GET %s: %v\n", path, err)
+					return
+				}
+				drainBody(resp)
+				if resp.StatusCode != http.StatusOK {
+					// Don't let error responses pollute the latency stats.
+					if !badLogged {
+						fmt.Fprintf(os.Stderr, "GET %s: status %d (not counted)\n", path, resp.StatusCode)
+						badLogged = true
+					}
+					continue
+				}
+				queryRec.Observe(time.Since(t0))
+			}
+		}(q)
+	}
+
+	prodWG.Wait()
+	ingestElapsed := time.Since(start)
+	close(stop)
+	readWG.Wait()
+	if svc != nil {
+		svc.Flush()
+	}
+
+	ps := postRec.Snapshot()
+	qs := queryRec.Snapshot()
+	res := LoadResult{
+		Mode:      mode,
+		N:         o.n,
+		Edges:     posted.Load(),
+		Producers: o.producers,
+		Chunk:     o.chunk,
+		// MaxBatch stays 0 here: only runInProc knows the server's real
+		// threshold; a remote server's -batch flag is not observable.
+		ElapsedSec:  ingestElapsed.Seconds(),
+		EdgesPerSec: float64(posted.Load()) / ingestElapsed.Seconds(),
+		Posts:       ps.Count,
+		PostP50Ms:   float64(ps.P50) / 1e6,
+		PostP99Ms:   float64(ps.P99) / 1e6,
+		Queries:     qs.Count,
+		QueryP50Ms:  float64(qs.P50) / 1e6,
+		QueryP99Ms:  float64(qs.P99) / 1e6,
+	}
+
+	// Server-side batch shape from /stats.
+	var stats struct {
+		Ingest struct {
+			Batches       int64   `json:"batches"`
+			MeanBatchSize float64 `json:"mean_batch_size"`
+		} `json:"ingest"`
+	}
+	if resp, err := client.Get(base + "/stats"); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&stats)
+		drainBody(resp)
+		res.ServerBatches = stats.Ingest.Batches
+		res.MeanBatchSize = stats.Ingest.MeanBatchSize
+	}
+	return res
+}
+
+// drainBody reads the response to EOF before closing so the transport can
+// return the connection to the keep-alive pool; without this every request
+// pays a fresh TCP handshake and the tool measures connection setup
+// instead of the pipeline.
+func drainBody(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+func printResult(r LoadResult) {
+	if r.MaxBatch > 0 {
+		fmt.Printf("== %s (maxBatch=%d) ==\n", r.Mode, r.MaxBatch)
+	} else {
+		fmt.Printf("== %s (remote server; batch threshold unknown) ==\n", r.Mode)
+	}
+	fmt.Printf("  ingested %d edges in %.2fs  →  %.0f edges/sec\n", r.Edges, r.ElapsedSec, r.EdgesPerSec)
+	fmt.Printf("  server batches: %d (mean size %.1f)\n", r.ServerBatches, r.MeanBatchSize)
+	fmt.Printf("  POST  p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
+	fmt.Printf("  query p50 %.3fms  p99 %.3fms  (%d requests)\n", r.QueryP50Ms, r.QueryP99Ms, r.Queries)
+}

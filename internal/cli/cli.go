@@ -1,0 +1,23 @@
+// Package cli holds small helpers shared by the cmd/ binaries.
+package cli
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// WriteJSONReport marshals v with indentation and writes it to path, where
+// "-" means stdout. Used by the benchmark/load tools for their
+// machine-readable reports.
+func WriteJSONReport(path string, v any) error {
+	out, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
+}

@@ -1,0 +1,107 @@
+package stream
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for the ingestion pipeline so deadline behaviour is
+// testable deterministically. RealClock is used in production; FakeClock in
+// tests.
+type Clock interface {
+	Now() time.Time
+	// After returns a channel that receives the fire time once d has
+	// elapsed.
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// RealClock returns the wall clock.
+func RealClock() Clock { return realClock{} }
+
+// FakeClock is a manually-advanced Clock for deterministic tests. Timers
+// created with After fire when Advance moves the clock past their deadline.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock returns a FakeClock reading start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After returns a channel that fires when the fake clock advances past
+// now+d. A non-positive d fires immediately.
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- at
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// has been reached, in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []fakeWaiter
+	rest := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(now) {
+			due = append(due, w)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	c.waiters = rest
+	c.mu.Unlock()
+	sort.Slice(due, func(i, j int) bool { return due[i].at.Before(due[j].at) })
+	for _, w := range due {
+		w.ch <- w.at
+	}
+}
+
+// Waiters returns the number of pending timers.
+func (c *FakeClock) Waiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// BlockUntilWaiters blocks until at least n timers are pending. Tests use it
+// to synchronize with a goroutine that is about to sleep on After before
+// calling Advance.
+func (c *FakeClock) BlockUntilWaiters(n int) {
+	for {
+		if c.Waiters() >= n {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}

@@ -1,0 +1,235 @@
+package stream
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("stream: ingester closed")
+
+// IngesterConfig tunes the batching pipeline; zero values select defaults.
+type IngesterConfig struct {
+	// MaxBatch is the batch size target and upper bound (default 512):
+	// the pending buffer flushes in MaxBatch-sized batches as soon as it
+	// holds that many edges, regardless of how producers grouped their
+	// submissions. MaxBatch=1 degenerates to one-edge-per-batch
+	// ingestion — the baseline cmd/swload's -compare mode measures
+	// against.
+	MaxBatch int
+	// MaxDelay flushes the pending buffer this long after its first edge
+	// arrived (default 5ms), bounding the batching latency on sparse
+	// streams.
+	MaxDelay time.Duration
+	// QueueLen is the capacity of the producer channel (default
+	// 8×MaxBatch). Producers block when it is full — natural
+	// backpressure.
+	QueueLen int
+	// Clock defaults to RealClock; tests inject FakeClock.
+	Clock Clock
+}
+
+func (c *IngesterConfig) withDefaults() IngesterConfig {
+	out := *c
+	if out.MaxBatch <= 0 {
+		out.MaxBatch = 512
+	}
+	if out.MaxDelay <= 0 {
+		out.MaxDelay = 5 * time.Millisecond
+	}
+	if out.QueueLen <= 0 {
+		out.QueueLen = 8 * out.MaxBatch
+	}
+	if out.Clock == nil {
+		out.Clock = RealClock()
+	}
+	return out
+}
+
+// Ingester coalesces edges submitted by many concurrent producers into
+// batches, flushing to its sink when either MaxBatch edges are pending or
+// MaxDelay has elapsed since the first pending edge. A single background
+// goroutine performs all flushes, so the sink never runs concurrently with
+// itself — this is the single-writer half of the window discipline.
+type Ingester struct {
+	cfg     IngesterConfig
+	sink    func([]Edge)
+	in      chan []Edge
+	flushCh chan chan struct{}
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	// closeMu serializes submissions against Close: a submitter holding
+	// the read lock either observes closed and backs out, or completes
+	// its channel send before Close (write lock) can mark the ingester
+	// closed — so every Submit that returned nil is visible to run()'s
+	// shutdown drain and can never be lost.
+	closeMu sync.RWMutex
+	closed  bool
+
+	edges   atomic.Int64 // edges accepted
+	flushes atomic.Int64 // batches flushed
+}
+
+// NewIngester starts an ingester flushing batches to sink. The sink is
+// called from a single goroutine with a freshly-allocated slice it may
+// retain.
+func NewIngester(cfg IngesterConfig, sink func([]Edge)) *Ingester {
+	g := &Ingester{
+		cfg:     cfg.withDefaults(),
+		sink:    sink,
+		flushCh: make(chan chan struct{}),
+		done:    make(chan struct{}),
+	}
+	g.in = make(chan []Edge, g.cfg.QueueLen)
+	g.wg.Add(1)
+	go g.run()
+	return g
+}
+
+// Submit enqueues one edge. It blocks when the queue is full and returns
+// ErrClosed after Close.
+func (g *Ingester) Submit(e Edge) error { return g.SubmitBatch([]Edge{e}) }
+
+// SubmitBatch enqueues a group of edges (they still count individually
+// toward MaxBatch). The slice is copied before it is enqueued, so the
+// caller may reuse its buffer immediately.
+func (g *Ingester) SubmitBatch(edges []Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	cp := make([]Edge, len(edges))
+	copy(cp, edges)
+	return g.submitOwned(cp)
+}
+
+// submitOwned enqueues a slice the caller hands over (no copy); used by the
+// HTTP layer, which builds a fresh batch per request anyway. Zero event
+// times are stamped here, at submit time, per the Edge.T contract.
+func (g *Ingester) submitOwned(edges []Edge) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	g.closeMu.RLock()
+	defer g.closeMu.RUnlock()
+	if g.closed {
+		return ErrClosed
+	}
+	now := g.cfg.Clock.Now()
+	for i := range edges {
+		if edges[i].T.IsZero() {
+			edges[i].T = now
+		}
+	}
+	// done cannot close while we hold the read lock, and run() keeps
+	// consuming until done closes, so this send always completes (it may
+	// block for backpressure when the queue is full).
+	g.in <- edges
+	g.edges.Add(int64(len(edges)))
+	return nil
+}
+
+// Flush synchronously drains the queue and flushes the pending buffer. All
+// edges whose Submit returned before Flush was called are in the sink by
+// the time Flush returns. No-op after Close.
+func (g *Ingester) Flush() {
+	ack := make(chan struct{})
+	select {
+	case g.flushCh <- ack:
+		<-ack
+	case <-g.done:
+		g.wg.Wait() // Close flushes everything before run() exits
+	}
+}
+
+// Close stops accepting edges, flushes what has been accepted, and stops
+// the background goroutine. Safe to call more than once. The closeMu
+// handshake guarantees no Submit that returned nil can still be in flight
+// when done closes, so run()'s shutdown drain sees every accepted edge.
+func (g *Ingester) Close() {
+	g.closing.Do(func() {
+		g.closeMu.Lock()
+		g.closed = true
+		g.closeMu.Unlock()
+		close(g.done)
+	})
+	g.wg.Wait()
+}
+
+// Stats returns edges accepted and batches flushed so far.
+func (g *Ingester) Stats() (edges, batches int64) {
+	return g.edges.Load(), g.flushes.Load()
+}
+
+func (g *Ingester) run() {
+	defer g.wg.Done()
+	var pending []Edge
+	var deadline <-chan time.Time
+
+	// Event times were stamped at submit; absorb just accumulates.
+	absorb := func(es []Edge) { pending = append(pending, es...) }
+	// flushHead emits the oldest k pending edges as one batch. The batch
+	// is capped at its own length so later appends to the remainder never
+	// alias into a slice the sink retained.
+	flushHead := func(k int) {
+		batch := pending[:k:k]
+		pending = pending[k:]
+		g.flushes.Add(1)
+		g.sink(batch)
+	}
+	// flushFull emits MaxBatch-sized batches while the buffer is over the
+	// threshold, then re-arms (or clears) the deadline for any remainder.
+	flushFull := func() {
+		for len(pending) >= g.cfg.MaxBatch {
+			flushHead(g.cfg.MaxBatch)
+		}
+		if len(pending) == 0 {
+			deadline = nil
+		} else if deadline == nil {
+			deadline = g.cfg.Clock.After(g.cfg.MaxDelay)
+		}
+	}
+	// flushAll empties the buffer entirely (deadline fired, manual flush,
+	// or shutdown), still respecting the MaxBatch upper bound.
+	flushAll := func() {
+		for len(pending) > 0 {
+			k := g.cfg.MaxBatch
+			if k > len(pending) {
+				k = len(pending)
+			}
+			flushHead(k)
+		}
+		deadline = nil
+	}
+	// drain empties the queue without blocking, then flushes everything.
+	drain := func() {
+		for {
+			select {
+			case es := <-g.in:
+				absorb(es)
+			default:
+				flushAll()
+				return
+			}
+		}
+	}
+
+	for {
+		select {
+		case es := <-g.in:
+			absorb(es)
+			flushFull()
+		case <-deadline:
+			flushAll()
+		case ack := <-g.flushCh:
+			drain()
+			close(ack)
+		case <-g.done:
+			drain()
+			return
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/sw"
+)
+
+// MonitorConfig carries the per-monitor tuning knobs.
+type MonitorConfig struct {
+	// Eps is the msfweight approximation parameter (default 0.25).
+	Eps float64
+	// MaxWeight is the msfweight weight ceiling (default 1<<20); edge
+	// weights above it are clamped.
+	MaxWeight int64
+	// K is the kcert certificate order (default 2).
+	K int
+}
+
+func (c *MonitorConfig) withDefaults() MonitorConfig {
+	out := *c
+	if out.Eps <= 0 {
+		out.Eps = 0.25
+	}
+	if out.MaxWeight < 1 {
+		out.MaxWeight = 1 << 20
+	}
+	if out.K < 1 {
+		out.K = 2
+	}
+	return out
+}
+
+// newMonitor builds the named monitor over n vertices. Each monitor derives
+// its own seed so window instances stay independent.
+func newMonitor(name string, n int, cfg MonitorConfig, seed uint64) (Monitor, error) {
+	switch name {
+	case MonitorConn:
+		return &connMonitor{c: sw.NewConnEager(n, seed)}, nil
+	case MonitorBipartite:
+		return &bipartiteMonitor{b: sw.NewBipartite(n, seed)}, nil
+	case MonitorMSFWeight:
+		return &msfWeightMonitor{
+			a:    sw.NewApproxMSF(n, cfg.Eps, cfg.MaxWeight, seed),
+			maxW: cfg.MaxWeight,
+		}, nil
+	case MonitorKCert:
+		return &kcertMonitor{k: sw.NewKCert(n, cfg.K, seed)}, nil
+	case MonitorCycleFree:
+		return &cycleFreeMonitor{c: sw.NewCycleFree(n, seed)}, nil
+	default:
+		return nil, fmt.Errorf("stream: unknown monitor %q", name)
+	}
+}
+
+func toStreamEdges(edges []Edge) []sw.StreamEdge {
+	out := make([]sw.StreamEdge, len(edges))
+	for i, e := range edges {
+		out[i] = sw.StreamEdge{U: e.U, V: e.V}
+	}
+	return out
+}
+
+// connMonitor wraps eager sliding-window connectivity (Theorem 5.2).
+type connMonitor struct{ c *sw.ConnEager }
+
+func (m *connMonitor) Name() string             { return MonitorConn }
+func (m *connMonitor) BatchInsert(edges []Edge) { m.c.BatchInsert(toStreamEdges(edges)) }
+func (m *connMonitor) BatchExpire(delta int)    { m.c.BatchExpire(delta) }
+
+// bipartiteMonitor wraps sliding-window bipartiteness (Theorem 5.3).
+type bipartiteMonitor struct{ b *sw.Bipartite }
+
+func (m *bipartiteMonitor) Name() string             { return MonitorBipartite }
+func (m *bipartiteMonitor) BatchInsert(edges []Edge) { m.b.BatchInsert(toStreamEdges(edges)) }
+func (m *bipartiteMonitor) BatchExpire(delta int)    { m.b.BatchExpire(delta) }
+
+// msfWeightMonitor wraps the (1+ε)-approximate MSF weight structure
+// (Theorem 5.4). Weights are clamped into [1, MaxWeight] so arbitrary
+// client input cannot panic the structure.
+type msfWeightMonitor struct {
+	a    *sw.ApproxMSF
+	maxW int64
+}
+
+func (m *msfWeightMonitor) Name() string { return MonitorMSFWeight }
+
+func (m *msfWeightMonitor) BatchInsert(edges []Edge) {
+	batch := make([]sw.WeightedStreamEdge, len(edges))
+	for i, e := range edges {
+		w := e.W
+		if w < 1 {
+			w = 1
+		} else if w > m.maxW {
+			w = m.maxW
+		}
+		batch[i] = sw.WeightedStreamEdge{U: e.U, V: e.V, W: w}
+	}
+	m.a.BatchInsert(batch)
+}
+
+func (m *msfWeightMonitor) BatchExpire(delta int) { m.a.BatchExpire(delta) }
+
+// kcertMonitor wraps the sliding-window k-certificate (Theorem 5.5).
+type kcertMonitor struct{ k *sw.KCert }
+
+func (m *kcertMonitor) Name() string             { return MonitorKCert }
+func (m *kcertMonitor) BatchInsert(edges []Edge) { m.k.BatchInsert(toStreamEdges(edges)) }
+func (m *kcertMonitor) BatchExpire(delta int)    { m.k.BatchExpire(delta) }
+
+// cycleFreeMonitor wraps sliding-window cycle detection (Theorem 5.6).
+type cycleFreeMonitor struct{ c *sw.CycleFree }
+
+func (m *cycleFreeMonitor) Name() string             { return MonitorCycleFree }
+func (m *cycleFreeMonitor) BatchInsert(edges []Edge) { m.c.BatchInsert(toStreamEdges(edges)) }
+func (m *cycleFreeMonitor) BatchExpire(delta int)    { m.c.BatchExpire(delta) }

@@ -1,0 +1,61 @@
+package stream
+
+// Multiplexer fans one ingested stream out to several monitors that share
+// the batching pipeline: every monitor receives every batch and every
+// expiry count, so all monitors observe the same window at all times. The
+// Multiplexer itself is not safe for concurrent use — the WindowManager
+// serializes access around it.
+type Multiplexer struct {
+	mons   []Monitor
+	byName map[string]Monitor
+}
+
+// NewMultiplexer builds a multiplexer over the named monitors.
+func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64) (*Multiplexer, error) {
+	if len(names) == 0 {
+		names = AllMonitors()
+	}
+	cfg = cfg.withDefaults()
+	m := &Multiplexer{byName: make(map[string]Monitor, len(names))}
+	for i, name := range names {
+		if _, dup := m.byName[name]; dup {
+			continue
+		}
+		mon, err := newMonitor(name, n, cfg, seed+uint64(i)*0x9e3779b97f4a7c15+1)
+		if err != nil {
+			return nil, err
+		}
+		m.mons = append(m.mons, mon)
+		m.byName[name] = mon
+	}
+	return m, nil
+}
+
+// BatchInsert fans a batch out to every monitor.
+func (m *Multiplexer) BatchInsert(edges []Edge) {
+	for _, mon := range m.mons {
+		mon.BatchInsert(edges)
+	}
+}
+
+// BatchExpire expires the oldest delta arrivals in every monitor.
+func (m *Multiplexer) BatchExpire(delta int) {
+	if delta <= 0 {
+		return
+	}
+	for _, mon := range m.mons {
+		mon.BatchExpire(delta)
+	}
+}
+
+// Monitor returns the named monitor, or nil if it was not configured.
+func (m *Multiplexer) Monitor(name string) Monitor { return m.byName[name] }
+
+// Names lists the configured monitors in fan-out order.
+func (m *Multiplexer) Names() []string {
+	out := make([]string, len(m.mons))
+	for i, mon := range m.mons {
+		out[i] = mon.Name()
+	}
+	return out
+}

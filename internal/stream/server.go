@@ -1,0 +1,242 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP JSON front-end over a Service, the handler behind
+// cmd/swserver. Endpoints:
+//
+//	POST /edges                      ingest a batch of edges
+//	GET  /query/connected?u=&v=      window connectivity of u and v
+//	GET  /query/components           number of connected components
+//	GET  /query/bipartite            is the window graph bipartite
+//	GET  /query/msfweight            (1+ε)-approximate MSF weight
+//	GET  /query/cycle                does the window graph contain a cycle
+//	GET  /query/kcert                certificate size and min(k, connectivity)
+//	GET  /stats                      window, ingest and latency counters
+//	GET  /healthz                    liveness
+//
+// Every endpoint records latency into an EndpointStats table surfaced by
+// /stats.
+type Server struct {
+	svc   *Service
+	stats *EndpointStats
+	mux   *http.ServeMux
+	start time.Time
+}
+
+// edgeJSON is the wire form of one edge.
+type edgeJSON struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+	W int64 `json:"w,omitempty"`
+	// T is an optional RFC 3339 event time; empty means "now".
+	T string `json:"t,omitempty"`
+}
+
+type edgesRequest struct {
+	Edges []edgeJSON `json:"edges"`
+}
+
+// NewServer wraps svc in the HTTP front-end.
+func NewServer(svc *Service) *Server {
+	s := &Server{
+		svc:   svc,
+		stats: NewEndpointStats(),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.handle("POST /edges", s.handleEdges)
+	s.handle("GET /query/connected", s.handleConnected)
+	s.handle("GET /query/components", s.handleComponents)
+	s.handle("GET /query/bipartite", s.handleBipartite)
+	s.handle("GET /query/msfweight", s.handleMSFWeight)
+	s.handle("GET /query/cycle", s.handleCycle)
+	s.handle("GET /query/kcert", s.handleKCert)
+	s.handle("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// handle registers a pattern with latency recording keyed by the pattern.
+func (s *Server) handle(pattern string, fn http.HandlerFunc) {
+	rec := s.stats.Recorder(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		fn(w, r)
+		rec.Observe(time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// queryErr maps query failures: missing monitor is a client configuration
+// problem (404), anything else a bad request.
+func queryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNoMonitor) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	var req edgesRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad edges body: %w", err))
+		return
+	}
+	if len(req.Edges) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no edges in body"))
+		return
+	}
+	n := int32(s.svc.Window().N())
+	batch := make([]Edge, len(req.Edges))
+	for i, e := range req.Edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Errorf("edge %d: vertex out of range [0, %d)", i, n))
+			return
+		}
+		if e.U == e.V {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: self-loop", i))
+			return
+		}
+		var t time.Time
+		if e.T != "" {
+			var err error
+			t, err = time.Parse(time.RFC3339Nano, e.T)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: bad time: %w", i, err))
+				return
+			}
+		}
+		batch[i] = Edge{U: e.U, V: e.V, W: e.W, T: t}
+	}
+	if err := s.svc.submitOwned(batch); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
+}
+
+func vertexParam(r *http.Request, name string) (int32, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return 0, fmt.Errorf("missing query parameter %q", name)
+	}
+	v, err := strconv.ParseInt(raw, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad vertex %q: %w", raw, err)
+	}
+	return int32(v), nil
+}
+
+func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	u, err := vertexParam(r, "u")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := vertexParam(r, "v")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	conn, err := s.svc.Window().IsConnected(u, v)
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "connected": conn})
+}
+
+func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
+	cc, err := s.svc.Window().NumComponents()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"components": cc})
+}
+
+func (s *Server) handleBipartite(w http.ResponseWriter, r *http.Request) {
+	b, err := s.svc.Window().IsBipartite()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"bipartite": b})
+}
+
+func (s *Server) handleMSFWeight(w http.ResponseWriter, r *http.Request) {
+	wt, err := s.svc.Window().MSFWeight()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]float64{"weight": wt})
+}
+
+func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
+	hc, err := s.svc.Window().HasCycle()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"cycle": hc})
+}
+
+func (s *Server) handleKCert(w http.ResponseWriter, r *http.Request) {
+	size, err := s.svc.Window().CertificateSize()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	conn, err := s.svc.Window().EdgeConnectivityUpToK()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"size": size, "edge_connectivity_up_to_k": conn})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	edges, batches := s.svc.IngestStats()
+	win := s.svc.Window().Stats()
+	resp := map[string]any{
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"monitors":       s.svc.Window().Monitors(),
+		"window":         win,
+		"ingest": map[string]any{
+			"edges_accepted": edges,
+			"batches":        batches,
+		},
+		"endpoints": s.stats.Snapshot(),
+	}
+	if batches > 0 {
+		resp["ingest"].(map[string]any)["mean_batch_size"] = float64(edges) / float64(batches)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,269 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sw"
+)
+
+func newTestServer(t *testing.T, n int) (*httptest.Server, *Service) {
+	t.Helper()
+	svc, err := NewService(ServiceConfig{
+		Window: WindowConfig{N: n, Seed: 5, Monitor: MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3}},
+		Ingest: IngesterConfig{MaxBatch: 64, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return ts, svc
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func postEdges(t *testing.T, url string, edges []edgeJSON) (int, map[string]any) {
+	t.Helper()
+	body, err := json.Marshal(edgesRequest{Edges: edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/edges", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// TestServerEndToEnd round-trips every endpoint over HTTP and cross-checks
+// each answer against direct internal/sw structures fed the same edges.
+// Queries here are exact window-graph properties, so they agree with the
+// oracle regardless of batch partitioning inside the ingester.
+func TestServerEndToEnd(t *testing.T) {
+	const n = 150
+	ts, svc := newTestServer(t, n)
+
+	r := rand.New(rand.NewSource(3))
+	all := randomEdges(r, n, 500)
+	for i := 0; i < len(all); i += 50 {
+		chunk := all[i : i+50]
+		wire := make([]edgeJSON, len(chunk))
+		for j, e := range chunk {
+			wire[j] = edgeJSON{U: e.U, V: e.V, W: e.W}
+		}
+		code, resp := postEdges(t, ts.URL, wire)
+		if code != http.StatusAccepted {
+			t.Fatalf("POST /edges = %d (%v)", code, resp)
+		}
+		if got := resp["accepted"].(float64); int(got) != len(chunk) {
+			t.Fatalf("accepted = %v, want %d", got, len(chunk))
+		}
+	}
+	svc.Flush()
+
+	// Oracle: same edges, one batch (answers don't depend on batching).
+	conn := sw.NewConnEager(n, 321)
+	bip := sw.NewBipartite(n, 322)
+	amsf := sw.NewApproxMSF(n, 0.25, 1<<10, 323)
+	kc := sw.NewKCert(n, 3, 324)
+	cyc := sw.NewCycleFree(n, 325)
+	plain := make([]sw.StreamEdge, len(all))
+	weighted := make([]sw.WeightedStreamEdge, len(all))
+	for i, e := range all {
+		plain[i] = sw.StreamEdge{U: e.U, V: e.V}
+		weighted[i] = sw.WeightedStreamEdge{U: e.U, V: e.V, W: e.W}
+	}
+	conn.BatchInsert(plain)
+	bip.BatchInsert(plain)
+	amsf.BatchInsert(weighted)
+	kc.BatchInsert(plain)
+	cyc.BatchInsert(plain)
+
+	var comp struct {
+		Components int `json:"components"`
+	}
+	if code := getJSON(t, ts.URL+"/query/components", &comp); code != 200 {
+		t.Fatalf("components status %d", code)
+	}
+	if want := conn.NumComponents(); comp.Components != want {
+		t.Fatalf("components = %d, want %d", comp.Components, want)
+	}
+
+	var bp struct {
+		Bipartite bool `json:"bipartite"`
+	}
+	if code := getJSON(t, ts.URL+"/query/bipartite", &bp); code != 200 {
+		t.Fatalf("bipartite status %d", code)
+	}
+	if want := bip.IsBipartite(); bp.Bipartite != want {
+		t.Fatalf("bipartite = %v, want %v", bp.Bipartite, want)
+	}
+
+	var mw struct {
+		Weight float64 `json:"weight"`
+	}
+	if code := getJSON(t, ts.URL+"/query/msfweight", &mw); code != 200 {
+		t.Fatalf("msfweight status %d", code)
+	}
+	if want := amsf.Weight(); mw.Weight != want {
+		t.Fatalf("msfweight = %v, want %v", mw.Weight, want)
+	}
+
+	var cy struct {
+		Cycle bool `json:"cycle"`
+	}
+	if code := getJSON(t, ts.URL+"/query/cycle", &cy); code != 200 {
+		t.Fatalf("cycle status %d", code)
+	}
+	if want := cyc.HasCycle(); cy.Cycle != want {
+		t.Fatalf("cycle = %v, want %v", cy.Cycle, want)
+	}
+
+	var kcResp struct {
+		Size int `json:"size"`
+		EC   int `json:"edge_connectivity_up_to_k"`
+	}
+	if code := getJSON(t, ts.URL+"/query/kcert", &kcResp); code != 200 {
+		t.Fatalf("kcert status %d", code)
+	}
+	if want := kc.EdgeConnectivityUpToK(); kcResp.EC != want {
+		t.Fatalf("edge connectivity = %d, want %d", kcResp.EC, want)
+	}
+	if kcResp.Size <= 0 || kcResp.Size > 3*(n-1) {
+		t.Fatalf("certificate size %d out of range (0, %d]", kcResp.Size, 3*(n-1))
+	}
+
+	for trial := 0; trial < 25; trial++ {
+		u, v := r.Intn(n), r.Intn(n)
+		var cr struct {
+			Connected bool `json:"connected"`
+		}
+		url := fmt.Sprintf("%s/query/connected?u=%d&v=%d", ts.URL, u, v)
+		if code := getJSON(t, url, &cr); code != 200 {
+			t.Fatalf("connected status %d", code)
+		}
+		if want := conn.IsConnected(int32(u), int32(v)); cr.Connected != want {
+			t.Fatalf("connected(%d,%d) = %v, want %v", u, v, cr.Connected, want)
+		}
+	}
+
+	var stats struct {
+		Window    WindowStats                `json:"window"`
+		Endpoints map[string]LatencySnapshot `json:"endpoints"`
+		Monitors  []string                   `json:"monitors"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != 200 {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Window.Arrivals != int64(len(all)) {
+		t.Fatalf("stats arrivals = %d, want %d", stats.Window.Arrivals, len(all))
+	}
+	if len(stats.Monitors) != len(AllMonitors()) {
+		t.Fatalf("monitors = %v", stats.Monitors)
+	}
+	if ep, ok := stats.Endpoints["POST /edges"]; !ok || ep.Count != 10 {
+		t.Fatalf("POST /edges latency count = %+v", stats.Endpoints)
+	}
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+}
+
+func TestServerRejectsBadInput(t *testing.T) {
+	ts, _ := newTestServer(t, 10)
+
+	cases := []struct {
+		name  string
+		edges []edgeJSON
+	}{
+		{"out of range", []edgeJSON{{U: 0, V: 99}}},
+		{"negative", []edgeJSON{{U: -2, V: 3}}},
+		{"self loop", []edgeJSON{{U: 4, V: 4}}},
+		{"bad time", []edgeJSON{{U: 0, V: 1, T: "yesterday"}}},
+		{"empty", nil},
+	}
+	for _, tc := range cases {
+		if code, _ := postEdges(t, ts.URL, tc.edges); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, code)
+		}
+	}
+
+	// Malformed JSON body.
+	resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status = %d, want 400", resp.StatusCode)
+	}
+
+	// Bad / missing query parameters.
+	for _, url := range []string{
+		ts.URL + "/query/connected",
+		ts.URL + "/query/connected?u=1",
+		ts.URL + "/query/connected?u=1&v=abc",
+		ts.URL + "/query/connected?u=1&v=50",
+	} {
+		if code := getJSON(t, url, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", url, code)
+		}
+	}
+
+	// Nothing accepted by any of the rejected requests.
+	var stats struct {
+		Window WindowStats `json:"window"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Window.Arrivals != 0 {
+		t.Fatalf("arrivals = %d after rejected input", stats.Window.Arrivals)
+	}
+}
+
+func TestServerMissingMonitor(t *testing.T) {
+	svc, err := NewService(ServiceConfig{
+		Window: WindowConfig{N: 10, Monitors: []string{MonitorConn}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewServer(svc).Handler())
+	defer ts.Close()
+	defer svc.Close()
+	for _, path := range []string{"/query/bipartite", "/query/msfweight", "/query/cycle", "/query/kcert"} {
+		if code := getJSON(t, ts.URL+path, nil); code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", path, code)
+		}
+	}
+	if code := getJSON(t, ts.URL+"/query/components", nil); code != http.StatusOK {
+		t.Errorf("components with conn monitor: status = %d, want 200", code)
+	}
+}

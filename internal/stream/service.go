@@ -1,0 +1,94 @@
+package stream
+
+import (
+	"sync"
+	"time"
+)
+
+// ServiceConfig assembles a full pipeline.
+type ServiceConfig struct {
+	Window WindowConfig
+	Ingest IngesterConfig
+}
+
+// Service wires producers → Ingester → WindowManager: the ingester's flush
+// goroutine is the window's single writer, and when time-based expiry is
+// configured a background ticker ages the window out even while the stream
+// is idle.
+type Service struct {
+	wm    *WindowManager
+	ing   *Ingester
+	clock Clock
+
+	stopTicker chan struct{}
+	tickerWG   sync.WaitGroup
+	closeOnce  sync.Once
+}
+
+// NewService builds and starts a streaming service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Ingest.Clock == nil {
+		cfg.Ingest.Clock = cfg.Window.Clock
+	}
+	if cfg.Window.Clock == nil {
+		cfg.Window.Clock = cfg.Ingest.Clock
+	}
+	wm, err := NewWindowManager(cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		wm:         wm,
+		clock:      wm.cfg.Clock,
+		stopTicker: make(chan struct{}),
+	}
+	s.ing = NewIngester(cfg.Ingest, wm.Apply)
+	if cfg.Window.MaxAge > 0 {
+		period := cfg.Window.MaxAge / 4
+		if period < 10*time.Millisecond {
+			period = 10 * time.Millisecond
+		}
+		s.tickerWG.Add(1)
+		go s.expireLoop(period)
+	}
+	return s, nil
+}
+
+func (s *Service) expireLoop(period time.Duration) {
+	defer s.tickerWG.Done()
+	for {
+		select {
+		case <-s.clock.After(period):
+			s.wm.ExpireByAge(s.clock.Now())
+		case <-s.stopTicker:
+			return
+		}
+	}
+}
+
+// Submit enqueues edges for ingestion (callable from many goroutines). The
+// slice is copied; the caller keeps ownership.
+func (s *Service) Submit(edges []Edge) error { return s.ing.SubmitBatch(edges) }
+
+// submitOwned enqueues a slice whose ownership transfers to the pipeline,
+// skipping the defensive copy; for callers that build a fresh batch per
+// call (the HTTP handler).
+func (s *Service) submitOwned(edges []Edge) error { return s.ing.submitOwned(edges) }
+
+// Flush synchronously pushes everything submitted so far into the window.
+func (s *Service) Flush() { s.ing.Flush() }
+
+// Window exposes the query surface.
+func (s *Service) Window() *WindowManager { return s.wm }
+
+// IngestStats returns edges accepted and batches flushed by the ingester.
+func (s *Service) IngestStats() (edges, batches int64) { return s.ing.Stats() }
+
+// Close drains the ingester and stops the pipeline.
+func (s *Service) Close() {
+	s.closeOnce.Do(func() {
+		s.ing.Close()
+		close(s.stopTicker)
+		s.tickerWG.Wait()
+	})
+}

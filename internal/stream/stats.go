@@ -1,0 +1,122 @@
+package stream
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// LatencyRecorder is a fixed-size log₂-bucket latency histogram: cheap
+// enough for per-request recording, and accurate to a factor of 2 on
+// quantiles, which is plenty for p50/p99 service dashboards.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	count   int64
+	totalNS int64
+	maxNS   int64
+	buckets [64]int64 // bucket i holds durations with bits.Len64(ns) == i
+}
+
+// LatencySnapshot is a point-in-time summary of a LatencyRecorder.
+type LatencySnapshot struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	Max   time.Duration `json:"max_ns"`
+}
+
+// Observe records one duration.
+func (r *LatencyRecorder) Observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	r.mu.Lock()
+	r.count++
+	r.totalNS += ns
+	if ns > r.maxNS {
+		r.maxNS = ns
+	}
+	r.buckets[i]++
+	r.mu.Unlock()
+}
+
+// Snapshot summarizes the histogram so far.
+func (r *LatencyRecorder) Snapshot() LatencySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := LatencySnapshot{Count: r.count, Max: time.Duration(r.maxNS)}
+	if r.count == 0 {
+		return s
+	}
+	s.Mean = time.Duration(r.totalNS / r.count)
+	s.P50 = r.quantileLocked(0.50)
+	s.P99 = r.quantileLocked(0.99)
+	return s
+}
+
+// quantileLocked returns the upper bound of the bucket where the cumulative
+// count crosses q (so quantiles are overestimates by at most 2x).
+func (r *LatencyRecorder) quantileLocked(q float64) time.Duration {
+	target := int64(q * float64(r.count))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range r.buckets {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			upper := int64(1)<<uint(i) - 1
+			if upper > r.maxNS {
+				upper = r.maxNS
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(r.maxNS)
+}
+
+// EndpointStats tracks per-endpoint request counts and latency.
+type EndpointStats struct {
+	mu   sync.Mutex
+	recs map[string]*LatencyRecorder
+}
+
+// NewEndpointStats returns an empty per-endpoint stats table.
+func NewEndpointStats() *EndpointStats {
+	return &EndpointStats{recs: make(map[string]*LatencyRecorder)}
+}
+
+// Recorder returns (creating on first use) the recorder for an endpoint.
+func (s *EndpointStats) Recorder(endpoint string) *LatencyRecorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recs[endpoint]
+	if !ok {
+		r = &LatencyRecorder{}
+		s.recs[endpoint] = r
+	}
+	return r
+}
+
+// Snapshot summarizes every endpoint.
+func (s *EndpointStats) Snapshot() map[string]LatencySnapshot {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.recs))
+	recs := make([]*LatencyRecorder, 0, len(s.recs))
+	for name, r := range s.recs {
+		names = append(names, name)
+		recs = append(recs, r)
+	}
+	s.mu.Unlock()
+	out := make(map[string]LatencySnapshot, len(names))
+	for i, name := range names {
+		out[name] = recs[i].Snapshot()
+	}
+	return out
+}

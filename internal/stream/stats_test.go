@@ -1,0 +1,50 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyRecorderQuantiles(t *testing.T) {
+	var r LatencyRecorder
+	if s := r.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	// 99 fast observations and 1 slow one: p50 must stay near the fast
+	// cluster, p99 may reach the slow one, and all quantiles are bounded
+	// by Max.
+	for i := 0; i < 99; i++ {
+		r.Observe(100 * time.Microsecond)
+	}
+	r.Observe(80 * time.Millisecond)
+	s := r.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Max != 80*time.Millisecond {
+		t.Fatalf("max = %v", s.Max)
+	}
+	if s.P50 < 100*time.Microsecond || s.P50 >= time.Millisecond {
+		t.Fatalf("p50 = %v, want within 2x of 100µs", s.P50)
+	}
+	if s.P99 > s.Max || s.P99 < s.P50 {
+		t.Fatalf("p99 = %v outside [p50=%v, max=%v]", s.P99, s.P50, s.Max)
+	}
+	if s.Mean <= 0 || s.Mean > s.Max {
+		t.Fatalf("mean = %v out of range", s.Mean)
+	}
+}
+
+func TestEndpointStats(t *testing.T) {
+	es := NewEndpointStats()
+	es.Recorder("a").Observe(time.Millisecond)
+	es.Recorder("a").Observe(2 * time.Millisecond)
+	es.Recorder("b").Observe(time.Second)
+	snap := es.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("endpoints = %d, want 2", len(snap))
+	}
+	if snap["a"].Count != 2 || snap["b"].Count != 1 {
+		t.Fatalf("counts wrong: %+v", snap)
+	}
+}

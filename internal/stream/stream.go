@@ -1,0 +1,90 @@
+// Package stream turns the offline batch sliding-window structures of
+// internal/sw into a concurrent streaming-graph service layer.
+//
+// The pipeline is
+//
+//	producers → Ingester → Multiplexer → monitors (internal/sw)
+//	                ↑             ↑
+//	          re-batching   uniform timestamps
+//
+// with three moving parts:
+//
+//   - Ingester: accepts individual timestamped edges from many concurrent
+//     producers and coalesces them into batches by count threshold and time
+//     deadline. This re-batching is what makes the paper's batch bound pay
+//     off: one BatchInsert of ℓ edges costs O(ℓ·lg(1+n/ℓ)) work, so feeding
+//     single edges (ℓ=1) forfeits the entire lg-factor saving.
+//   - WindowManager: owns a Multiplexer of monitors behind a single-writer /
+//     many-reader discipline. Batch inserts and expirations are serialized
+//     through one writer (Apply); queries are served concurrently under an
+//     RWMutex read lock. Timestamps advance uniformly: every monitor sees
+//     every arrival, so one expiry count applies to all of them.
+//   - Multiplexer: fans one ingested batch out to the monitors chosen by
+//     config (connectivity, bipartiteness, approximate MSF weight,
+//     k-certificate, cycle-freeness), sharing the batching pipeline.
+//
+// cmd/swserver wraps a Service in an HTTP JSON front-end; cmd/swload drives
+// it end-to-end and measures sustained throughput and query latency.
+package stream
+
+import (
+	"strings"
+	"time"
+)
+
+// Edge is one timestamped streaming edge arrival.
+type Edge struct {
+	// U, V are the endpoints; both must lie in [0, n) for the window the
+	// edge is submitted to. Self-loops (U == V) are dropped by the
+	// WindowManager (the underlying forests reject them anyway) and
+	// counted in the window stats.
+	U, V int32
+	// W is the edge weight, used only by the msfweight monitor. Zero or
+	// negative weights are treated as 1; weights above the monitor's
+	// configured maximum are clamped to it.
+	W int64
+	// T is the event time, used by time-based window expiry. The zero
+	// value means "stamp with the ingestion clock at submit time".
+	T time.Time
+}
+
+// Monitor is one sliding-window structure fed by the Multiplexer. All
+// monitors of a window share global timestamps: each sees every arrival of
+// the shared stream (BatchInsert) and the same expiry counts (BatchExpire),
+// mirroring the uniform windowing discipline of internal/sw.
+type Monitor interface {
+	// Name returns the config name of the monitor ("conn", "bipartite",
+	// "msfweight", "kcert", "cyclefree").
+	Name() string
+	// BatchInsert appends a batch of arrivals to the monitor's window.
+	BatchInsert(edges []Edge)
+	// BatchExpire expires the oldest delta arrivals.
+	BatchExpire(delta int)
+}
+
+// Monitor names accepted in Config.Monitors.
+const (
+	MonitorConn      = "conn"
+	MonitorBipartite = "bipartite"
+	MonitorMSFWeight = "msfweight"
+	MonitorKCert     = "kcert"
+	MonitorCycleFree = "cyclefree"
+)
+
+// AllMonitors lists every monitor name, in canonical order.
+func AllMonitors() []string {
+	return []string{MonitorConn, MonitorBipartite, MonitorMSFWeight, MonitorKCert, MonitorCycleFree}
+}
+
+// SplitMonitors parses a comma-separated monitor list ("conn, kcert") into
+// names, trimming whitespace and dropping empty entries. Validation of the
+// names themselves happens in NewMultiplexer.
+func SplitMonitors(s string) []string {
+	var out []string
+	for _, m := range strings.Split(s, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,269 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrNoMonitor is wrapped by query methods whose monitor is not configured.
+var ErrNoMonitor = errors.New("stream: monitor not configured")
+
+// WindowConfig describes one managed window.
+type WindowConfig struct {
+	// N is the number of vertices (vertex ids are [0, N)).
+	N int
+	// Seed drives every randomized structure in the window.
+	Seed uint64
+	// Monitors names the monitors to maintain; empty means all of them.
+	Monitors []string
+	// Monitor carries per-monitor tuning (eps, max weight, k).
+	Monitor MonitorConfig
+	// MaxArrivals caps the window at the most recent MaxArrivals edges
+	// (count-based expiry). 0 disables the cap.
+	MaxArrivals int
+	// MaxAge expires arrivals whose event time is older than MaxAge
+	// (time-based expiry). 0 disables it. The window structures can only
+	// expire arrival-order prefixes, so recorded event times are clamped
+	// monotone non-decreasing and never in the future — an edge carrying
+	// an out-of-order or future timestamp ages out as if it had arrived
+	// in order, rather than stalling expiry for everything after it.
+	MaxAge time.Duration
+	// Clock defaults to RealClock; tests inject FakeClock.
+	Clock Clock
+}
+
+// WindowStats is a point-in-time snapshot of a window's counters.
+type WindowStats struct {
+	Arrivals  int64 `json:"arrivals"`   // edges ever inserted
+	Expired   int64 `json:"expired"`    // edges ever expired
+	WindowLen int64 `json:"window_len"` // unexpired arrivals
+	Batches   int64 `json:"batches"`    // Apply calls with ≥1 valid edge
+	Dropped   int64 `json:"dropped"`    // out-of-range or self-loop edges
+}
+
+// WindowManager owns one window's monitors behind a single-writer /
+// many-reader discipline: Apply and ExpireByAge serialize all mutation
+// under the write lock (in the service pipeline they are only ever called
+// from the ingester's flush goroutine and the expiry ticker), while query
+// methods take the read lock and so run concurrently with each other.
+// Because the Multiplexer feeds every monitor every batch, one (tau, tw)
+// pair describes the window of all monitors — uniform timestamp
+// advancement.
+type WindowManager struct {
+	mu  sync.RWMutex
+	cfg WindowConfig
+	mux *Multiplexer
+
+	// times holds the event times (unix nanos) of the unexpired arrivals,
+	// oldest first, maintained only when MaxAge > 0. Entries are clamped
+	// into [lastT, now] on insert so the sequence is monotone and
+	// prefix-expiry is sound against out-of-order or future timestamps.
+	times []int64
+	head  int
+	lastT int64
+
+	stats WindowStats
+}
+
+// NewWindowManager builds a window and its monitors.
+func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("stream: window needs N > 0, got %d", cfg.N)
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = RealClock()
+	}
+	mux, err := NewMultiplexer(cfg.Monitors, cfg.N, cfg.Monitor, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	return &WindowManager{cfg: cfg, mux: mux}, nil
+}
+
+// N returns the vertex-set size.
+func (w *WindowManager) N() int { return w.cfg.N }
+
+// Monitors lists the configured monitor names.
+func (w *WindowManager) Monitors() []string { return w.mux.Names() }
+
+// Apply inserts a batch and runs the expiry policy — the single-writer
+// entry point, called by the ingester's flush goroutine. Invalid edges
+// (endpoints outside [0, N), self-loops) are dropped and counted; the batch
+// slice may be compacted in place, so the caller yields ownership.
+func (w *WindowManager) Apply(batch []Edge) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	valid := batch[:0]
+	n32 := int32(w.cfg.N)
+	for _, e := range batch {
+		if e.U < 0 || e.U >= n32 || e.V < 0 || e.V >= n32 || e.U == e.V {
+			w.stats.Dropped++
+			continue
+		}
+		valid = append(valid, e)
+	}
+	now := w.cfg.Clock.Now()
+	if len(valid) > 0 {
+		w.mux.BatchInsert(valid)
+		w.stats.Arrivals += int64(len(valid))
+		w.stats.Batches++
+		if w.cfg.MaxAge > 0 {
+			nowNS := now.UnixNano()
+			for _, e := range valid {
+				t := e.T.UnixNano()
+				if t > nowNS {
+					t = nowNS
+				}
+				if t < w.lastT {
+					t = w.lastT
+				}
+				w.lastT = t
+				w.times = append(w.times, t)
+			}
+		}
+	}
+	w.expireLocked(now)
+}
+
+// ExpireByAge runs the time-based expiry policy without inserting anything;
+// the service's expiry ticker calls it so idle streams still age out.
+func (w *WindowManager) ExpireByAge(now time.Time) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	before := w.stats.Expired
+	w.expireLocked(now)
+	return int(w.stats.Expired - before)
+}
+
+func (w *WindowManager) expireLocked(now time.Time) {
+	delta := 0
+	if w.cfg.MaxAge > 0 {
+		cutoff := now.Add(-w.cfg.MaxAge).UnixNano()
+		for w.head+delta < len(w.times) && w.times[w.head+delta] <= cutoff {
+			delta++
+		}
+	}
+	if w.cfg.MaxArrivals > 0 {
+		if excess := int(w.windowLenLocked()) - delta - w.cfg.MaxArrivals; excess > 0 {
+			delta += excess
+		}
+	}
+	if delta == 0 {
+		return
+	}
+	if w.cfg.MaxAge > 0 {
+		w.head += delta
+		// Compact the ring once the dead prefix dominates.
+		if w.head > len(w.times)/2 && w.head > 1024 {
+			w.times = append(w.times[:0], w.times[w.head:]...)
+			w.head = 0
+		}
+	}
+	w.mux.BatchExpire(delta)
+	w.stats.Expired += int64(delta)
+}
+
+func (w *WindowManager) windowLenLocked() int64 {
+	return w.stats.Arrivals - w.stats.Expired
+}
+
+// WindowLen returns the number of unexpired arrivals.
+func (w *WindowManager) WindowLen() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.windowLenLocked()
+}
+
+// Stats snapshots the window counters.
+func (w *WindowManager) Stats() WindowStats {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	s := w.stats
+	s.WindowLen = w.windowLenLocked()
+	return s
+}
+
+// IsConnected reports window connectivity of u and v (conn monitor).
+func (w *WindowManager) IsConnected(u, v int32) (bool, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if u < 0 || int(u) >= w.cfg.N || v < 0 || int(v) >= w.cfg.N {
+		return false, fmt.Errorf("stream: vertex out of range [0, %d)", w.cfg.N)
+	}
+	m, ok := w.mux.Monitor(MonitorConn).(*connMonitor)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorConn)
+	}
+	return m.c.IsConnected(u, v), nil
+}
+
+// NumComponents returns the number of connected components of the window
+// graph (conn monitor).
+func (w *WindowManager) NumComponents() (int, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorConn).(*connMonitor)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorConn)
+	}
+	return m.c.NumComponents(), nil
+}
+
+// IsBipartite reports whether the window graph is bipartite.
+func (w *WindowManager) IsBipartite() (bool, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorBipartite).(*bipartiteMonitor)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorBipartite)
+	}
+	return m.b.IsBipartite(), nil
+}
+
+// MSFWeight returns the (1+ε)-approximate MSF weight of the window graph.
+func (w *WindowManager) MSFWeight() (float64, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorMSFWeight).(*msfWeightMonitor)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorMSFWeight)
+	}
+	return m.a.Weight(), nil
+}
+
+// CertificateSize returns the number of k-certificate edges.
+func (w *WindowManager) CertificateSize() (int, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorKCert).(*kcertMonitor)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorKCert)
+	}
+	return m.k.Size(), nil
+}
+
+// EdgeConnectivityUpToK returns min(k, edge connectivity) of the window
+// graph (kcert monitor).
+func (w *WindowManager) EdgeConnectivityUpToK() (int, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorKCert).(*kcertMonitor)
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorKCert)
+	}
+	return m.k.EdgeConnectivityUpToK(), nil
+}
+
+// HasCycle reports whether the window graph contains a cycle.
+func (w *WindowManager) HasCycle() (bool, error) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	m, ok := w.mux.Monitor(MonitorCycleFree).(*cycleFreeMonitor)
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorCycleFree)
+	}
+	return m.c.HasCycle(), nil
+}

@@ -14,14 +14,19 @@
 //     weight, k-certificates, cycle-freeness and ε-cut-sparsifiers, all
 //     under batch inserts and batch expirations with global timestamps.
 //   - The incremental-model structures of Table 1 column 1 (internal/inc).
+//   - The streaming service layer (internal/stream): a concurrent
+//     ingest/query pipeline over the sliding-window structures, served over
+//     HTTP by cmd/swserver and load-tested by cmd/swload.
 //
-// See README.md for a quickstart, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the reproduced tables and figures.
+// See README.md for a quickstart, DESIGN.md for the system inventory and
+// the stream subsystem's batching/concurrency design (§5), and
+// EXPERIMENTS.md for running and recording the benchmark sweeps.
 package repro
 
 import (
 	"repro/internal/core"
 	"repro/internal/inc"
+	"repro/internal/stream"
 	"repro/internal/sw"
 	"repro/internal/wgraph"
 )
@@ -100,6 +105,35 @@ type SparseEdge = sw.SparseEdge
 func NewSWSparsifier(n int, cfg SparsifierConfig, seed uint64) *SWSparsifier {
 	return sw.NewSparsifier(n, cfg, seed)
 }
+
+// StreamService is the concurrent streaming-graph pipeline
+// (producers → ingester → window manager → monitors) of internal/stream.
+type StreamService = stream.Service
+
+// StreamServiceConfig assembles a StreamService.
+type StreamServiceConfig = stream.ServiceConfig
+
+// StreamWindowConfig describes a managed window (vertex count, monitors,
+// count- and/or time-based expiry policy).
+type StreamWindowConfig = stream.WindowConfig
+
+// StreamIngesterConfig tunes the re-batching ingester (batch threshold,
+// flush deadline, queue depth).
+type StreamIngesterConfig = stream.IngesterConfig
+
+// ServiceEdge is one timestamped streaming edge arrival.
+type ServiceEdge = stream.Edge
+
+// NewStreamService builds and starts a streaming service pipeline.
+func NewStreamService(cfg StreamServiceConfig) (*StreamService, error) {
+	return stream.NewService(cfg)
+}
+
+// StreamServer is the HTTP JSON front-end used by cmd/swserver.
+type StreamServer = stream.Server
+
+// NewStreamServer wraps a StreamService in the HTTP JSON front-end.
+func NewStreamServer(svc *StreamService) *StreamServer { return stream.NewServer(svc) }
 
 // IncConn is incremental (insert-only) connectivity with component counting
 // via batch union-find (Table 1 column 1).

@@ -1,0 +1,42 @@
+package repro
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStreamServiceReexports drives the re-exported streaming service end
+// to end: submit through the ingester, flush, query the window.
+func TestStreamServiceReexports(t *testing.T) {
+	svc, err := NewStreamService(StreamServiceConfig{
+		Window: StreamWindowConfig{N: 100, Seed: 1, MaxArrivals: 1000},
+		Ingest: StreamIngesterConfig{MaxBatch: 8, MaxDelay: time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	if err := svc.Submit([]ServiceEdge{{U: 0, V: 1, W: 2}, {U: 1, V: 2, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+
+	conn, err := svc.Window().IsConnected(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !conn {
+		t.Fatal("0 and 2 should be connected through 1")
+	}
+	cc, err := svc.Window().NumComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc != 98 {
+		t.Fatalf("components = %d, want 98", cc)
+	}
+	if NewStreamServer(svc).Handler() == nil {
+		t.Fatal("nil HTTP handler")
+	}
+}
