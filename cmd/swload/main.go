@@ -10,8 +10,19 @@
 // of Theorem 1.1: the batched pipeline amortizes O(ℓ·lg(1+n/ℓ)) work over ℓ
 // edges where the unbatched one pays the full lg factor per edge.
 //
+// The -fanout-compare mode runs the same stream with all five monitors
+// twice — parallel monitor fan-out vs sequential — and reports the mean
+// batch apply time (write-lock hold) of each, isolating the fork-join win.
+//
+// The -windows M mode runs M windows in one registry server with producers
+// and readers spread across them (multi-tenant). Adding -compare drives the
+// same per-window streams one window at a time instead, measuring what
+// sharded concurrency buys over M sequential single-window runs.
+//
 //	swload -n 50000 -edges 200000 -producers 8 -chunk 256
 //	swload -compare -json results.json
+//	swload -fanout-compare -json fanout.json
+//	swload -windows 4 -compare
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,25 +45,29 @@ import (
 )
 
 type options struct {
-	url       string
-	n         int
-	edges     int
-	producers int
-	chunk     int
-	readers   int
-	window    int
-	batch     int
-	delay     time.Duration
-	monitors  string
-	seed      int64
-	compare   bool
-	jsonPath  string
+	url           string
+	n             int
+	edges         int
+	producers     int
+	chunk         int
+	readers       int
+	window        int
+	batch         int
+	delay         time.Duration
+	monitors      string
+	seed          int64
+	compare       bool
+	fanoutCompare bool
+	windows       int
+	shards        int
+	jsonPath      string
 }
 
 // LoadResult is the machine-readable outcome of one load run.
 type LoadResult struct {
-	Mode          string  `json:"mode"` // "batched" or "unbatched"
+	Mode          string  `json:"mode"` // "batched", "unbatched", "parallel-fanout", ...
 	N             int     `json:"n"`
+	Windows       int     `json:"windows"`
 	Edges         int64   `json:"edges"`
 	Producers     int     `json:"producers"`
 	Chunk         int     `json:"chunk"`
@@ -60,6 +76,7 @@ type LoadResult struct {
 	EdgesPerSec   float64 `json:"edges_per_sec"`
 	ServerBatches int64   `json:"server_batches"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
+	MeanApplyMs   float64 `json:"mean_apply_ms,omitempty"`
 	Posts         int64   `json:"posts"`
 	PostP50Ms     float64 `json:"post_p50_ms"`
 	PostP99Ms     float64 `json:"post_p99_ms"`
@@ -71,9 +88,12 @@ type LoadResult struct {
 // Report is the full swload output, one entry per mode.
 type Report struct {
 	Results []LoadResult `json:"results"`
-	// Speedup is edges_per_sec(batched) / edges_per_sec(unbatched); only
-	// set in -compare mode.
+	// Speedup is edges_per_sec(first) / edges_per_sec(second); set by the
+	// two-run modes (-compare, -fanout-compare, -windows -compare).
 	Speedup float64 `json:"speedup,omitempty"`
+	// ApplySpeedup is mean_apply_ms(sequential) / mean_apply_ms(parallel);
+	// only set by -fanout-compare.
+	ApplySpeedup float64 `json:"apply_speedup,omitempty"`
 }
 
 func main() {
@@ -90,12 +110,37 @@ func main() {
 	flag.StringVar(&o.monitors, "monitors", "conn", "monitors for the in-process server")
 	flag.Int64Var(&o.seed, "seed", 0xC0FFEE, "workload seed")
 	flag.BoolVar(&o.compare, "compare", false, "run batched vs one-edge-per-batch on the same stream (in-process only)")
+	flag.BoolVar(&o.fanoutCompare, "fanout-compare", false, "run parallel vs sequential monitor fan-out with all monitors (in-process only)")
+	flag.IntVar(&o.windows, "windows", 1, "number of windows to spread the load over (in-process only)")
+	flag.IntVar(&o.shards, "shards", 16, "registry lock shards (in-process server)")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
 	flag.Parse()
 
-	if o.producers < 1 || o.chunk < 1 || o.readers < 0 || o.n < 2 || o.edges < 0 || o.batch < 1 {
-		fmt.Fprintln(os.Stderr, "swload: need -producers >= 1, -chunk >= 1, -readers >= 0, -n >= 2, -edges >= 0, -batch >= 1")
+	if o.producers < 1 || o.chunk < 1 || o.readers < 0 || o.n < 2 || o.edges < 0 || o.batch < 1 || o.windows < 1 {
+		fmt.Fprintln(os.Stderr, "swload: need -producers >= 1, -chunk >= 1, -readers >= 0, -n >= 2, -edges >= 0, -batch >= 1, -windows >= 1")
 		os.Exit(2)
+	}
+	if (o.compare || o.fanoutCompare || o.windows > 1) && o.url != "" {
+		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-windows need the in-process server; drop -url")
+		os.Exit(2)
+	}
+	if o.fanoutCompare && o.compare {
+		fmt.Fprintln(os.Stderr, "pick one of -compare and -fanout-compare")
+		os.Exit(2)
+	}
+	// Producers and readers are spread over windows round-robin; with
+	// fewer than one per window some windows would get no load at all
+	// (and a -compare baseline would measure a different workload), so
+	// scale them up to cover every window.
+	if o.windows > 1 {
+		if o.producers < o.windows {
+			fmt.Fprintf(os.Stderr, "swload: raising -producers %d -> %d (one per window)\n", o.producers, o.windows)
+			o.producers = o.windows
+		}
+		if o.readers > 0 && o.readers < o.windows {
+			fmt.Fprintf(os.Stderr, "swload: raising -readers %d -> %d (one per window)\n", o.readers, o.windows)
+			o.readers = o.windows
+		}
 	}
 
 	// With -json - the report owns stdout; the human-readable result
@@ -106,13 +151,38 @@ func main() {
 	}
 
 	var rep Report
-	if o.compare {
-		if o.url != "" {
-			fmt.Fprintln(os.Stderr, "-compare needs the in-process server; drop -url")
-			os.Exit(2)
+	switch {
+	case o.fanoutCompare:
+		// The fan-out win only exists when there is fan-out: force the full
+		// monitor set so each batch has five independent applies.
+		o.monitors = ""
+		par := runInProc(o, "parallel-fanout", o.batch, false, false)
+		seq := runInProc(o, "sequential-fanout", o.batch, true, false)
+		rep.Results = []LoadResult{par, seq}
+		if seq.EdgesPerSec > 0 {
+			rep.Speedup = par.EdgesPerSec / seq.EdgesPerSec
 		}
-		batched := runInProc(o, "batched", o.batch)
-		unbatched := runInProc(o, "unbatched", 1)
+		if par.MeanApplyMs > 0 {
+			rep.ApplySpeedup = seq.MeanApplyMs / par.MeanApplyMs
+		}
+		printResult(par)
+		printResult(seq)
+		fmt.Printf("\nparallel/sequential fan-out: ingest speedup x%.2f, mean-apply speedup x%.2f (GOMAXPROCS=%d)\n",
+			rep.Speedup, rep.ApplySpeedup, maxprocs())
+	case o.windows > 1 && o.compare:
+		multi := runInProc(o, "multi-window", o.batch, false, false)
+		seq := runInProc(o, "sequential-windows", o.batch, false, true)
+		rep.Results = []LoadResult{multi, seq}
+		if seq.EdgesPerSec > 0 {
+			rep.Speedup = multi.EdgesPerSec / seq.EdgesPerSec
+		}
+		printResult(multi)
+		printResult(seq)
+		fmt.Printf("\n%d concurrent windows vs %d sequential runs: aggregate ingest speedup x%.2f\n",
+			o.windows, o.windows, rep.Speedup)
+	case o.compare:
+		batched := runInProc(o, "batched", o.batch, false, false)
+		unbatched := runInProc(o, "unbatched", 1, false, false)
 		rep.Results = []LoadResult{batched, unbatched}
 		if unbatched.EdgesPerSec > 0 {
 			rep.Speedup = batched.EdgesPerSec / unbatched.EdgesPerSec
@@ -120,12 +190,12 @@ func main() {
 		printResult(batched)
 		printResult(unbatched)
 		fmt.Printf("\nbatched/unbatched ingest speedup: x%.2f\n", rep.Speedup)
-	} else if o.url != "" {
-		res := runLoad(o, "batched", o.url, nil)
+	case o.url != "":
+		res := runLoad(o, "batched", o.url, []string{""}, nil)
 		rep.Results = []LoadResult{res}
 		printResult(res)
-	} else {
-		res := runInProc(o, "batched", o.batch)
+	default:
+		res := runInProc(o, "batched", o.batch, false, false)
 		rep.Results = []LoadResult{res}
 		printResult(res)
 	}
@@ -139,42 +209,126 @@ func main() {
 	}
 }
 
-// runInProc starts a loopback swserver with the given ingester threshold
-// and drives it.
-func runInProc(o options, mode string, maxBatch int) LoadResult {
-	names := stream.SplitMonitors(o.monitors)
-	svc, err := stream.NewService(stream.ServiceConfig{
-		Window: stream.WindowConfig{
-			N:           o.n,
-			Seed:        uint64(o.seed),
-			Monitors:    names,
-			MaxArrivals: o.window,
-		},
-		Ingest: stream.IngesterConfig{MaxBatch: maxBatch, MaxDelay: o.delay},
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+func maxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// windowNames returns the load-target window names: the legacy default
+// window when one window is asked for, w0..w{M-1} otherwise.
+func windowNames(m int) []string {
+	if m == 1 {
+		return []string{stream.DefaultWindow}
 	}
-	defer svc.Close()
+	names := make([]string, m)
+	for i := range names {
+		names[i] = fmt.Sprintf("w%d", i)
+	}
+	return names
+}
+
+// runInProc starts a loopback swserver whose registry holds o.windows
+// windows built with the given ingester threshold and fan-out mode, and
+// drives them — concurrently, or one window at a time (oneAtATime).
+func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool) LoadResult {
+	reg := stream.NewRegistry(stream.RegistryConfig{
+		Shards: o.shards,
+		Template: stream.ServiceConfig{
+			Window: stream.WindowConfig{
+				N:                o.n,
+				Seed:             uint64(o.seed),
+				Monitors:         stream.SplitMonitors(o.monitors),
+				MaxArrivals:      o.window,
+				SequentialFanout: seqFanout,
+			},
+			Ingest: stream.IngesterConfig{MaxBatch: maxBatch, MaxDelay: o.delay},
+		},
+	})
+	defer reg.Close()
+	names := windowNames(o.windows)
+	svcs := make([]*stream.Service, len(names))
+	for i, name := range names {
+		// Pass the template itself so non-inherited fields (the fan-out
+		// mode) carry to the created windows.
+		svc, err := reg.Create(name, reg.Template())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		svcs[i] = svc
+	}
 
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: stream.NewServer(svc).Handler()}
+	srv := &http.Server{Handler: stream.NewRegistryServer(reg, stream.ServerConfig{}).Handler()}
 	go srv.Serve(ln)
 	defer srv.Close()
+	base := "http://" + ln.Addr().String()
 
-	res := runLoad(o, mode, "http://"+ln.Addr().String(), svc)
+	// Path prefixes the producers/readers target: "" = legacy routes.
+	prefixes := make([]string, len(names))
+	if o.windows > 1 {
+		for i, name := range names {
+			prefixes[i] = "/windows/" + name
+		}
+	}
+
+	var res LoadResult
+	if oneAtATime {
+		// M sequential single-window runs over the same per-window shares.
+		// The aggregate divides total edges by the sum of the runs' ingest
+		// elapsed times — the same clock the concurrent mode uses, so the
+		// comparison excludes per-run client setup/teardown on both sides.
+		// Latency percentiles are the max across runs (a conservative
+		// upper bound, matching the histogram's upper-bound semantics).
+		var agg LoadResult
+		sub := o
+		sub.windows = 1
+		for i, prefix := range prefixes {
+			sub.edges = o.edges / o.windows
+			if i == 0 { // first window absorbs the division remainder
+				sub.edges += o.edges % o.windows
+			}
+			r := runLoad(sub, mode, base, []string{prefix}, nil)
+			agg.Edges += r.Edges
+			agg.Posts += r.Posts
+			agg.Queries += r.Queries
+			agg.ElapsedSec += r.ElapsedSec
+			agg.PostP50Ms = max(agg.PostP50Ms, r.PostP50Ms)
+			agg.PostP99Ms = max(agg.PostP99Ms, r.PostP99Ms)
+			agg.QueryP50Ms = max(agg.QueryP50Ms, r.QueryP50Ms)
+			agg.QueryP99Ms = max(agg.QueryP99Ms, r.QueryP99Ms)
+		}
+		res = agg
+		res.Mode, res.N, res.Producers, res.Chunk = mode, o.n, o.producers, o.chunk
+		res.EdgesPerSec = float64(res.Edges) / res.ElapsedSec
+	} else {
+		res = runLoad(o, mode, base, prefixes, svcs)
+	}
 	res.MaxBatch = maxBatch
+	res.Windows = o.windows
+
+	// Server-side batch shape and apply time, aggregated over the windows.
+	var batches, applyNS, arrivals int64
+	for _, svc := range svcs {
+		svc.Flush()
+		st := svc.Window().Stats()
+		batches += st.Batches
+		applyNS += st.ApplyNS
+		arrivals += st.Arrivals
+	}
+	res.ServerBatches = batches
+	if batches > 0 {
+		res.MeanBatchSize = float64(arrivals) / float64(batches)
+		res.MeanApplyMs = float64(applyNS) / float64(batches) / 1e6
+	}
 	return res
 }
 
 // runLoad fires o.producers concurrent POST loops plus o.readers query
-// loops at base and collects the measurements.
-func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
+// loops at base, spreading them across the given window path prefixes, and
+// collects the measurements.
+func runLoad(o options, mode, base string, prefixes []string, svcs []*stream.Service) LoadResult {
 	// The default transport keeps only 2 idle conns per host, which makes
 	// every concurrent loop beyond that pay a fresh TCP handshake per
 	// request; raise it so the pipeline, not the client, is measured.
@@ -194,6 +348,7 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 		go func(p int) {
 			defer prodWG.Done()
 			r := rand.New(rand.NewSource(o.seed + int64(p)))
+			prefix := prefixes[p%len(prefixes)]
 			perProducer := perProducer
 			if p == 0 { // first producer absorbs the division remainder
 				perProducer += o.edges % o.producers
@@ -219,14 +374,14 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 				}
 				body, _ := json.Marshal(map[string]any{"edges": edges})
 				t0 := time.Now()
-				resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
+				resp, err := client.Post(base+prefix+"/edges", "application/json", bytes.NewReader(body))
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "POST /edges: %v\n", err)
+					fmt.Fprintf(os.Stderr, "POST %s/edges: %v\n", prefix, err)
 					return
 				}
 				drainBody(resp)
 				if resp.StatusCode != http.StatusAccepted {
-					fmt.Fprintf(os.Stderr, "POST /edges: status %d\n", resp.StatusCode)
+					fmt.Fprintf(os.Stderr, "POST %s/edges: status %d\n", prefix, resp.StatusCode)
 					return
 				}
 				// Only successful posts count toward the latency stats.
@@ -239,7 +394,11 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 	// Query only the endpoints the configured monitors can answer.
 	var queryPaths []string
 	hasConn := false
-	for _, m := range stream.SplitMonitors(o.monitors) {
+	names := stream.SplitMonitors(o.monitors)
+	if len(names) == 0 {
+		names = stream.AllMonitors()
+	}
+	for _, m := range names {
 		switch m {
 		case stream.MonitorConn:
 			hasConn = true
@@ -264,6 +423,7 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 		go func(q int) {
 			defer readWG.Done()
 			r := rand.New(rand.NewSource(o.seed + 1000 + int64(q)))
+			prefix := prefixes[q%len(prefixes)]
 			badLogged := false
 			for i := 0; ; i++ {
 				select {
@@ -271,9 +431,9 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 					return
 				default:
 				}
-				path := queryPaths[i%len(queryPaths)]
+				path := prefix + queryPaths[i%len(queryPaths)]
 				if hasConn && i%2 == 0 {
-					path = fmt.Sprintf("/query/connected?u=%d&v=%d", r.Intn(o.n), r.Intn(o.n))
+					path = fmt.Sprintf("%s/query/connected?u=%d&v=%d", prefix, r.Intn(o.n), r.Intn(o.n))
 				}
 				t0 := time.Now()
 				resp, err := client.Get(base + path)
@@ -299,7 +459,7 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 	ingestElapsed := time.Since(start)
 	close(stop)
 	readWG.Wait()
-	if svc != nil {
+	for _, svc := range svcs {
 		svc.Flush()
 	}
 
@@ -308,6 +468,7 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 	res := LoadResult{
 		Mode:      mode,
 		N:         o.n,
+		Windows:   len(prefixes),
 		Edges:     posted.Load(),
 		Producers: o.producers,
 		Chunk:     o.chunk,
@@ -323,18 +484,22 @@ func runLoad(o options, mode, base string, svc *stream.Service) LoadResult {
 		QueryP99Ms:  float64(qs.P99) / 1e6,
 	}
 
-	// Server-side batch shape from /stats.
-	var stats struct {
-		Ingest struct {
-			Batches       int64   `json:"batches"`
-			MeanBatchSize float64 `json:"mean_batch_size"`
-		} `json:"ingest"`
-	}
-	if resp, err := client.Get(base + "/stats"); err == nil {
-		_ = json.NewDecoder(resp.Body).Decode(&stats)
-		drainBody(resp)
-		res.ServerBatches = stats.Ingest.Batches
-		res.MeanBatchSize = stats.Ingest.MeanBatchSize
+	// Without in-process service handles (remote -url runs), scrape the
+	// server-side batch shape from the target window's /stats; runInProc
+	// overwrites these with exact aggregates when it has the handles.
+	if svcs == nil {
+		var stats struct {
+			Ingest struct {
+				Batches       int64   `json:"batches"`
+				MeanBatchSize float64 `json:"mean_batch_size"`
+			} `json:"ingest"`
+		}
+		if resp, err := client.Get(base + prefixes[0] + "/stats"); err == nil {
+			_ = json.NewDecoder(resp.Body).Decode(&stats)
+			drainBody(resp)
+			res.ServerBatches = stats.Ingest.Batches
+			res.MeanBatchSize = stats.Ingest.MeanBatchSize
+		}
 	}
 	return res
 }
@@ -349,13 +514,19 @@ func drainBody(resp *http.Response) {
 }
 
 func printResult(r LoadResult) {
-	if r.MaxBatch > 0 {
+	switch {
+	case r.MaxBatch > 0 && r.Windows > 1:
+		fmt.Printf("== %s (windows=%d, maxBatch=%d) ==\n", r.Mode, r.Windows, r.MaxBatch)
+	case r.MaxBatch > 0:
 		fmt.Printf("== %s (maxBatch=%d) ==\n", r.Mode, r.MaxBatch)
-	} else {
+	default:
 		fmt.Printf("== %s (remote server; batch threshold unknown) ==\n", r.Mode)
 	}
 	fmt.Printf("  ingested %d edges in %.2fs  →  %.0f edges/sec\n", r.Edges, r.ElapsedSec, r.EdgesPerSec)
 	fmt.Printf("  server batches: %d (mean size %.1f)\n", r.ServerBatches, r.MeanBatchSize)
+	if r.MeanApplyMs > 0 {
+		fmt.Printf("  mean apply (write-lock hold): %.3fms/batch\n", r.MeanApplyMs)
+	}
 	fmt.Printf("  POST  p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
 	fmt.Printf("  query p50 %.3fms  p99 %.3fms  (%d requests)\n", r.QueryP50Ms, r.QueryP99Ms, r.Queries)
 }

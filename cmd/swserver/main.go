@@ -1,24 +1,32 @@
 // Command swserver serves the sliding-window structures of Theorem 1.2 as
-// an HTTP JSON service: timestamped edges stream in over POST /edges, get
-// re-batched by the internal/stream ingester (recovering the paper's
-// O(ℓ·lg(1+n/ℓ)) batch economics), and queries are answered concurrently
-// from the shared window.
+// a multi-window HTTP JSON service: timestamped edges stream in over
+// POST /edges (or POST /windows/{name}/edges), get re-batched by the
+// internal/stream ingester (recovering the paper's O(ℓ·lg(1+n/ℓ)) batch
+// economics), fan out to the window's monitors in parallel, and queries
+// are answered concurrently from the shared windows.
+//
+// Windows are created at runtime against the template the flags describe;
+// a "default" window is pre-created so the single-window routes work out
+// of the box.
 //
 // Endpoints:
 //
-//	POST /edges                  {"edges":[{"u":0,"v":1,"w":5},...]}
-//	GET  /query/connected?u=&v=  window connectivity
-//	GET  /query/components       connected component count
-//	GET  /query/bipartite        bipartiteness
-//	GET  /query/msfweight        (1+ε)-approximate MSF weight
-//	GET  /query/cycle            cycle detection
-//	GET  /query/kcert            certificate size, min(k, edge connectivity)
-//	GET  /stats                  window/ingest/latency counters
-//	GET  /healthz                liveness
+//	POST   /windows                        {"name":"w1","n":50000,...} create
+//	GET    /windows                        list windows with stats
+//	GET    /windows/{name}                 one window's info
+//	DELETE /windows/{name}                 drop a window
+//	POST   /windows/{name}/edges           {"edges":[{"u":0,"v":1,"w":5},...]}
+//	GET    /windows/{name}/query/connected?u=&v=
+//	GET    /windows/{name}/query/{components,bipartite,msfweight,cycle,kcert}
+//	GET    /windows/{name}/stats           per-window counters
+//	POST   /edges, GET /query/..., /stats  default window (legacy routes)
+//	GET    /healthz                        liveness
+//	GET    /debug/pprof/...                profiling (only with -pprof)
 //
 // Example:
 //
-//	swserver -addr :8080 -n 100000 -window 1000000 -batch 512 -delay 2ms
+//	swserver -addr :8080 -n 100000 -window 1000000 -batch 512 -delay 2ms \
+//	         -shards 32 -windows tenant-a,tenant-b -pprof
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,9 +48,9 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int("n", 100_000, "number of vertices")
+	n := flag.Int("n", 100_000, "number of vertices (window template)")
 	monitors := flag.String("monitors", strings.Join(stream.AllMonitors(), ","),
-		"comma-separated monitors to maintain")
+		"comma-separated monitors to maintain (window template)")
 	window := flag.Int("window", 1_000_000, "count-based window: keep the most recent W edges (0 = unbounded)")
 	maxAge := flag.Duration("maxage", 0, "time-based window: expire edges older than this (0 = disabled)")
 	batch := flag.Int("batch", 512, "ingester batch threshold")
@@ -50,28 +59,55 @@ func main() {
 	maxW := flag.Int64("maxw", 1<<20, "msfweight maximum edge weight")
 	k := flag.Int("k", 2, "kcert certificate order")
 	seed := flag.Uint64("seed", 0xC0FFEE, "structure seed")
+	shards := flag.Int("shards", 16, "registry lock shards (rounded up to a power of two)")
+	maxWindows := flag.Int("maxwindows", 0, "cap on live windows (0 = unlimited)")
+	windows := flag.String("windows", "", "comma-separated extra windows to pre-create from the template")
+	seqFanout := flag.Bool("seqfanout", false, "apply batches to monitors sequentially instead of in parallel")
+	maxBody := flag.Int64("maxbody", stream.DefaultMaxBodyBytes, "request body size cap in bytes")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
-	names := stream.SplitMonitors(*monitors)
-	svc, err := stream.NewService(stream.ServiceConfig{
+	template := stream.ServiceConfig{
 		Window: stream.WindowConfig{
-			N:           *n,
-			Seed:        *seed,
-			Monitors:    names,
-			Monitor:     stream.MonitorConfig{Eps: *eps, MaxWeight: *maxW, K: *k},
-			MaxArrivals: *window,
-			MaxAge:      *maxAge,
+			N:                *n,
+			Seed:             *seed,
+			Monitors:         stream.SplitMonitors(*monitors),
+			Monitor:          stream.MonitorConfig{Eps: *eps, MaxWeight: *maxW, K: *k},
+			MaxArrivals:      *window,
+			MaxAge:           *maxAge,
+			SequentialFanout: *seqFanout,
 		},
 		Ingest: stream.IngesterConfig{MaxBatch: *batch, MaxDelay: *delay},
+	}
+	reg := stream.NewRegistry(stream.RegistryConfig{
+		Shards:     *shards,
+		MaxWindows: *maxWindows,
+		Template:   template,
 	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	names := append([]string{stream.DefaultWindow}, stream.SplitMonitors(*windows)...)
+	for _, name := range names {
+		// Pass the template itself so non-inherited fields (-seqfanout)
+		// carry to the pre-created windows.
+		if _, err := reg.Create(name, template); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	api := stream.NewRegistryServer(reg, stream.ServerConfig{MaxBodyBytes: *maxBody})
+	root := http.NewServeMux()
+	root.Handle("/", api.Handler())
+	if *pprofOn {
+		root.HandleFunc("/debug/pprof/", pprof.Index)
+		root.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		root.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		root.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           stream.NewServer(svc).Handler(),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -80,8 +116,9 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("swserver listening on %s (n=%d, monitors=%s, window=%d, maxage=%v, batch=%d/%v)",
-		*addr, *n, strings.Join(names, ","), *window, *maxAge, *batch, *delay)
+	log.Printf("swserver listening on %s (windows=%s, shards=%d, n=%d, monitors=%s, window=%d, maxage=%v, batch=%d/%v, fanout=%s, pprof=%v)",
+		*addr, strings.Join(reg.Names(), ","), reg.Shards(), *n, *monitors, *window, *maxAge, *batch, *delay,
+		map[bool]string{false: "parallel", true: "sequential"}[*seqFanout], *pprofOn)
 
 	select {
 	case err := <-errCh:
@@ -96,6 +133,6 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}
-	svc.Close()
+	reg.Close()
 	log.Printf("bye")
 }

@@ -1,22 +1,32 @@
 package stream
 
+import "repro/internal/parallel"
+
 // Multiplexer fans one ingested stream out to several monitors that share
 // the batching pipeline: every monitor receives every batch and every
-// expiry count, so all monitors observe the same window at all times. The
-// Multiplexer itself is not safe for concurrent use — the WindowManager
-// serializes access around it.
+// expiry count, so all monitors observe the same window at all times.
+//
+// The monitors are mutually independent structures, so the fan-out is a
+// fork-join parallel region by default (parallel.Do): all monitors apply
+// the same batch concurrently and the apply cost under the window's write
+// lock drops from the sum of the monitor costs to the max. Sequential
+// fan-out remains available (for measurement, and as the degenerate form on
+// GOMAXPROCS=1). Either way the Multiplexer itself is not safe for
+// concurrent use — the WindowManager serializes access around it.
 type Multiplexer struct {
-	mons   []Monitor
-	byName map[string]Monitor
+	mons       []Monitor
+	byName     map[string]Monitor
+	sequential bool
 }
 
-// NewMultiplexer builds a multiplexer over the named monitors.
-func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64) (*Multiplexer, error) {
+// NewMultiplexer builds a multiplexer over the named monitors. sequential
+// forces one-monitor-at-a-time fan-out; the default is parallel fork-join.
+func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, sequential bool) (*Multiplexer, error) {
 	if len(names) == 0 {
 		names = AllMonitors()
 	}
 	cfg = cfg.withDefaults()
-	m := &Multiplexer{byName: make(map[string]Monitor, len(names))}
+	m := &Multiplexer{byName: make(map[string]Monitor, len(names)), sequential: sequential}
 	for i, name := range names {
 		if _, dup := m.byName[name]; dup {
 			continue
@@ -31,11 +41,27 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64) (*Mul
 	return m, nil
 }
 
-// BatchInsert fans a batch out to every monitor.
-func (m *Multiplexer) BatchInsert(edges []Edge) {
-	for _, mon := range m.mons {
-		mon.BatchInsert(edges)
+// fanout applies one operation to every monitor, in parallel unless the
+// multiplexer is sequential or trivially small.
+func (m *Multiplexer) fanout(apply func(Monitor)) {
+	if m.sequential || len(m.mons) <= 1 {
+		for _, mon := range m.mons {
+			apply(mon)
+		}
+		return
 	}
+	fns := make([]func(), len(m.mons))
+	for i, mon := range m.mons {
+		fns[i] = func() { apply(mon) }
+	}
+	parallel.Do(fns...)
+}
+
+// BatchInsert fans a batch out to every monitor. The batch slice is only
+// read by the monitors (each converts it into its own representation), so
+// sharing it across the parallel region is safe.
+func (m *Multiplexer) BatchInsert(edges []Edge) {
+	m.fanout(func(mon Monitor) { mon.BatchInsert(edges) })
 }
 
 // BatchExpire expires the oldest delta arrivals in every monitor.
@@ -43,13 +69,14 @@ func (m *Multiplexer) BatchExpire(delta int) {
 	if delta <= 0 {
 		return
 	}
-	for _, mon := range m.mons {
-		mon.BatchExpire(delta)
-	}
+	m.fanout(func(mon Monitor) { mon.BatchExpire(delta) })
 }
 
 // Monitor returns the named monitor, or nil if it was not configured.
 func (m *Multiplexer) Monitor(name string) Monitor { return m.byName[name] }
+
+// Sequential reports whether fan-out is forced sequential.
+func (m *Multiplexer) Sequential() bool { return m.sequential }
 
 // Names lists the configured monitors in fan-out order.
 func (m *Multiplexer) Names() []string {

@@ -1,0 +1,429 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWindow is the window name the legacy single-window HTTP routes
+// resolve to.
+const DefaultWindow = "default"
+
+// Registry errors, distinguished so the HTTP layer can map them to status
+// codes (409 exists, 404 not found, 429 too many, 503 closed, 400 name).
+var (
+	ErrWindowExists   = errors.New("stream: window already exists")
+	ErrWindowNotFound = errors.New("stream: window not found")
+	ErrTooManyWindows = errors.New("stream: window limit reached")
+	ErrRegistryClosed = errors.New("stream: registry closed")
+	ErrBadWindowName  = errors.New("stream: bad window name")
+)
+
+// RegistryConfig tunes a WindowRegistry; zero values select defaults.
+type RegistryConfig struct {
+	// Shards is the number of independent lock shards the window table is
+	// hash-partitioned over (default 16, rounded up to a power of two).
+	// Operations on windows in different shards never contend.
+	Shards int
+	// MaxWindows caps the number of live windows (0 = unlimited). Creation
+	// beyond the cap fails with ErrTooManyWindows.
+	MaxWindows int
+	// Template is the ServiceConfig new windows inherit when the creator
+	// leaves fields zero (see mergeTemplate). Template.Window.N must be set
+	// for template-based creation to work.
+	Template ServiceConfig
+}
+
+func (c *RegistryConfig) withDefaults() RegistryConfig {
+	out := *c
+	if out.Shards <= 0 {
+		out.Shards = 16
+	}
+	// Round up to a power of two so shard selection is a mask, not a mod.
+	n := 1
+	for n < out.Shards {
+		n <<= 1
+	}
+	out.Shards = n
+	return out
+}
+
+// WindowInfo is a point-in-time public snapshot of one registered window.
+type WindowInfo struct {
+	Name     string      `json:"name"`
+	N        int         `json:"n"`
+	Monitors []string    `json:"monitors"`
+	Created  time.Time   `json:"created"`
+	Window   WindowStats `json:"window"`
+	Edges    int64       `json:"ingest_edges"`
+	Batches  int64       `json:"ingest_batches"`
+}
+
+// windowHandle is one registry entry. svc is nil while the window is still
+// being constructed (Create publishes a placeholder first so it can build
+// the Service outside the shard lock); every reader treats a nil-svc
+// handle as "window does not exist yet".
+type windowHandle struct {
+	name    string
+	svc     *Service
+	created time.Time
+}
+
+type registryShard struct {
+	mu   sync.RWMutex
+	wins map[string]*windowHandle
+}
+
+// WindowRegistry owns many named windows — each a full Service pipeline
+// (Ingester + WindowManager + expiry ticker) — hash-sharded across
+// independent locks so tenants operating on different windows never
+// contend on registry state. The shard locks guard only the name → window
+// table; each window's own single-writer/many-reader discipline is
+// unchanged, so one tenant's batch application never blocks another
+// tenant's queries.
+type WindowRegistry struct {
+	cfg    RegistryConfig
+	shards []registryShard
+	mask   uint64
+
+	// countMu serializes the MaxWindows admission check across shards;
+	// count is the number of live windows. closed is atomic so Create can
+	// re-check it under the shard lock (see the comment there) without
+	// taking countMu inside it.
+	countMu sync.Mutex
+	count   int
+	closed  atomic.Bool
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(cfg RegistryConfig) *WindowRegistry {
+	cfg = cfg.withDefaults()
+	r := &WindowRegistry{
+		cfg:    cfg,
+		shards: make([]registryShard, cfg.Shards),
+		mask:   uint64(cfg.Shards - 1),
+	}
+	for i := range r.shards {
+		r.shards[i].wins = make(map[string]*windowHandle)
+	}
+	return r
+}
+
+// Template returns the config new windows inherit defaults from.
+func (r *WindowRegistry) Template() ServiceConfig { return r.cfg.Template }
+
+// Shards returns the number of lock shards.
+func (r *WindowRegistry) Shards() int { return len(r.shards) }
+
+// shardFor picks the shard owning a name (FNV-1a).
+func (r *WindowRegistry) shardFor(name string) *registryShard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return &r.shards[h&r.mask]
+}
+
+// ValidateWindowName enforces the name grammar shared by the registry and
+// the HTTP routes: 1–128 chars from [A-Za-z0-9._-], not "." or "..".
+func ValidateWindowName(name string) error {
+	if name == "" || len(name) > 128 || name == "." || name == ".." {
+		return fmt.Errorf("%w: %q", ErrBadWindowName, name)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-') {
+			return fmt.Errorf("%w: %q", ErrBadWindowName, name)
+		}
+	}
+	return nil
+}
+
+// mergeTemplate fills the zero fields of cfg from the template. Explicit
+// zero-disables are impossible through this path for MaxArrivals/MaxAge —
+// tenants that need them pass a fully-specified config to Create instead of
+// relying on the template.
+func mergeTemplate(cfg, tpl ServiceConfig) ServiceConfig {
+	if cfg.Window.N == 0 {
+		cfg.Window.N = tpl.Window.N
+	}
+	if cfg.Window.Seed == 0 {
+		cfg.Window.Seed = tpl.Window.Seed
+	}
+	if cfg.Window.Monitors == nil {
+		cfg.Window.Monitors = tpl.Window.Monitors
+	}
+	// MonitorConfig merges per field like everything else: a tenant that
+	// overrides only K must still inherit the template's Eps/MaxWeight.
+	if cfg.Window.Monitor.Eps == 0 {
+		cfg.Window.Monitor.Eps = tpl.Window.Monitor.Eps
+	}
+	if cfg.Window.Monitor.MaxWeight == 0 {
+		cfg.Window.Monitor.MaxWeight = tpl.Window.Monitor.MaxWeight
+	}
+	if cfg.Window.Monitor.K == 0 {
+		cfg.Window.Monitor.K = tpl.Window.Monitor.K
+	}
+	if cfg.Window.MaxArrivals == 0 {
+		cfg.Window.MaxArrivals = tpl.Window.MaxArrivals
+	}
+	if cfg.Window.MaxAge == 0 {
+		cfg.Window.MaxAge = tpl.Window.MaxAge
+	}
+	if cfg.Window.Clock == nil {
+		cfg.Window.Clock = tpl.Window.Clock
+	}
+	// SequentialFanout is NOT inherited: a bool cannot distinguish "unset"
+	// from an explicit false, so the merged value is exactly what the
+	// caller set. Callers that want the template's fan-out mode pass the
+	// template itself as the base config (cmd/swserver, cmd/swload) or
+	// resolve it before calling Create (the HTTP create handler's
+	// tri-state sequential_fanout field).
+	if cfg.Ingest.MaxBatch == 0 {
+		cfg.Ingest.MaxBatch = tpl.Ingest.MaxBatch
+	}
+	if cfg.Ingest.MaxDelay == 0 {
+		cfg.Ingest.MaxDelay = tpl.Ingest.MaxDelay
+	}
+	if cfg.Ingest.QueueLen == 0 {
+		cfg.Ingest.QueueLen = tpl.Ingest.QueueLen
+	}
+	if cfg.Ingest.Clock == nil {
+		cfg.Ingest.Clock = tpl.Ingest.Clock
+	}
+	return cfg
+}
+
+// reserve admits one window-to-be against MaxWindows and the closed flag.
+// The caller must call release on any failure after reserve succeeded.
+func (r *WindowRegistry) reserve() error {
+	r.countMu.Lock()
+	defer r.countMu.Unlock()
+	if r.closed.Load() {
+		return ErrRegistryClosed
+	}
+	if r.cfg.MaxWindows > 0 && r.count >= r.cfg.MaxWindows {
+		return fmt.Errorf("%w (max %d)", ErrTooManyWindows, r.cfg.MaxWindows)
+	}
+	r.count++
+	return nil
+}
+
+func (r *WindowRegistry) release() {
+	r.countMu.Lock()
+	r.count--
+	r.countMu.Unlock()
+}
+
+// Create builds and registers a new window named name. Zero fields of cfg
+// inherit from the registry template. Fails with ErrWindowExists if the
+// name is taken.
+func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error) {
+	if err := ValidateWindowName(name); err != nil {
+		return nil, err
+	}
+	cfg = mergeTemplate(cfg, r.cfg.Template)
+	if err := r.reserve(); err != nil {
+		return nil, err
+	}
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	// Re-check closed under the shard lock (see the matching re-check
+	// below for why this pairs safely with Close).
+	if r.closed.Load() {
+		sh.mu.Unlock()
+		r.release()
+		return nil, ErrRegistryClosed
+	}
+	if _, dup := sh.wins[name]; dup {
+		sh.mu.Unlock()
+		r.release()
+		return nil, fmt.Errorf("%w: %q", ErrWindowExists, name)
+	}
+	// Publish a placeholder and construct outside the lock: building
+	// monitors is O(N) and must not stall Get for unrelated windows in
+	// this shard. The placeholder reserves the name (racing creates see a
+	// duplicate); Get/List/Drop all treat nil svc as "no such window".
+	h := &windowHandle{name: name, created: time.Now()}
+	sh.wins[name] = h
+	sh.mu.Unlock()
+
+	svc, err := NewService(cfg)
+
+	sh.mu.Lock()
+	if err != nil {
+		delete(sh.wins, name)
+		sh.mu.Unlock()
+		r.release()
+		return nil, err
+	}
+	// Re-check closed before publishing: a Close that stored the flag
+	// before this load skipped our placeholder in its sweep (nil svc) and
+	// expects us to clean up; one that stores after will sweep the
+	// published window once we release the lock. Either way no window
+	// outlives Close.
+	if r.closed.Load() {
+		delete(sh.wins, name)
+		sh.mu.Unlock()
+		svc.Close()
+		r.release()
+		return nil, ErrRegistryClosed
+	}
+	h.svc = svc
+	sh.mu.Unlock()
+	return svc, nil
+}
+
+// Attach registers an externally-built Service under name. The registry
+// takes ownership: Drop and Close will Close it.
+func (r *WindowRegistry) Attach(name string, svc *Service) error {
+	if err := ValidateWindowName(name); err != nil {
+		return err
+	}
+	if err := r.reserve(); err != nil {
+		return err
+	}
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() { // same Close handshake as Create
+		r.release()
+		return ErrRegistryClosed
+	}
+	if _, dup := sh.wins[name]; dup {
+		r.release()
+		return fmt.Errorf("%w: %q", ErrWindowExists, name)
+	}
+	sh.wins[name] = &windowHandle{name: name, svc: svc, created: time.Now()}
+	return nil
+}
+
+// Get returns the named window's service. A window whose Create is still
+// constructing does not resolve yet.
+func (r *WindowRegistry) Get(name string) (*Service, bool) {
+	sh := r.shardFor(name)
+	sh.mu.RLock()
+	h, ok := sh.wins[name]
+	var svc *Service
+	if ok {
+		svc = h.svc
+	}
+	sh.mu.RUnlock()
+	if svc == nil {
+		return nil, false
+	}
+	return svc, true
+}
+
+// Drop unregisters the named window and closes its pipeline (draining the
+// ingester). The close runs outside the shard lock so a slow drain never
+// blocks other registry operations; readers that fetched the service before
+// the drop keep a usable (query-only, once closed) handle.
+func (r *WindowRegistry) Drop(name string) error {
+	sh := r.shardFor(name)
+	sh.mu.Lock()
+	h, ok := sh.wins[name]
+	ok = ok && h.svc != nil // a mid-construction placeholder is not droppable
+	if ok {
+		delete(sh.wins, name)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrWindowNotFound, name)
+	}
+	r.release()
+	h.svc.Close()
+	return nil
+}
+
+// Len returns the number of live windows.
+func (r *WindowRegistry) Len() int {
+	r.countMu.Lock()
+	defer r.countMu.Unlock()
+	return r.count
+}
+
+// Names lists the registered window names, sorted.
+func (r *WindowRegistry) Names() []string {
+	var out []string
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name, h := range sh.wins {
+			if h.svc != nil {
+				out = append(out, name)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List snapshots every window's info, sorted by name. Stats are gathered
+// outside the shard locks.
+func (r *WindowRegistry) List() []WindowInfo {
+	var handles []*windowHandle
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for _, h := range sh.wins {
+			if h.svc != nil {
+				handles = append(handles, h)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(handles, func(i, j int) bool { return handles[i].name < handles[j].name })
+	out := make([]WindowInfo, len(handles))
+	for i, h := range handles {
+		edges, batches := h.svc.IngestStats()
+		out[i] = WindowInfo{
+			Name:     h.name,
+			N:        h.svc.Window().N(),
+			Monitors: h.svc.Window().Monitors(),
+			Created:  h.created,
+			Window:   h.svc.Window().Stats(),
+			Edges:    edges,
+			Batches:  batches,
+		}
+	}
+	return out
+}
+
+// Close drops every window (closing each pipeline) and rejects further
+// creates. Idempotent.
+func (r *WindowRegistry) Close() {
+	r.countMu.Lock()
+	r.closed.Store(true)
+	r.countMu.Unlock()
+	var handles []*windowHandle
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for name, h := range sh.wins {
+			// Skip mid-construction placeholders: their Create observes
+			// the closed flag when it re-locks the shard and cleans up its
+			// own reservation (see Create).
+			if h.svc == nil {
+				continue
+			}
+			handles = append(handles, h)
+			delete(sh.wins, name)
+		}
+		sh.mu.Unlock()
+	}
+	for _, h := range handles {
+		r.release()
+		h.svc.Close()
+	}
+}

@@ -4,31 +4,56 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
 )
 
-// Server is the HTTP JSON front-end over a Service, the handler behind
-// cmd/swserver. Endpoints:
+// DefaultMaxBodyBytes caps a POST /edges request body (8 MiB ≈ 200k edges)
+// unless ServerConfig overrides it.
+const DefaultMaxBodyBytes = 8 << 20
+
+// Server is the HTTP JSON front-end over a WindowRegistry, the handler
+// behind cmd/swserver. Every window registered in the registry is
+// addressable under /windows/{name}/...; the legacy single-window paths
+// are preserved and resolve to the configured default window.
 //
-//	POST /edges                      ingest a batch of edges
-//	GET  /query/connected?u=&v=      window connectivity of u and v
-//	GET  /query/components           number of connected components
-//	GET  /query/bipartite            is the window graph bipartite
-//	GET  /query/msfweight            (1+ε)-approximate MSF weight
-//	GET  /query/cycle                does the window graph contain a cycle
-//	GET  /query/kcert                certificate size and min(k, connectivity)
-//	GET  /stats                      window, ingest and latency counters
-//	GET  /healthz                    liveness
+//	POST   /windows                             create a window (template + overrides)
+//	GET    /windows                             list windows with stats
+//	GET    /windows/{name}                      one window's info
+//	DELETE /windows/{name}                      drop a window (closes its pipeline)
+//	POST   /windows/{name}/edges                ingest a batch of edges
+//	GET    /windows/{name}/query/connected?u=&v=
+//	GET    /windows/{name}/query/components
+//	GET    /windows/{name}/query/bipartite
+//	GET    /windows/{name}/query/msfweight
+//	GET    /windows/{name}/query/cycle
+//	GET    /windows/{name}/query/kcert
+//	GET    /windows/{name}/stats                per-window counters
+//	POST   /edges, GET /query/..., GET /stats   same, on the default window
+//	GET    /healthz                             liveness
 //
-// Every endpoint records latency into an EndpointStats table surfaced by
-// /stats.
+// Every endpoint records latency into an EndpointStats table keyed by route
+// pattern (shared across windows, so cardinality stays bounded), surfaced
+// by /stats.
 type Server struct {
-	svc   *Service
-	stats *EndpointStats
-	mux   *http.ServeMux
-	start time.Time
+	reg        *WindowRegistry
+	defaultWin string
+	maxBody    int64
+	stats      *EndpointStats
+	mux        *http.ServeMux
+	start      time.Time
+}
+
+// ServerConfig tunes the HTTP front-end; zero values select defaults.
+type ServerConfig struct {
+	// DefaultWindow is the window name the legacy root routes resolve to
+	// (default "default").
+	DefaultWindow string
+	// MaxBodyBytes caps the POST /edges (and POST /windows) request body;
+	// oversized bodies get 413 (default DefaultMaxBodyBytes).
+	MaxBodyBytes int64
 }
 
 // edgeJSON is the wire form of one edge.
@@ -44,27 +69,84 @@ type edgesRequest struct {
 	Edges []edgeJSON `json:"edges"`
 }
 
-// NewServer wraps svc in the HTTP front-end.
+// createWindowRequest is the wire form of POST /windows. Zero fields
+// inherit from the registry template.
+type createWindowRequest struct {
+	Name             string   `json:"name"`
+	N                int      `json:"n,omitempty"`
+	Seed             uint64   `json:"seed,omitempty"`
+	Monitors         []string `json:"monitors,omitempty"`
+	MaxArrivals      int      `json:"max_arrivals,omitempty"`
+	MaxAgeMS         int64    `json:"max_age_ms,omitempty"`
+	Eps              float64  `json:"eps,omitempty"`
+	MaxWeight        int64    `json:"max_weight,omitempty"`
+	K                int      `json:"k,omitempty"`
+	MaxBatch   int   `json:"max_batch,omitempty"`
+	MaxDelayMS int64 `json:"max_delay_ms,omitempty"`
+	// SequentialFanout is tri-state: absent inherits the registry
+	// template's fan-out mode, an explicit true/false overrides it.
+	SequentialFanout *bool `json:"sequential_fanout,omitempty"`
+}
+
+// NewServer wraps one Service in the HTTP front-end as the default window
+// of a fresh single-window registry — the original single-tenant shape.
+// The caller keeps ownership of svc (its Close is idempotent, so closing
+// through both paths is harmless). The internal registry is capped at one
+// window, so the /windows admin routes can list and inspect but not grow
+// a server whose owner never closes the registry; multi-tenant callers
+// use NewRegistryServer.
 func NewServer(svc *Service) *Server {
-	s := &Server{
-		svc:   svc,
-		stats: NewEndpointStats(),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+	reg := NewRegistry(RegistryConfig{Shards: 1, MaxWindows: 1})
+	if err := reg.Attach(DefaultWindow, svc); err != nil {
+		panic(err) // fresh registry, valid constant name: unreachable
 	}
-	s.handle("POST /edges", s.handleEdges)
-	s.handle("GET /query/connected", s.handleConnected)
-	s.handle("GET /query/components", s.handleComponents)
-	s.handle("GET /query/bipartite", s.handleBipartite)
-	s.handle("GET /query/msfweight", s.handleMSFWeight)
-	s.handle("GET /query/cycle", s.handleCycle)
-	s.handle("GET /query/kcert", s.handleKCert)
+	return NewRegistryServer(reg, ServerConfig{})
+}
+
+// NewRegistryServer wraps a registry in the HTTP front-end.
+func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
+	if cfg.DefaultWindow == "" {
+		cfg.DefaultWindow = DefaultWindow
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	s := &Server{
+		reg:        reg,
+		defaultWin: cfg.DefaultWindow,
+		maxBody:    cfg.MaxBodyBytes,
+		stats:      NewEndpointStats(),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+	}
+	s.handle("POST /windows", s.handleCreateWindow)
+	s.handle("GET /windows", s.handleListWindows)
+	s.handle("GET /windows/{name}", s.handleWindowInfo)
+	s.handle("DELETE /windows/{name}", s.handleDropWindow)
+	// Each data-plane route is registered twice — namespaced and legacy —
+	// sharing one handler; the legacy form reads the default window because
+	// its pattern has no {name}.
+	both := func(method, suffix string, fn http.HandlerFunc) {
+		s.handle(method+" /windows/{name}"+suffix, fn)
+		s.handle(method+" "+suffix, fn)
+	}
+	both("POST", "/edges", s.handleEdges)
+	both("GET", "/query/connected", s.handleConnected)
+	both("GET", "/query/components", s.handleComponents)
+	both("GET", "/query/bipartite", s.handleBipartite)
+	both("GET", "/query/msfweight", s.handleMSFWeight)
+	both("GET", "/query/cycle", s.handleCycle)
+	both("GET", "/query/kcert", s.handleKCert)
+	s.handle("GET /windows/{name}/stats", s.handleWindowStats)
 	s.handle("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	return s
 }
+
+// Registry returns the registry the server routes over.
+func (s *Server) Registry() *WindowRegistry { return s.reg }
 
 // Handler returns the root handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -99,19 +181,161 @@ func queryErr(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusBadRequest, err)
 }
 
-func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
-	var req edgesRequest
-	dec := json.NewDecoder(r.Body)
+// registryErr maps registry failures onto status codes.
+func registryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrWindowNotFound):
+		writeErr(w, http.StatusNotFound, err)
+	case errors.Is(err, ErrWindowExists):
+		writeErr(w, http.StatusConflict, err)
+	case errors.Is(err, ErrTooManyWindows):
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrRegistryClosed):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+// windowName resolves the window a request addresses: the {name} path
+// segment, or the default window on the legacy routes.
+func (s *Server) windowName(r *http.Request) string {
+	if name := r.PathValue("name"); name != "" {
+		return name
+	}
+	return s.defaultWin
+}
+
+// service resolves the addressed window's pipeline, answering 404 (and
+// returning nil) when it does not exist.
+func (s *Server) service(w http.ResponseWriter, r *http.Request) *Service {
+	name := s.windowName(r)
+	svc, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrWindowNotFound, name))
+		return nil
+	}
+	return svc
+}
+
+// decodeBody decodes exactly one JSON document from a size-capped request
+// body into v: oversized bodies yield 413, malformed JSON or trailing
+// garbage after the document yield 400. Returns false after writing the
+// error response.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad edges body: %w", err))
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return false
+	}
+	// Exactly one document: anything but EOF after it is trailing garbage
+	// (another value, or bytes that are not JSON at all).
+	if err := dec.Decode(&struct{}{}); err != io.EOF {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return false
+		}
+		writeErr(w, http.StatusBadRequest, errors.New("trailing data after JSON body"))
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
+	var req createWindowRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	seqFanout := s.reg.Template().Window.SequentialFanout
+	if req.SequentialFanout != nil {
+		seqFanout = *req.SequentialFanout
+	}
+	cfg := ServiceConfig{
+		Window: WindowConfig{
+			N:                req.N,
+			Seed:             req.Seed,
+			Monitors:         req.Monitors,
+			Monitor:          MonitorConfig{Eps: req.Eps, MaxWeight: req.MaxWeight, K: req.K},
+			MaxArrivals:      req.MaxArrivals,
+			MaxAge:           time.Duration(req.MaxAgeMS) * time.Millisecond,
+			SequentialFanout: seqFanout,
+		},
+		Ingest: IngesterConfig{
+			MaxBatch: req.MaxBatch,
+			MaxDelay: time.Duration(req.MaxDelayMS) * time.Millisecond,
+		},
+	}
+	svc, err := s.reg.Create(req.Name, cfg)
+	if err != nil {
+		registryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name":     req.Name,
+		"n":        svc.Window().N(),
+		"monitors": svc.Window().Monitors(),
+	})
+}
+
+func (s *Server) handleListWindows(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"windows": s.reg.List(),
+		"count":   s.reg.Len(),
+		"shards":  s.reg.Shards(),
+	})
+}
+
+func (s *Server) handleWindowInfo(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	svc, ok := s.reg.Get(name)
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("%w: %q", ErrWindowNotFound, name))
+		return
+	}
+	edges, batches := svc.IngestStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":           name,
+		"n":              svc.Window().N(),
+		"monitors":       svc.Window().Monitors(),
+		"window":         svc.Window().Stats(),
+		"ingest_edges":   edges,
+		"ingest_batches": batches,
+	})
+}
+
+func (s *Server) handleDropWindow(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Drop(name); err != nil {
+		registryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
+}
+
+func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	var req edgesRequest
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	if len(req.Edges) == 0 {
 		writeErr(w, http.StatusBadRequest, errors.New("no edges in body"))
 		return
 	}
-	n := int32(s.svc.Window().N())
+	n := int32(svc.Window().N())
 	batch := make([]Edge, len(req.Edges))
 	for i, e := range req.Edges {
 		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
@@ -134,7 +358,7 @@ func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = Edge{U: e.U, V: e.V, W: e.W, T: t}
 	}
-	if err := s.svc.submitOwned(batch); err != nil {
+	if err := svc.submitOwned(batch); err != nil {
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
@@ -154,6 +378,10 @@ func vertexParam(r *http.Request, name string) (int32, error) {
 }
 
 func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
 	u, err := vertexParam(r, "u")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -164,7 +392,7 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	conn, err := s.svc.Window().IsConnected(u, v)
+	conn, err := svc.Window().IsConnected(u, v)
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -173,7 +401,11 @@ func (s *Server) handleConnected(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
-	cc, err := s.svc.Window().NumComponents()
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	cc, err := svc.Window().NumComponents()
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -182,7 +414,11 @@ func (s *Server) handleComponents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBipartite(w http.ResponseWriter, r *http.Request) {
-	b, err := s.svc.Window().IsBipartite()
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	b, err := svc.Window().IsBipartite()
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -191,7 +427,11 @@ func (s *Server) handleBipartite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMSFWeight(w http.ResponseWriter, r *http.Request) {
-	wt, err := s.svc.Window().MSFWeight()
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	wt, err := svc.Window().MSFWeight()
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -200,7 +440,11 @@ func (s *Server) handleMSFWeight(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
-	hc, err := s.svc.Window().HasCycle()
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	hc, err := svc.Window().HasCycle()
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -209,12 +453,16 @@ func (s *Server) handleCycle(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleKCert(w http.ResponseWriter, r *http.Request) {
-	size, err := s.svc.Window().CertificateSize()
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	size, err := svc.Window().CertificateSize()
 	if err != nil {
 		queryErr(w, err)
 		return
 	}
-	conn, err := s.svc.Window().EdgeConnectivityUpToK()
+	conn, err := svc.Window().EdgeConnectivityUpToK()
 	if err != nil {
 		queryErr(w, err)
 		return
@@ -222,21 +470,56 @@ func (s *Server) handleKCert(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"size": size, "edge_connectivity_up_to_k": conn})
 }
 
+// windowStatsBody builds the per-window stats document shared by
+// /windows/{name}/stats and the default-window section of /stats.
+func windowStatsBody(svc *Service) map[string]any {
+	edges, batches := svc.IngestStats()
+	win := svc.Window().Stats()
+	ingest := map[string]any{
+		"edges_accepted": edges,
+		"batches":        batches,
+	}
+	if batches > 0 {
+		ingest["mean_batch_size"] = float64(edges) / float64(batches)
+	}
+	body := map[string]any{
+		"monitors": svc.Window().Monitors(),
+		"window":   win,
+		"ingest":   ingest,
+	}
+	if win.Batches > 0 {
+		body["mean_apply_ms"] = float64(win.ApplyNS) / float64(win.Batches) / 1e6
+	}
+	return body
+}
+
+func (s *Server) handleWindowStats(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	body := windowStatsBody(svc)
+	body["name"] = s.windowName(r)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleStats serves the process-wide view: registry shape, per-endpoint
+// latency, and — when the default window exists — its stats inline under
+// the original keys, so single-window clients keep working untouched.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	edges, batches := s.svc.IngestStats()
-	win := s.svc.Window().Stats()
 	resp := map[string]any{
 		"uptime_seconds": time.Since(s.start).Seconds(),
-		"monitors":       s.svc.Window().Monitors(),
-		"window":         win,
-		"ingest": map[string]any{
-			"edges_accepted": edges,
-			"batches":        batches,
+		"registry": map[string]any{
+			"windows": s.reg.Names(),
+			"count":   s.reg.Len(),
+			"shards":  s.reg.Shards(),
 		},
 		"endpoints": s.stats.Snapshot(),
 	}
-	if batches > 0 {
-		resp["ingest"].(map[string]any)["mean_batch_size"] = float64(edges) / float64(batches)
+	if svc, ok := s.reg.Get(s.defaultWin); ok {
+		for k, v := range windowStatsBody(svc) {
+			resp[k] = v
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

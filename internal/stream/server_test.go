@@ -216,6 +216,12 @@ func TestServerRejectsBadInput(t *testing.T) {
 		}
 	}
 
+	// The legacy single-window server caps its hidden registry at one
+	// window: admin creates are rejected, not leaked.
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows", `{"name":"x","n":10}`); code != http.StatusTooManyRequests {
+		t.Errorf("create on single-window server = %d, want 429", code)
+	}
+
 	// Malformed JSON body.
 	resp, err := http.Post(ts.URL+"/edges", "application/json", strings.NewReader("{nope"))
 	if err != nil {
@@ -245,6 +251,180 @@ func TestServerRejectsBadInput(t *testing.T) {
 	getJSON(t, ts.URL+"/stats", &stats)
 	if stats.Window.Arrivals != 0 {
 		t.Fatalf("arrivals = %d after rejected input", stats.Window.Arrivals)
+	}
+}
+
+// newRegistryTestServer serves a registry whose template matches
+// newTestServer's window, with the default window pre-created.
+func newRegistryTestServer(t *testing.T, n int, cfg ServerConfig) (*httptest.Server, *WindowRegistry) {
+	t.Helper()
+	reg := NewRegistry(RegistryConfig{
+		Shards: 4,
+		Template: ServiceConfig{
+			Window: WindowConfig{N: n, Seed: 5, Monitor: MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3}},
+			Ingest: IngesterConfig{MaxBatch: 64, MaxDelay: time.Millisecond},
+		},
+	})
+	if _, err := reg.Create(DefaultWindow, ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg, cfg).Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		reg.Close()
+	})
+	return ts, reg
+}
+
+func doJSON(t *testing.T, method, url string, body string) (int, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+// TestServerWindowsCRUD drives the registry admin endpoints and the
+// namespaced data plane end-to-end: create, list, ingest + query through
+// /windows/{name}/..., drop, and the error statuses.
+func TestServerWindowsCRUD(t *testing.T) {
+	ts, reg := newRegistryTestServer(t, 50, ServerConfig{})
+
+	code, resp := doJSON(t, "POST", ts.URL+"/windows", `{"name":"t1","n":20,"monitors":["conn","bipartite"]}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create = %d (%v)", code, resp)
+	}
+	if resp["n"].(float64) != 20 {
+		t.Fatalf("created n = %v", resp["n"])
+	}
+	// Duplicate → 409, bad name → 400, unknown monitor → 400.
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows", `{"name":"t1"}`); code != http.StatusConflict {
+		t.Fatalf("duplicate create = %d, want 409", code)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows", `{"name":"a/b"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad name = %d, want 400", code)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows", `{"name":"t2","monitors":["nope"]}`); code != http.StatusBadRequest {
+		t.Fatalf("bad monitor = %d, want 400", code)
+	}
+
+	var list struct {
+		Count   int          `json:"count"`
+		Windows []WindowInfo `json:"windows"`
+	}
+	if code := getJSON(t, ts.URL+"/windows", &list); code != 200 {
+		t.Fatalf("list = %d", code)
+	}
+	if list.Count != 2 || len(list.Windows) != 2 || list.Windows[1].Name != "t1" {
+		t.Fatalf("list = %+v", list)
+	}
+
+	// Ingest into t1 only; the default window must stay empty.
+	if code, resp := doJSON(t, "POST", ts.URL+"/windows/t1/edges", `{"edges":[{"u":0,"v":1},{"u":1,"v":2}]}`); code != http.StatusAccepted {
+		t.Fatalf("post to t1 = %d (%v)", code, resp)
+	}
+	svc, _ := reg.Get("t1")
+	svc.Flush()
+	var cr struct {
+		Connected bool `json:"connected"`
+	}
+	if code := getJSON(t, ts.URL+"/windows/t1/query/connected?u=0&v=2", &cr); code != 200 || !cr.Connected {
+		t.Fatalf("t1 connectivity = %d %+v", code, cr)
+	}
+	var st struct {
+		Name   string      `json:"name"`
+		Window WindowStats `json:"window"`
+	}
+	if code := getJSON(t, ts.URL+"/windows/t1/stats", &st); code != 200 || st.Name != "t1" || st.Window.Arrivals != 2 {
+		t.Fatalf("t1 stats = %d %+v", code, st)
+	}
+	if code := getJSON(t, ts.URL+"/windows/default/stats", &st); code != 200 || st.Window.Arrivals != 0 {
+		t.Fatalf("default stats = %d %+v (tenants leaked)", code, st)
+	}
+	// The t1 window rejects vertices valid only in the default window.
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows/t1/edges", `{"edges":[{"u":0,"v":30}]}`); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range for t1 = %d, want 400", code)
+	}
+
+	// Unknown window → 404 on every data-plane route.
+	for _, probe := range []struct{ method, path string }{
+		{"POST", "/windows/ghost/edges"},
+		{"GET", "/windows/ghost/query/components"},
+		{"GET", "/windows/ghost/stats"},
+		{"GET", "/windows/ghost"},
+		{"DELETE", "/windows/ghost"},
+	} {
+		body := ""
+		if probe.method == "POST" {
+			body = `{"edges":[{"u":0,"v":1}]}`
+		}
+		if code, _ := doJSON(t, probe.method, ts.URL+probe.path, body); code != http.StatusNotFound {
+			t.Errorf("%s %s = %d, want 404", probe.method, probe.path, code)
+		}
+	}
+
+	// Drop t1; its routes 404, the registry shrinks, default survives.
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/windows/t1", ""); code != http.StatusOK {
+		t.Fatalf("drop = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/windows/t1/query/components", nil); code != http.StatusNotFound {
+		t.Fatalf("query after drop = %d, want 404", code)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("Len after drop = %d", reg.Len())
+	}
+	if code := getJSON(t, ts.URL+"/query/components", nil); code != 200 {
+		t.Fatalf("default window after drop = %d", code)
+	}
+}
+
+// TestServerBodyLimits covers the request-hardening paths: oversized
+// bodies 413, trailing garbage 400, trailing whitespace accepted.
+func TestServerBodyLimits(t *testing.T) {
+	ts, _ := newRegistryTestServer(t, 50, ServerConfig{MaxBodyBytes: 200})
+
+	big := `{"edges":[`
+	for i := 0; i < 40; i++ {
+		if i > 0 {
+			big += ","
+		}
+		big += fmt.Sprintf(`{"u":%d,"v":%d}`, i%50, (i+1)%50)
+	}
+	big += `]}`
+	if code, resp := doJSON(t, "POST", ts.URL+"/edges", big); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d (%v), want 413", code, resp)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/windows", `{"name":"`+strings.Repeat("a", 300)+`"}`); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized create body = %d, want 413", code)
+	}
+
+	for _, body := range []string{
+		`{"edges":[{"u":0,"v":1}]}{"edges":[]}`,
+		`{"edges":[{"u":0,"v":1}]} trailing`,
+		`{"edges":[{"u":0,"v":1}]}]`,
+	} {
+		if code, _ := doJSON(t, "POST", ts.URL+"/edges", body); code != http.StatusBadRequest {
+			t.Errorf("trailing garbage %q = %d, want 400", body, code)
+		}
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/edges", `{"edges":[{"u":0,"v":1}]}`+"\n\t "); code != http.StatusAccepted {
+		t.Errorf("trailing whitespace = %d, want 202", code)
+	}
+
+	var stats struct {
+		Window WindowStats `json:"window"`
+	}
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Window.Arrivals > 1 {
+		t.Fatalf("rejected bodies leaked arrivals: %+v", stats.Window)
 	}
 }
 

@@ -1,13 +1,14 @@
 // Package stream turns the offline batch sliding-window structures of
-// internal/sw into a concurrent streaming-graph service layer.
+// internal/sw into a concurrent multi-window streaming-graph service layer.
 //
-// The pipeline is
+// Each window is one pipeline
 //
-//	producers → Ingester → Multiplexer → monitors (internal/sw)
-//	                ↑             ↑
+//	producers → Ingester → Multiplexer ═╦═ monitors (internal/sw)
+//	                ↑             ↑     ╚═ (parallel fork-join fan-out)
 //	          re-batching   uniform timestamps
 //
-// with three moving parts:
+// and a WindowRegistry owns many named windows at once, hash-sharded across
+// independent locks. The moving parts:
 //
 //   - Ingester: accepts individual timestamped edges from many concurrent
 //     producers and coalesces them into batches by count threshold and time
@@ -21,10 +22,20 @@
 //     every arrival, so one expiry count applies to all of them.
 //   - Multiplexer: fans one ingested batch out to the monitors chosen by
 //     config (connectivity, bipartiteness, approximate MSF weight,
-//     k-certificate, cycle-freeness), sharing the batching pipeline.
+//     k-certificate, cycle-freeness). The monitors are independent, so the
+//     fan-out is a parallel region (internal/parallel fork-join): the write
+//     lock is held for the max of the monitor apply costs, not the sum.
+//   - WindowRegistry: creates, lists and drops named windows at runtime.
+//     The name → window table is partitioned over independent lock shards,
+//     so tenants addressing different windows never contend on registry
+//     state, and each window keeps its own ingester, expiry ticker and
+//     RWMutex.
 //
-// cmd/swserver wraps a Service in an HTTP JSON front-end; cmd/swload drives
-// it end-to-end and measures sustained throughput and query latency.
+// cmd/swserver wraps a registry in an HTTP JSON front-end (windows
+// addressed under /windows/{name}/..., legacy single-window routes served
+// by a default window); cmd/swload drives it end-to-end, measures sustained
+// throughput and query latency, and isolates the fan-out win
+// (-fanout-compare) and multi-window scaling (-windows).
 package stream
 
 import (

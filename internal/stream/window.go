@@ -32,6 +32,12 @@ type WindowConfig struct {
 	MaxAge time.Duration
 	// Clock defaults to RealClock; tests inject FakeClock.
 	Clock Clock
+	// SequentialFanout forces one-monitor-at-a-time batch application
+	// instead of the default parallel fork-join across monitors. The
+	// answers are identical either way (monitors are independent); the
+	// switch exists for measurement (swload -fanout-compare) and for
+	// pinning down fan-out bugs.
+	SequentialFanout bool
 }
 
 // WindowStats is a point-in-time snapshot of a window's counters.
@@ -41,6 +47,14 @@ type WindowStats struct {
 	WindowLen int64 `json:"window_len"` // unexpired arrivals
 	Batches   int64 `json:"batches"`    // Apply calls with ≥1 valid edge
 	Dropped   int64 `json:"dropped"`    // out-of-range or self-loop edges
+	// ApplyNS is the cumulative wall time (nanoseconds) Apply calls
+	// carrying ≥1 valid edge spent mutating the monitors under the write
+	// lock — insert fan-out plus the inline expiry. Counted exactly when
+	// Batches is, so ApplyNS/Batches is the mean write-lock hold per
+	// batch — the number the parallel fan-out attacks and swload
+	// -fanout-compare reports. Ticker-driven ExpireByAge holds are not
+	// included (they would skew the per-batch mean on idle streams).
+	ApplyNS int64 `json:"apply_ns"`
 }
 
 // WindowManager owns one window's monitors behind a single-writer /
@@ -75,7 +89,7 @@ func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = RealClock()
 	}
-	mux, err := NewMultiplexer(cfg.Monitors, cfg.N, cfg.Monitor, cfg.Seed)
+	mux, err := NewMultiplexer(cfg.Monitors, cfg.N, cfg.Monitor, cfg.Seed, cfg.SequentialFanout)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +121,12 @@ func (w *WindowManager) Apply(batch []Edge) {
 	}
 	now := w.cfg.Clock.Now()
 	if len(valid) > 0 {
+		// ApplyNS times the monitor mutation with the monotonic wall
+		// clock, deliberately not the injected Clock: FakeClock time does
+		// not advance during a call, and the stat must reflect real lock
+		// hold time.
+		applyStart := time.Now()
+		defer func() { w.stats.ApplyNS += time.Since(applyStart).Nanoseconds() }()
 		w.mux.BatchInsert(valid)
 		w.stats.Arrivals += int64(len(valid))
 		w.stats.Batches++

@@ -14,9 +14,11 @@
 //     weight, k-certificates, cycle-freeness and ε-cut-sparsifiers, all
 //     under batch inserts and batch expirations with global timestamps.
 //   - The incremental-model structures of Table 1 column 1 (internal/inc).
-//   - The streaming service layer (internal/stream): a concurrent
-//     ingest/query pipeline over the sliding-window structures, served over
-//     HTTP by cmd/swserver and load-tested by cmd/swload.
+//   - The streaming service layer (internal/stream): concurrent
+//     ingest/query pipelines over the sliding-window structures, many named
+//     windows managed by a lock-sharded registry with parallel monitor
+//     fan-out, served over HTTP by cmd/swserver and load-tested by
+//     cmd/swload.
 //
 // See README.md for a quickstart, DESIGN.md for the system inventory and
 // the stream subsystem's batching/concurrency design (§5), and
@@ -132,8 +134,36 @@ func NewStreamService(cfg StreamServiceConfig) (*StreamService, error) {
 // StreamServer is the HTTP JSON front-end used by cmd/swserver.
 type StreamServer = stream.Server
 
-// NewStreamServer wraps a StreamService in the HTTP JSON front-end.
+// NewStreamServer wraps a StreamService in the HTTP JSON front-end as the
+// default window of a single-window registry.
 func NewStreamServer(svc *StreamService) *StreamServer { return stream.NewServer(svc) }
+
+// StreamWindowRegistry manages many named streaming windows, hash-sharded
+// across independent locks.
+type StreamWindowRegistry = stream.WindowRegistry
+
+// StreamRegistryConfig tunes a StreamWindowRegistry (lock shards, window
+// cap, template config new windows inherit from).
+type StreamRegistryConfig = stream.RegistryConfig
+
+// StreamWindowInfo is a public snapshot of one registered window.
+type StreamWindowInfo = stream.WindowInfo
+
+// NewStreamWindowRegistry returns an empty window registry.
+func NewStreamWindowRegistry(cfg StreamRegistryConfig) *StreamWindowRegistry {
+	return stream.NewRegistry(cfg)
+}
+
+// StreamServerConfig tunes the HTTP front-end (default window name, body
+// size cap).
+type StreamServerConfig = stream.ServerConfig
+
+// NewStreamRegistryServer wraps a window registry in the HTTP JSON
+// front-end: every window is addressable under /windows/{name}/..., and
+// the legacy single-window routes serve the default window.
+func NewStreamRegistryServer(reg *StreamWindowRegistry, cfg StreamServerConfig) *StreamServer {
+	return stream.NewRegistryServer(reg, cfg)
+}
 
 // IncConn is incremental (insert-only) connectivity with component counting
 // via batch union-find (Table 1 column 1).

@@ -40,3 +40,41 @@ func TestStreamServiceReexports(t *testing.T) {
 		t.Fatal("nil HTTP handler")
 	}
 }
+
+// TestStreamRegistryReexports drives the re-exported multi-window registry:
+// create two windows from a template, ingest into one, drop the other.
+func TestStreamRegistryReexports(t *testing.T) {
+	reg := NewStreamWindowRegistry(StreamRegistryConfig{
+		Shards: 4,
+		Template: StreamServiceConfig{
+			Window: StreamWindowConfig{N: 50, Seed: 2},
+			Ingest: StreamIngesterConfig{MaxBatch: 8, MaxDelay: time.Millisecond},
+		},
+	})
+	defer reg.Close()
+
+	a, err := reg.Create("a", StreamServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create("b", StreamServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Submit([]ServiceEdge{{U: 0, V: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	a.Flush()
+	if conn, err := a.Window().IsConnected(0, 1); err != nil || !conn {
+		t.Fatalf("registry window query: %v %v", conn, err)
+	}
+	if err := reg.Drop("b"); err != nil {
+		t.Fatal(err)
+	}
+	infos := reg.List()
+	if len(infos) != 1 || infos[0].Name != "a" || infos[0].Window.Arrivals != 1 {
+		t.Fatalf("List = %+v", infos)
+	}
+	if NewStreamRegistryServer(reg, StreamServerConfig{}).Handler() == nil {
+		t.Fatal("nil registry HTTP handler")
+	}
+}
