@@ -19,10 +19,17 @@
 // same per-window streams one window at a time instead, measuring what
 // sharded concurrency buys over M sequential single-window runs.
 //
+// The -wal mode runs the same stream twice — once in-memory and once with
+// the durability layer (write-ahead batch log, fsync policy from -fsync)
+// — reporting what durable ingest costs, then re-opens the data directory
+// and reports crash-recovery wall time (replaying the whole log back into
+// fresh monitors).
+//
 //	swload -n 50000 -edges 200000 -producers 8 -chunk 256
 //	swload -compare -json results.json
 //	swload -fanout-compare -json fanout.json
 //	swload -windows 4 -compare
+//	swload -wal -fsync interval -json wal.json
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +50,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/stream"
+	"repro/internal/wal"
 )
 
 type options struct {
@@ -58,6 +67,9 @@ type options struct {
 	seed          int64
 	compare       bool
 	fanoutCompare bool
+	wal           bool
+	fsync         string
+	dataDir       string
 	windows       int
 	shards        int
 	jsonPath      string
@@ -66,6 +78,7 @@ type options struct {
 // LoadResult is the machine-readable outcome of one load run.
 type LoadResult struct {
 	Mode          string  `json:"mode"` // "batched", "unbatched", "parallel-fanout", ...
+	Fsync         string  `json:"fsync,omitempty"`
 	N             int     `json:"n"`
 	Windows       int     `json:"windows"`
 	Edges         int64   `json:"edges"`
@@ -94,6 +107,16 @@ type Report struct {
 	// ApplySpeedup is mean_apply_ms(sequential) / mean_apply_ms(parallel);
 	// only set by -fanout-compare.
 	ApplySpeedup float64 `json:"apply_speedup,omitempty"`
+	// WALOverhead is edges_per_sec(memory) / edges_per_sec(durable); only
+	// set by -wal. 1.0 means free durability, 2.0 means half throughput.
+	WALOverhead float64 `json:"wal_overhead,omitempty"`
+	// Recovery fields (-wal only): crash-recovery replay of the durable
+	// run's data directory into fresh monitors.
+	RecoverySec       float64 `json:"recovery_sec,omitempty"`
+	RecoveredWindows  int     `json:"recovered_windows,omitempty"`
+	RecoveredBatches  int64   `json:"recovered_batches,omitempty"`
+	RecoveredEdges    int64   `json:"recovered_edges,omitempty"`
+	ReplayEdgesPerSec float64 `json:"replay_edges_per_sec,omitempty"`
 }
 
 func main() {
@@ -111,6 +134,9 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 0xC0FFEE, "workload seed")
 	flag.BoolVar(&o.compare, "compare", false, "run batched vs one-edge-per-batch on the same stream (in-process only)")
 	flag.BoolVar(&o.fanoutCompare, "fanout-compare", false, "run parallel vs sequential monitor fan-out with all monitors (in-process only)")
+	flag.BoolVar(&o.wal, "wal", false, "run durable (write-ahead logged) vs in-memory ingest, then measure crash-recovery replay (in-process only)")
+	flag.StringVar(&o.fsync, "fsync", "interval", "WAL fsync policy for -wal: batch|interval|off")
+	flag.StringVar(&o.dataDir, "data-dir", "", "WAL data directory for -wal (default: a fresh temp dir, removed afterwards)")
 	flag.IntVar(&o.windows, "windows", 1, "number of windows to spread the load over (in-process only)")
 	flag.IntVar(&o.shards, "shards", 16, "registry lock shards (in-process server)")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
@@ -120,12 +146,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swload: need -producers >= 1, -chunk >= 1, -readers >= 0, -n >= 2, -edges >= 0, -batch >= 1, -windows >= 1")
 		os.Exit(2)
 	}
-	if (o.compare || o.fanoutCompare || o.windows > 1) && o.url != "" {
-		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-windows need the in-process server; drop -url")
+	if (o.compare || o.fanoutCompare || o.wal || o.windows > 1) && o.url != "" {
+		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-windows need the in-process server; drop -url")
 		os.Exit(2)
 	}
-	if o.fanoutCompare && o.compare {
-		fmt.Fprintln(os.Stderr, "pick one of -compare and -fanout-compare")
+	if (o.fanoutCompare && o.compare) || (o.wal && (o.compare || o.fanoutCompare)) {
+		fmt.Fprintln(os.Stderr, "pick one of -compare, -fanout-compare and -wal")
 		os.Exit(2)
 	}
 	// Producers and readers are spread over windows round-robin; with
@@ -152,12 +178,14 @@ func main() {
 
 	var rep Report
 	switch {
+	case o.wal:
+		runWALCompare(o, &rep)
 	case o.fanoutCompare:
 		// The fan-out win only exists when there is fan-out: force the full
 		// monitor set so each batch has five independent applies.
 		o.monitors = ""
-		par := runInProc(o, "parallel-fanout", o.batch, false, false)
-		seq := runInProc(o, "sequential-fanout", o.batch, true, false)
+		par := runInProc(o, "parallel-fanout", o.batch, false, false, nil)
+		seq := runInProc(o, "sequential-fanout", o.batch, true, false, nil)
 		rep.Results = []LoadResult{par, seq}
 		if seq.EdgesPerSec > 0 {
 			rep.Speedup = par.EdgesPerSec / seq.EdgesPerSec
@@ -170,8 +198,8 @@ func main() {
 		fmt.Printf("\nparallel/sequential fan-out: ingest speedup x%.2f, mean-apply speedup x%.2f (GOMAXPROCS=%d)\n",
 			rep.Speedup, rep.ApplySpeedup, maxprocs())
 	case o.windows > 1 && o.compare:
-		multi := runInProc(o, "multi-window", o.batch, false, false)
-		seq := runInProc(o, "sequential-windows", o.batch, false, true)
+		multi := runInProc(o, "multi-window", o.batch, false, false, nil)
+		seq := runInProc(o, "sequential-windows", o.batch, false, true, nil)
 		rep.Results = []LoadResult{multi, seq}
 		if seq.EdgesPerSec > 0 {
 			rep.Speedup = multi.EdgesPerSec / seq.EdgesPerSec
@@ -181,8 +209,8 @@ func main() {
 		fmt.Printf("\n%d concurrent windows vs %d sequential runs: aggregate ingest speedup x%.2f\n",
 			o.windows, o.windows, rep.Speedup)
 	case o.compare:
-		batched := runInProc(o, "batched", o.batch, false, false)
-		unbatched := runInProc(o, "unbatched", 1, false, false)
+		batched := runInProc(o, "batched", o.batch, false, false, nil)
+		unbatched := runInProc(o, "unbatched", 1, false, false, nil)
 		rep.Results = []LoadResult{batched, unbatched}
 		if unbatched.EdgesPerSec > 0 {
 			rep.Speedup = batched.EdgesPerSec / unbatched.EdgesPerSec
@@ -195,7 +223,7 @@ func main() {
 		rep.Results = []LoadResult{res}
 		printResult(res)
 	default:
-		res := runInProc(o, "batched", o.batch, false, false)
+		res := runInProc(o, "batched", o.batch, false, false, nil)
 		rep.Results = []LoadResult{res}
 		printResult(res)
 	}
@@ -210,6 +238,65 @@ func main() {
 }
 
 func maxprocs() int { return runtime.GOMAXPROCS(0) }
+
+// runWALCompare measures what durability costs and what recovery buys:
+// the same stream in-memory vs write-ahead logged, then a crash-recovery
+// replay of the durable run's data directory into fresh monitors.
+func runWALCompare(o options, rep *Report) {
+	pol, err := stream.ParseFsyncPolicy(o.fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	dir := o.dataDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "swload-wal-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+	} else if _, err := os.Stat(filepath.Join(dir, wal.ManifestName)); err == nil {
+		// A leftover manifest would make the durable run recover (and
+		// re-measure) the previous run's windows — and its Create of the
+		// same names would fail. Never delete user data; just refuse.
+		fmt.Fprintf(os.Stderr, "swload -wal: %s already holds a WAL manifest; point -data-dir at a fresh directory\n", dir)
+		os.Exit(2)
+	}
+	persist := &stream.PersistenceConfig{Dir: dir, Fsync: pol}
+
+	mem := runInProc(o, "memory", o.batch, false, false, nil)
+	dur := runInProc(o, "wal", o.batch, false, false, persist)
+	dur.Fsync = string(pol)
+	rep.Results = []LoadResult{mem, dur}
+	if dur.EdgesPerSec > 0 {
+		rep.WALOverhead = mem.EdgesPerSec / dur.EdgesPerSec
+	}
+
+	// Crash recovery: re-open the data directory and replay every logged
+	// batch into fresh monitors (the run above never checkpointed
+	// mid-stream, so with an unbounded window the whole log replays — the
+	// worst case).
+	reg, rec, err := stream.OpenRegistry(stream.RegistryConfig{Shards: o.shards, Persistence: persist})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+		os.Exit(1)
+	}
+	reg.Close()
+	rep.RecoverySec = rec.Elapsed.Seconds()
+	rep.RecoveredWindows = rec.Windows
+	rep.RecoveredBatches = rec.Batches
+	rep.RecoveredEdges = rec.Edges
+	if rec.Elapsed > 0 {
+		rep.ReplayEdgesPerSec = float64(rec.Edges) / rec.Elapsed.Seconds()
+	}
+
+	printResult(mem)
+	printResult(dur)
+	fmt.Printf("\ndurable/in-memory: ingest overhead x%.2f (fsync=%s)\n", rep.WALOverhead, pol)
+	fmt.Printf("recovery: %d windows, %d batches / %d edges replayed in %.0fms (%.0f edges/sec)\n",
+		rec.Windows, rec.Batches, rec.Edges, rep.RecoverySec*1e3, rep.ReplayEdgesPerSec)
+}
 
 // windowNames returns the load-target window names: the legacy default
 // window when one window is asked for, w0..w{M-1} otherwise.
@@ -226,9 +313,10 @@ func windowNames(m int) []string {
 
 // runInProc starts a loopback swserver whose registry holds o.windows
 // windows built with the given ingester threshold and fan-out mode, and
-// drives them — concurrently, or one window at a time (oneAtATime).
-func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool) LoadResult {
-	reg := stream.NewRegistry(stream.RegistryConfig{
+// drives them — concurrently, or one window at a time (oneAtATime). A
+// non-nil persist makes the registry durable (the -wal mode).
+func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool, persist *stream.PersistenceConfig) LoadResult {
+	reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
 		Shards: o.shards,
 		Template: stream.ServiceConfig{
 			Window: stream.WindowConfig{
@@ -240,7 +328,12 @@ func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool)
 			},
 			Ingest: stream.IngesterConfig{MaxBatch: maxBatch, MaxDelay: o.delay},
 		},
+		Persistence: persist,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	defer reg.Close()
 	names := windowNames(o.windows)
 	svcs := make([]*stream.Service, len(names))
@@ -517,6 +610,8 @@ func printResult(r LoadResult) {
 	switch {
 	case r.MaxBatch > 0 && r.Windows > 1:
 		fmt.Printf("== %s (windows=%d, maxBatch=%d) ==\n", r.Mode, r.Windows, r.MaxBatch)
+	case r.MaxBatch > 0 && r.Fsync != "":
+		fmt.Printf("== %s (maxBatch=%d, fsync=%s) ==\n", r.Mode, r.MaxBatch, r.Fsync)
 	case r.MaxBatch > 0:
 		fmt.Printf("== %s (maxBatch=%d) ==\n", r.Mode, r.MaxBatch)
 	default:

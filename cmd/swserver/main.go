@@ -9,6 +9,15 @@
 // a "default" window is pre-created so the single-window routes work out
 // of the box.
 //
+// With -data-dir the registry is durable: every applied batch is recorded
+// in a per-window write-ahead log before it reaches the monitors, window
+// configs and expiry watermarks live in an atomically-updated manifest,
+// and on startup every manifest window is re-created by replaying its
+// unexpired log suffix. -fsync picks the WAL fsync policy (batch,
+// interval, off) and -checkpoint-interval how often watermarks are
+// persisted and fully-expired log segments garbage-collected (also on
+// demand via POST /admin/checkpoint).
+//
 // Endpoints:
 //
 //	POST   /windows                        {"name":"w1","n":50000,...} create
@@ -20,13 +29,15 @@
 //	GET    /windows/{name}/query/{components,bipartite,msfweight,cycle,kcert}
 //	GET    /windows/{name}/stats           per-window counters
 //	POST   /edges, GET /query/..., /stats  default window (legacy routes)
+//	POST   /admin/checkpoint               persist watermarks + GC segments
 //	GET    /healthz                        liveness
 //	GET    /debug/pprof/...                profiling (only with -pprof)
 //
 // Example:
 //
 //	swserver -addr :8080 -n 100000 -window 1000000 -batch 512 -delay 2ms \
-//	         -shards 32 -windows tenant-a,tenant-b -pprof
+//	         -shards 32 -windows tenant-a,tenant-b -pprof \
+//	         -data-dir /var/lib/swserver -fsync interval -checkpoint-interval 30s
 package main
 
 import (
@@ -65,6 +76,10 @@ func main() {
 	seqFanout := flag.Bool("seqfanout", false, "apply batches to monitors sequentially instead of in parallel")
 	maxBody := flag.Int64("maxbody", stream.DefaultMaxBodyBytes, "request body size cap in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + manifest); empty = in-memory only")
+	fsync := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: batch|interval|off")
+	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second,
+		"period of the background checkpoint (persist expiry watermarks, GC expired WAL segments) with -data-dir; 0 = manual only")
 	flag.Parse()
 
 	template := stream.ServiceConfig{
@@ -79,16 +94,39 @@ func main() {
 		},
 		Ingest: stream.IngesterConfig{MaxBatch: *batch, MaxDelay: *delay},
 	}
-	reg := stream.NewRegistry(stream.RegistryConfig{
-		Shards:     *shards,
-		MaxWindows: *maxWindows,
-		Template:   template,
+	var persist *stream.PersistenceConfig
+	if *dataDir != "" {
+		pol, err := stream.ParseFsyncPolicy(*fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		persist = &stream.PersistenceConfig{
+			Dir:                *dataDir,
+			Fsync:              pol,
+			CheckpointInterval: *ckptEvery,
+		}
+	}
+	reg, recovered, err := stream.OpenRegistry(stream.RegistryConfig{
+		Shards:      *shards,
+		MaxWindows:  *maxWindows,
+		Template:    template,
+		Persistence: persist,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if recovered.Windows > 0 {
+		log.Printf("recovered %d windows from %s: replayed %d batches / %d edges (skipped %d expired records) in %v",
+			recovered.Windows, *dataDir, recovered.Batches, recovered.Edges, recovered.SkippedRecords, recovered.Elapsed)
+	}
 	names := append([]string{stream.DefaultWindow}, stream.SplitMonitors(*windows)...)
 	for _, name := range names {
 		// Pass the template itself so non-inherited fields (-seqfanout)
-		// carry to the pre-created windows.
-		if _, err := reg.Create(name, template); err != nil {
+		// carry to the pre-created windows. A recovered window already
+		// holding the name wins — its durable config and contents stand.
+		if _, err := reg.Create(name, template); err != nil && !errors.Is(err, stream.ErrWindowExists) {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
@@ -116,9 +154,13 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("swserver listening on %s (windows=%s, shards=%d, n=%d, monitors=%s, window=%d, maxage=%v, batch=%d/%v, fanout=%s, pprof=%v)",
+	durability := "in-memory"
+	if persist != nil {
+		durability = fmt.Sprintf("wal:%s fsync=%s ckpt=%v", *dataDir, *fsync, *ckptEvery)
+	}
+	log.Printf("swserver listening on %s (windows=%s, shards=%d, n=%d, monitors=%s, window=%d, maxage=%v, batch=%d/%v, fanout=%s, %s, pprof=%v)",
 		*addr, strings.Join(reg.Names(), ","), reg.Shards(), *n, *monitors, *window, *maxAge, *batch, *delay,
-		map[bool]string{false: "parallel", true: "sequential"}[*seqFanout], *pprofOn)
+		map[bool]string{false: "parallel", true: "sequential"}[*seqFanout], durability, *pprofOn)
 
 	select {
 	case err := <-errCh:

@@ -1,0 +1,610 @@
+package stream
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// ErrNotPersistent is returned by Checkpoint on a registry without a
+// durability layer.
+var ErrNotPersistent = errors.New("stream: registry has no persistence")
+
+// FsyncPolicy names a WAL fsync policy on the wire and the command line.
+type FsyncPolicy string
+
+const (
+	// FsyncInterval fsyncs at most once per SyncEvery (default); a power
+	// loss risks one interval of acknowledged edges, a process crash none.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncBatch fsyncs every flushed batch; nothing acknowledged is lost.
+	FsyncBatch FsyncPolicy = "batch"
+	// FsyncOff never fsyncs from the hot path.
+	FsyncOff FsyncPolicy = "off"
+)
+
+// ParseFsyncPolicy validates a policy name ("" selects the default).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "":
+		return FsyncInterval, nil
+	case FsyncInterval, FsyncBatch, FsyncOff:
+		return FsyncPolicy(s), nil
+	}
+	return "", fmt.Errorf("stream: unknown fsync policy %q (want batch, interval or off)", s)
+}
+
+func (p FsyncPolicy) walPolicy() wal.SyncPolicy {
+	switch p {
+	case FsyncBatch:
+		return wal.SyncBatch
+	case FsyncOff:
+		return wal.SyncNone
+	default:
+		return wal.SyncInterval
+	}
+}
+
+// PersistenceConfig enables the durability layer of a WindowRegistry: a
+// per-window write-ahead batch log plus an atomically-updated manifest,
+// giving crash recovery by suffix replay. Zero values select defaults.
+type PersistenceConfig struct {
+	// Dir is the data directory (required): MANIFEST.json plus one
+	// windows/<name>/ log directory per window.
+	Dir string
+	// Fsync is the WAL fsync policy (default FsyncInterval).
+	Fsync FsyncPolicy
+	// SyncEvery is the FsyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes is the log segment rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// CheckpointInterval runs Checkpoint on a background ticker
+	// (persisting expiry watermarks and pruning fully-expired segments).
+	// 0 disables the ticker; Checkpoint can still be called manually or
+	// via POST /admin/checkpoint.
+	CheckpointInterval time.Duration
+	// ReplayBatch is the recovery coalescing target in edges (default
+	// 128k): replayed records are merged into batches of at least this
+	// many edges before being applied, exploiting the paper's batch bound
+	// — one BatchInsert of ℓ edges costs O(ℓ·lg(1+n/ℓ)), so rebuilding
+	// from a handful of huge batches is far cheaper than re-paying the
+	// live stream's per-batch costs. Merging is sound because each
+	// monitor's forests are canonical in the arrival sequence (recency
+	// weights are distinct), so batch boundaries never change answers.
+	ReplayBatch int
+}
+
+// CheckpointStats summarizes one Checkpoint pass.
+type CheckpointStats struct {
+	Windows        int           `json:"windows"`
+	PrunedSegments int           `json:"pruned_segments"`
+	Elapsed        time.Duration `json:"elapsed_ns"`
+}
+
+// PersistenceStats is the /stats snapshot of the durability layer.
+type PersistenceStats struct {
+	Dir              string `json:"dir"`
+	Fsync            string `json:"fsync"`
+	Checkpoints      int64  `json:"checkpoints"`
+	CheckpointErrors int64  `json:"checkpoint_errors"`
+	AppendErrors     int64  `json:"append_errors"`
+	LastError        string `json:"last_error,omitempty"`
+}
+
+// RecoveryReport summarizes a boot-time recovery pass.
+type RecoveryReport struct {
+	Windows        int           // windows re-created from the manifest
+	Batches        int64         // log records replayed
+	Edges          int64         // edges replayed
+	SkippedRecords int64         // records skipped as fully expired
+	Elapsed        time.Duration // wall time of the whole recovery
+}
+
+// windowMeta is the JSON image of a window's configuration stored in the
+// manifest — everything needed to rebuild the ServiceConfig except the
+// clocks, which recovery takes from the registry template.
+type windowMeta struct {
+	N                int      `json:"n"`
+	Seed             uint64   `json:"seed"`
+	Monitors         []string `json:"monitors,omitempty"`
+	Eps              float64  `json:"eps,omitempty"`
+	MaxWeight        int64    `json:"max_weight,omitempty"`
+	K                int      `json:"k,omitempty"`
+	MaxArrivals      int      `json:"max_arrivals,omitempty"`
+	MaxAgeNS         int64    `json:"max_age_ns,omitempty"`
+	SequentialFanout bool     `json:"sequential_fanout,omitempty"`
+	MaxBatch         int      `json:"max_batch,omitempty"`
+	MaxDelayNS       int64    `json:"max_delay_ns,omitempty"`
+	QueueLen         int      `json:"queue_len,omitempty"`
+}
+
+func metaFromConfig(cfg ServiceConfig) windowMeta {
+	return windowMeta{
+		N:                cfg.Window.N,
+		Seed:             cfg.Window.Seed,
+		Monitors:         cfg.Window.Monitors,
+		Eps:              cfg.Window.Monitor.Eps,
+		MaxWeight:        cfg.Window.Monitor.MaxWeight,
+		K:                cfg.Window.Monitor.K,
+		MaxArrivals:      cfg.Window.MaxArrivals,
+		MaxAgeNS:         int64(cfg.Window.MaxAge),
+		SequentialFanout: cfg.Window.SequentialFanout,
+		MaxBatch:         cfg.Ingest.MaxBatch,
+		MaxDelayNS:       int64(cfg.Ingest.MaxDelay),
+		QueueLen:         cfg.Ingest.QueueLen,
+	}
+}
+
+// configFromMeta rebuilds a ServiceConfig, borrowing clocks from the
+// template (tests inject FakeClock through it; production leaves it nil
+// and gets the real clock).
+func configFromMeta(m windowMeta, tpl ServiceConfig) ServiceConfig {
+	return ServiceConfig{
+		Window: WindowConfig{
+			N:                m.N,
+			Seed:             m.Seed,
+			Monitors:         m.Monitors,
+			Monitor:          MonitorConfig{Eps: m.Eps, MaxWeight: m.MaxWeight, K: m.K},
+			MaxArrivals:      m.MaxArrivals,
+			MaxAge:           time.Duration(m.MaxAgeNS),
+			Clock:            tpl.Window.Clock,
+			SequentialFanout: m.SequentialFanout,
+		},
+		Ingest: IngesterConfig{
+			MaxBatch: m.MaxBatch,
+			MaxDelay: time.Duration(m.MaxDelayNS),
+			QueueLen: m.QueueLen,
+			Clock:    tpl.Ingest.Clock,
+		},
+	}.withClockDefaults()
+}
+
+// persistedWindow is the durability state of one live window.
+type persistedWindow struct {
+	svc  *Service
+	log  *wal.Log
+	meta json.RawMessage
+	// base is the absolute arrival index of the window manager's arrival
+	// 0: zero for windows created this process lifetime, the first
+	// replayed record's seq after a recovery. The manifest watermark is
+	// base + WindowManager.Watermark().
+	base uint64
+	// committed marks the window as published: manifest saves skip
+	// uncommitted entries, so a Create that loses its race against Close
+	// (and reports ErrRegistryClosed) can never leak a ghost manifest
+	// entry that a later restart would resurrect.
+	committed bool
+	// scratch is the wal.Edge conversion buffer; only the single flush
+	// goroutine touches it (the recorder runs under the window write
+	// lock).
+	scratch []wal.Edge
+}
+
+func (pw *persistedWindow) watermark() uint64 {
+	return pw.base + uint64(pw.svc.Window().Watermark())
+}
+
+// persister owns a registry's durability state: the per-window logs and
+// the manifest image. Its mutex guards the window table and manifest
+// writes; it is never taken from the recorder hot path (which holds the
+// window write lock), so {window lock → log} and {persister → window
+// read lock, persister → log} never form a cycle.
+type persister struct {
+	cfg    PersistenceConfig
+	walOpt wal.Options
+
+	mu     sync.Mutex
+	wins   map[string]*persistedWindow
+	closed bool // set by closeAll: no further manifest writes
+
+	checkpoints int64
+
+	// errMu guards the error tallies; the append side is written from the
+	// recorder (which holds the window write lock — see the ordering note
+	// above), so it must never nest inside p.mu acquisition from there.
+	errMu       sync.Mutex
+	appendErrs  int64
+	lastErr     error // sticky: an append error means acknowledged data is missing from the log
+	ckptErrs    int64
+	lastCkptErr error // transient: cleared by the next successful checkpoint
+}
+
+func newPersister(cfg PersistenceConfig) (*persister, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("stream: persistence needs a data directory")
+	}
+	pol, err := ParseFsyncPolicy(string(cfg.Fsync))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Fsync = pol
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &persister{
+		cfg: cfg,
+		walOpt: wal.Options{
+			SegmentBytes: cfg.SegmentBytes,
+			Sync:         pol.walPolicy(),
+			SyncEvery:    cfg.SyncEvery,
+		},
+		wins: make(map[string]*persistedWindow),
+	}, nil
+}
+
+func (p *persister) windowDir(name string) string {
+	return filepath.Join(p.cfg.Dir, "windows", name)
+}
+
+func (p *persister) noteErr(err error) {
+	p.errMu.Lock()
+	p.appendErrs++
+	p.lastErr = err
+	p.errMu.Unlock()
+}
+
+func (p *persister) noteCkptErr(err error) {
+	p.errMu.Lock()
+	p.ckptErrs++
+	p.lastCkptErr = err
+	p.errMu.Unlock()
+}
+
+// attachRecorder wires the window's write-ahead hook to the log. On an
+// append failure the window keeps serving (availability over durability)
+// and the error is tallied for /stats and the next Checkpoint to surface.
+func (p *persister) attachRecorder(pw *persistedWindow) {
+	pw.svc.Window().setRecorder(func(edges []Edge) {
+		pw.scratch = pw.scratch[:0]
+		for _, e := range edges {
+			pw.scratch = append(pw.scratch, wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()})
+		}
+		if _, err := pw.log.Append(pw.scratch); err != nil {
+			p.noteErr(err)
+		}
+	})
+}
+
+// addWindow opens a fresh log for a window being created and attaches the
+// recorder. Called by Create after the service is built but before the
+// window is published, so no edge can be accepted un-logged. The manifest
+// is NOT written here — commitWindow does that at publish time, so a
+// Create that loses its race against Close leaves no durable trace.
+func (p *persister) addWindow(name string, cfg ServiceConfig, svc *Service) error {
+	meta, err := json.Marshal(metaFromConfig(cfg))
+	if err != nil {
+		return err
+	}
+	dir := p.windowDir(name)
+	// A crashed Drop can leave an orphan log dir with no manifest entry;
+	// reusing the name must not resurrect its records.
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	log, err := wal.Open(dir, p.walOpt)
+	if err != nil {
+		return err
+	}
+	pw := &persistedWindow{svc: svc, log: log, meta: meta}
+	p.attachRecorder(pw)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		log.Close()
+		return ErrRegistryClosed
+	}
+	p.wins[name] = pw
+	return nil
+}
+
+// commitWindow registers a created window in the manifest. Create calls
+// it while holding the shard lock, after its closed re-check and before
+// publishing the handle, so the manifest gains the window exactly when
+// the registry does. The fsync+rename under the shard lock only stalls
+// same-shard control-plane operations — data-plane lookups on other
+// windows in the shard read-lock and creates are rare.
+func (p *persister) commitWindow(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pw, ok := p.wins[name]
+	if !ok || p.closed {
+		return ErrRegistryClosed
+	}
+	pw.committed = true
+	if _, err := p.saveManifestLocked(); err != nil {
+		pw.committed = false
+		return err
+	}
+	return nil
+}
+
+// removeWindow forgets a dropped window: manifest entry first (so a crash
+// mid-removal leaves an ignorable orphan dir, not a manifest entry with no
+// log), then the log itself. svc pins the identity: a Drop that already
+// freed the name must not tear down a newer window that won the name in
+// the meantime. Unknown names no-op (attached, non-persisted windows drop
+// through here too), as does a persister already finalized by Close — in
+// the narrow Drop-races-Close window the final manifest may keep the
+// dropped window, which a restart resurrects empty-handed but consistent.
+func (p *persister) removeWindow(name string, svc *Service) error {
+	p.mu.Lock()
+	pw, ok := p.wins[name]
+	if !ok || p.closed || (svc != nil && pw.svc != svc) {
+		p.mu.Unlock()
+		return nil
+	}
+	delete(p.wins, name)
+	var err error
+	if pw.committed {
+		_, err = p.saveManifestLocked()
+	}
+	p.mu.Unlock()
+	pw.log.Close()
+	if rmErr := os.RemoveAll(p.windowDir(name)); err == nil {
+		err = rmErr
+	}
+	return err
+}
+
+// saveManifestLocked rewrites the manifest from the live window table.
+// Callers hold p.mu. The ordering is load-bearing: watermarks are captured
+// FIRST, then every log is fsynced, then the manifest is written. A
+// watermark counts only arrivals already applied (and therefore already
+// appended) when it was read, so the sync that follows makes the log
+// durable past everything the persisted watermark invalidates — the
+// manifest can never claim an expiry horizon beyond the durable log end,
+// which would let a post-crash restart renumber new appends below the
+// watermark and silently skip them on the crash after that.
+func (p *persister) saveManifestLocked() (map[string]uint64, error) {
+	watermarks := make(map[string]uint64, len(p.wins))
+	for name, pw := range p.wins {
+		if !pw.committed {
+			continue // an unpublished Create must leave no durable trace
+		}
+		watermarks[name] = pw.watermark()
+	}
+	for _, pw := range p.wins {
+		if err := pw.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
+			return nil, err
+		}
+	}
+	m := &wal.Manifest{Version: wal.ManifestVersion, Windows: make(map[string]wal.WindowState, len(watermarks))}
+	for name, pw := range p.wins {
+		if w, ok := watermarks[name]; ok {
+			m.Windows[name] = wal.WindowState{Config: pw.meta, Watermark: w}
+		}
+	}
+	if err := wal.SaveManifest(p.cfg.Dir, m); err != nil {
+		return nil, err
+	}
+	return watermarks, nil
+}
+
+// checkpoint makes the current expiry progress durable and reclaims
+// fully-expired log segments: write the manifest (capture watermarks →
+// sync logs → atomic rename, see saveManifestLocked), then prune with
+// exactly the watermarks the durable manifest records — pruning with
+// fresher ones could delete segments a crash would still replay. Any
+// append error tallied since the last checkpoint is surfaced here.
+func (p *persister) checkpoint() (CheckpointStats, error) {
+	start := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st CheckpointStats
+	if p.closed {
+		// A checkpoint racing (or following) Close must not rewrite the
+		// manifest from the emptied window table — that would erase every
+		// durable registration the final checkpoint just wrote.
+		return st, ErrRegistryClosed
+	}
+	watermarks, err := p.saveManifestLocked()
+	if err != nil {
+		p.noteCkptErr(err)
+		return st, err
+	}
+	for name, pw := range p.wins {
+		pruned, err := pw.log.Prune(watermarks[name])
+		if err != nil {
+			p.noteCkptErr(err)
+			return st, err
+		}
+		st.PrunedSegments += pruned
+	}
+	st.Windows = len(watermarks)
+	st.Elapsed = time.Since(start)
+	p.checkpoints++
+	p.errMu.Lock()
+	p.lastCkptErr = nil // durability restored: the manifest write succeeded
+	p.errMu.Unlock()
+	// A recorded append error means some acknowledged batch never reached
+	// the log: the checkpoint "succeeded" mechanically but durability is
+	// compromised until restart, so keep surfacing it (sticky; also
+	// visible in PersistenceStats).
+	p.errMu.Lock()
+	aerr := p.lastErr
+	p.errMu.Unlock()
+	if aerr != nil {
+		return st, fmt.Errorf("stream: WAL append failed: %w", aerr)
+	}
+	return st, nil
+}
+
+// closeAll runs after every service has been closed (so the shutdown
+// drain's final appends are in the logs): persist final watermarks, then
+// close the logs.
+func (p *persister) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true               // later checkpoints/creates/drops must not touch the manifest
+	_, _ = p.saveManifestLocked() // captures watermarks, syncs, renames
+	for _, pw := range p.wins {
+		_ = pw.log.Close()
+	}
+	p.wins = make(map[string]*persistedWindow)
+}
+
+func (p *persister) stats() PersistenceStats {
+	p.mu.Lock()
+	ckpts := p.checkpoints
+	p.mu.Unlock()
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	st := PersistenceStats{
+		Dir:              p.cfg.Dir,
+		Fsync:            string(p.cfg.Fsync),
+		Checkpoints:      ckpts,
+		CheckpointErrors: p.ckptErrs,
+		AppendErrors:     p.appendErrs,
+	}
+	switch { // a lost append outranks a failed checkpoint
+	case p.lastErr != nil:
+		st.LastError = p.lastErr.Error()
+	case p.lastCkptErr != nil:
+		st.LastError = p.lastCkptErr.Error()
+	}
+	return st
+}
+
+// recoverWindow rebuilds one manifest window: fresh monitors, then a
+// replay of every log record past the expiry watermark. Records are
+// delivered whole and in order but coalesced into ReplayBatch-sized
+// mega-batches before being applied: the arrival sequence and the clamped
+// event times are exactly the live run's, and each monitor's forests are
+// a canonical function of that sequence (distinct recency weights), so
+// answers match an uninterrupted run while the rebuild pays the paper's
+// large-ℓ batch cost instead of the live stream's small-batch cost. The
+// window's own expiry policy deterministically re-trims any
+// already-expired prefix the first replayed record carries.
+func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceConfig) (*Service, wal.ReplayStats, error) {
+	var meta windowMeta
+	if err := json.Unmarshal(ws.Config, &meta); err != nil {
+		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q manifest config: %w", name, err)
+	}
+	cfg := configFromMeta(meta, tpl)
+	wm, err := NewWindowManager(cfg.Window)
+	if err != nil {
+		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q: %w", name, err)
+	}
+	log, err := wal.Open(p.windowDir(name), p.walOpt)
+	if err != nil {
+		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q log: %w", name, err)
+	}
+	chunk := p.cfg.ReplayBatch
+	if chunk <= 0 {
+		chunk = 128 << 10
+	}
+	base := ws.Watermark
+	first := true
+	var batch []Edge
+	flush := func() {
+		if len(batch) > 0 {
+			wm.Apply(batch)
+			batch = batch[:0] // Apply's monitors copy what they keep
+		}
+	}
+	st, err := log.Replay(ws.Watermark, func(rec wal.Record) error {
+		if first {
+			base = rec.Seq
+			first = false
+		}
+		for _, e := range rec.Edges {
+			batch = append(batch, Edge{U: e.U, V: e.V, W: e.W, T: time.Unix(0, e.T)})
+		}
+		if len(batch) >= chunk {
+			flush()
+		}
+		return nil
+	})
+	flush()
+	if err != nil {
+		log.Close()
+		return nil, st, fmt.Errorf("stream: window %q replay: %w", name, err)
+	}
+	if first {
+		// Nothing to replay: the next append continues the log's own
+		// numbering, and everything before it counts as expired.
+		base = log.NextSeq()
+	}
+	svc := newServiceWith(wm, cfg)
+	pw := &persistedWindow{svc: svc, log: log, meta: ws.Config, base: base, committed: true}
+	p.attachRecorder(pw)
+	p.mu.Lock()
+	p.wins[name] = pw
+	p.mu.Unlock()
+	return svc, st, nil
+}
+
+// OpenRegistry builds a registry from its durable state: every window in
+// the manifest is re-created and its unexpired log suffix replayed, after
+// which the background checkpoint ticker (if configured) starts. With a
+// nil Persistence config it degenerates to NewRegistry. Windows created
+// through Create on the returned registry are durable; windows Attach-ed
+// are not (the registry cannot serialize an externally-built pipeline's
+// config).
+func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) {
+	r := NewRegistry(cfg)
+	rep := &RecoveryReport{}
+	if cfg.Persistence == nil {
+		return r, rep, nil
+	}
+	p, err := newPersister(*cfg.Persistence)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.persist = p
+	man, err := wal.LoadManifest(p.cfg.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	start := time.Now()
+	names := make([]string, 0, len(man.Windows))
+	for name := range man.Windows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	tpl := r.cfg.Template.withClockDefaults()
+	// abort unwinds a partial recovery WITHOUT touching the on-disk
+	// manifest: one window's corruption must not erase the durable
+	// registration of windows not yet (or already) recovered. The logs
+	// are closed here and the persister detached before Close, so Close's
+	// final-checkpoint path cannot rewrite the manifest from the partial
+	// window table.
+	abort := func() {
+		p.mu.Lock()
+		for _, pw := range p.wins {
+			_ = pw.log.Close()
+		}
+		p.wins = make(map[string]*persistedWindow)
+		p.mu.Unlock()
+		r.persist = nil
+		r.Close()
+	}
+	for _, name := range names {
+		svc, st, err := p.recoverWindow(name, man.Windows[name], tpl)
+		if err != nil {
+			abort()
+			return nil, nil, err
+		}
+		if err := r.attachService(name, svc); err != nil {
+			svc.Close()
+			abort()
+			return nil, nil, fmt.Errorf("stream: recovered window %q: %w", name, err)
+		}
+		rep.Windows++
+		rep.Batches += st.Records
+		rep.Edges += st.Edges
+		rep.SkippedRecords += st.SkippedRecords
+	}
+	rep.Elapsed = time.Since(start)
+	if p.cfg.CheckpointInterval > 0 {
+		r.startCheckpointLoop(p.cfg.CheckpointInterval)
+	}
+	return r, rep, nil
+}

@@ -36,6 +36,10 @@ type RegistryConfig struct {
 	// leaves fields zero (see mergeTemplate). Template.Window.N must be set
 	// for template-based creation to work.
 	Template ServiceConfig
+	// Persistence enables the durability layer (write-ahead batch logs +
+	// manifest + crash recovery); nil keeps the registry in-memory. Only
+	// OpenRegistry honours it — NewRegistry ignores the field.
+	Persistence *PersistenceConfig
 }
 
 func (c *RegistryConfig) withDefaults() RegistryConfig {
@@ -97,6 +101,13 @@ type WindowRegistry struct {
 	countMu sync.Mutex
 	count   int
 	closed  atomic.Bool
+
+	// persist is the durability layer, set only by OpenRegistry; nil
+	// means in-memory. ckptStop/ckptWG manage the background checkpoint
+	// ticker.
+	persist  *persister
+	ckptStop chan struct{}
+	ckptWG   sync.WaitGroup
 }
 
 // NewRegistry returns an empty registry.
@@ -258,6 +269,15 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 	sh.mu.Unlock()
 
 	svc, err := NewService(cfg)
+	if err == nil && r.persist != nil {
+		// Open the window's log and attach the write-ahead recorder while
+		// the window is still an unpublished placeholder: no producer can
+		// reach it, so no edge is ever accepted un-logged.
+		if perr := r.persist.addWindow(name, cfg, svc); perr != nil {
+			svc.Close()
+			svc, err = nil, perr
+		}
+	}
 
 	sh.mu.Lock()
 	if err != nil {
@@ -275,8 +295,25 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 		delete(sh.wins, name)
 		sh.mu.Unlock()
 		svc.Close()
+		if r.persist != nil {
+			_ = r.persist.removeWindow(name, svc)
+		}
 		r.release()
 		return nil, ErrRegistryClosed
+	}
+	// Commit to the manifest at the same moment the registry commits to
+	// the name (under the shard lock, after the closed re-check): the
+	// durable registry and the in-memory one can never disagree about a
+	// successfully-created window.
+	if r.persist != nil {
+		if perr := r.persist.commitWindow(name); perr != nil {
+			delete(sh.wins, name)
+			sh.mu.Unlock()
+			svc.Close()
+			_ = r.persist.removeWindow(name, svc)
+			r.release()
+			return nil, perr
+		}
 	}
 	h.svc = svc
 	sh.mu.Unlock()
@@ -284,8 +321,17 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 }
 
 // Attach registers an externally-built Service under name. The registry
-// takes ownership: Drop and Close will Close it.
+// takes ownership: Drop and Close will Close it. Attached windows are
+// never persisted — the registry cannot serialize an external pipeline's
+// config into the manifest — so on a durable registry they vanish at
+// restart; use Create for durable windows.
 func (r *WindowRegistry) Attach(name string, svc *Service) error {
+	return r.attachService(name, svc)
+}
+
+// attachService is Attach without the persistence caveat — the recovery
+// path registers windows whose durability state it has already wired.
+func (r *WindowRegistry) attachService(name string, svc *Service) error {
 	if err := ValidateWindowName(name); err != nil {
 		return err
 	}
@@ -327,7 +373,9 @@ func (r *WindowRegistry) Get(name string) (*Service, bool) {
 // Drop unregisters the named window and closes its pipeline (draining the
 // ingester). The close runs outside the shard lock so a slow drain never
 // blocks other registry operations; readers that fetched the service before
-// the drop keep a usable (query-only, once closed) handle.
+// the drop keep a usable (query-only, once closed) handle. On a durable
+// registry the window's log directory and manifest entry are deleted —
+// a dropped window does not come back at restart.
 func (r *WindowRegistry) Drop(name string) error {
 	sh := r.shardFor(name)
 	sh.mu.Lock()
@@ -341,8 +389,64 @@ func (r *WindowRegistry) Drop(name string) error {
 		return fmt.Errorf("%w: %q", ErrWindowNotFound, name)
 	}
 	r.release()
+	// Flush before Close so every edge accepted up to the drop is applied
+	// (Close's shutdown drain would cover this too; the explicit flush
+	// keeps the applied-before-closed guarantee independent of it), then
+	// delete the log only after the drained pipeline stops appending.
+	h.svc.Flush()
 	h.svc.Close()
+	if r.persist != nil {
+		// Pass the handle's service so a concurrent Create that re-won
+		// this name while we were draining keeps its fresh log.
+		return r.persist.removeWindow(name, h.svc)
+	}
 	return nil
+}
+
+// Checkpoint persists every window's expiry low-watermark to the manifest
+// (after fsyncing the logs, so the watermarks never outrun the data) and
+// prunes log segments that hold only expired arrivals. Fails with
+// ErrNotPersistent on an in-memory registry. Also surfaces any WAL append
+// error recorded since the last checkpoint.
+func (r *WindowRegistry) Checkpoint() (CheckpointStats, error) {
+	if r.persist == nil {
+		return CheckpointStats{}, ErrNotPersistent
+	}
+	return r.persist.checkpoint()
+}
+
+// Persistent reports whether the registry has a durability layer.
+func (r *WindowRegistry) Persistent() bool { return r.persist != nil }
+
+// PersistenceStats snapshots the durability layer's counters; ok is false
+// on an in-memory registry.
+func (r *WindowRegistry) PersistenceStats() (PersistenceStats, bool) {
+	if r.persist == nil {
+		return PersistenceStats{}, false
+	}
+	return r.persist.stats(), true
+}
+
+// startCheckpointLoop runs Checkpoint on a fixed period until Close.
+func (r *WindowRegistry) startCheckpointLoop(period time.Duration) {
+	r.ckptStop = make(chan struct{})
+	r.ckptWG.Add(1)
+	go func() {
+		defer r.ckptWG.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// Checkpoint records its own failures (checkpoint_errors
+				// + last_error in PersistenceStats), so dropping the
+				// return here loses nothing.
+				_, _ = r.Checkpoint()
+			case <-r.ckptStop:
+				return
+			}
+		}
+	}()
 }
 
 // Len returns the number of live windows.
@@ -400,12 +504,18 @@ func (r *WindowRegistry) List() []WindowInfo {
 	return out
 }
 
-// Close drops every window (closing each pipeline) and rejects further
-// creates. Idempotent.
+// Close drops every window (flushing and closing each pipeline) and
+// rejects further creates. On a durable registry it then writes a final
+// checkpoint (the drained pipelines' last appends and watermarks) and
+// closes the logs. Idempotent.
 func (r *WindowRegistry) Close() {
 	r.countMu.Lock()
-	r.closed.Store(true)
+	already := r.closed.Swap(true)
 	r.countMu.Unlock()
+	if !already && r.ckptStop != nil {
+		close(r.ckptStop)
+		r.ckptWG.Wait()
+	}
 	var handles []*windowHandle
 	for i := range r.shards {
 		sh := &r.shards[i]
@@ -424,6 +534,15 @@ func (r *WindowRegistry) Close() {
 	}
 	for _, h := range handles {
 		r.release()
+		// Flush, then Close: edges accepted before shutdown — including
+		// ones still buffered under the ingester's MaxDelay deadline —
+		// are applied (and logged) rather than dropped. Close's shutdown
+		// drain gives the same guarantee on its own; the explicit flush
+		// pins it against future ingester changes.
+		h.svc.Flush()
 		h.svc.Close()
+	}
+	if !already && r.persist != nil {
+		r.persist.closeAll()
 	}
 }

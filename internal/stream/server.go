@@ -72,17 +72,17 @@ type edgesRequest struct {
 // createWindowRequest is the wire form of POST /windows. Zero fields
 // inherit from the registry template.
 type createWindowRequest struct {
-	Name             string   `json:"name"`
-	N                int      `json:"n,omitempty"`
-	Seed             uint64   `json:"seed,omitempty"`
-	Monitors         []string `json:"monitors,omitempty"`
-	MaxArrivals      int      `json:"max_arrivals,omitempty"`
-	MaxAgeMS         int64    `json:"max_age_ms,omitempty"`
-	Eps              float64  `json:"eps,omitempty"`
-	MaxWeight        int64    `json:"max_weight,omitempty"`
-	K                int      `json:"k,omitempty"`
-	MaxBatch   int   `json:"max_batch,omitempty"`
-	MaxDelayMS int64 `json:"max_delay_ms,omitempty"`
+	Name        string   `json:"name"`
+	N           int      `json:"n,omitempty"`
+	Seed        uint64   `json:"seed,omitempty"`
+	Monitors    []string `json:"monitors,omitempty"`
+	MaxArrivals int      `json:"max_arrivals,omitempty"`
+	MaxAgeMS    int64    `json:"max_age_ms,omitempty"`
+	Eps         float64  `json:"eps,omitempty"`
+	MaxWeight   int64    `json:"max_weight,omitempty"`
+	K           int      `json:"k,omitempty"`
+	MaxBatch    int      `json:"max_batch,omitempty"`
+	MaxDelayMS  int64    `json:"max_delay_ms,omitempty"`
 	// SequentialFanout is tri-state: absent inherits the registry
 	// template's fan-out mode, an explicit true/false overrides it.
 	SequentialFanout *bool `json:"sequential_fanout,omitempty"`
@@ -120,6 +120,7 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 		start:      time.Now(),
 	}
 	s.handle("POST /windows", s.handleCreateWindow)
+	s.handle("POST /admin/checkpoint", s.handleCheckpoint)
 	s.handle("GET /windows", s.handleListWindows)
 	s.handle("GET /windows/{name}", s.handleWindowInfo)
 	s.handle("DELETE /windows/{name}", s.handleDropWindow)
@@ -284,6 +285,26 @@ func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
 		"name":     req.Name,
 		"n":        svc.Window().N(),
 		"monitors": svc.Window().Monitors(),
+	})
+}
+
+// handleCheckpoint persists expiry watermarks and prunes fully-expired
+// WAL segments on demand — the durable registry's manual GC trigger (a
+// background ticker usually does this on a period).
+func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
+	st, err := s.reg.Checkpoint()
+	if err != nil {
+		if errors.Is(err, ErrNotPersistent) {
+			writeErr(w, http.StatusConflict, err)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"windows":         st.Windows,
+		"pruned_segments": st.PrunedSegments,
+		"elapsed_ms":      float64(st.Elapsed) / 1e6,
 	})
 }
 
@@ -515,6 +536,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"shards":  s.reg.Shards(),
 		},
 		"endpoints": s.stats.Snapshot(),
+	}
+	if ps, ok := s.reg.PersistenceStats(); ok {
+		resp["persistence"] = ps
 	}
 	if svc, ok := s.reg.Get(s.defaultWin); ok {
 		for k, v := range windowStatsBody(svc) {

@@ -25,18 +25,34 @@ type Service struct {
 	closeOnce  sync.Once
 }
 
-// NewService builds and starts a streaming service.
-func NewService(cfg ServiceConfig) (*Service, error) {
+// withClockDefaults cross-defaults the two clocks so a single injected
+// clock drives both the ingester and the window.
+func (cfg ServiceConfig) withClockDefaults() ServiceConfig {
 	if cfg.Ingest.Clock == nil {
 		cfg.Ingest.Clock = cfg.Window.Clock
 	}
 	if cfg.Window.Clock == nil {
 		cfg.Window.Clock = cfg.Ingest.Clock
 	}
+	return cfg
+}
+
+// NewService builds and starts a streaming service.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	cfg = cfg.withClockDefaults()
 	wm, err := NewWindowManager(cfg.Window)
 	if err != nil {
 		return nil, err
 	}
+	return newServiceWith(wm, cfg), nil
+}
+
+// newServiceWith starts the pipeline over an existing window manager; the
+// recovery path uses it after replaying the WAL into a fresh manager
+// (replay must not flow through an ingester that is already accepting new
+// edges). cfg must already have its clock defaults applied and must be the
+// config wm was built from.
+func newServiceWith(wm *WindowManager, cfg ServiceConfig) *Service {
 	s := &Service{
 		wm:         wm,
 		clock:      wm.cfg.Clock,
@@ -51,7 +67,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		s.tickerWG.Add(1)
 		go s.expireLoop(period)
 	}
-	return s, nil
+	return s
 }
 
 func (s *Service) expireLoop(period time.Duration) {

@@ -30,6 +30,12 @@
 //     so tenants addressing different windows never contend on registry
 //     state, and each window keeps its own ingester, expiry ticker and
 //     RWMutex.
+//   - Persistence (OpenRegistry + internal/wal): optionally, every applied
+//     batch is write-ahead logged and window configs + expiry watermarks
+//     live in an atomic manifest, so a crashed or restarted registry
+//     rebuilds every window by replaying its unexpired arrival suffix —
+//     the recent-edge property makes the suffix a complete description of
+//     the window state, so no structure serialization is ever needed.
 //
 // cmd/swserver wraps a registry in an HTTP JSON front-end (windows
 // addressed under /windows/{name}/..., legacy single-window routes served

@@ -70,6 +70,13 @@ type WindowManager struct {
 	cfg WindowConfig
 	mux *Multiplexer
 
+	// rec, when set, is handed every valid batch (event times already
+	// clamped) before the monitors see it — the write-ahead hook the
+	// durability layer logs through. Called under the write lock, so
+	// record order is exactly apply order and the logged arrival indices
+	// line up with the stats counters.
+	rec func([]Edge)
+
 	// times holds the event times (unix nanos) of the unexpired arrivals,
 	// oldest first, maintained only when MaxAge > 0. Entries are clamped
 	// into [lastT, now] on insert so the sequence is monotone and
@@ -121,6 +128,27 @@ func (w *WindowManager) Apply(batch []Edge) {
 	}
 	now := w.cfg.Clock.Now()
 	if len(valid) > 0 {
+		// Clamp event times before recording so the durability log
+		// carries exactly the times expiry will see again on replay (the
+		// clamp is monotone, so re-clamping logged times is a no-op).
+		if w.cfg.MaxAge > 0 {
+			nowNS := now.UnixNano()
+			for i := range valid {
+				t := valid[i].T.UnixNano()
+				if t > nowNS {
+					t = nowNS
+				}
+				if t < w.lastT {
+					t = w.lastT
+				}
+				w.lastT = t
+				valid[i].T = time.Unix(0, t)
+				w.times = append(w.times, t)
+			}
+		}
+		if w.rec != nil {
+			w.rec(valid)
+		}
 		// ApplyNS times the monitor mutation with the monotonic wall
 		// clock, deliberately not the injected Clock: FakeClock time does
 		// not advance during a call, and the stat must reflect real lock
@@ -130,22 +158,26 @@ func (w *WindowManager) Apply(batch []Edge) {
 		w.mux.BatchInsert(valid)
 		w.stats.Arrivals += int64(len(valid))
 		w.stats.Batches++
-		if w.cfg.MaxAge > 0 {
-			nowNS := now.UnixNano()
-			for _, e := range valid {
-				t := e.T.UnixNano()
-				if t > nowNS {
-					t = nowNS
-				}
-				if t < w.lastT {
-					t = w.lastT
-				}
-				w.lastT = t
-				w.times = append(w.times, t)
-			}
-		}
 	}
 	w.expireLocked(now)
+}
+
+// setRecorder installs the write-ahead hook batches are logged through.
+// Must be installed before any producer can reach Apply (the registry
+// attaches it while the window is still unpublished).
+func (w *WindowManager) setRecorder(rec func([]Edge)) {
+	w.mu.Lock()
+	w.rec = rec
+	w.mu.Unlock()
+}
+
+// Watermark returns the expiry low-watermark: the number of arrivals this
+// manager has expired. The durability layer persists it (offset by the
+// recovery base) so restarts replay only the unexpired suffix.
+func (w *WindowManager) Watermark() int64 {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	return w.stats.Expired
 }
 
 // ExpireByAge runs the time-based expiry policy without inserting anything;

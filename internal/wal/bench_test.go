@@ -1,0 +1,59 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkAppend measures the per-batch logging cost on the ingest hot
+// path for each fsync policy (512-edge batches, the ingester default).
+func BenchmarkAppend(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		pol  SyncPolicy
+	}{{"off", SyncNone}, {"interval", SyncInterval}, {"batch", SyncBatch}} {
+		b.Run(tc.name, func(b *testing.B) {
+			l, err := Open(b.TempDir(), Options{Sync: tc.pol})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			batch := mkBatch(0, 512)
+			b.SetBytes(512 * edgeSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Append(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkReplay measures raw decode+deliver speed — the floor under
+// crash-recovery time (actual recovery adds the monitor rebuild).
+func BenchmarkReplay(b *testing.B) {
+	for _, batches := range []int{64, 1024} {
+		b.Run(fmt.Sprintf("batches=%d", batches), func(b *testing.B) {
+			dir := b.TempDir()
+			l, err := Open(dir, Options{Sync: SyncNone})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < batches; i++ {
+				if _, err := l.Append(mkBatch(l.NextSeq(), 512)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(batches) * 512 * edgeSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := l.Replay(0, func(Record) error { return nil }); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			l.Close()
+		})
+	}
+}

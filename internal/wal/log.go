@@ -1,0 +1,395 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// SyncPolicy selects when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncInterval fsyncs at most once per Options.SyncEvery, bounding
+	// data-at-risk on power loss to one interval of arrivals. The default.
+	SyncInterval SyncPolicy = iota
+	// SyncBatch fsyncs after every appended batch: nothing acknowledged is
+	// ever lost, at the price of one fsync per flush.
+	SyncBatch
+	// SyncNone never fsyncs from the hot path; the OS flushes at its
+	// leisure. Process crashes lose nothing (the page cache survives);
+	// power loss can lose everything since the last rotation or Sync.
+	SyncNone
+)
+
+// Options tunes a Log; zero values select defaults.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default 4 MiB). A record
+	// never spans segments; a segment holds at least one record even when
+	// the record alone exceeds the threshold.
+	SegmentBytes int64
+	// Sync is the fsync policy (default SyncInterval).
+	Sync SyncPolicy
+	// SyncEvery is the SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 100 * time.Millisecond
+	}
+	return o
+}
+
+// ReplayStats summarizes one Replay pass.
+type ReplayStats struct {
+	Records        int64 // records delivered
+	Edges          int64 // edges delivered
+	SkippedRecords int64 // records entirely below the watermark
+	Segments       int   // segment files visited
+}
+
+// Log is one window's append-only batch log. All methods are safe for
+// concurrent use; in the service pipeline Append is called by the single
+// flush goroutine while Sync/Prune arrive from checkpoint goroutines.
+type Log struct {
+	mu       sync.Mutex
+	dir      string
+	opt      Options
+	f        *os.File // active segment (nil until the first append)
+	size     int64
+	segs     []uint64 // first seq of every segment file, ascending
+	nextSeq  uint64
+	lastSync time.Time
+	closed   bool
+	poisoned error // set when a failed append could not be rolled back
+	scratch  []byte
+}
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("%020d.seg", firstSeq) }
+
+func parseSegName(name string) (uint64, bool) {
+	if len(name) != 24 || name[20:] != ".seg" {
+		return 0, false
+	}
+	var seq uint64
+	for i := 0; i < 20; i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
+// Open opens (creating if necessary) the log in dir and repairs its tail:
+// the last segment is scanned and truncated at the first torn or corrupt
+// record, so the log always resumes appending after the last fully-written
+// batch.
+func Open(dir string, opt Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opt: opt.withDefaults(), lastSync: time.Now()}
+	for _, ent := range entries {
+		if seq, ok := parseSegName(ent.Name()); ok {
+			l.segs = append(l.segs, seq)
+		}
+	}
+	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
+	if len(l.segs) == 0 {
+		return l, nil
+	}
+	if err := l.openTail(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openTail repairs the last segment and opens it for appending.
+func (l *Log) openTail() error {
+	first := l.segs[len(l.segs)-1]
+	path := filepath.Join(l.dir, segName(first))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	valid := 0
+	end := first
+	for valid < len(data) {
+		rec, n, err := decodeRecord(data[valid:])
+		if err != nil {
+			break // torn or corrupt tail: keep the valid prefix
+		}
+		valid += n
+		end = rec.End()
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.size = int64(valid)
+	l.nextSeq = end
+	return nil
+}
+
+// NextSeq returns the arrival index the next appended batch will start at.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Segments returns the number of segment files.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// maxEdgesPerRecord keeps every written record under maxPayloadSize, the
+// bound decodeRecord enforces — an acknowledged record the reader would
+// reject is worse than no record at all.
+const maxEdgesPerRecord = (maxPayloadSize - payloadFixed) / edgeSize
+
+// Append logs one batch and returns the arrival index of its first edge.
+// Batches beyond maxEdgesPerRecord split into several contiguous records
+// (seq numbering is per edge, so replay is oblivious to the split).
+// Durability follows the sync policy; the write itself always reaches the
+// OS before Append returns, so a process crash (as opposed to power loss)
+// loses nothing.
+func (l *Log) Append(edges []Edge) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.poisoned != nil {
+		return 0, fmt.Errorf("wal: log poisoned by earlier append failure: %w", l.poisoned)
+	}
+	if len(edges) == 0 {
+		return l.nextSeq, nil
+	}
+	first := l.nextSeq
+	for len(edges) > 0 {
+		k := len(edges)
+		if k > maxEdgesPerRecord {
+			k = maxEdgesPerRecord
+		}
+		if err := l.appendLocked(edges[:k]); err != nil {
+			return 0, err
+		}
+		edges = edges[k:]
+	}
+	return first, nil
+}
+
+// appendLocked encodes and writes one record, rotating and syncing per
+// policy. Callers hold l.mu and have bounded len(edges).
+func (l *Log) appendLocked(edges []Edge) error {
+	l.scratch = appendRecord(l.scratch[:0], l.nextSeq, edges)
+	if l.f == nil || (l.size > 0 && l.size+int64(len(l.scratch)) > l.opt.SegmentBytes) {
+		if err := l.rotateLocked(); err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(l.scratch); err != nil {
+		// Roll the segment back to its last record boundary: leaving a
+		// short write mid-file would make every LATER successful record
+		// unreachable (tail repair stops at the first bad record) and
+		// shift all later seqs off the window's arrival numbering. If the
+		// rollback itself fails, poison the log — refusing further
+		// appends is strictly better than silently truncating them away
+		// at the next recovery.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.poisoned = fmt.Errorf("%w (rollback failed: %v)", err, terr)
+		} else if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+			l.poisoned = fmt.Errorf("%w (rollback seek failed: %v)", err, serr)
+		}
+		return err
+	}
+	l.size += int64(len(l.scratch))
+	l.nextSeq += uint64(len(edges))
+	switch l.opt.Sync {
+	case SyncBatch:
+		if err := l.syncLocked(); err != nil {
+			return err
+		}
+	case SyncInterval:
+		if time.Since(l.lastSync) >= l.opt.SyncEvery {
+			if err := l.syncLocked(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// rotateLocked finishes the active segment (fsyncing it so closed segments
+// are always durable) and starts a new one named after nextSeq.
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+		l.f = nil
+	}
+	path := filepath.Join(l.dir, segName(l.nextSeq))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.size = 0
+	l.segs = append(l.segs, l.nextSeq)
+	syncDir(l.dir) // make the new file's directory entry durable
+	return nil
+}
+
+// Sync fsyncs the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	l.lastSync = time.Now()
+	if l.f == nil {
+		return nil
+	}
+	return l.f.Sync()
+}
+
+// Prune deletes segments that hold only expired arrivals: every segment
+// whose successor's first seq is at or below the watermark. The active
+// segment is never deleted. Call only after the manifest recording this
+// watermark is durable, or a crash could need the deleted records.
+func (l *Log) Prune(watermark uint64) (pruned int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	for len(l.segs) >= 2 && l.segs[1] <= watermark {
+		if err := os.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
+			return pruned, err
+		}
+		l.segs = l.segs[1:]
+		pruned++
+	}
+	if pruned > 0 {
+		syncDir(l.dir)
+	}
+	return pruned, nil
+}
+
+// Replay streams every record whose arrival range extends past the
+// watermark, in order, to fn. Records are delivered whole: a record
+// straddling the watermark is replayed in full and the caller's expiry
+// policy re-trims the already-expired prefix (deterministically — the
+// logged event times and the count cap reproduce the original expiry).
+// Segments entirely below the watermark are skipped without being read.
+//
+// A torn or corrupt record in the final segment ends the replay cleanly
+// (Open's repair normally removes it first); the same damage in an
+// earlier segment is an error, because acknowledged records after it
+// would be silently lost.
+func (l *Log) Replay(watermark uint64, fn func(Record) error) (ReplayStats, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var st ReplayStats
+	for i, first := range l.segs {
+		last := i == len(l.segs)-1
+		if !last && l.segs[i+1] <= watermark {
+			continue // every record in this segment is expired
+		}
+		data, err := os.ReadFile(filepath.Join(l.dir, segName(first)))
+		if err != nil {
+			return st, err
+		}
+		st.Segments++
+		off := 0
+		for off < len(data) {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				if last {
+					break
+				}
+				return st, fmt.Errorf("wal: segment %s corrupt at offset %d: %w", segName(first), off, err)
+			}
+			off += n
+			if rec.End() <= watermark {
+				st.SkippedRecords++
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return st, err
+			}
+			st.Records++
+			st.Edges += int64(len(rec.Edges))
+		}
+	}
+	return st, nil
+}
+
+// Close fsyncs and closes the active segment. Further operations fail
+// with ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.f == nil {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations in it survive
+// power loss. Best-effort: some platforms reject fsync on directories.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+}

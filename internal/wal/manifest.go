@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// ManifestName is the manifest's filename inside the data directory.
+const ManifestName = "MANIFEST.json"
+
+// Manifest is the registry's durable index: which windows exist, how to
+// rebuild each one, and how much of each log is already expired. It is
+// the recovery source of truth — log directories without a manifest entry
+// are orphans and are ignored (then wiped if the name is reused).
+type Manifest struct {
+	Version int `json:"version"`
+	// Windows maps window name to its durable state. The config payload
+	// is opaque to this package: the service layer marshals whatever it
+	// needs to reconstruct the window.
+	Windows map[string]WindowState `json:"windows"`
+}
+
+// WindowState is one window's manifest entry.
+type WindowState struct {
+	Config json.RawMessage `json:"config"`
+	// Watermark is the expiry low-watermark: the number of arrivals
+	// expired so far. Recovery replays only log records extending past
+	// it, and Prune may delete segments entirely below it once the
+	// manifest recording it is durable.
+	Watermark uint64 `json:"watermark"`
+}
+
+// ManifestVersion is the current manifest format version.
+const ManifestVersion = 1
+
+// LoadManifest reads the manifest in dir. A missing file is an empty
+// manifest, not an error — a fresh data directory recovers zero windows.
+func LoadManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if errors.Is(err, fs.ErrNotExist) {
+		return &Manifest{Version: ManifestVersion, Windows: map[string]WindowState{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, err
+	}
+	if m.Windows == nil {
+		m.Windows = map[string]WindowState{}
+	}
+	return &m, nil
+}
+
+// SaveManifest atomically replaces the manifest in dir: the new content is
+// written to a temp file, fsynced, and renamed over the old manifest, then
+// the directory entry is fsynced. Readers observe either the old manifest
+// or the new one, never a torn mixture.
+func SaveManifest(dir string, m *Manifest) error {
+	if m.Version == 0 {
+		m.Version = ManifestVersion
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}

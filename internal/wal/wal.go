@@ -1,0 +1,134 @@
+// Package wal is the durability layer under the streaming window service:
+// a segmented, CRC-checked, append-only batch log per window, plus an
+// atomically-updated registry manifest.
+//
+// The paper's windowing discipline makes durability unusually cheap. Edge
+// arrivals carry consecutive global timestamps τ = 1, 2, ... and expiry
+// only ever removes an arrival-order prefix (the recent-edge property,
+// Lemma 5.1), so a window's full state is reconstructible by replaying
+// just its unexpired arrival suffix — none of the rctree/sparsifier
+// internals ever need to be serialized. The log therefore records exactly
+// what the window manager applied: one record per batch, carrying the
+// batch's first arrival index (seq), and the edges with their clamped
+// event times.
+//
+// Record wire format (little-endian):
+//
+//	u32 payload length | u32 CRC-32C of payload | payload
+//	payload = u64 seq | u32 count | count × (u32 u | u32 v | u64 w | u64 t)
+//
+// Records are grouped into segment files named %020d.seg after the seq of
+// their first record, rotated once a segment passes Options.SegmentBytes.
+// A segment whose successor's first seq is at or below the expiry
+// low-watermark contains only expired arrivals and is deleted by Prune.
+//
+// Torn writes are tolerated at the tail: Open scans the last segment and
+// truncates it at the first record that is short, mis-sized, or fails its
+// CRC, keeping the valid prefix. Corruption anywhere before the tail is a
+// hard error — that is lost acknowledged data, not an interrupted write,
+// and recovery must fail loudly rather than silently drop the suffix.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Edge is one logged edge arrival. T is the event time in Unix
+// nanoseconds, already clamped by the window manager (monotone
+// non-decreasing, never in the future), so replaying it through the same
+// clamp is a no-op and time-based expiry reproduces exactly.
+type Edge struct {
+	U, V int32
+	W    int64
+	T    int64
+}
+
+// Record is one logged batch: Seq is the global arrival index of
+// Edges[0], so the record covers arrivals [Seq, Seq+len(Edges)).
+type Record struct {
+	Seq   uint64
+	Edges []Edge
+}
+
+// End returns the arrival index one past the record's last edge.
+func (r Record) End() uint64 { return r.Seq + uint64(len(r.Edges)) }
+
+const (
+	recHeaderSize  = 8  // u32 length + u32 crc
+	payloadFixed   = 12 // u64 seq + u32 count
+	edgeSize       = 24 // u32 u + u32 v + u64 w + u64 t
+	maxPayloadSize = 64 << 20
+)
+
+// castagnoli is the CRC-32C polynomial, hardware-accelerated on amd64 and
+// arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errTorn marks a record cut short by a crash mid-write: scanning stops
+// here and the valid prefix stands.
+var errTorn = fmt.Errorf("wal: torn record at segment tail")
+
+// appendRecord encodes one record onto buf and returns the extended slice.
+func appendRecord(buf []byte, seq uint64, edges []Edge) []byte {
+	payloadLen := payloadFixed + edgeSize*len(edges)
+	start := len(buf)
+	buf = append(buf, make([]byte, recHeaderSize+payloadLen)...)
+	payload := buf[start+recHeaderSize:]
+	binary.LittleEndian.PutUint64(payload[0:], seq)
+	binary.LittleEndian.PutUint32(payload[8:], uint32(len(edges)))
+	off := payloadFixed
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(payload[off+0:], uint32(e.U))
+		binary.LittleEndian.PutUint32(payload[off+4:], uint32(e.V))
+		binary.LittleEndian.PutUint64(payload[off+8:], uint64(e.W))
+		binary.LittleEndian.PutUint64(payload[off+16:], uint64(e.T))
+		off += edgeSize
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// decodeRecord decodes the record at the head of b, returning it and the
+// number of bytes consumed. A record cut short by a crash yields errTorn;
+// a record whose length field or CRC is inconsistent yields a descriptive
+// error — the caller decides whether its position makes that a repairable
+// tail or lost data.
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHeaderSize {
+		return Record{}, 0, errTorn
+	}
+	payloadLen := int(binary.LittleEndian.Uint32(b[0:]))
+	if payloadLen < payloadFixed || payloadLen > maxPayloadSize ||
+		(payloadLen-payloadFixed)%edgeSize != 0 {
+		return Record{}, 0, fmt.Errorf("wal: bad record length %d", payloadLen)
+	}
+	if len(b) < recHeaderSize+payloadLen {
+		return Record{}, 0, errTorn
+	}
+	payload := b[recHeaderSize : recHeaderSize+payloadLen]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return Record{}, 0, fmt.Errorf("wal: record CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	count := int(binary.LittleEndian.Uint32(payload[8:]))
+	if payloadLen != payloadFixed+edgeSize*count {
+		return Record{}, 0, fmt.Errorf("wal: record count %d disagrees with length %d", count, payloadLen)
+	}
+	rec := Record{
+		Seq:   binary.LittleEndian.Uint64(payload[0:]),
+		Edges: make([]Edge, count),
+	}
+	off := payloadFixed
+	for i := range rec.Edges {
+		rec.Edges[i] = Edge{
+			U: int32(binary.LittleEndian.Uint32(payload[off+0:])),
+			V: int32(binary.LittleEndian.Uint32(payload[off+4:])),
+			W: int64(binary.LittleEndian.Uint64(payload[off+8:])),
+			T: int64(binary.LittleEndian.Uint64(payload[off+16:])),
+		}
+		off += edgeSize
+	}
+	return rec, recHeaderSize + payloadLen, nil
+}

@@ -1,0 +1,363 @@
+package wal
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// mkBatch builds a deterministic batch of k edges starting at arrival seq.
+func mkBatch(seq uint64, k int) []Edge {
+	edges := make([]Edge, k)
+	for i := range edges {
+		t := int64(seq) + int64(i)
+		edges[i] = Edge{U: int32(t % 97), V: int32((t + 1) % 97), W: t*3 + 1, T: 1_000_000 + t}
+	}
+	return edges
+}
+
+// appendBatches appends batches of the given sizes and returns the records
+// the log should replay.
+func appendBatches(t *testing.T, l *Log, sizes []int) []Record {
+	t.Helper()
+	var want []Record
+	for _, k := range sizes {
+		seq := l.NextSeq()
+		edges := mkBatch(seq, k)
+		got, err := l.Append(edges)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if got != seq {
+			t.Fatalf("Append seq = %d, want %d", got, seq)
+		}
+		want = append(want, Record{Seq: seq, Edges: edges})
+	}
+	return want
+}
+
+func replayAll(t *testing.T, l *Log, watermark uint64) ([]Record, ReplayStats) {
+	t.Helper()
+	var got []Record
+	st, err := l.Replay(watermark, func(rec Record) error {
+		cp := Record{Seq: rec.Seq, Edges: append([]Edge(nil), rec.Edges...)}
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return got, st
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendBatches(t, l, []int{1, 7, 512, 3, 40})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.NextSeq() != want[len(want)-1].End() {
+		t.Fatalf("NextSeq after reopen = %d, want %d", l2.NextSeq(), want[len(want)-1].End())
+	}
+	got, st := replayAll(t, l2, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed records differ: got %d records, want %d", len(got), len(want))
+	}
+	if st.Records != int64(len(want)) || st.SkippedRecords != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLogReplayFromWatermark(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	want := appendBatches(t, l, []int{10, 10, 10, 10})
+
+	// A watermark inside record 1 keeps record 1 (whole-record delivery)
+	// and skips record 0 entirely.
+	got, st := replayAll(t, l, 15)
+	if len(got) != 3 || got[0].Seq != 10 {
+		t.Fatalf("replay from 15: got %d records, first seq %d", len(got), got[0].Seq)
+	}
+	if st.SkippedRecords != 1 {
+		t.Fatalf("SkippedRecords = %d, want 1", st.SkippedRecords)
+	}
+	// A watermark exactly at a record boundary skips everything below it.
+	got, _ = replayAll(t, l, 20)
+	if len(got) != 2 || got[0].Seq != 20 {
+		t.Fatalf("replay from 20: got %d records, first seq %d", len(got), got[0].Seq)
+	}
+	// A watermark past the end replays nothing.
+	got, _ = replayAll(t, l, want[len(want)-1].End())
+	if len(got) != 0 {
+		t.Fatalf("replay from end: got %d records", len(got))
+	}
+}
+
+func TestLogRotationAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: every ~2 records rotates.
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendBatches(t, l, []int{4, 4, 4, 4, 4, 4, 4, 4, 4, 4}) // arrivals [0, 40)
+	if l.Segments() < 3 {
+		t.Fatalf("expected ≥3 segments, got %d", l.Segments())
+	}
+	segsBefore := l.Segments()
+
+	// Prune at watermark 17: segments entirely within [0, 17) go away.
+	pruned, err := l.Prune(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned == 0 || l.Segments() != segsBefore-pruned {
+		t.Fatalf("pruned %d, segments %d (before %d)", pruned, l.Segments(), segsBefore)
+	}
+	// Everything past the watermark must still replay.
+	got, _ := replayAll(t, l, 17)
+	var edges int
+	for _, r := range got {
+		if r.End() <= 17 {
+			t.Fatalf("record [%d, %d) should have been skipped", r.Seq, r.End())
+		}
+		edges += len(r.Edges)
+	}
+	if edges < 40-17 {
+		t.Fatalf("replayed %d edges, want at least %d", edges, 40-17)
+	}
+	// Pruning everything never deletes the active segment.
+	if _, err := l.Prune(40); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() != 1 {
+		t.Fatalf("active segment must survive a full prune, have %d", l.Segments())
+	}
+	// The log keeps appending with contiguous seqs after pruning.
+	seq, err := l.Append(mkBatch(l.NextSeq(), 2))
+	if err != nil || seq != 40 {
+		t.Fatalf("Append after prune: seq %d err %v", seq, err)
+	}
+}
+
+// TestLogTornTail truncates the final record at every byte offset and
+// asserts recovery keeps the valid prefix and never panics.
+func TestLogTornTail(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendBatches(t, l, []int{3, 5, 2})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(master, segName(0))
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRecLen := recHeaderSize + payloadFixed + edgeSize*2
+	prefixEnd := len(full) - lastRecLen
+
+	for cut := prefixEnd; cut < len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("cut=%d: Open: %v", cut, err)
+		}
+		got, _ := replayAll(t, l, 0)
+		if !reflect.DeepEqual(got, want[:2]) {
+			t.Fatalf("cut=%d: torn tail did not recover the 2-record prefix (got %d records)", cut, len(got))
+		}
+		if l.NextSeq() != want[1].End() {
+			t.Fatalf("cut=%d: NextSeq = %d, want %d", cut, l.NextSeq(), want[1].End())
+		}
+		// The repaired log must accept appends that replay seamlessly.
+		if _, err := l.Append(mkBatch(l.NextSeq(), 4)); err != nil {
+			t.Fatalf("cut=%d: Append after repair: %v", cut, err)
+		}
+		got, _ = replayAll(t, l, 0)
+		if len(got) != 3 || got[2].Seq != want[1].End() || len(got[2].Edges) != 4 {
+			t.Fatalf("cut=%d: post-repair replay got %d records", cut, len(got))
+		}
+		l.Close()
+	}
+}
+
+// TestLogCorruptTail flips every byte of the final record in turn; CRC (or
+// the length sanity bound) must reject it and keep the prefix.
+func TestLogCorruptTail(t *testing.T) {
+	master := t.TempDir()
+	l, err := Open(master, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := appendBatches(t, l, []int{3, 5, 2})
+	l.Close()
+	seg := filepath.Join(master, segName(0))
+	full, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastRecLen := recHeaderSize + payloadFixed + edgeSize*2
+	prefixEnd := len(full) - lastRecLen
+	rng := rand.New(rand.NewSource(7))
+
+	for off := prefixEnd; off < len(full); off++ {
+		dir := t.TempDir()
+		mut := append([]byte(nil), full...)
+		mut[off] ^= byte(1 + rng.Intn(255))
+		if err := os.WriteFile(filepath.Join(dir, segName(0)), mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := Open(dir, Options{Sync: SyncNone})
+		if err != nil {
+			t.Fatalf("off=%d: Open: %v", off, err)
+		}
+		got, _ := replayAll(t, l, 0)
+		if !reflect.DeepEqual(got, want[:2]) {
+			t.Fatalf("off=%d: corrupt tail did not recover the 2-record prefix (got %d records)", off, len(got))
+		}
+		l.Close()
+	}
+}
+
+// TestLogMidLogCorruptionFailsLoudly: damage before the final segment is
+// lost acknowledged data and must be an error, not a silent truncation.
+func TestLogMidLogCorruption(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendBatches(t, l, []int{4, 4, 4, 4, 4, 4})
+	if l.Segments() < 3 {
+		t.Fatalf("want ≥3 segments, got %d", l.Segments())
+	}
+	l.Close()
+
+	// Corrupt the FIRST segment's first record payload.
+	first := filepath.Join(dir, segName(0))
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[recHeaderSize+2] ^= 0xFF
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err) // Open only repairs the tail; mid-log damage surfaces at replay
+	}
+	defer l2.Close()
+	_, err = l2.Replay(0, func(Record) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("mid-log corruption must fail replay, got %v", err)
+	}
+}
+
+func TestLogAppendAfterClose(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	if _, err := l.Append(mkBatch(0, 1)); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if _, err := l.Prune(0); err != ErrClosed {
+		t.Fatalf("Prune after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestManifestRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Windows) != 0 {
+		t.Fatalf("fresh dir: %d windows", len(m.Windows))
+	}
+	cfg, _ := json.Marshal(map[string]any{"n": 100, "seed": 7})
+	m.Windows["default"] = WindowState{Config: cfg, Watermark: 42}
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a second version; the rename must replace it whole.
+	m.Windows["w1"] = WindowState{Config: cfg, Watermark: 0}
+	if err := SaveManifest(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Windows) != 2 || got.Windows["default"].Watermark != 42 {
+		t.Fatalf("loaded manifest = %+v", got)
+	}
+	// No temp droppings left behind.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+	// A corrupt manifest is a loud error, not an empty registry.
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest must fail to load")
+	}
+}
+
+func TestLogSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncNone, SyncBatch, SyncInterval} {
+		dir := t.TempDir()
+		l, err := Open(dir, Options{Sync: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := appendBatches(t, l, []int{5, 5})
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		l.Close()
+		l2, err := Open(dir, Options{Sync: pol})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := replayAll(t, l2, 0)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("policy %d: round trip failed", pol)
+		}
+		l2.Close()
+	}
+}

@@ -154,6 +154,21 @@ func NewStreamWindowRegistry(cfg StreamRegistryConfig) *StreamWindowRegistry {
 	return stream.NewRegistry(cfg)
 }
 
+// StreamPersistenceConfig enables the durability layer of a window
+// registry: per-window write-ahead batch logs plus an atomic manifest,
+// giving crash recovery by suffix replay.
+type StreamPersistenceConfig = stream.PersistenceConfig
+
+// StreamRecoveryReport summarizes a boot-time recovery pass.
+type StreamRecoveryReport = stream.RecoveryReport
+
+// OpenStreamRegistry builds a registry from its durable state, replaying
+// every manifest window's unexpired log suffix; with a nil Persistence
+// config it degenerates to NewStreamWindowRegistry.
+func OpenStreamRegistry(cfg StreamRegistryConfig) (*StreamWindowRegistry, *StreamRecoveryReport, error) {
+	return stream.OpenRegistry(cfg)
+}
+
 // StreamServerConfig tunes the HTTP front-end (default window name, body
 // size cap).
 type StreamServerConfig = stream.ServerConfig
