@@ -22,14 +22,19 @@
 // The -wal mode runs the same stream twice — once in-memory and once with
 // the durability layer (write-ahead batch log, fsync policy from -fsync)
 // — reporting what durable ingest costs, then re-opens the data directory
-// and reports crash-recovery wall time (replaying the whole log back into
-// fresh monitors).
+// and reports crash-recovery wall time twice: once seeded from the
+// checkpoint's live-edge snapshot (replaying only the post-snapshot
+// suffix) and once with snapshots ignored (full-suffix replay, the
+// pre-snapshot behavior), so the report isolates what snapshot compaction
+// buys at restart. -snapshot-threshold tunes when the checkpoint
+// snapshots; -1 disables and reverts to the single full-replay number.
 //
 //	swload -n 50000 -edges 200000 -producers 8 -chunk 256
 //	swload -compare -json results.json
 //	swload -fanout-compare -json fanout.json
 //	swload -windows 4 -compare
 //	swload -wal -fsync interval -json wal.json
+//	swload -wal -edges 1000000 -json snap.json   # snapshot vs full-replay recovery
 package main
 
 import (
@@ -70,6 +75,7 @@ type options struct {
 	wal           bool
 	fsync         string
 	dataDir       string
+	snapThreshold int
 	windows       int
 	shards        int
 	jsonPath      string
@@ -110,13 +116,23 @@ type Report struct {
 	// WALOverhead is edges_per_sec(memory) / edges_per_sec(durable); only
 	// set by -wal. 1.0 means free durability, 2.0 means half throughput.
 	WALOverhead float64 `json:"wal_overhead,omitempty"`
-	// Recovery fields (-wal only): crash-recovery replay of the durable
-	// run's data directory into fresh monitors.
+	// Recovery fields (-wal only): crash-recovery rebuild of the durable
+	// run's data directory into fresh monitors. When snapshots are enabled
+	// these describe the snapshot-seeded path (RecoveredEdges counts only
+	// the post-snapshot log suffix; RecoveredSnapshotEdges the seed).
 	RecoverySec       float64 `json:"recovery_sec,omitempty"`
 	RecoveredWindows  int     `json:"recovered_windows,omitempty"`
 	RecoveredBatches  int64   `json:"recovered_batches,omitempty"`
 	RecoveredEdges    int64   `json:"recovered_edges,omitempty"`
 	ReplayEdgesPerSec float64 `json:"replay_edges_per_sec,omitempty"`
+	// Snapshot-vs-full comparison (-wal with snapshots enabled):
+	// RecoveryFullSec re-runs the same recovery with snapshots ignored
+	// (full WAL suffix replay, the pre-snapshot behavior) and
+	// RecoverySpeedup is full/snapshot wall time.
+	RecoveredSnapshots     int     `json:"recovered_snapshots,omitempty"`
+	RecoveredSnapshotEdges int64   `json:"recovered_snapshot_edges,omitempty"`
+	RecoveryFullSec        float64 `json:"recovery_full_sec,omitempty"`
+	RecoverySpeedup        float64 `json:"recovery_speedup,omitempty"`
 }
 
 func main() {
@@ -137,6 +153,8 @@ func main() {
 	flag.BoolVar(&o.wal, "wal", false, "run durable (write-ahead logged) vs in-memory ingest, then measure crash-recovery replay (in-process only)")
 	flag.StringVar(&o.fsync, "fsync", "interval", "WAL fsync policy for -wal: batch|interval|off")
 	flag.StringVar(&o.dataDir, "data-dir", "", "WAL data directory for -wal (default: a fresh temp dir, removed afterwards)")
+	flag.IntVar(&o.snapThreshold, "snapshot-threshold", 100_000,
+		"for -wal: checkpoint writes a live-edge snapshot when the replayable suffix exceeds this many arrivals; -1 disables (full-replay recovery only)")
 	flag.IntVar(&o.windows, "windows", 1, "number of windows to spread the load over (in-process only)")
 	flag.IntVar(&o.shards, "shards", 16, "registry lock shards (in-process server)")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
@@ -144,6 +162,12 @@ func main() {
 
 	if o.producers < 1 || o.chunk < 1 || o.readers < 0 || o.n < 2 || o.edges < 0 || o.batch < 1 || o.windows < 1 {
 		fmt.Fprintln(os.Stderr, "swload: need -producers >= 1, -chunk >= 1, -readers >= 0, -n >= 2, -edges >= 0, -batch >= 1, -windows >= 1")
+		os.Exit(2)
+	}
+	if o.snapThreshold == 0 {
+		// The library maps 0 to its own default (1M), which would silently
+		// contradict whatever a user passing 0 meant.
+		fmt.Fprintln(os.Stderr, "swload: -snapshot-threshold must be a positive arrival count, or -1 to disable")
 		os.Exit(2)
 	}
 	if (o.compare || o.fanoutCompare || o.wal || o.windows > 1) && o.url != "" {
@@ -263,7 +287,7 @@ func runWALCompare(o options, rep *Report) {
 		fmt.Fprintf(os.Stderr, "swload -wal: %s already holds a WAL manifest; point -data-dir at a fresh directory\n", dir)
 		os.Exit(2)
 	}
-	persist := &stream.PersistenceConfig{Dir: dir, Fsync: pol}
+	persist := &stream.PersistenceConfig{Dir: dir, Fsync: pol, SnapshotThreshold: o.snapThreshold}
 
 	mem := runInProc(o, "memory", o.batch, false, false, nil)
 	dur := runInProc(o, "wal", o.batch, false, false, persist)
@@ -273,29 +297,76 @@ func runWALCompare(o options, rep *Report) {
 		rep.WALOverhead = mem.EdgesPerSec / dur.EdgesPerSec
 	}
 
-	// Crash recovery: re-open the data directory and replay every logged
-	// batch into fresh monitors (the run above never checkpointed
-	// mid-stream, so with an unbounded window the whole log replays — the
-	// worst case).
-	reg, rec, err := stream.OpenRegistry(stream.RegistryConfig{Shards: o.shards, Persistence: persist})
+	// Crash recovery, full-suffix replay: re-open the data directory —
+	// no snapshot exists yet, so every unexpired logged batch replays into
+	// fresh monitors: the pre-snapshot recovery path and the baseline the
+	// snapshot attacks (with an unbounded window the whole log replays —
+	// the worst case). Then, on the recovered registry, run the checkpoint
+	// a production ticker would have run: with the replayable suffix past
+	// -snapshot-threshold it writes the live-edge snapshot (and GC
+	// reclaims the log segments the snapshot covers).
+	regFull, recFull, err := stream.OpenRegistry(stream.RegistryConfig{Shards: o.shards, Persistence: persist})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "recovery: %v\n", err)
+		fmt.Fprintf(os.Stderr, "recovery (full replay): %v\n", err)
 		os.Exit(1)
 	}
-	reg.Close()
-	rep.RecoverySec = rec.Elapsed.Seconds()
-	rep.RecoveredWindows = rec.Windows
-	rep.RecoveredBatches = rec.Batches
-	rep.RecoveredEdges = rec.Edges
-	if rec.Elapsed > 0 {
-		rep.ReplayEdgesPerSec = float64(rec.Edges) / rec.Elapsed.Seconds()
+	if o.snapThreshold >= 0 {
+		ck, err := regFull.Checkpoint()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint: %v\n", err)
+			os.Exit(1)
+		}
+		if ck.Snapshots == 0 {
+			fmt.Fprintf(os.Stderr, "swload -wal: no snapshot written (replayable suffix <= -snapshot-threshold %d); raise -edges or lower the threshold\n", o.snapThreshold)
+		}
 	}
+	regFull.Close()
 
 	printResult(mem)
 	printResult(dur)
 	fmt.Printf("\ndurable/in-memory: ingest overhead x%.2f (fsync=%s)\n", rep.WALOverhead, pol)
-	fmt.Printf("recovery: %d windows, %d batches / %d edges replayed in %.0fms (%.0f edges/sec)\n",
-		rec.Windows, rec.Batches, rec.Edges, rep.RecoverySec*1e3, rep.ReplayEdgesPerSec)
+
+	if o.snapThreshold < 0 {
+		// Snapshots disabled: the full replay is the only recovery path.
+		rep.RecoverySec = recFull.Elapsed.Seconds()
+		rep.RecoveredWindows = recFull.Windows
+		rep.RecoveredBatches = recFull.Batches
+		rep.RecoveredEdges = recFull.Edges
+		if recFull.Elapsed > 0 {
+			rep.ReplayEdgesPerSec = float64(recFull.Edges) / recFull.Elapsed.Seconds()
+		}
+		fmt.Printf("recovery: %d windows, %d batches / %d edges replayed in %.0fms (%.0f edges/sec)\n",
+			recFull.Windows, recFull.Batches, recFull.Edges, rep.RecoverySec*1e3, rep.ReplayEdgesPerSec)
+		return
+	}
+
+	// Crash recovery, snapshot-seeded: this recovery finds the snapshot,
+	// seeds each window with one mega-batch apply, and replays only the
+	// post-snapshot records.
+	regSnap, recSnap, err := stream.OpenRegistry(stream.RegistryConfig{Shards: o.shards, Persistence: persist})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "recovery (snapshot): %v\n", err)
+		os.Exit(1)
+	}
+	regSnap.Close()
+	rep.RecoverySec = recSnap.Elapsed.Seconds()
+	rep.RecoveredWindows = recSnap.Windows
+	rep.RecoveredBatches = recSnap.Batches
+	rep.RecoveredEdges = recSnap.Edges
+	rep.RecoveredSnapshots = recSnap.Snapshots
+	rep.RecoveredSnapshotEdges = recSnap.SnapshotEdges
+	rep.RecoveryFullSec = recFull.Elapsed.Seconds()
+	if total := recSnap.Edges + recSnap.SnapshotEdges; recSnap.Elapsed > 0 && total > 0 {
+		rep.ReplayEdgesPerSec = float64(total) / recSnap.Elapsed.Seconds()
+	}
+	if rep.RecoverySec > 0 {
+		rep.RecoverySpeedup = rep.RecoveryFullSec / rep.RecoverySec
+	}
+	fmt.Printf("recovery (full replay):  %d windows, %d batches / %d edges replayed in %.0fms\n",
+		recFull.Windows, recFull.Batches, recFull.Edges, rep.RecoveryFullSec*1e3)
+	fmt.Printf("recovery (snapshot):     %d windows, %d snapshots / %d edges seeded + %d batches / %d edges replayed in %.0fms\n",
+		recSnap.Windows, recSnap.Snapshots, recSnap.SnapshotEdges, recSnap.Batches, recSnap.Edges, rep.RecoverySec*1e3)
+	fmt.Printf("snapshot recovery speedup: x%.2f\n", rep.RecoverySpeedup)
 }
 
 // windowNames returns the load-target window names: the legacy default
@@ -415,6 +486,7 @@ func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool,
 		res.MeanBatchSize = float64(arrivals) / float64(batches)
 		res.MeanApplyMs = float64(applyNS) / float64(batches) / 1e6
 	}
+
 	return res
 }
 

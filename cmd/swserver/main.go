@@ -16,7 +16,11 @@
 // unexpired log suffix. -fsync picks the WAL fsync policy (batch,
 // interval, off) and -checkpoint-interval how often watermarks are
 // persisted and fully-expired log segments garbage-collected (also on
-// demand via POST /admin/checkpoint).
+// demand via POST /admin/checkpoint). -snapshot-threshold bounds restart
+// time: once a window's replayable suffix exceeds it, the checkpoint also
+// writes a compact live-edge snapshot, recovery seeds the window from the
+// snapshot with one mega-batch apply and replays only the records after
+// it, and the log segments the snapshot covers become GC-eligible.
 //
 // Endpoints:
 //
@@ -80,6 +84,8 @@ func main() {
 	fsync := flag.String("fsync", "interval", "WAL fsync policy with -data-dir: batch|interval|off")
 	ckptEvery := flag.Duration("checkpoint-interval", 30*time.Second,
 		"period of the background checkpoint (persist expiry watermarks, GC expired WAL segments) with -data-dir; 0 = manual only")
+	snapThreshold := flag.Int("snapshot-threshold", 1<<20,
+		"with -data-dir: checkpoint writes a live-edge snapshot when a window's replayable WAL suffix exceeds this many arrivals, bounding restart time; -1 disables snapshots")
 	flag.Parse()
 
 	template := stream.ServiceConfig{
@@ -101,10 +107,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		if *snapThreshold == 0 {
+			// The library maps 0 to its own default (1M), which would
+			// silently contradict whatever a user passing 0 meant.
+			fmt.Fprintln(os.Stderr, "swserver: -snapshot-threshold must be a positive arrival count, or -1 to disable")
+			os.Exit(2)
+		}
 		persist = &stream.PersistenceConfig{
 			Dir:                *dataDir,
 			Fsync:              pol,
 			CheckpointInterval: *ckptEvery,
+			SnapshotThreshold:  *snapThreshold,
 		}
 	}
 	reg, recovered, err := stream.OpenRegistry(stream.RegistryConfig{
@@ -118,8 +131,9 @@ func main() {
 		os.Exit(2)
 	}
 	if recovered.Windows > 0 {
-		log.Printf("recovered %d windows from %s: replayed %d batches / %d edges (skipped %d expired records) in %v",
-			recovered.Windows, *dataDir, recovered.Batches, recovered.Edges, recovered.SkippedRecords, recovered.Elapsed)
+		log.Printf("recovered %d windows from %s: %d snapshot-seeded (%d edges), replayed %d batches / %d edges (skipped %d expired records) in %v",
+			recovered.Windows, *dataDir, recovered.Snapshots, recovered.SnapshotEdges,
+			recovered.Batches, recovered.Edges, recovered.SkippedRecords, recovered.Elapsed)
 	}
 	names := append([]string{stream.DefaultWindow}, stream.SplitMonitors(*windows)...)
 	for _, name := range names {

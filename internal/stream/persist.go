@@ -79,12 +79,36 @@ type PersistenceConfig struct {
 	// monitor's forests are canonical in the arrival sequence (recency
 	// weights are distinct), so batch boundaries never change answers.
 	ReplayBatch int
+	// SnapshotThreshold bounds recovery time: at checkpoint time, a window
+	// whose replayable suffix (arrivals past max(expiry watermark, last
+	// committed snapshot end)) exceeds this many arrivals gets a fresh
+	// live-edge snapshot, and log segments the snapshot covers become
+	// GC-eligible. Recovery then seeds the window from the snapshot with
+	// one mega-batch apply and replays only the records after it. Default
+	// 1M arrivals (0 selects it); negative disables snapshot writing.
+	SnapshotThreshold int
+}
+
+// snapshotThreshold resolves the configured threshold: -1 disabled,
+// otherwise the arrival count that triggers a checkpoint snapshot.
+func (c PersistenceConfig) snapshotThreshold() int {
+	switch {
+	case c.SnapshotThreshold < 0:
+		return -1
+	case c.SnapshotThreshold == 0:
+		return 1 << 20
+	default:
+		return c.SnapshotThreshold
+	}
 }
 
 // CheckpointStats summarizes one Checkpoint pass.
 type CheckpointStats struct {
 	Windows        int           `json:"windows"`
 	PrunedSegments int           `json:"pruned_segments"`
+	Snapshots      int           `json:"snapshots"`        // snapshot files written this pass
+	SnapshotEdges  int64         `json:"snapshot_edges"`   // live edges they captured
+	PrunedSnaps    int           `json:"pruned_snapshots"` // superseded snapshot files deleted
 	Elapsed        time.Duration `json:"elapsed_ns"`
 }
 
@@ -93,6 +117,7 @@ type PersistenceStats struct {
 	Dir              string `json:"dir"`
 	Fsync            string `json:"fsync"`
 	Checkpoints      int64  `json:"checkpoints"`
+	Snapshots        int64  `json:"snapshots"` // snapshot files written since boot
 	CheckpointErrors int64  `json:"checkpoint_errors"`
 	AppendErrors     int64  `json:"append_errors"`
 	LastError        string `json:"last_error,omitempty"`
@@ -102,8 +127,10 @@ type PersistenceStats struct {
 type RecoveryReport struct {
 	Windows        int           // windows re-created from the manifest
 	Batches        int64         // log records replayed
-	Edges          int64         // edges replayed
+	Edges          int64         // edges replayed from the log
 	SkippedRecords int64         // records skipped as fully expired
+	Snapshots      int           // windows seeded from a snapshot
+	SnapshotEdges  int64         // edges loaded from snapshots
 	Elapsed        time.Duration // wall time of the whole recovery
 }
 
@@ -181,6 +208,14 @@ type persistedWindow struct {
 	// (and reports ErrRegistryClosed) can never leak a ghost manifest
 	// entry that a later restart would resurrect.
 	committed bool
+	// snapName/snapEnd describe the newest snapshot that reached disk
+	// durably (Commit's fsync+rename succeeded): the file name and the
+	// arrival index one past its last edge. They feed the manifest and —
+	// critically — the GC horizon: a snapshot attempt that failed must
+	// leave them untouched, or pruning would eat the log suffix the next
+	// recovery still needs.
+	snapName string
+	snapEnd  uint64
 	// scratch is the wal.Edge conversion buffer; only the single flush
 	// goroutine touches it (the recorder runs under the window write
 	// lock).
@@ -204,7 +239,19 @@ type persister struct {
 	wins   map[string]*persistedWindow
 	closed bool // set by closeAll: no further manifest writes
 
+	// ckptMu serializes whole checkpoint passes (ticker, manual trigger,
+	// tests) so p.mu can be released during the multi-megabyte snapshot
+	// file writes without two passes interleaving. Ordering: ckptMu may
+	// take p.mu, never the reverse.
+	ckptMu sync.Mutex
+
 	checkpoints int64
+	snapshots   int64
+
+	// testSnapshotFail, when set (tests only), is invoked before a
+	// snapshot's Commit and can force the write to fail — the regression
+	// hook for "a failed snapshot must never move the GC horizon".
+	testSnapshotFail func(window string) error
 
 	// errMu guards the error tallies; the append side is written from the
 	// recorder (which holds the window write lock — see the ordering note
@@ -241,6 +288,14 @@ func newPersister(cfg PersistenceConfig) (*persister, error) {
 
 func (p *persister) windowDir(name string) string {
 	return filepath.Join(p.cfg.Dir, "windows", name)
+}
+
+// windowGone reports whether pw no longer backs name — dropped, replaced
+// by a newer window that re-won the name, or the persister closed.
+func (p *persister) windowGone(name string, pw *persistedWindow) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed || p.wins[name] != pw
 }
 
 func (p *persister) noteErr(err error) {
@@ -362,13 +417,24 @@ func (p *persister) removeWindow(name string, svc *Service) error {
 // manifest can never claim an expiry horizon beyond the durable log end,
 // which would let a post-crash restart renumber new appends below the
 // watermark and silently skip them on the crash after that.
+// The returned map carries each window's GC horizon — max(watermark,
+// committed snapshot end) exactly as the durable manifest now records it.
+// Prune decisions must use these, never fresher in-memory values: a
+// snapshot (or watermark) the manifest does not yet know about cannot
+// justify deleting log records a crash would still replay.
 func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 	watermarks := make(map[string]uint64, len(p.wins))
+	horizons := make(map[string]uint64, len(p.wins))
 	for name, pw := range p.wins {
 		if !pw.committed {
 			continue // an unpublished Create must leave no durable trace
 		}
-		watermarks[name] = pw.watermark()
+		wm := pw.watermark()
+		watermarks[name] = wm
+		if pw.snapEnd > wm {
+			wm = pw.snapEnd
+		}
+		horizons[name] = wm
 	}
 	for _, pw := range p.wins {
 		if err := pw.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
@@ -378,51 +444,211 @@ func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 	m := &wal.Manifest{Version: wal.ManifestVersion, Windows: make(map[string]wal.WindowState, len(watermarks))}
 	for name, pw := range p.wins {
 		if w, ok := watermarks[name]; ok {
-			m.Windows[name] = wal.WindowState{Config: pw.meta, Watermark: w}
+			m.Windows[name] = wal.WindowState{
+				Config:      pw.meta,
+				Watermark:   w,
+				Snapshot:    pw.snapName,
+				SnapshotEnd: pw.snapEnd,
+			}
 		}
 	}
 	if err := wal.SaveManifest(p.cfg.Dir, m); err != nil {
 		return nil, err
 	}
-	return watermarks, nil
+	return horizons, nil
+}
+
+// maybeSnapshot writes a live-edge snapshot of one window if its
+// replayable suffix (arrivals a recovery would have to replay, i.e.
+// everything past max(expiry watermark, last committed snapshot end))
+// exceeds threshold. Runs under ckptMu but NOT p.mu. The commit ordering
+// is load-bearing:
+//
+//	capture (watermark, live edges) under the window read lock →
+//	write temp file → fsync the log → rename the snapshot into place →
+//	publish pw.snapName/snapEnd under p.mu →
+//	[caller: manifest → segment GC]
+//
+// Only the capture holds the window read lock — a wal.Edge conversion
+// copy, memcpy-speed — so ingest stalls for the copy, not for the file
+// write, queries are never blocked, and registry control-plane
+// operations (which contend on p.mu) proceed throughout. The log fsync
+// before the rename guarantees a committed snapshot never describes
+// arrivals the log hasn't durably recorded — otherwise a power loss
+// could leave a snapshot whose edges re-enter the log under reused
+// sequence numbers (the capture is consistent with the log because the
+// recorder appends under the same write lock the capture excludes). Only
+// a fully committed snapshot updates pw.snapName/snapEnd; any failure
+// leaves the previous snapshot (and therefore the GC horizon) in place,
+// so a failed write can never strand recovery without its suffix.
+func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold int) (int64, error) {
+	var edges []wal.Edge
+	var absW uint64
+	skipped := true
+	// pw.base is immutable after construction, and pw.snapEnd is written
+	// only by this function (all callers hold ckptMu), so both reads are
+	// ordered without p.mu.
+	if err := pw.svc.Window().LiveEdges(func(expired int64, live []Edge) error {
+		absW = pw.base + uint64(expired)
+		start := absW
+		if pw.snapEnd > start {
+			start = pw.snapEnd
+		}
+		if absW+uint64(len(live)) <= start+uint64(threshold) {
+			return nil // suffix still cheap to replay: skip
+		}
+		skipped = false
+		edges = make([]wal.Edge, len(live))
+		for i, e := range live {
+			edges[i] = wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()}
+		}
+		return nil
+	}); err != nil {
+		return -1, err
+	}
+	if skipped {
+		return -1, nil
+	}
+	w, err := wal.CreateSnapshot(p.windowDir(name), absW, uint64(len(edges)))
+	if err != nil {
+		return -1, err
+	}
+	if err := w.Append(edges); err != nil {
+		return -1, err // Append aborts the writer on failure
+	}
+	if err := pw.log.Sync(); err != nil {
+		w.Abort()
+		return -1, err
+	}
+	if p.testSnapshotFail != nil {
+		if err := p.testSnapshotFail(name); err != nil {
+			w.Abort()
+			return -1, err
+		}
+	}
+	snapName, err := w.Commit()
+	if err != nil {
+		return -1, err
+	}
+	// Publish. A window dropped (or a persister closed) while the file
+	// was being written must not resurrect through the stale pw: the
+	// committed file either vanished with the removed directory or sits
+	// as a harmless orphan a future recovery may still validly use.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.wins[name] != pw {
+		return -1, nil
+	}
+	pw.snapName = snapName
+	pw.snapEnd = absW + uint64(len(edges))
+	p.snapshots++
+	return int64(len(edges)), nil
 }
 
 // checkpoint makes the current expiry progress durable and reclaims
-// fully-expired log segments: write the manifest (capture watermarks →
-// sync logs → atomic rename, see saveManifestLocked), then prune with
-// exactly the watermarks the durable manifest records — pruning with
-// fresher ones could delete segments a crash would still replay. Any
-// append error tallied since the last checkpoint is surfaced here.
+// fully-expired log segments: first write any snapshots the threshold
+// calls for, then the manifest (capture watermarks → sync logs → atomic
+// rename, see saveManifestLocked), then prune with exactly the GC
+// horizons the durable manifest records — pruning with fresher ones could
+// delete segments a crash would still replay. Any append error tallied
+// since the last checkpoint is surfaced here. A snapshot failure does not
+// abort the pass (snapshots are an accelerator; watermark persistence and
+// watermark-based GC still proceed safely) but is surfaced in the error.
 func (p *persister) checkpoint() (CheckpointStats, error) {
 	start := time.Now()
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	// Serialize whole passes; keep p.mu free during the file writes so
+	// Create/Drop/stats never stall behind a multi-megabyte snapshot.
+	p.ckptMu.Lock()
+	defer p.ckptMu.Unlock()
 	var st CheckpointStats
+
+	// Phase 1: snapshot writes. p.mu is held only to pick the candidates
+	// (and read the threshold, which tests mutate under p.mu); the temp
+	// writes, fsyncs and renames run outside it.
+	type candidate struct {
+		name string
+		pw   *persistedWindow
+	}
+	var cands []candidate
+	threshold := -1
+	p.mu.Lock()
 	if p.closed {
+		p.mu.Unlock()
 		// A checkpoint racing (or following) Close must not rewrite the
 		// manifest from the emptied window table — that would erase every
 		// durable registration the final checkpoint just wrote.
 		return st, ErrRegistryClosed
 	}
-	watermarks, err := p.saveManifestLocked()
+	if threshold = p.cfg.snapshotThreshold(); threshold >= 0 {
+		for name, pw := range p.wins {
+			if pw.committed {
+				cands = append(cands, candidate{name, pw})
+			}
+		}
+	}
+	p.mu.Unlock()
+	var snapErr error
+	snapped := make(map[string]bool)
+	for _, c := range cands {
+		edges, err := p.maybeSnapshot(c.name, c.pw, threshold)
+		if err != nil {
+			if p.windowGone(c.name, c.pw) {
+				// The window was Dropped (or the registry closed) while its
+				// snapshot was being written: the failure is the expected
+				// debris of tearing down a healthy window, not a durability
+				// problem.
+				continue
+			}
+			p.noteCkptErr(err)
+			snapErr = err
+			continue
+		}
+		if edges >= 0 {
+			st.Snapshots++
+			st.SnapshotEdges += edges
+			snapped[c.name] = true
+		}
+	}
+
+	// Phase 2: manifest + GC, under p.mu as ever.
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return st, ErrRegistryClosed
+	}
+	horizons, err := p.saveManifestLocked()
 	if err != nil {
 		p.noteCkptErr(err)
 		return st, err
 	}
 	for name, pw := range p.wins {
-		pruned, err := pw.log.Prune(watermarks[name])
+		pruned, err := pw.log.Prune(horizons[name])
 		if err != nil {
 			p.noteCkptErr(err)
 			return st, err
 		}
 		st.PrunedSegments += pruned
+		if snapped[name] && pw.snapName != "" {
+			// The manifest pointing at the newest snapshot is durable;
+			// superseded snapshot files are now dead weight. Only a pass
+			// that wrote a snapshot can have superseded one, so steady-state
+			// checkpoints skip the per-window directory scan entirely.
+			prunedSnaps, err := wal.PruneSnapshots(p.windowDir(name), pw.snapName)
+			if err != nil {
+				p.noteCkptErr(err)
+				return st, err
+			}
+			st.PrunedSnaps += prunedSnaps
+		}
 	}
-	st.Windows = len(watermarks)
+	st.Windows = len(horizons)
 	st.Elapsed = time.Since(start)
 	p.checkpoints++
-	p.errMu.Lock()
-	p.lastCkptErr = nil // durability restored: the manifest write succeeded
-	p.errMu.Unlock()
+	if snapErr == nil {
+		p.errMu.Lock()
+		p.lastCkptErr = nil // durability restored: the manifest write succeeded
+		p.errMu.Unlock()
+	}
 	// A recorded append error means some acknowledged batch never reached
 	// the log: the checkpoint "succeeded" mechanically but durability is
 	// compromised until restart, so keep surfacing it (sticky; also
@@ -432,6 +658,9 @@ func (p *persister) checkpoint() (CheckpointStats, error) {
 	p.errMu.Unlock()
 	if aerr != nil {
 		return st, fmt.Errorf("stream: WAL append failed: %w", aerr)
+	}
+	if snapErr != nil {
+		return st, fmt.Errorf("stream: snapshot write failed (watermarks persisted, GC horizon unchanged): %w", snapErr)
 	}
 	return st, nil
 }
@@ -452,7 +681,7 @@ func (p *persister) closeAll() {
 
 func (p *persister) stats() PersistenceStats {
 	p.mu.Lock()
-	ckpts := p.checkpoints
+	ckpts, snaps := p.checkpoints, p.snapshots
 	p.mu.Unlock()
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
@@ -460,6 +689,7 @@ func (p *persister) stats() PersistenceStats {
 		Dir:              p.cfg.Dir,
 		Fsync:            string(p.cfg.Fsync),
 		Checkpoints:      ckpts,
+		Snapshots:        snaps,
 		CheckpointErrors: p.ckptErrs,
 		AppendErrors:     p.appendErrs,
 	}
@@ -472,36 +702,119 @@ func (p *persister) stats() PersistenceStats {
 	return st
 }
 
-// recoverWindow rebuilds one manifest window: fresh monitors, then a
-// replay of every log record past the expiry watermark. Records are
-// delivered whole and in order but coalesced into ReplayBatch-sized
-// mega-batches before being applied: the arrival sequence and the clamped
-// event times are exactly the live run's, and each monitor's forests are
-// a canonical function of that sequence (distinct recency weights), so
-// answers match an uninterrupted run while the rebuild pays the paper's
-// large-ℓ batch cost instead of the live stream's small-batch cost. The
-// window's own expiry policy deterministically re-trims any
-// already-expired prefix the first replayed record carries.
-func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceConfig) (*Service, wal.ReplayStats, error) {
+// recoverResult is one window's recovery accounting: the log replay stats
+// plus the snapshot contribution.
+type recoverResult struct {
+	wal.ReplayStats
+	SnapshotUsed  bool
+	SnapshotEdges int64
+}
+
+// recoverWindow rebuilds one manifest window: fresh monitors, then —
+// when a valid snapshot exists — one mega-batch apply of the snapshot's
+// live-edge list, then a replay of the log records past it. Replayed
+// records are delivered whole and in order but coalesced into
+// ReplayBatch-sized mega-batches before being applied: the arrival
+// sequence and the clamped event times are exactly the live run's, and
+// each monitor's forests are a canonical function of that sequence
+// (distinct recency weights), so answers match an uninterrupted run while
+// the rebuild pays the paper's large-ℓ batch cost instead of the live
+// stream's small-batch cost. The window's own expiry policy
+// deterministically re-trims any already-expired prefix the snapshot or
+// the first replayed record carries.
+//
+// Snapshot selection scans the log directory for the newest snapshot that
+// decodes cleanly — the manifest pointer is only a hint, since a crash
+// between a snapshot's rename and the manifest rewrite leaves a newer
+// (always usable) file than the pointer. A corrupt or missing snapshot
+// falls back to older snapshots and finally to full suffix replay; the
+// only hard failure is a provable gap — the log's oldest retained record
+// starting after the replay point, meaning segments were GC'd against a
+// snapshot that no longer validates.
+func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceConfig) (*Service, recoverResult, error) {
+	var res recoverResult
 	var meta windowMeta
 	if err := json.Unmarshal(ws.Config, &meta); err != nil {
-		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q manifest config: %w", name, err)
+		return nil, res, fmt.Errorf("stream: window %q manifest config: %w", name, err)
 	}
 	cfg := configFromMeta(meta, tpl)
 	wm, err := NewWindowManager(cfg.Window)
 	if err != nil {
-		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q: %w", name, err)
+		return nil, res, fmt.Errorf("stream: window %q: %w", name, err)
 	}
-	log, err := wal.Open(p.windowDir(name), p.walOpt)
+	// Retention must be on before the first replayed arrival (the
+	// recorder, which would also enable it, attaches only after replay):
+	// the next checkpoint's snapshot reads the ring this replay fills.
+	wm.enableLiveRetention()
+	dir := p.windowDir(name)
+	log, err := wal.Open(dir, p.walOpt)
 	if err != nil {
-		return nil, wal.ReplayStats{}, fmt.Errorf("stream: window %q log: %w", name, err)
+		return nil, res, fmt.Errorf("stream: window %q log: %w", name, err)
 	}
+
+	var snap *wal.Snapshot
+	var snapName string
+	marks, err := wal.Snapshots(dir)
+	if err != nil {
+		log.Close()
+		return nil, res, fmt.Errorf("stream: window %q snapshots: %w", name, err)
+	}
+	for i := len(marks) - 1; i >= 0; i-- {
+		cand := wal.SnapshotName(marks[i])
+		s, err := wal.ReadSnapshot(filepath.Join(dir, cand))
+		if err != nil {
+			continue // corrupt: try an older snapshot, else full replay
+		}
+		if s.End() <= ws.Watermark {
+			// Fully stale: every edge in it is expired, so seeding would
+			// pay an O(window) apply+expire for zero live state — the
+			// watermark-based replay alone is strictly cheaper and needs
+			// nothing below the watermark (GC's horizon was at most
+			// max(watermark, this end), so no gap opens). Older snapshots
+			// are staler still: stop looking.
+			break
+		}
+		snap, snapName = &s, cand
+		break
+	}
+	if snapName != "" && len(marks) > 1 {
+		// Sweep superseded snapshot files now: a crash between a past
+		// checkpoint's manifest write and its snapshot prune would
+		// otherwise leak window-sized images forever (steady-state
+		// checkpoints only prune on passes that write a new snapshot).
+		// Best-effort — recovery must not fail over dead weight.
+		_, _ = wal.PruneSnapshots(dir, snapName)
+	}
+	// replayFrom is where log replay must pick up: past everything the
+	// snapshot covers and everything the manifest says is expired.
+	replayFrom := ws.Watermark
+	if snap != nil && snap.End() > replayFrom {
+		replayFrom = snap.End()
+	}
+	if first, ok := log.FirstSeq(); ok && first > replayFrom {
+		log.Close()
+		return nil, res, fmt.Errorf(
+			"stream: window %q: log starts at arrival %d but replay must begin at %d — segments were GC'd against a snapshot that is now missing or corrupt",
+			name, first, replayFrom)
+	}
+
 	chunk := p.cfg.ReplayBatch
 	if chunk <= 0 {
 		chunk = 128 << 10
 	}
-	base := ws.Watermark
-	first := true
+	if snap != nil {
+		// Seed the window with ONE batch of the whole live edge list: for a
+		// window of ℓ arrivals this costs O(ℓ·lg(1+n/ℓ)) — the cheapest
+		// point on the paper's batch-cost curve, well under replaying the
+		// same edges in ReplayBatch-sized chunks.
+		seed := make([]Edge, len(snap.Edges))
+		for i, e := range snap.Edges {
+			seed[i] = Edge{U: e.U, V: e.V, W: e.W, T: time.Unix(0, e.T)}
+		}
+		wm.Apply(seed)
+		res.SnapshotUsed = true
+		res.SnapshotEdges = int64(len(snap.Edges))
+	}
 	var batch []Edge
 	flush := func() {
 		if len(batch) > 0 {
@@ -509,12 +822,16 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 			batch = batch[:0] // Apply's monitors copy what they keep
 		}
 	}
-	st, err := log.Replay(ws.Watermark, func(rec wal.Record) error {
-		if first {
-			base = rec.Seq
-			first = false
+	st, err := log.Replay(replayFrom, func(rec wal.Record) error {
+		edges := rec.Edges
+		if snap != nil && rec.Seq < replayFrom {
+			// A record straddling the replay point duplicates arrivals the
+			// snapshot already seeded; drop the covered prefix — expiry
+			// re-trim cannot undo a mid-sequence duplicate the way it
+			// re-trims an expired prefix.
+			edges = edges[replayFrom-rec.Seq:]
 		}
-		for _, e := range rec.Edges {
+		for _, e := range edges {
 			batch = append(batch, Edge{U: e.U, V: e.V, W: e.W, T: time.Unix(0, e.T)})
 		}
 		if len(batch) >= chunk {
@@ -523,22 +840,41 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 		return nil
 	})
 	flush()
+	res.ReplayStats = st
 	if err != nil {
 		log.Close()
-		return nil, st, fmt.Errorf("stream: window %q replay: %w", name, err)
+		return nil, res, fmt.Errorf("stream: window %q replay: %w", name, err)
 	}
-	if first {
-		// Nothing to replay: the next append continues the log's own
-		// numbering, and everything before it counts as expired.
-		base = log.NextSeq()
+
+	// Re-derive the window's arrival numbering: every applied arrival
+	// (snapshot seed + replayed suffix) is contiguous up to the absolute
+	// end, so base = end − arrivals makes base + Watermark() the absolute
+	// expiry watermark across any number of restarts — including runs
+	// where a stale snapshot left an applied gap of expired arrivals.
+	// end is the largest arrival index any durable state has ever claimed:
+	// a snapshot outliving the log tail, or a manifest watermark past it
+	// (log bytes vanished after they were recorded), must both push the
+	// numbering forward — reusing indices at or below either would make
+	// the next recovery skip the reused range as already covered.
+	end := log.NextSeq()
+	if snap != nil && snap.End() > end {
+		end = snap.End()
 	}
+	if ws.Watermark > end {
+		end = ws.Watermark
+	}
+	log.AdvanceTo(end)
+	base := end - uint64(wm.Stats().Arrivals)
 	svc := newServiceWith(wm, cfg)
 	pw := &persistedWindow{svc: svc, log: log, meta: ws.Config, base: base, committed: true}
+	if snap != nil {
+		pw.snapName, pw.snapEnd = snapName, snap.End()
+	}
 	p.attachRecorder(pw)
 	p.mu.Lock()
 	p.wins[name] = pw
 	p.mu.Unlock()
-	return svc, st, nil
+	return svc, res, nil
 }
 
 // OpenRegistry builds a registry from its durable state: every window in
@@ -601,6 +937,10 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 		rep.Batches += st.Records
 		rep.Edges += st.Edges
 		rep.SkippedRecords += st.SkippedRecords
+		if st.SnapshotUsed {
+			rep.Snapshots++
+			rep.SnapshotEdges += st.SnapshotEdges
+		}
 	}
 	rep.Elapsed = time.Since(start)
 	if p.cfg.CheckpointInterval > 0 {

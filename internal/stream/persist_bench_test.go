@@ -1,0 +1,96 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// buildRecoveryDir streams edges into a durable single-window registry and
+// leaves its data directory ready for a recovery measurement. With
+// snapshot=true a final checkpoint compacts the whole suffix into a
+// live-edge snapshot (and GC reclaims the covered segments); with false
+// the directory holds only the WAL, so recovery is a full suffix replay.
+func buildRecoveryDir(b *testing.B, edges int, snapshot bool) RegistryConfig {
+	b.Helper()
+	threshold := -1
+	if snapshot {
+		threshold = 1
+	}
+	regCfg := RegistryConfig{
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 5000, Seed: 1, Monitors: []string{MonitorConn}},
+			Ingest: IngesterConfig{MaxBatch: 1 << 16, MaxDelay: time.Hour},
+		},
+		Persistence: &PersistenceConfig{Dir: b.TempDir(), Fsync: FsyncOff, SnapshotThreshold: threshold},
+	}
+	reg, _, err := OpenRegistry(regCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := reg.Create("w", reg.Template())
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	const chunk = 512
+	for sent := 0; sent < edges; sent += chunk {
+		k := chunk
+		if k > edges-sent {
+			k = edges - sent
+		}
+		batch := make([]Edge, k)
+		for i := range batch {
+			u := int32(rng.Intn(5000))
+			v := (u + 1 + int32(rng.Intn(4998))) % 5000
+			batch[i] = Edge{U: u, V: v, W: 1 + int64(i%512)}
+		}
+		if err := svc.Submit(batch); err != nil {
+			b.Fatal(err)
+		}
+		svc.Flush()
+	}
+	if snapshot {
+		st, err := reg.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Snapshots != 1 {
+			b.Fatalf("checkpoint wrote %d snapshots, want 1", st.Snapshots)
+		}
+	}
+	reg.Close()
+	return regCfg
+}
+
+// BenchmarkRecoveryFullReplay times OpenRegistry over a WAL-only data
+// directory: the whole unexpired suffix decodes and replays in
+// ReplayBatch-sized mega-batches — the pre-snapshot recovery path.
+func BenchmarkRecoveryFullReplay(b *testing.B) {
+	benchRecovery(b, false)
+}
+
+// BenchmarkRecoverySnapshot times OpenRegistry over the same stream after
+// a snapshotting checkpoint: one live-edge snapshot seeds the window in a
+// single mega-batch apply and only the (empty) post-snapshot suffix
+// replays.
+func BenchmarkRecoverySnapshot(b *testing.B) {
+	benchRecovery(b, true)
+}
+
+func benchRecovery(b *testing.B, snapshot bool) {
+	const edges = 40_000
+	regCfg := buildRecoveryDir(b, edges, snapshot)
+	b.SetBytes(edges)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg, rep, err := OpenRegistry(regCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := rep.Edges + rep.SnapshotEdges; got != edges {
+			b.Fatalf("recovered %d edges, want %d", got, edges)
+		}
+		reg.Close()
+	}
+}

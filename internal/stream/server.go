@@ -288,9 +288,10 @@ func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// handleCheckpoint persists expiry watermarks and prunes fully-expired
-// WAL segments on demand — the durable registry's manual GC trigger (a
-// background ticker usually does this on a period).
+// handleCheckpoint persists expiry watermarks, writes any live-edge
+// snapshots the threshold calls for, and prunes fully-expired WAL
+// segments (plus superseded snapshots) on demand — the durable registry's
+// manual GC trigger (a background ticker usually does this on a period).
 func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	st, err := s.reg.Checkpoint()
 	if err != nil {
@@ -302,9 +303,12 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"windows":         st.Windows,
-		"pruned_segments": st.PrunedSegments,
-		"elapsed_ms":      float64(st.Elapsed) / 1e6,
+		"windows":          st.Windows,
+		"pruned_segments":  st.PrunedSegments,
+		"snapshots":        st.Snapshots,
+		"snapshot_edges":   st.SnapshotEdges,
+		"pruned_snapshots": st.PrunedSnaps,
+		"elapsed_ms":       float64(st.Elapsed) / 1e6,
 	})
 }
 

@@ -36,6 +36,10 @@
 //     rebuilds every window by replaying its unexpired arrival suffix —
 //     the recent-edge property makes the suffix a complete description of
 //     the window state, so no structure serialization is ever needed.
+//     Checkpoints bound restart time by compacting long suffixes into
+//     live-edge snapshots: recovery seeds the window from the newest valid
+//     snapshot with one mega-batch apply, replays only the records after
+//     it, and segment GC reclaims everything the snapshot covers.
 //
 // cmd/swserver wraps a registry in an HTTP JSON front-end (windows
 // addressed under /windows/{name}/..., legacy single-window routes served

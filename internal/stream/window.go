@@ -77,13 +77,26 @@ type WindowManager struct {
 	// line up with the stats counters.
 	rec func([]Edge)
 
-	// times holds the event times (unix nanos) of the unexpired arrivals,
-	// oldest first, maintained only when MaxAge > 0. Entries are clamped
-	// into [lastT, now] on insert so the sequence is monotone and
-	// prefix-expiry is sound against out-of-order or future timestamps.
-	times []int64
+	// live holds the unexpired arrivals in arrival order, oldest at
+	// live[head] — the canonical window content LiveEdges serves to the
+	// snapshot layer. Event times are the post-clamp values (when MaxAge >
+	// 0 they are clamped into [lastT, now] on insert so the sequence is
+	// monotone and prefix-expiry is sound against out-of-order or future
+	// timestamps); time-based expiry reads them back from here. The ring
+	// is a constant-factor memory overhead next to the monitors (which
+	// retain the whole window anyway), but it is still only maintained
+	// when something reads it: time-based expiry (MaxAge > 0) or the
+	// durability layer (retain, below) — a plain in-memory count-only
+	// window keeps no ring at all.
+	live  []Edge
 	head  int
 	lastT int64
+	// retain marks the ring as maintained. Set at construction for
+	// MaxAge > 0, by enableLiveRetention (recovery, before replay applies
+	// anything), and by setRecorder (window creation, before the window is
+	// published) — always before the first arrival, so the ring is never
+	// missing a prefix.
+	retain bool
 
 	stats WindowStats
 }
@@ -100,7 +113,7 @@ func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WindowManager{cfg: cfg, mux: mux}, nil
+	return &WindowManager{cfg: cfg, mux: mux, retain: cfg.MaxAge > 0}, nil
 }
 
 // N returns the vertex-set size.
@@ -143,8 +156,13 @@ func (w *WindowManager) Apply(batch []Edge) {
 				}
 				w.lastT = t
 				valid[i].T = time.Unix(0, t)
-				w.times = append(w.times, t)
 			}
+		}
+		// Retain the arrivals (append copies the edge values; the batch
+		// slice goes back to the caller) so LiveEdges can serve the window
+		// content in arrival order under any expiry mode.
+		if w.retain {
+			w.live = append(w.live, valid...)
 		}
 		if w.rec != nil {
 			w.rec(valid)
@@ -164,10 +182,23 @@ func (w *WindowManager) Apply(batch []Edge) {
 
 // setRecorder installs the write-ahead hook batches are logged through.
 // Must be installed before any producer can reach Apply (the registry
-// attaches it while the window is still unpublished).
+// attaches it while the window is still unpublished). A recorded window
+// is a durable one, so retention turns on: checkpoint snapshots will
+// read LiveEdges.
 func (w *WindowManager) setRecorder(rec func([]Edge)) {
 	w.mu.Lock()
 	w.rec = rec
+	w.retain = true
+	w.mu.Unlock()
+}
+
+// enableLiveRetention turns on live-edge retention ahead of the first
+// Apply. The recovery path calls it before replaying (the recorder —
+// which also enables retention — attaches only after replay, so it must
+// not be the thing that turns the ring on).
+func (w *WindowManager) enableLiveRetention() {
+	w.mu.Lock()
+	w.retain = true
 	w.mu.Unlock()
 }
 
@@ -178,6 +209,28 @@ func (w *WindowManager) Watermark() int64 {
 	w.mu.RLock()
 	defer w.mu.RUnlock()
 	return w.stats.Expired
+}
+
+// LiveEdges calls fn exactly once with the expiry watermark (arrivals
+// expired so far) and the unexpired arrivals in arrival order — the
+// canonical window content: count/time/both expiry have already trimmed
+// the prefix, and event times are the post-clamp values the WAL logged,
+// so re-applying the slice as one batch reproduces the window state
+// exactly (recency weights make the forests canonical in the arrival
+// sequence). fn runs under the read lock: queries proceed concurrently,
+// mutation waits, and the (watermark, edges) pair is atomic — no arrival
+// can land or expire between the two. fn must not retain the slice.
+//
+// Fails on a window that never enabled retention (in-memory, count-only
+// expiry): serving a partial ring as "the window" would be silent data
+// loss.
+func (w *WindowManager) LiveEdges(fn func(expired int64, live []Edge) error) error {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if !w.retain {
+		return errors.New("stream: window does not retain live edges (no durability layer and no time-based expiry)")
+	}
+	return fn(w.stats.Expired, w.live[w.head:])
 }
 
 // ExpireByAge runs the time-based expiry policy without inserting anything;
@@ -194,7 +247,7 @@ func (w *WindowManager) expireLocked(now time.Time) {
 	delta := 0
 	if w.cfg.MaxAge > 0 {
 		cutoff := now.Add(-w.cfg.MaxAge).UnixNano()
-		for w.head+delta < len(w.times) && w.times[w.head+delta] <= cutoff {
+		for w.head+delta < len(w.live) && w.live[w.head+delta].T.UnixNano() <= cutoff {
 			delta++
 		}
 	}
@@ -206,11 +259,11 @@ func (w *WindowManager) expireLocked(now time.Time) {
 	if delta == 0 {
 		return
 	}
-	if w.cfg.MaxAge > 0 {
+	if w.retain {
 		w.head += delta
 		// Compact the ring once the dead prefix dominates.
-		if w.head > len(w.times)/2 && w.head > 1024 {
-			w.times = append(w.times[:0], w.times[w.head:]...)
+		if w.head > len(w.live)/2 && w.head > 1024 {
+			w.live = append(w.live[:0], w.live[w.head:]...)
 			w.head = 0
 		}
 	}

@@ -2,6 +2,7 @@ package wal
 
 import (
 	"fmt"
+	"path/filepath"
 	"testing"
 )
 
@@ -27,6 +28,57 @@ func BenchmarkAppend(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSnapshotWrite measures the checkpoint-side cost of persisting
+// a live-edge snapshot (64k edges ≈ a mid-sized window).
+func BenchmarkSnapshotWrite(b *testing.B) {
+	dir := b.TempDir()
+	edges := mkBatch(0, 64<<10)
+	b.SetBytes(int64(len(edges)) * edgeSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := CreateSnapshot(dir, uint64(i), uint64(len(edges)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Append(edges); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := w.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotRead measures raw snapshot load+validate speed — the
+// floor under snapshot-seeded recovery (actual recovery adds the one
+// mega-batch monitor apply).
+func BenchmarkSnapshotRead(b *testing.B) {
+	dir := b.TempDir()
+	edges := mkBatch(0, 64<<10)
+	w, err := CreateSnapshot(dir, 0, uint64(len(edges)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Append(edges); err != nil {
+		b.Fatal(err)
+	}
+	name, err := w.Commit()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(edges)) * edgeSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := ReadSnapshot(filepath.Join(dir, name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Edges) != len(edges) {
+			b.Fatal("short read")
+		}
 	}
 }
 

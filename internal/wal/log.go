@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -77,22 +78,9 @@ type Log struct {
 	scratch  []byte
 }
 
-func segName(firstSeq uint64) string { return fmt.Sprintf("%020d.seg", firstSeq) }
+func segName(firstSeq uint64) string { return seqName(firstSeq, ".seg") }
 
-func parseSegName(name string) (uint64, bool) {
-	if len(name) != 24 || name[20:] != ".seg" {
-		return 0, false
-	}
-	var seq uint64
-	for i := 0; i < 20; i++ {
-		c := name[i]
-		if c < '0' || c > '9' {
-			return 0, false
-		}
-		seq = seq*10 + uint64(c-'0')
-	}
-	return seq, true
-}
+func parseSegName(name string) (uint64, bool) { return parseSeqName(name, ".seg") }
 
 // Open opens (creating if necessary) the log in dir and repairs its tail:
 // the last segment is scanned and truncated at the first torn or corrupt
@@ -110,6 +98,13 @@ func Open(dir string, opt Options) (*Log, error) {
 	for _, ent := range entries {
 		if seq, ok := parseSegName(ent.Name()); ok {
 			l.segs = append(l.segs, seq)
+		} else if strings.HasPrefix(ent.Name(), snapTmpPrefix) {
+			// A crash mid-snapshot leaves its temp file behind (Commit's
+			// rename never ran, so no *.snap name ever points at it); sweep
+			// it here or every crashed checkpoint leaks up to a full
+			// window's worth of bytes. No checkpoint can be writing one
+			// now: Open runs only at recovery or window creation.
+			_ = os.Remove(filepath.Join(dir, ent.Name()))
 		}
 	}
 	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
@@ -165,6 +160,36 @@ func (l *Log) NextSeq() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.nextSeq
+}
+
+// FirstSeq returns the first arrival index covered by the oldest retained
+// segment; ok is false when the log has no segments at all. Recovery uses
+// it to detect gaps: replay from watermark w is complete only when
+// FirstSeq ≤ w (pruned segments below w were never needed) — a larger
+// FirstSeq means records past the replay start were GC'd on the strength
+// of a snapshot that must then be present and valid.
+func (l *Log) FirstSeq() (uint64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segs) == 0 {
+		return 0, false
+	}
+	return l.segs[0], true
+}
+
+// AdvanceTo raises the next append seq to at least seq. Recovery calls it
+// when a loaded snapshot extends past the durable log end (possible only
+// if log bytes vanished after the snapshot committed — the checkpoint
+// fsyncs the log through the snapshot's last edge before the rename):
+// appends must continue the window's arrival numbering after the
+// snapshot, never reuse indices the snapshot already covers, or a later
+// replay would skip the reused range as already-snapshotted.
+func (l *Log) AdvanceTo(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if seq > l.nextSeq {
+		l.nextSeq = seq
+	}
 }
 
 // Segments returns the number of segment files.

@@ -31,6 +31,20 @@ type WindowState struct {
 	// it, and Prune may delete segments entirely below it once the
 	// manifest recording it is durable.
 	Watermark uint64 `json:"watermark"`
+	// Snapshot, when set, names the newest committed live-edge snapshot
+	// file in the window's log directory, and SnapshotEnd is the arrival
+	// index one past its last edge. The pointer is a hint: recovery scans
+	// the directory for the newest *valid* snapshot (a crash between a
+	// snapshot's rename and the manifest rewrite leaves a newer file than
+	// the pointer, and it is always safe to use), and a missing or corrupt
+	// snapshot falls back to full suffix replay. What IS load-bearing is
+	// SnapshotEnd's role in GC: log segments entirely below
+	// max(Watermark, SnapshotEnd) are prune-eligible, so these fields must
+	// only ever record snapshots that are durably committed — pruning on
+	// the strength of a snapshot that failed to commit would strand
+	// recovery without its suffix.
+	Snapshot    string `json:"snapshot,omitempty"`
+	SnapshotEnd uint64 `json:"snapshot_end,omitempty"`
 }
 
 // ManifestVersion is the current manifest format version.

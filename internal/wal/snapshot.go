@@ -1,0 +1,271 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Snapshot files are the compaction layer over the segment log: a window's
+// live (unexpired) arrival suffix, persisted verbatim in arrival order so
+// recovery can seed the window with one mega-batch apply and replay only
+// the log records after the snapshot instead of the whole unexpired
+// suffix. No structure state is ever serialized — the paper's recency
+// weights make every monitor forest a canonical function of the arrival
+// sequence, so the edge list IS the window state.
+//
+// Snapshot wire format (little-endian):
+//
+//	header (32 bytes):
+//	  [0:4)   magic "SWSN"
+//	  [4:8)   u32 format version (1)
+//	  [8:16)  u64 watermark — arrivals expired before the first edge, i.e.
+//	          the absolute arrival index of edge 0
+//	  [16:24) u64 count
+//	  [24:28) u32 reserved (zero)
+//	  [28:32) u32 CRC-32C of bytes [0:28)
+//	payload: count × (u32 u | u32 v | u64 w | u64 t)  — the record edge encoding
+//	trailer: u32 CRC-32C of the payload
+//
+// A snapshot covers arrivals [Watermark, Watermark+count); log replay
+// resumes at the end of that range. Files are written to a temp name and
+// renamed into place after an fsync, so a *.snap file is always complete:
+// any decode failure means corruption, never an interrupted write, and
+// recovery treats it by falling back to an older snapshot or a full
+// suffix replay — a snapshot is an accelerator, losing one must never
+// lose data (the commit ordering in the checkpoint guarantees the log
+// still holds everything a discarded snapshot covered, unless a newer
+// snapshot made those segments GC-eligible).
+const (
+	snapHeaderSize = 32
+	snapVersion    = 1
+)
+
+var snapMagic = [4]byte{'S', 'W', 'S', 'N'}
+
+// Snapshot is one decoded snapshot: the live window's edges in arrival
+// order, with Watermark arrivals expired before Edges[0].
+type Snapshot struct {
+	Watermark uint64
+	Edges     []Edge
+}
+
+// End returns the arrival index one past the snapshot's last edge — the
+// point log replay resumes from.
+func (s Snapshot) End() uint64 { return s.Watermark + uint64(len(s.Edges)) }
+
+// SnapshotName returns the filename of a snapshot taken at the given
+// watermark. Watermarks only advance, so lexicographic filename order is
+// recency order and the newest snapshot is the numerically largest name.
+func SnapshotName(watermark uint64) string { return seqName(watermark, ".snap") }
+
+// ParseSnapshotName inverts SnapshotName.
+func ParseSnapshotName(name string) (uint64, bool) { return parseSeqName(name, ".snap") }
+
+// Snapshots lists the watermarks of the snapshot files in dir, ascending.
+// A missing directory is an empty list, not an error.
+func Snapshots(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []uint64
+	for _, ent := range entries {
+		if wm, ok := ParseSnapshotName(ent.Name()); ok {
+			out = append(out, wm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// PruneSnapshots deletes every snapshot file in dir except keep. Call only
+// after the manifest pointing at keep is durable: until then an older
+// snapshot may still be the one a crashed restart needs.
+func PruneSnapshots(dir, keep string) (pruned int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, ent := range entries {
+		if _, ok := ParseSnapshotName(ent.Name()); ok && ent.Name() != keep {
+			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+				return pruned, err
+			}
+			pruned++
+		}
+	}
+	if pruned > 0 {
+		syncDir(dir)
+	}
+	return pruned, nil
+}
+
+// DecodeSnapshot decodes (and fully validates) one snapshot image. Every
+// field is cross-checked against the data length and both CRCs, so
+// arbitrary corruption yields an error, never a partial or silent
+// misread. Allocation is bounded by len(data): the count field must agree
+// with the actual payload size before any edge slice is allocated.
+func DecodeSnapshot(data []byte) (Snapshot, error) {
+	if len(data) < snapHeaderSize+4 {
+		return Snapshot{}, fmt.Errorf("wal: snapshot too short (%d bytes)", len(data))
+	}
+	if [4]byte(data[0:4]) != snapMagic {
+		return Snapshot{}, fmt.Errorf("wal: bad snapshot magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != snapVersion {
+		return Snapshot{}, fmt.Errorf("wal: unsupported snapshot version %d", v)
+	}
+	if got, want := crc32.Checksum(data[:snapHeaderSize-4], castagnoli), binary.LittleEndian.Uint32(data[snapHeaderSize-4:]); got != want {
+		return Snapshot{}, fmt.Errorf("wal: snapshot header CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	if r := binary.LittleEndian.Uint32(data[24:]); r != 0 {
+		// The writer always zeroes the reserved field; accepting anything
+		// else would admit non-canonical images (decode must only accept
+		// bytes the writer could have produced).
+		return Snapshot{}, fmt.Errorf("wal: snapshot reserved field %08x, want 0", r)
+	}
+	count := binary.LittleEndian.Uint64(data[16:])
+	payloadLen := len(data) - snapHeaderSize - 4
+	if payloadLen%edgeSize != 0 || count != uint64(payloadLen/edgeSize) {
+		return Snapshot{}, fmt.Errorf("wal: snapshot count %d disagrees with payload length %d", count, payloadLen)
+	}
+	if wm := binary.LittleEndian.Uint64(data[8:]); wm > ^uint64(0)-count {
+		// The arrival range [watermark, watermark+count) must not wrap:
+		// replay-start and base arithmetic downstream assume it doesn't.
+		return Snapshot{}, fmt.Errorf("wal: snapshot watermark %d overflows with count %d", wm, count)
+	}
+	payload := data[snapHeaderSize : len(data)-4]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(data[len(data)-4:]); got != want {
+		return Snapshot{}, fmt.Errorf("wal: snapshot payload CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	s := Snapshot{
+		Watermark: binary.LittleEndian.Uint64(data[8:]),
+		Edges:     make([]Edge, count),
+	}
+	for i := range s.Edges {
+		s.Edges[i] = getEdge(payload[i*edgeSize:])
+	}
+	return s, nil
+}
+
+// ReadSnapshot loads and validates the snapshot file at path.
+func ReadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	return DecodeSnapshot(data)
+}
+
+// SnapshotWriter streams one snapshot to disk: header first, edges in as
+// many Append calls as the producer likes, then Commit writes the payload
+// CRC trailer, fsyncs, and atomically renames the temp file into place.
+// Anything short of a successful Commit leaves no *.snap file behind.
+type SnapshotWriter struct {
+	dir, tmp  string
+	f         *os.File
+	crc       uint32
+	want, got uint64
+	watermark uint64
+	buf       []byte
+	done      bool
+}
+
+// snapTmpPrefix names in-progress snapshot temp files; Open sweeps
+// leftovers from crashed checkpoints.
+const snapTmpPrefix = ".snap-tmp-"
+
+// CreateSnapshot starts writing a snapshot of count edges whose first edge
+// is absolute arrival watermark. The count is fixed up front (it is in the
+// CRC-protected header); Commit fails if the appended total disagrees.
+func CreateSnapshot(dir string, watermark, count uint64) (*SnapshotWriter, error) {
+	f, err := os.CreateTemp(dir, snapTmpPrefix+"*")
+	if err != nil {
+		return nil, err
+	}
+	var hdr [snapHeaderSize]byte
+	copy(hdr[0:], snapMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:], snapVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], watermark)
+	binary.LittleEndian.PutUint64(hdr[16:], count)
+	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:snapHeaderSize-4], castagnoli))
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return &SnapshotWriter{dir: dir, tmp: f.Name(), f: f, want: count, watermark: watermark}, nil
+}
+
+// Append encodes and writes a run of edges.
+func (w *SnapshotWriter) Append(edges []Edge) error {
+	if w.done {
+		return errors.New("wal: snapshot writer already finished")
+	}
+	w.buf = w.buf[:0]
+	for _, e := range edges {
+		w.buf = append(w.buf, make([]byte, edgeSize)...)
+		putEdge(w.buf[len(w.buf)-edgeSize:], e)
+	}
+	w.crc = crc32.Update(w.crc, castagnoli, w.buf)
+	if _, err := w.f.Write(w.buf); err != nil {
+		w.Abort()
+		return err
+	}
+	w.got += uint64(len(edges))
+	return nil
+}
+
+// Commit finishes the snapshot: trailer CRC, fsync, rename to the final
+// SnapshotName, directory fsync. Returns the committed filename.
+func (w *SnapshotWriter) Commit() (string, error) {
+	if w.done {
+		return "", errors.New("wal: snapshot writer already finished")
+	}
+	if w.got != w.want {
+		w.Abort()
+		return "", fmt.Errorf("wal: snapshot appended %d edges, header promised %d", w.got, w.want)
+	}
+	var trailer [4]byte
+	binary.LittleEndian.PutUint32(trailer[:], w.crc)
+	if _, err := w.f.Write(trailer[:]); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return "", err
+	}
+	if err := w.f.Close(); err != nil {
+		w.done = true
+		os.Remove(w.tmp)
+		return "", err
+	}
+	w.done = true
+	name := SnapshotName(w.watermark)
+	if err := os.Rename(w.tmp, filepath.Join(w.dir, name)); err != nil {
+		os.Remove(w.tmp)
+		return "", err
+	}
+	syncDir(w.dir)
+	return name, nil
+}
+
+// Abort discards the in-progress snapshot; safe to call after Commit.
+func (w *SnapshotWriter) Abort() {
+	if w.done {
+		return
+	}
+	w.done = true
+	w.f.Close()
+	os.Remove(w.tmp)
+}

@@ -1,0 +1,306 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snapEdges(n int, seed int64) []Edge {
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{
+			U: int32(i % 97),
+			V: int32((i + 13) % 97),
+			W: seed + int64(i),
+			T: 1_700_000_000_000_000_000 + int64(i)*1e6,
+		}
+	}
+	return edges
+}
+
+func writeSnapshot(t *testing.T, dir string, watermark uint64, edges []Edge, chunks int) string {
+	t.Helper()
+	w, err := CreateSnapshot(dir, watermark, uint64(len(edges)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks < 1 {
+		chunks = 1
+	}
+	per := (len(edges) + chunks - 1) / chunks
+	for off := 0; off < len(edges); off += per {
+		end := off + per
+		if end > len(edges) {
+			end = len(edges)
+		}
+		if err := w.Append(edges[off:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	name, err := w.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return name
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	edges := snapEdges(257, 5)
+	name := writeSnapshot(t, dir, 42, edges, 7)
+	if name != SnapshotName(42) {
+		t.Fatalf("committed name %q, want %q", name, SnapshotName(42))
+	}
+	s, err := ReadSnapshot(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Watermark != 42 || s.End() != 42+257 {
+		t.Fatalf("watermark %d end %d, want 42 and 299", s.Watermark, s.End())
+	}
+	if len(s.Edges) != len(edges) {
+		t.Fatalf("decoded %d edges, want %d", len(s.Edges), len(edges))
+	}
+	for i := range edges {
+		if s.Edges[i] != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, s.Edges[i], edges[i])
+		}
+	}
+	// A zero-edge snapshot (empty window past the watermark) round-trips too.
+	name = writeSnapshot(t, dir, 300, nil, 1)
+	if s, err = ReadSnapshot(filepath.Join(dir, name)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Watermark != 300 || len(s.Edges) != 0 {
+		t.Fatalf("empty snapshot decoded as %+v", s)
+	}
+}
+
+// TestSnapshotEveryByteCorruption: flipping ANY byte of a committed
+// snapshot must make it unreadable — every byte is covered by the magic,
+// the version check, the header CRC, or the payload CRC.
+func TestSnapshotEveryByteCorruption(t *testing.T) {
+	dir := t.TempDir()
+	edges := snapEdges(9, 1)
+	name := writeSnapshot(t, dir, 7, edges, 2)
+	path := filepath.Join(dir, name)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0xA5
+		if _, err := DecodeSnapshot(mut); err == nil {
+			t.Fatalf("flipping byte %d of %d went undetected", i, len(data))
+		}
+	}
+	// Truncation at every length is detected as well.
+	for n := 0; n < len(data); n++ {
+		if _, err := DecodeSnapshot(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", n, len(data))
+		}
+	}
+}
+
+// TestSnapshotCommitAtomicity: an uncommitted writer leaves no *.snap
+// file, a count mismatch refuses to commit, and Abort cleans the temp.
+func TestSnapshotCommitAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateSnapshot(dir, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(snapEdges(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Commit(); err == nil {
+		t.Fatal("commit with 4 of 10 promised edges must fail")
+	}
+	assertNoSnapshots(t, dir)
+
+	w, err = CreateSnapshot(dir, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(snapEdges(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if _, err := w.Commit(); err == nil {
+		t.Fatal("commit after abort must fail")
+	}
+	assertNoSnapshots(t, dir)
+}
+
+func assertNoSnapshots(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".snap") {
+			t.Fatalf("unexpected snapshot file %q", ent.Name())
+		}
+		if strings.HasPrefix(ent.Name(), ".snap-tmp-") {
+			t.Fatalf("leaked snapshot temp file %q", ent.Name())
+		}
+	}
+}
+
+// TestOpenSweepsSnapshotTemps: a crash mid-snapshot leaves a temp file
+// behind; the next Open of the window's log removes it, without touching
+// committed snapshots.
+func TestOpenSweepsSnapshotTemps(t *testing.T) {
+	dir := t.TempDir()
+	// An abandoned writer — the crash image: temp written, never renamed.
+	w, err := CreateSnapshot(dir, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(snapEdges(2, 0)); err != nil {
+		t.Fatal(err)
+	}
+	committed := writeSnapshot(t, dir, 9, snapEdges(2, 0), 1)
+	l, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ent := range entries {
+		if strings.HasPrefix(ent.Name(), snapTmpPrefix) {
+			t.Fatalf("Open left snapshot temp %q behind", ent.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, committed)); err != nil {
+		t.Fatalf("Open removed a committed snapshot: %v", err)
+	}
+}
+
+// TestSnapshotListingAndPrune: Snapshots sorts ascending, PruneSnapshots
+// keeps exactly the named survivor, and both tolerate unrelated files.
+func TestSnapshotListingAndPrune(t *testing.T) {
+	dir := t.TempDir()
+	for _, wm := range []uint64{900, 5, 77} {
+		writeSnapshot(t, dir, wm, snapEdges(3, int64(wm)), 1)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "not-a-snapshot.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	marks, err := Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 3 || marks[0] != 5 || marks[1] != 77 || marks[2] != 900 {
+		t.Fatalf("Snapshots = %v, want [5 77 900]", marks)
+	}
+	pruned, err := PruneSnapshots(dir, SnapshotName(900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pruned != 2 {
+		t.Fatalf("pruned %d snapshots, want 2", pruned)
+	}
+	marks, err = Snapshots(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(marks) != 1 || marks[0] != 900 {
+		t.Fatalf("after prune Snapshots = %v, want [900]", marks)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "not-a-snapshot.txt")); err != nil {
+		t.Fatalf("prune touched an unrelated file: %v", err)
+	}
+	// A missing directory lists empty rather than erroring.
+	if marks, err := Snapshots(filepath.Join(dir, "nope")); err != nil || len(marks) != 0 {
+		t.Fatalf("missing dir: %v %v", marks, err)
+	}
+}
+
+func TestParseSnapshotName(t *testing.T) {
+	for _, wm := range []uint64{0, 1, 1 << 40, ^uint64(0)} {
+		got, ok := ParseSnapshotName(SnapshotName(wm))
+		if !ok || got != wm {
+			t.Fatalf("round trip of %d: got %d ok=%v", wm, got, ok)
+		}
+	}
+	for _, bad := range []string{"", "x.snap", "0000000000000000000a.snap", "00000000000000000001.seg", "00000000000000000001.snapx"} {
+		if _, ok := ParseSnapshotName(bad); ok {
+			t.Fatalf("ParseSnapshotName(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLogAdvanceTo: raising nextSeq numbers subsequent appends after the
+// snapshot range; raising to a lower value is a no-op.
+func TestLogAdvanceTo(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append(snapEdges(3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	l.AdvanceTo(2) // below nextSeq: no-op
+	if got := l.NextSeq(); got != 3 {
+		t.Fatalf("NextSeq = %d after no-op AdvanceTo, want 3", got)
+	}
+	l.AdvanceTo(100)
+	if got := l.NextSeq(); got != 100 {
+		t.Fatalf("NextSeq = %d, want 100", got)
+	}
+	seq, err := l.Append(snapEdges(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 100 {
+		t.Fatalf("post-advance append at %d, want 100", seq)
+	}
+	// Replay from the snapshot end sees exactly the post-advance records.
+	var seqs []uint64
+	if _, err := l.Replay(100, func(r Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 1 || seqs[0] != 100 {
+		t.Fatalf("replay past 100 saw %v", seqs)
+	}
+}
+
+func TestLogFirstSeq(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNone, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, ok := l.FirstSeq(); ok {
+		t.Fatal("empty log reported a first seq")
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append(snapEdges(2, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if first, ok := l.FirstSeq(); !ok || first != 0 {
+		t.Fatalf("FirstSeq = %d %v, want 0 true", first, ok)
+	}
+	if _, err := l.Prune(6); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := l.FirstSeq()
+	if !ok || first == 0 || first > 6 {
+		t.Fatalf("post-prune FirstSeq = %d %v, want in (0, 6]", first, ok)
+	}
+}

@@ -66,9 +66,48 @@ const (
 // arm64.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
+// seqName formats the shared 20-digit-decimal file naming of segments and
+// snapshots: zero-padded so lexicographic order is numeric order.
+func seqName(seq uint64, ext string) string { return fmt.Sprintf("%020d%s", seq, ext) }
+
+// parseSeqName inverts seqName for the given extension.
+func parseSeqName(name, ext string) (uint64, bool) {
+	if len(name) != 20+len(ext) || name[20:] != ext {
+		return 0, false
+	}
+	var seq uint64
+	for i := 0; i < 20; i++ {
+		c := name[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	return seq, true
+}
+
 // errTorn marks a record cut short by a crash mid-write: scanning stops
 // here and the valid prefix stands.
 var errTorn = fmt.Errorf("wal: torn record at segment tail")
+
+// putEdge encodes one edge into the 24 bytes at b — the shared encoding of
+// log records and snapshot payloads.
+func putEdge(b []byte, e Edge) {
+	binary.LittleEndian.PutUint32(b[0:], uint32(e.U))
+	binary.LittleEndian.PutUint32(b[4:], uint32(e.V))
+	binary.LittleEndian.PutUint64(b[8:], uint64(e.W))
+	binary.LittleEndian.PutUint64(b[16:], uint64(e.T))
+}
+
+// getEdge decodes the edge at the head of b.
+func getEdge(b []byte) Edge {
+	return Edge{
+		U: int32(binary.LittleEndian.Uint32(b[0:])),
+		V: int32(binary.LittleEndian.Uint32(b[4:])),
+		W: int64(binary.LittleEndian.Uint64(b[8:])),
+		T: int64(binary.LittleEndian.Uint64(b[16:])),
+	}
+}
 
 // appendRecord encodes one record onto buf and returns the extended slice.
 func appendRecord(buf []byte, seq uint64, edges []Edge) []byte {
@@ -80,10 +119,7 @@ func appendRecord(buf []byte, seq uint64, edges []Edge) []byte {
 	binary.LittleEndian.PutUint32(payload[8:], uint32(len(edges)))
 	off := payloadFixed
 	for _, e := range edges {
-		binary.LittleEndian.PutUint32(payload[off+0:], uint32(e.U))
-		binary.LittleEndian.PutUint32(payload[off+4:], uint32(e.V))
-		binary.LittleEndian.PutUint64(payload[off+8:], uint64(e.W))
-		binary.LittleEndian.PutUint64(payload[off+16:], uint64(e.T))
+		putEdge(payload[off:], e)
 		off += edgeSize
 	}
 	binary.LittleEndian.PutUint32(buf[start:], uint32(payloadLen))
@@ -116,18 +152,18 @@ func decodeRecord(b []byte) (Record, int, error) {
 	if payloadLen != payloadFixed+edgeSize*count {
 		return Record{}, 0, fmt.Errorf("wal: record count %d disagrees with length %d", count, payloadLen)
 	}
+	if seq := binary.LittleEndian.Uint64(payload[0:]); seq > ^uint64(0)-uint64(count) {
+		// The arrival range [seq, seq+count) must not wrap: watermark
+		// comparisons and base arithmetic downstream assume it doesn't.
+		return Record{}, 0, fmt.Errorf("wal: record seq %d overflows with count %d", seq, count)
+	}
 	rec := Record{
 		Seq:   binary.LittleEndian.Uint64(payload[0:]),
 		Edges: make([]Edge, count),
 	}
 	off := payloadFixed
 	for i := range rec.Edges {
-		rec.Edges[i] = Edge{
-			U: int32(binary.LittleEndian.Uint32(payload[off+0:])),
-			V: int32(binary.LittleEndian.Uint32(payload[off+4:])),
-			W: int64(binary.LittleEndian.Uint64(payload[off+8:])),
-			T: int64(binary.LittleEndian.Uint64(payload[off+16:])),
-		}
+		rec.Edges[i] = getEdge(payload[off:])
 		off += edgeSize
 	}
 	return rec, recHeaderSize + payloadLen, nil

@@ -159,12 +159,22 @@ func NewStreamWindowRegistry(cfg StreamRegistryConfig) *StreamWindowRegistry {
 // giving crash recovery by suffix replay.
 type StreamPersistenceConfig = stream.PersistenceConfig
 
-// StreamRecoveryReport summarizes a boot-time recovery pass.
+// StreamRecoveryReport summarizes a boot-time recovery pass (windows
+// recovered, snapshot seeds, replayed log suffix, wall time).
 type StreamRecoveryReport = stream.RecoveryReport
 
-// OpenStreamRegistry builds a registry from its durable state, replaying
-// every manifest window's unexpired log suffix; with a nil Persistence
-// config it degenerates to NewStreamWindowRegistry.
+// StreamCheckpointStats summarizes one Checkpoint pass (windows covered,
+// snapshots written, log segments and superseded snapshots pruned).
+type StreamCheckpointStats = stream.CheckpointStats
+
+// StreamPersistenceStats is the /stats snapshot of the durability layer.
+type StreamPersistenceStats = stream.PersistenceStats
+
+// OpenStreamRegistry builds a registry from its durable state: each
+// manifest window is seeded from its newest valid live-edge snapshot
+// (when one exists) and the unexpired log suffix after it is replayed;
+// with a nil Persistence config it degenerates to
+// NewStreamWindowRegistry.
 func OpenStreamRegistry(cfg StreamRegistryConfig) (*StreamWindowRegistry, *StreamRecoveryReport, error) {
 	return stream.OpenRegistry(cfg)
 }
