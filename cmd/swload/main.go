@@ -29,7 +29,21 @@
 // buys at restart. -snapshot-threshold tunes when the checkpoint
 // snapshots; -1 disables and reverts to the single full-replay number.
 //
+// The -mixed mode is the query-latency harness: -readers concurrent
+// queriers draw endpoints from the weighted -query-mix distribution
+// (default conn-heavy) against one window maintaining all five monitors,
+// while -producers sustain ingest for -duration; the report carries
+// per-endpoint query p50/p99/max plus ingest throughput, and the headline
+// query percentiles are the worst endpoint's. This is the harness behind
+// EXPERIMENTS S7: a cheap connectivity probe must not wait out the
+// slowest monitor's apply.
+//
+// -cpuprofile/-memprofile write pprof profiles of any mode; the fan-out
+// labels every monitor apply with its monitor name, so a CPU profile
+// attributes apply time per monitor (go tool pprof -tags).
+//
 //	swload -n 50000 -edges 200000 -producers 8 -chunk 256
+//	swload -mixed -readers 8 -duration 5s -window 200000 -json mixed.json
 //	swload -compare -json results.json
 //	swload -fanout-compare -json fanout.json
 //	swload -windows 4 -compare
@@ -49,6 +63,10 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,7 +96,21 @@ type options struct {
 	snapThreshold int
 	windows       int
 	shards        int
+	mixed         bool
+	duration      time.Duration
+	queryMix      string
+	cpuProfile    string
+	memProfile    string
 	jsonPath      string
+}
+
+// EndpointLatency is the per-endpoint latency summary of a -mixed run.
+type EndpointLatency struct {
+	Count  int64   `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
 }
 
 // LoadResult is the machine-readable outcome of one load run.
@@ -102,6 +134,12 @@ type LoadResult struct {
 	Queries       int64   `json:"queries"`
 	QueryP50Ms    float64 `json:"query_p50_ms"`
 	QueryP99Ms    float64 `json:"query_p99_ms"`
+	// Mixed-workload fields (-mixed only): the effective parallelism the
+	// run saw, the overall query max, and the per-endpoint breakdown.
+	Gomaxprocs int                        `json:"gomaxprocs,omitempty"`
+	Readers    int                        `json:"readers,omitempty"`
+	QueryMaxMs float64                    `json:"query_max_ms,omitempty"`
+	Endpoints  map[string]EndpointLatency `json:"endpoints,omitempty"`
 }
 
 // Report is the full swload output, one entry per mode.
@@ -157,6 +195,13 @@ func main() {
 		"for -wal: checkpoint writes a live-edge snapshot when the replayable suffix exceeds this many arrivals; -1 disables (full-replay recovery only)")
 	flag.IntVar(&o.windows, "windows", 1, "number of windows to spread the load over (in-process only)")
 	flag.IntVar(&o.shards, "shards", 16, "registry lock shards (in-process server)")
+	flag.BoolVar(&o.mixed, "mixed", false,
+		"mixed-workload mode: -readers concurrent queriers (endpoint mix from -query-mix) against -duration of sustained ingest, reporting per-endpoint query p50/p99/max (in-process only)")
+	flag.DurationVar(&o.duration, "duration", 5*time.Second, "sustained-ingest run length for -mixed")
+	flag.StringVar(&o.queryMix, "query-mix", "connected:6,components:2,bipartite:1,msfweight:1,cycle:1,stats:1",
+		"weighted endpoint mix the -mixed queriers draw from (name:weight, comma-separated); kcert is available but excluded by default — its min-cut dominates the mix with query compute rather than lock wait")
+	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path at exit")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
 	flag.Parse()
 
@@ -170,12 +215,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swload: -snapshot-threshold must be a positive arrival count, or -1 to disable")
 		os.Exit(2)
 	}
-	if (o.compare || o.fanoutCompare || o.wal || o.windows > 1) && o.url != "" {
-		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-windows need the in-process server; drop -url")
+	if (o.compare || o.fanoutCompare || o.wal || o.mixed || o.windows > 1) && o.url != "" {
+		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-mixed/-windows need the in-process server; drop -url")
 		os.Exit(2)
 	}
-	if (o.fanoutCompare && o.compare) || (o.wal && (o.compare || o.fanoutCompare)) {
-		fmt.Fprintln(os.Stderr, "pick one of -compare, -fanout-compare and -wal")
+	if b2i(o.compare)+b2i(o.fanoutCompare)+b2i(o.wal)+b2i(o.mixed) > 1 {
+		fmt.Fprintln(os.Stderr, "pick one of -compare, -fanout-compare, -wal and -mixed")
+		os.Exit(2)
+	}
+	if o.mixed && o.readers < 1 {
+		fmt.Fprintln(os.Stderr, "swload -mixed: need -readers >= 1 (the queriers are the workload under test)")
 		os.Exit(2)
 	}
 	// Producers and readers are spread over windows round-robin; with
@@ -200,8 +249,42 @@ func main() {
 		os.Stdout = os.Stderr
 	}
 
+	if o.cpuProfile != "" {
+		f, err := os.Create(o.cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if o.memProfile != "" {
+		defer func() {
+			f, err := os.Create(o.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+
 	var rep Report
 	switch {
+	case o.mixed:
+		res := runMixed(o)
+		rep.Results = []LoadResult{res}
+		printMixed(res)
 	case o.wal:
 		runWALCompare(o, &rep)
 	case o.fanoutCompare:
@@ -262,6 +345,319 @@ func main() {
 }
 
 func maxprocs() int { return runtime.GOMAXPROCS(0) }
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mixEntry is one weighted endpoint of the -mixed querier mix.
+type mixEntry struct {
+	name   string
+	weight int
+	// path renders one request path for the endpoint (connected draws
+	// random vertices per request; everything else is fixed).
+	path func(r *rand.Rand) string
+}
+
+// parseQueryMix parses "-query-mix connected:6,components:2,..." into
+// weighted entries. Unknown endpoint names are an error — a typo silently
+// skewing the measured mix would poison a baseline comparison.
+func parseQueryMix(spec string, n int) ([]mixEntry, error) {
+	fixed := func(p string) func(*rand.Rand) string {
+		return func(*rand.Rand) string { return p }
+	}
+	paths := map[string]func(*rand.Rand) string{
+		"connected": func(r *rand.Rand) string {
+			return fmt.Sprintf("/query/connected?u=%d&v=%d", r.Intn(n), r.Intn(n))
+		},
+		"components": fixed("/query/components"),
+		"bipartite":  fixed("/query/bipartite"),
+		"msfweight":  fixed("/query/msfweight"),
+		"cycle":      fixed("/query/cycle"),
+		"kcert":      fixed("/query/kcert"),
+		"summary":    fixed("/query/summary"),
+		"stats":      fixed("/stats"),
+	}
+	var mix []mixEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		weight := 1
+		if hasWeight {
+			w, err := strconv.Atoi(weightStr)
+			if err != nil || w < 1 {
+				return nil, fmt.Errorf("swload: bad weight in -query-mix entry %q", part)
+			}
+			weight = w
+		}
+		path, ok := paths[name]
+		if !ok {
+			return nil, fmt.Errorf("swload: unknown -query-mix endpoint %q", name)
+		}
+		mix = append(mix, mixEntry{name: name, weight: weight, path: path})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("swload: empty -query-mix")
+	}
+	return mix, nil
+}
+
+// runMixed is the mixed-workload latency harness: -readers concurrent
+// queriers draw endpoints from the -query-mix distribution against one
+// window with the full monitor set, while -producers sustain ingest for
+// -duration. It reports ingest throughput plus per-endpoint query
+// p50/p99/max — the numbers the per-monitor-locking refactor is judged on
+// (a cheap conn probe must not wait out the slowest monitor's apply).
+func runMixed(o options) LoadResult {
+	mix, err := parseQueryMix(o.queryMix, o.n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	totalWeight := 0
+	for _, m := range mix {
+		totalWeight += m.weight
+	}
+
+	setupStart := time.Now()
+	reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
+		Shards: o.shards,
+		Template: stream.ServiceConfig{
+			Window: stream.WindowConfig{
+				N:           o.n,
+				Seed:        uint64(o.seed),
+				MaxArrivals: o.window,
+				// Monitors deliberately left unset = ALL monitors: the
+				// harness exists to show queries contending with the full
+				// fan-out, so -monitors is ignored in this mode.
+			},
+			// A shallow queue (QueueLen counts queued submissions, not
+			// edges) keeps the producers in lockstep with the window's
+			// sustainable apply rate: with the default 8×MaxBatch slots a
+			// 5s burst can park millions of edges in the queue, the
+			// reported "ingest throughput" measures only how fast the
+			// client can enqueue, and the post-run drain takes minutes.
+			// Backpressure lands in POST latency instead, which is the
+			// honest place for it.
+			Ingest: stream.IngesterConfig{MaxBatch: o.batch, MaxDelay: o.delay, QueueLen: o.producers},
+		},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer reg.Close()
+	svc, err := reg.Create(stream.DefaultWindow, reg.Template())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "swload -mixed: monitors built in %v; running %v of mixed load\n",
+		time.Since(setupStart).Round(time.Millisecond), o.duration)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv := &http.Server{Handler: stream.NewRegistryServer(reg, stream.ServerConfig{}).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = 4 * (o.producers + o.readers)
+	transport.MaxIdleConnsPerHost = 4 * (o.producers + o.readers)
+	client := &http.Client{Timeout: 30 * time.Second, Transport: transport}
+
+	var postRec stream.LatencyRecorder
+	queryRecs := stream.NewEndpointStats()
+	var posted, posts atomic.Int64
+	stop := make(chan struct{})
+
+	// Producers: sustained ingest until the clock runs out.
+	var prodWG, readWG sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < o.producers; p++ {
+		prodWG.Add(1)
+		go func(p int) {
+			defer prodWG.Done()
+			r := rand.New(rand.NewSource(o.seed + int64(p)))
+			type wireEdge struct {
+				U int32 `json:"u"`
+				V int32 `json:"v"`
+				W int64 `json:"w,omitempty"`
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				edges := make([]wireEdge, o.chunk)
+				for i := range edges {
+					u := int32(r.Intn(o.n))
+					v := int32(r.Intn(o.n))
+					for v == u {
+						v = int32(r.Intn(o.n))
+					}
+					edges[i] = wireEdge{U: u, V: v, W: 1 + r.Int63n(1<<10)}
+				}
+				body, _ := json.Marshal(map[string]any{"edges": edges})
+				t0 := time.Now()
+				resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
+				if err != nil {
+					select {
+					case <-stop: // shutdown race: the server is going away
+						return
+					default:
+					}
+					fmt.Fprintf(os.Stderr, "POST /edges: %v\n", err)
+					return
+				}
+				drainBody(resp)
+				if resp.StatusCode != http.StatusAccepted {
+					fmt.Fprintf(os.Stderr, "POST /edges: status %d\n", resp.StatusCode)
+					return
+				}
+				postRec.Observe(time.Since(t0))
+				posted.Add(int64(len(edges)))
+				posts.Add(1)
+			}
+		}(p)
+	}
+
+	// Queriers: each draws endpoints from the weighted mix.
+	for q := 0; q < o.readers; q++ {
+		readWG.Add(1)
+		go func(q int) {
+			defer readWG.Done()
+			r := rand.New(rand.NewSource(o.seed + 1000 + int64(q)))
+			badLogged := false
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pick := r.Intn(totalWeight)
+				var ep mixEntry
+				for _, m := range mix {
+					if pick -= m.weight; pick < 0 {
+						ep = m
+						break
+					}
+				}
+				t0 := time.Now()
+				resp, err := client.Get(base + ep.path(r))
+				if err != nil {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					fmt.Fprintf(os.Stderr, "GET %s: %v\n", ep.name, err)
+					return
+				}
+				drainBody(resp)
+				if resp.StatusCode != http.StatusOK {
+					if !badLogged {
+						fmt.Fprintf(os.Stderr, "GET %s: status %d (not counted)\n", ep.name, resp.StatusCode)
+						badLogged = true
+					}
+					continue
+				}
+				queryRecs.Recorder(ep.name).Observe(time.Since(t0))
+			}
+		}(q)
+	}
+
+	time.Sleep(o.duration)
+	close(stop)
+	prodWG.Wait()
+	readWG.Wait()
+	elapsed := time.Since(start)
+	svc.Flush()
+
+	// Merge the per-endpoint histograms into the overall query summary and
+	// the per-endpoint report.
+	endpoints := make(map[string]EndpointLatency)
+	var totalQueries int64
+	var worstP50, worstP99, worstMax float64
+	for name, snap := range queryRecs.Snapshot() {
+		endpoints[name] = EndpointLatency{
+			Count:  snap.Count,
+			MeanMs: float64(snap.Mean) / 1e6,
+			P50Ms:  float64(snap.P50) / 1e6,
+			P99Ms:  float64(snap.P99) / 1e6,
+			MaxMs:  float64(snap.Max) / 1e6,
+		}
+		totalQueries += snap.Count
+		worstP50 = max(worstP50, float64(snap.P50)/1e6)
+		worstP99 = max(worstP99, float64(snap.P99)/1e6)
+		worstMax = max(worstMax, float64(snap.Max)/1e6)
+	}
+
+	st := svc.Window().Stats()
+	ps := postRec.Snapshot()
+	res := LoadResult{
+		Mode:        "mixed",
+		N:           o.n,
+		Windows:     1,
+		Edges:       posted.Load(),
+		Producers:   o.producers,
+		Chunk:       o.chunk,
+		MaxBatch:    o.batch,
+		ElapsedSec:  elapsed.Seconds(),
+		EdgesPerSec: float64(posted.Load()) / elapsed.Seconds(),
+		Posts:       ps.Count,
+		PostP50Ms:   float64(ps.P50) / 1e6,
+		PostP99Ms:   float64(ps.P99) / 1e6,
+		Queries:     totalQueries,
+		// The headline query percentiles are the WORST endpoint's, not the
+		// merged histogram's: the merged view would let a flood of cheap
+		// conn probes mask a stalled endpoint, which is exactly the failure
+		// mode the mixed harness exists to expose.
+		QueryP50Ms:    worstP50,
+		QueryP99Ms:    worstP99,
+		QueryMaxMs:    worstMax,
+		Gomaxprocs:    maxprocs(),
+		Readers:       o.readers,
+		Endpoints:     endpoints,
+		ServerBatches: st.Batches,
+	}
+	if st.Batches > 0 {
+		res.MeanBatchSize = float64(st.Arrivals) / float64(st.Batches)
+		res.MeanApplyMs = float64(st.ApplyNS) / float64(st.Batches) / 1e6
+	}
+	return res
+}
+
+func printMixed(r LoadResult) {
+	fmt.Printf("== mixed workload (GOMAXPROCS=%d, producers=%d, readers=%d) ==\n",
+		r.Gomaxprocs, r.Producers, r.Readers)
+	fmt.Printf("  ingest: %d edges in %.2fs  →  %.0f edges/sec (batches %d, mean size %.1f, mean apply %.3fms)\n",
+		r.Edges, r.ElapsedSec, r.EdgesPerSec, r.ServerBatches, r.MeanBatchSize, r.MeanApplyMs)
+	fmt.Printf("  POST   p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		fmt.Printf("  %-10s p50 %7.3fms  p99 %7.3fms  max %8.3fms  (%d requests)\n",
+			name, ep.P50Ms, ep.P99Ms, ep.MaxMs, ep.Count)
+	}
+	fmt.Printf("  worst endpoint: p50 %.3fms  p99 %.3fms  max %.3fms  (%d queries total)\n",
+		r.QueryP50Ms, r.QueryP99Ms, r.QueryMaxMs, r.Queries)
+}
 
 // runWALCompare measures what durability costs and what recovery buys:
 // the same stream in-memory vs write-ahead logged, then a crash-recovery

@@ -31,7 +31,8 @@
 //	POST   /windows/{name}/edges           {"edges":[{"u":0,"v":1,"w":5},...]}
 //	GET    /windows/{name}/query/connected?u=&v=
 //	GET    /windows/{name}/query/{components,bipartite,msfweight,cycle,kcert}
-//	GET    /windows/{name}/stats           per-window counters
+//	GET    /windows/{name}/query/summary   all monitors at one apply epoch
+//	GET    /windows/{name}/stats           per-window counters (incl. per-monitor apply/wait)
 //	POST   /edges, GET /query/..., /stats  default window (legacy routes)
 //	POST   /admin/checkpoint               persist watermarks + GC segments
 //	GET    /healthz                        liveness

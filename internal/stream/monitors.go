@@ -33,6 +33,13 @@ func (c *MonitorConfig) withDefaults() MonitorConfig {
 
 // newMonitor builds the named monitor over n vertices. Each monitor derives
 // its own seed so window instances stay independent.
+//
+// Every monitor adapter below carries its own conversion scratch buffer,
+// reused across batches. That is sound under the same single-writer
+// contract the internal/sw structures assert: BatchInsert runs under the
+// monitor's write lock with exactly one writer in the pipeline, and the
+// sw structures convert the slice into their own representation before
+// returning, retaining nothing.
 func newMonitor(name string, n int, cfg MonitorConfig, seed uint64) (Monitor, error) {
 	switch name {
 	case MonitorConn:
@@ -53,64 +60,90 @@ func newMonitor(name string, n int, cfg MonitorConfig, seed uint64) (Monitor, er
 	}
 }
 
-func toStreamEdges(edges []Edge) []sw.StreamEdge {
-	out := make([]sw.StreamEdge, len(edges))
-	for i, e := range edges {
-		out[i] = sw.StreamEdge{U: e.U, V: e.V}
+// appendStreamEdges converts a batch into buf (reused across calls).
+func appendStreamEdges(buf []sw.StreamEdge, edges []Edge) []sw.StreamEdge {
+	for _, e := range edges {
+		buf = append(buf, sw.StreamEdge{U: e.U, V: e.V})
 	}
-	return out
+	return buf
 }
 
 // connMonitor wraps eager sliding-window connectivity (Theorem 5.2).
-type connMonitor struct{ c *sw.ConnEager }
+type connMonitor struct {
+	c       *sw.ConnEager
+	scratch []sw.StreamEdge
+}
 
-func (m *connMonitor) Name() string             { return MonitorConn }
-func (m *connMonitor) BatchInsert(edges []Edge) { m.c.BatchInsert(toStreamEdges(edges)) }
-func (m *connMonitor) BatchExpire(delta int)    { m.c.BatchExpire(delta) }
+func (m *connMonitor) Name() string { return MonitorConn }
+func (m *connMonitor) BatchInsert(edges []Edge) {
+	m.scratch = appendStreamEdges(m.scratch[:0], edges)
+	m.c.BatchInsert(m.scratch)
+}
+func (m *connMonitor) BatchExpire(delta int) { m.c.BatchExpire(delta) }
 
 // bipartiteMonitor wraps sliding-window bipartiteness (Theorem 5.3).
-type bipartiteMonitor struct{ b *sw.Bipartite }
+type bipartiteMonitor struct {
+	b       *sw.Bipartite
+	scratch []sw.StreamEdge
+}
 
-func (m *bipartiteMonitor) Name() string             { return MonitorBipartite }
-func (m *bipartiteMonitor) BatchInsert(edges []Edge) { m.b.BatchInsert(toStreamEdges(edges)) }
-func (m *bipartiteMonitor) BatchExpire(delta int)    { m.b.BatchExpire(delta) }
+func (m *bipartiteMonitor) Name() string { return MonitorBipartite }
+func (m *bipartiteMonitor) BatchInsert(edges []Edge) {
+	m.scratch = appendStreamEdges(m.scratch[:0], edges)
+	m.b.BatchInsert(m.scratch)
+}
+func (m *bipartiteMonitor) BatchExpire(delta int) { m.b.BatchExpire(delta) }
 
 // msfWeightMonitor wraps the (1+ε)-approximate MSF weight structure
 // (Theorem 5.4). Weights are clamped into [1, MaxWeight] so arbitrary
 // client input cannot panic the structure.
 type msfWeightMonitor struct {
-	a    *sw.ApproxMSF
-	maxW int64
+	a       *sw.ApproxMSF
+	maxW    int64
+	scratch []sw.WeightedStreamEdge
 }
 
 func (m *msfWeightMonitor) Name() string { return MonitorMSFWeight }
 
 func (m *msfWeightMonitor) BatchInsert(edges []Edge) {
-	batch := make([]sw.WeightedStreamEdge, len(edges))
-	for i, e := range edges {
+	batch := m.scratch[:0]
+	for _, e := range edges {
 		w := e.W
 		if w < 1 {
 			w = 1
 		} else if w > m.maxW {
 			w = m.maxW
 		}
-		batch[i] = sw.WeightedStreamEdge{U: e.U, V: e.V, W: w}
+		batch = append(batch, sw.WeightedStreamEdge{U: e.U, V: e.V, W: w})
 	}
+	m.scratch = batch
 	m.a.BatchInsert(batch)
 }
 
 func (m *msfWeightMonitor) BatchExpire(delta int) { m.a.BatchExpire(delta) }
 
 // kcertMonitor wraps the sliding-window k-certificate (Theorem 5.5).
-type kcertMonitor struct{ k *sw.KCert }
+type kcertMonitor struct {
+	k       *sw.KCert
+	scratch []sw.StreamEdge
+}
 
-func (m *kcertMonitor) Name() string             { return MonitorKCert }
-func (m *kcertMonitor) BatchInsert(edges []Edge) { m.k.BatchInsert(toStreamEdges(edges)) }
-func (m *kcertMonitor) BatchExpire(delta int)    { m.k.BatchExpire(delta) }
+func (m *kcertMonitor) Name() string { return MonitorKCert }
+func (m *kcertMonitor) BatchInsert(edges []Edge) {
+	m.scratch = appendStreamEdges(m.scratch[:0], edges)
+	m.k.BatchInsert(m.scratch)
+}
+func (m *kcertMonitor) BatchExpire(delta int) { m.k.BatchExpire(delta) }
 
 // cycleFreeMonitor wraps sliding-window cycle detection (Theorem 5.6).
-type cycleFreeMonitor struct{ c *sw.CycleFree }
+type cycleFreeMonitor struct {
+	c       *sw.CycleFree
+	scratch []sw.StreamEdge
+}
 
-func (m *cycleFreeMonitor) Name() string             { return MonitorCycleFree }
-func (m *cycleFreeMonitor) BatchInsert(edges []Edge) { m.c.BatchInsert(toStreamEdges(edges)) }
-func (m *cycleFreeMonitor) BatchExpire(delta int)    { m.c.BatchExpire(delta) }
+func (m *cycleFreeMonitor) Name() string { return MonitorCycleFree }
+func (m *cycleFreeMonitor) BatchInsert(edges []Edge) {
+	m.scratch = appendStreamEdges(m.scratch[:0], edges)
+	m.c.BatchInsert(m.scratch)
+}
+func (m *cycleFreeMonitor) BatchExpire(delta int) { m.c.BatchExpire(delta) }

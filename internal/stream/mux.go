@@ -1,22 +1,67 @@
 package stream
 
-import "repro/internal/parallel"
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/parallel"
+)
 
 // Multiplexer fans one ingested stream out to several monitors that share
 // the batching pipeline: every monitor receives every batch and every
 // expiry count, so all monitors observe the same window at all times.
 //
-// The monitors are mutually independent structures, so the fan-out is a
-// fork-join parallel region by default (parallel.Do): all monitors apply
-// the same batch concurrently and the apply cost under the window's write
-// lock drops from the sum of the monitor costs to the max. Sequential
-// fan-out remains available (for measurement, and as the degenerate form on
-// GOMAXPROCS=1). Either way the Multiplexer itself is not safe for
-// concurrent use — the WindowManager serializes access around it.
+// Each monitor sits behind its own RWMutex. The window's single writer
+// (see WindowManager) applies a staged op — batch insert plus expiry —
+// to every monitor under that monitor's write lock, in parallel across
+// monitors by default (parallel.Do); queries take only their target
+// monitor's read lock, so a connectivity probe blocks for at most the
+// conn monitor's own apply, never the slowest monitor's. Insert and
+// expiry land under one lock hold, so a reader always observes a whole
+// number of staged ops on its monitor — never half a batch.
+//
+// The fan-out is also where apply time becomes observable: each slot
+// accumulates the time the writer spent holding (ApplyNS) and waiting for
+// (WaitNS) its lock, and the apply runs under a pprof label
+// ("monitor" = name) so CPU profiles attribute fan-out time per monitor.
+//
+// Writer-side methods (Apply) must only be called by the window's writer
+// goroutine, one op at a time; the WindowManager's writer lock enforces
+// that. Read-side methods are safe for any number of goroutines.
 type Multiplexer struct {
-	mons       []Monitor
-	byName     map[string]Monitor
+	slots      []*monitorSlot
+	byName     map[string]*monitorSlot
 	sequential bool
+}
+
+// monitorSlot is one monitor plus its lock and apply accounting.
+type monitorSlot struct {
+	mon    Monitor
+	mu     sync.RWMutex
+	labels pprof.LabelSet
+
+	// Written only by the single writer (one Apply at a time), read by
+	// Stats snapshots at any time — hence atomic, not mu-guarded: stats
+	// readers must not queue behind a slow apply.
+	ops     atomic.Int64
+	applyNS atomic.Int64
+	waitNS  atomic.Int64
+}
+
+// MonitorApplyStats is one monitor's cumulative apply accounting.
+type MonitorApplyStats struct {
+	Name string `json:"name"`
+	// Ops counts applied staged ops (batch inserts and/or expiries).
+	Ops int64 `json:"ops"`
+	// ApplyNS is the cumulative time the writer held this monitor's write
+	// lock — the window a query on this monitor can block for.
+	ApplyNS int64 `json:"apply_ns"`
+	// WaitNS is the cumulative time the writer waited to acquire the
+	// write lock (in-flight readers of this monitor hold it out).
+	WaitNS int64 `json:"wait_ns"`
 }
 
 // NewMultiplexer builds a multiplexer over the named monitors. sequential
@@ -26,7 +71,7 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 		names = AllMonitors()
 	}
 	cfg = cfg.withDefaults()
-	m := &Multiplexer{byName: make(map[string]Monitor, len(names)), sequential: sequential}
+	m := &Multiplexer{byName: make(map[string]*monitorSlot, len(names)), sequential: sequential}
 	for i, name := range names {
 		if _, dup := m.byName[name]; dup {
 			continue
@@ -35,54 +80,102 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 		if err != nil {
 			return nil, err
 		}
-		m.mons = append(m.mons, mon)
-		m.byName[name] = mon
+		s := &monitorSlot{mon: mon, labels: pprof.Labels("monitor", name)}
+		m.slots = append(m.slots, s)
+		m.byName[name] = s
 	}
 	return m, nil
 }
 
-// fanout applies one operation to every monitor, in parallel unless the
-// multiplexer is sequential or trivially small.
-func (m *Multiplexer) fanout(apply func(Monitor)) {
-	if m.sequential || len(m.mons) <= 1 {
-		for _, mon := range m.mons {
-			apply(mon)
+// Apply applies one staged op — a batch insert (possibly empty) followed
+// by an expiry of delta arrivals — to every monitor, each under its own
+// write lock, in parallel unless the multiplexer is sequential or
+// trivially small. The batch slice is only read by the monitors (each
+// converts it into its own representation) and is not retained past the
+// call, so sharing it across the parallel region — and recycling it after
+// Apply returns — is safe. Single-writer: never call concurrently.
+func (m *Multiplexer) Apply(edges []Edge, delta int) {
+	if len(edges) == 0 && delta <= 0 {
+		return
+	}
+	one := func(s *monitorSlot) {
+		pprof.Do(context.Background(), s.labels, func(context.Context) {
+			t0 := time.Now()
+			s.mu.Lock()
+			t1 := time.Now()
+			if len(edges) > 0 {
+				s.mon.BatchInsert(edges)
+			}
+			if delta > 0 {
+				s.mon.BatchExpire(delta)
+			}
+			t2 := time.Now()
+			s.mu.Unlock()
+			s.ops.Add(1)
+			s.waitNS.Add(t1.Sub(t0).Nanoseconds())
+			s.applyNS.Add(t2.Sub(t1).Nanoseconds())
+		})
+	}
+	if m.sequential || len(m.slots) <= 1 {
+		for _, s := range m.slots {
+			one(s)
 		}
 		return
 	}
-	fns := make([]func(), len(m.mons))
-	for i, mon := range m.mons {
-		fns[i] = func() { apply(mon) }
+	fns := make([]func(), len(m.slots))
+	for i, s := range m.slots {
+		fns[i] = func() { one(s) }
 	}
 	parallel.Do(fns...)
 }
 
-// BatchInsert fans a batch out to every monitor. The batch slice is only
-// read by the monitors (each converts it into its own representation), so
-// sharing it across the parallel region is safe.
-func (m *Multiplexer) BatchInsert(edges []Edge) {
-	m.fanout(func(mon Monitor) { mon.BatchInsert(edges) })
-}
-
-// BatchExpire expires the oldest delta arrivals in every monitor.
-func (m *Multiplexer) BatchExpire(delta int) {
-	if delta <= 0 {
-		return
+// withRead runs fn on the named monitor under that monitor's read lock,
+// reporting whether the monitor is configured. fn runs concurrently with
+// other readers and with applies to OTHER monitors; it waits out only an
+// in-flight apply to this one.
+func (m *Multiplexer) withRead(name string, fn func(Monitor)) bool {
+	s := m.byName[name]
+	if s == nil {
+		return false
 	}
-	m.fanout(func(mon Monitor) { mon.BatchExpire(delta) })
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	fn(s.mon)
+	return true
 }
 
 // Monitor returns the named monitor, or nil if it was not configured.
-func (m *Multiplexer) Monitor(name string) Monitor { return m.byName[name] }
+// The caller is responsible for locking (tests and the WindowManager's
+// internal helpers); external readers go through withRead.
+func (m *Multiplexer) Monitor(name string) Monitor {
+	if s := m.byName[name]; s != nil {
+		return s.mon
+	}
+	return nil
+}
 
 // Sequential reports whether fan-out is forced sequential.
 func (m *Multiplexer) Sequential() bool { return m.sequential }
 
 // Names lists the configured monitors in fan-out order.
 func (m *Multiplexer) Names() []string {
-	out := make([]string, len(m.mons))
-	for i, mon := range m.mons {
-		out[i] = mon.Name()
+	out := make([]string, len(m.slots))
+	for i, s := range m.slots {
+		out[i] = s.mon.Name()
+	}
+	return out
+}
+
+// Stats snapshots every monitor's apply accounting, in fan-out order.
+func (m *Multiplexer) Stats() []MonitorApplyStats {
+	out := make([]MonitorApplyStats, len(m.slots))
+	for i, s := range m.slots {
+		out[i] = MonitorApplyStats{
+			Name:    s.mon.Name(),
+			Ops:     s.ops.Load(),
+			ApplyNS: s.applyNS.Load(),
+			WaitNS:  s.waitNS.Load(),
+		}
 	}
 	return out
 }

@@ -217,8 +217,8 @@ type persistedWindow struct {
 	snapName string
 	snapEnd  uint64
 	// scratch is the wal.Edge conversion buffer; only the single flush
-	// goroutine touches it (the recorder runs under the window write
-	// lock).
+	// goroutine touches it (the recorder runs under the window coordinator
+	// lock, from the one staging writer).
 	scratch []wal.Edge
 }
 
@@ -229,8 +229,8 @@ func (pw *persistedWindow) watermark() uint64 {
 // persister owns a registry's durability state: the per-window logs and
 // the manifest image. Its mutex guards the window table and manifest
 // writes; it is never taken from the recorder hot path (which holds the
-// window write lock), so {window lock → log} and {persister → window
-// read lock, persister → log} never form a cycle.
+// window coordinator lock), so {coord → log} and {persister → coord,
+// persister → log} never form a cycle.
 type persister struct {
 	cfg    PersistenceConfig
 	walOpt wal.Options
@@ -254,8 +254,9 @@ type persister struct {
 	testSnapshotFail func(window string) error
 
 	// errMu guards the error tallies; the append side is written from the
-	// recorder (which holds the window write lock — see the ordering note
-	// above), so it must never nest inside p.mu acquisition from there.
+	// recorder (which holds the window coordinator lock — see the ordering
+	// note above), so it must never nest inside p.mu acquisition from
+	// there.
 	errMu       sync.Mutex
 	appendErrs  int64
 	lastErr     error // sticky: an append error means acknowledged data is missing from the log
@@ -411,12 +412,13 @@ func (p *persister) removeWindow(name string, svc *Service) error {
 // saveManifestLocked rewrites the manifest from the live window table.
 // Callers hold p.mu. The ordering is load-bearing: watermarks are captured
 // FIRST, then every log is fsynced, then the manifest is written. A
-// watermark counts only arrivals already applied (and therefore already
-// appended) when it was read, so the sync that follows makes the log
-// durable past everything the persisted watermark invalidates — the
-// manifest can never claim an expiry horizon beyond the durable log end,
-// which would let a post-crash restart renumber new appends below the
-// watermark and silently skip them on the crash after that.
+// watermark counts only arrivals already staged (and therefore already
+// appended — the recorder runs in the same coordinator-lock hold that
+// advances the counters) when it was read, so the sync that follows makes
+// the log durable past everything the persisted watermark invalidates —
+// the manifest can never claim an expiry horizon beyond the durable log
+// end, which would let a post-crash restart renumber new appends below
+// the watermark and silently skip them on the crash after that.
 // The returned map carries each window's GC horizon — max(watermark,
 // committed snapshot end) exactly as the durable manifest now records it.
 // Prune decisions must use these, never fresher in-memory values: a
@@ -464,23 +466,24 @@ func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 // exceeds threshold. Runs under ckptMu but NOT p.mu. The commit ordering
 // is load-bearing:
 //
-//	capture (watermark, live edges) under the window read lock →
+//	capture (watermark, live edges) under the window coordinator lock →
 //	write temp file → fsync the log → rename the snapshot into place →
 //	publish pw.snapName/snapEnd under p.mu →
 //	[caller: manifest → segment GC]
 //
-// Only the capture holds the window read lock — a wal.Edge conversion
-// copy, memcpy-speed — so ingest stalls for the copy, not for the file
-// write, queries are never blocked, and registry control-plane
-// operations (which contend on p.mu) proceed throughout. The log fsync
-// before the rename guarantees a committed snapshot never describes
-// arrivals the log hasn't durably recorded — otherwise a power loss
-// could leave a snapshot whose edges re-enter the log under reused
-// sequence numbers (the capture is consistent with the log because the
-// recorder appends under the same write lock the capture excludes). Only
-// a fully committed snapshot updates pw.snapName/snapEnd; any failure
-// leaves the previous snapshot (and therefore the GC horizon) in place,
-// so a failed write can never strand recovery without its suffix.
+// Only the capture holds the coordinator lock — a wal.Edge conversion
+// copy, memcpy-speed — so staging (and therefore ingest) stalls for the
+// copy, not for the file write; queries never touch the coordinator lock
+// and are never blocked at all; and registry control-plane operations
+// (which contend on p.mu) proceed throughout. The log fsync before the
+// rename guarantees a committed snapshot never describes arrivals the
+// log hasn't durably recorded — otherwise a power loss could leave a
+// snapshot whose edges re-enter the log under reused sequence numbers
+// (the capture is consistent with the log because the recorder appends
+// under the same coordinator hold the capture excludes). Only a fully
+// committed snapshot updates pw.snapName/snapEnd; any failure leaves the
+// previous snapshot (and therefore the GC horizon) in place, so a failed
+// write can never strand recovery without its suffix.
 func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold int) (int64, error) {
 	var edges []wal.Edge
 	var absW uint64

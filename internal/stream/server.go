@@ -30,6 +30,7 @@ const DefaultMaxBodyBytes = 8 << 20
 //	GET    /windows/{name}/query/msfweight
 //	GET    /windows/{name}/query/cycle
 //	GET    /windows/{name}/query/kcert
+//	GET    /windows/{name}/query/summary     all monitors at one apply epoch
 //	GET    /windows/{name}/stats                per-window counters
 //	POST   /edges, GET /query/..., GET /stats   same, on the default window
 //	GET    /healthz                             liveness
@@ -138,6 +139,7 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 	both("GET", "/query/msfweight", s.handleMSFWeight)
 	both("GET", "/query/cycle", s.handleCycle)
 	both("GET", "/query/kcert", s.handleKCert)
+	both("GET", "/query/summary", s.handleSummary)
 	s.handle("GET /windows/{name}/stats", s.handleWindowStats)
 	s.handle("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -482,17 +484,28 @@ func (s *Server) handleKCert(w http.ResponseWriter, r *http.Request) {
 	if svc == nil {
 		return
 	}
-	size, err := svc.Window().CertificateSize()
-	if err != nil {
-		queryErr(w, err)
-		return
-	}
-	conn, err := svc.Window().EdgeConnectivityUpToK()
+	// One lock hold for both values: two separate queries could straddle
+	// an apply and report a (size, connectivity) pair from two different
+	// window states.
+	size, conn, err := svc.Window().KCertInfo()
 	if err != nil {
 		queryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"size": size, "edge_connectivity_up_to_k": conn})
+}
+
+// handleSummary is the consistent multi-monitor read: every answer in the
+// response corresponds to the same apply epoch (the same prefix of
+// applied batches), via the window's seqlock retry — with per-monitor
+// locking, issuing the individual queries separately could interleave
+// with an in-flight fan-out.
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	svc := s.service(w, r)
+	if svc == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, svc.Window().QuerySummary())
 }
 
 // windowStatsBody builds the per-window stats document shared by
@@ -512,8 +525,30 @@ func windowStatsBody(svc *Service) map[string]any {
 		"window":   win,
 		"ingest":   ingest,
 	}
+	// The apply block replaces the old single mean_apply_ms: with
+	// per-monitor locking the interesting production number is per
+	// monitor — whose apply a query waits behind (mean_apply_ms) and how
+	// hard readers push back on the writer (mean_wait_ms).
+	apply := map[string]any{}
 	if win.Batches > 0 {
-		body["mean_apply_ms"] = float64(win.ApplyNS) / float64(win.Batches) / 1e6
+		apply["mean_batch_ms"] = float64(win.ApplyNS) / float64(win.Batches) / 1e6
+	}
+	perMon := map[string]any{}
+	for _, ms := range svc.Window().MonitorStats() {
+		if ms.Ops == 0 {
+			continue
+		}
+		perMon[ms.Name] = map[string]any{
+			"ops":           ms.Ops,
+			"mean_apply_ms": float64(ms.ApplyNS) / float64(ms.Ops) / 1e6,
+			"mean_wait_ms":  float64(ms.WaitNS) / float64(ms.Ops) / 1e6,
+		}
+	}
+	if len(perMon) > 0 {
+		apply["per_monitor"] = perMon
+	}
+	if len(apply) > 0 {
+		body["apply"] = apply
 	}
 	return body
 }

@@ -447,3 +447,63 @@ func TestServerMissingMonitor(t *testing.T) {
 		t.Errorf("components with conn monitor: status = %d, want 200", code)
 	}
 }
+
+// TestServerQuerySummary exercises the consistent multi-monitor read over
+// HTTP: all configured monitors' answers at one apply epoch, agreeing
+// with the individual query endpoints on a quiescent window.
+func TestServerQuerySummary(t *testing.T) {
+	ts, svc := newTestServer(t, 50)
+	if code, _ := postEdges(t, ts.URL, []edgeJSON{{U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 1, W: 9}}); code != http.StatusAccepted {
+		t.Fatalf("post status %d", code)
+	}
+	svc.Flush()
+	var sum struct {
+		Epoch      uint64   `json:"epoch"`
+		Components *int     `json:"components"`
+		Bipartite  *bool    `json:"bipartite"`
+		MSFWeight  *float64 `json:"msfweight"`
+		Cycle      *bool    `json:"cycle"`
+		KCertSize  *int     `json:"kcert_size"`
+	}
+	if code := getJSON(t, ts.URL+"/query/summary", &sum); code != http.StatusOK {
+		t.Fatalf("summary status %d", code)
+	}
+	if sum.Epoch%2 == 1 {
+		t.Fatalf("summary epoch %d is odd", sum.Epoch)
+	}
+	if sum.Components == nil || sum.Bipartite == nil || sum.MSFWeight == nil || sum.Cycle == nil || sum.KCertSize == nil {
+		t.Fatalf("summary missing monitors: %+v", sum)
+	}
+	// 1-2-3-1 triangle: one non-singleton component, odd cycle.
+	if got, _ := svc.Window().NumComponents(); got != *sum.Components {
+		t.Fatalf("summary components %d, query %d", *sum.Components, got)
+	}
+	if *sum.Bipartite {
+		t.Fatal("triangle reported bipartite")
+	}
+	if !*sum.Cycle {
+		t.Fatal("triangle reported cycle-free")
+	}
+	// Per-monitor apply stats surfaced in /stats.
+	var stats struct {
+		Apply struct {
+			PerMonitor map[string]struct {
+				Ops         int64   `json:"ops"`
+				MeanApplyMs float64 `json:"mean_apply_ms"`
+				MeanWaitMs  float64 `json:"mean_wait_ms"`
+			} `json:"per_monitor"`
+		} `json:"apply"`
+	}
+	if code := getJSON(t, ts.URL+"/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	for _, name := range AllMonitors() {
+		pm, ok := stats.Apply.PerMonitor[name]
+		if !ok {
+			t.Fatalf("/stats apply.per_monitor missing %q: %+v", name, stats.Apply.PerMonitor)
+		}
+		if pm.Ops < 1 {
+			t.Fatalf("monitor %q shows %d ops after a flushed batch", name, pm.Ops)
+		}
+	}
+}

@@ -3,7 +3,9 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,34 +49,78 @@ type WindowStats struct {
 	WindowLen int64 `json:"window_len"` // unexpired arrivals
 	Batches   int64 `json:"batches"`    // Apply calls with ≥1 valid edge
 	Dropped   int64 `json:"dropped"`    // out-of-range or self-loop edges
-	// ApplyNS is the cumulative wall time (nanoseconds) Apply calls
-	// carrying ≥1 valid edge spent mutating the monitors under the write
-	// lock — insert fan-out plus the inline expiry. Counted exactly when
-	// Batches is, so ApplyNS/Batches is the mean write-lock hold per
-	// batch — the number the parallel fan-out attacks and swload
-	// -fanout-compare reports. Ticker-driven ExpireByAge holds are not
-	// included (they would skew the per-batch mean on idle streams).
+	// ApplyNS is the cumulative wall time (nanoseconds) the writer spent
+	// in the monitor fan-out for Apply calls carrying ≥1 valid edge —
+	// lock acquisition plus insert plus inline expiry, wall clock across
+	// the whole fan-out (so under parallel fan-out it tracks the max
+	// monitor cost, not the sum). Counted exactly when Batches is, so
+	// ApplyNS/Batches is the mean apply latency per batch — the number
+	// swload -fanout-compare reports. Ticker-driven ExpireByAge is not
+	// included (it would skew the per-batch mean on idle streams). The
+	// per-monitor breakdown — which monitor's apply is the one a query
+	// would wait out — is MonitorStats.
 	ApplyNS int64 `json:"apply_ns"`
+	// Epoch is the apply epoch at snapshot time: even = all staged ops
+	// fully applied to every monitor, odd = a fan-out is in flight. It
+	// advances twice per applied op, so Epoch/2 counts completed ops.
+	Epoch uint64 `json:"epoch"`
 }
 
-// WindowManager owns one window's monitors behind a single-writer /
-// many-reader discipline: Apply and ExpireByAge serialize all mutation
-// under the write lock (in the service pipeline they are only ever called
-// from the ingester's flush goroutine and the expiry ticker), while query
-// methods take the read lock and so run concurrently with each other.
-// Because the Multiplexer feeds every monitor every batch, one (tau, tw)
-// pair describes the window of all monitors — uniform timestamp
-// advancement.
+// QuerySummary is one consistent multi-monitor read: every field reflects
+// the same apply epoch, i.e. the same prefix of staged ops (see
+// WindowManager.QuerySummary). Fields for monitors the window does not
+// maintain are nil.
+type QuerySummary struct {
+	Epoch           uint64   `json:"epoch"`
+	Components      *int     `json:"components,omitempty"`
+	Bipartite       *bool    `json:"bipartite,omitempty"`
+	MSFWeight       *float64 `json:"msfweight,omitempty"`
+	HasCycle        *bool    `json:"cycle,omitempty"`
+	CertificateSize *int     `json:"kcert_size,omitempty"`
+}
+
+// WindowManager owns one window's monitors behind a staged-apply,
+// per-monitor-locking discipline:
+//
+//   - writerMu serializes the window's writers end to end — the ingester's
+//     flush goroutine (Apply) and the expiry ticker (ExpireByAge). Queries
+//     never touch it, so a writer convoy cannot form behind readers.
+//   - coord is the narrow coordinator lock. The writer holds it only to
+//     STAGE an op: validate and clamp the batch, append the live-edge
+//     ring, hand the batch to the write-ahead recorder, and compute the
+//     expiry delta — bookkeeping, no monitor work. Metadata readers
+//     (Stats, Watermark, WindowLen, LiveEdges — including the checkpoint
+//     snapshot capture) take coord and therefore wait out at most a
+//     staging, never a monitor apply.
+//   - each monitor has its own RWMutex inside the Multiplexer. The staged
+//     op is applied to every monitor under that monitor's lock (parallel
+//     fork-join by default), so a query — which takes only its target
+//     monitor's read lock — blocks for at most that monitor's own apply,
+//     not the slowest monitor's.
+//   - epoch is a seqlock word published around the fan-out: odd while an
+//     op is being applied, even when every monitor reflects every staged
+//     op. Multi-monitor readers (QuerySummary) retry on it to get answers
+//     that all correspond to one op prefix.
+//
+// Because the Multiplexer feeds every monitor every staged op, one
+// (tau, tw) pair describes the window of all monitors — uniform timestamp
+// advancement; per-monitor answers always correspond to a whole number of
+// staged ops (insert and expiry land under one lock hold).
 type WindowManager struct {
-	mu  sync.RWMutex
 	cfg WindowConfig
 	mux *Multiplexer
 
+	// writerMu serializes Apply and ExpireByAge (see above).
+	writerMu sync.Mutex
+
+	// coord guards everything below it: the staging state and counters.
+	coord sync.Mutex
+
 	// rec, when set, is handed every valid batch (event times already
 	// clamped) before the monitors see it — the write-ahead hook the
-	// durability layer logs through. Called under the write lock, so
-	// record order is exactly apply order and the logged arrival indices
-	// line up with the stats counters.
+	// durability layer logs through. Called under coord, so record order
+	// is exactly staging order and the logged arrival indices line up
+	// with the stats counters.
 	rec func([]Edge)
 
 	// live holds the unexpired arrivals in arrival order, oldest at
@@ -99,6 +145,10 @@ type WindowManager struct {
 	retain bool
 
 	stats WindowStats
+
+	// epoch is the seqlock word (see the type comment). Only the writer
+	// (under writerMu) advances it.
+	epoch atomic.Uint64
 }
 
 // NewWindowManager builds a window and its monitors.
@@ -122,14 +172,24 @@ func (w *WindowManager) N() int { return w.cfg.N }
 // Monitors lists the configured monitor names.
 func (w *WindowManager) Monitors() []string { return w.mux.Names() }
 
-// Apply inserts a batch and runs the expiry policy — the single-writer
-// entry point, called by the ingester's flush goroutine. Invalid edges
-// (endpoints outside [0, N), self-loops) are dropped and counted; the batch
-// slice may be compacted in place, so the caller yields ownership.
+// Apply inserts a batch and runs the expiry policy — the writer entry
+// point, called by the ingester's flush goroutine (the expiry ticker is
+// the only other writer; writerMu serializes them). Invalid edges
+// (endpoints outside [0, N), self-loops) are dropped and counted; the
+// batch slice may be compacted in place and is read by the monitor
+// fan-out until Apply returns, so the caller yields ownership for the
+// duration of the call (and may recycle the slice afterwards — nothing
+// retains it).
 func (w *WindowManager) Apply(batch []Edge) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+	w.writerMu.Lock()
+	defer w.writerMu.Unlock()
+	now := w.cfg.Clock.Now()
 
+	// Stage: everything under the narrow coordinator lock, no monitor
+	// work. After this block the op is durable (recorder) and counted;
+	// the monitors just haven't seen it yet — the epoch stays odd until
+	// they all have.
+	w.coord.Lock()
 	valid := batch[:0]
 	n32 := int32(w.cfg.N)
 	for _, e := range batch {
@@ -139,7 +199,6 @@ func (w *WindowManager) Apply(batch []Edge) {
 		}
 		valid = append(valid, e)
 	}
-	now := w.cfg.Clock.Now()
 	if len(valid) > 0 {
 		// Clamp event times before recording so the durability log
 		// carries exactly the times expiry will see again on replay (the
@@ -167,17 +226,29 @@ func (w *WindowManager) Apply(batch []Edge) {
 		if w.rec != nil {
 			w.rec(valid)
 		}
-		// ApplyNS times the monitor mutation with the monotonic wall
-		// clock, deliberately not the injected Clock: FakeClock time does
-		// not advance during a call, and the stat must reflect real lock
-		// hold time.
-		applyStart := time.Now()
-		defer func() { w.stats.ApplyNS += time.Since(applyStart).Nanoseconds() }()
-		w.mux.BatchInsert(valid)
 		w.stats.Arrivals += int64(len(valid))
 		w.stats.Batches++
 	}
-	w.expireLocked(now)
+	delta := w.stageExpiryLocked(now)
+	w.coord.Unlock()
+
+	if len(valid) == 0 && delta == 0 {
+		return
+	}
+	// Fan out under the per-monitor locks, bracketed by the epoch.
+	// ApplyNS times the fan-out with the monotonic wall clock,
+	// deliberately not the injected Clock: FakeClock time does not
+	// advance during a call, and the stat must reflect real apply time.
+	w.epoch.Add(1)
+	applyStart := time.Now()
+	w.mux.Apply(valid, delta)
+	applyNS := time.Since(applyStart).Nanoseconds()
+	w.epoch.Add(1)
+	if len(valid) > 0 {
+		w.coord.Lock()
+		w.stats.ApplyNS += applyNS
+		w.coord.Unlock()
+	}
 }
 
 // setRecorder installs the write-ahead hook batches are logged through.
@@ -186,10 +257,10 @@ func (w *WindowManager) Apply(batch []Edge) {
 // is a durable one, so retention turns on: checkpoint snapshots will
 // read LiveEdges.
 func (w *WindowManager) setRecorder(rec func([]Edge)) {
-	w.mu.Lock()
+	w.coord.Lock()
 	w.rec = rec
 	w.retain = true
-	w.mu.Unlock()
+	w.coord.Unlock()
 }
 
 // enableLiveRetention turns on live-edge retention ahead of the first
@@ -197,17 +268,18 @@ func (w *WindowManager) setRecorder(rec func([]Edge)) {
 // which also enables retention — attaches only after replay, so it must
 // not be the thing that turns the ring on).
 func (w *WindowManager) enableLiveRetention() {
-	w.mu.Lock()
+	w.coord.Lock()
 	w.retain = true
-	w.mu.Unlock()
+	w.coord.Unlock()
 }
 
 // Watermark returns the expiry low-watermark: the number of arrivals this
-// manager has expired. The durability layer persists it (offset by the
-// recovery base) so restarts replay only the unexpired suffix.
+// manager has expired (staged — the durable truth; the monitors may be
+// mid-apply). The durability layer persists it (offset by the recovery
+// base) so restarts replay only the unexpired suffix.
 func (w *WindowManager) Watermark() int64 {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.coord.Lock()
+	defer w.coord.Unlock()
 	return w.stats.Expired
 }
 
@@ -217,16 +289,19 @@ func (w *WindowManager) Watermark() int64 {
 // the prefix, and event times are the post-clamp values the WAL logged,
 // so re-applying the slice as one batch reproduces the window state
 // exactly (recency weights make the forests canonical in the arrival
-// sequence). fn runs under the read lock: queries proceed concurrently,
-// mutation waits, and the (watermark, edges) pair is atomic — no arrival
-// can land or expire between the two. fn must not retain the slice.
+// sequence). fn runs under the coordinator lock — NOT the monitor locks:
+// queries proceed untouched, staging waits, and the (watermark, edges)
+// pair is atomic because both are staging state — no arrival can land or
+// expire between the two. The pair is consistent with the write-ahead log
+// for the same reason: the recorder appends under the same coord hold
+// that updates both. fn must not retain the slice.
 //
 // Fails on a window that never enabled retention (in-memory, count-only
 // expiry): serving a partial ring as "the window" would be silent data
 // loss.
 func (w *WindowManager) LiveEdges(fn func(expired int64, live []Edge) error) error {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.coord.Lock()
+	defer w.coord.Unlock()
 	if !w.retain {
 		return errors.New("stream: window does not retain live edges (no durability layer and no time-based expiry)")
 	}
@@ -236,14 +311,25 @@ func (w *WindowManager) LiveEdges(fn func(expired int64, live []Edge) error) err
 // ExpireByAge runs the time-based expiry policy without inserting anything;
 // the service's expiry ticker calls it so idle streams still age out.
 func (w *WindowManager) ExpireByAge(now time.Time) int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	before := w.stats.Expired
-	w.expireLocked(now)
-	return int(w.stats.Expired - before)
+	w.writerMu.Lock()
+	defer w.writerMu.Unlock()
+	w.coord.Lock()
+	delta := w.stageExpiryLocked(now)
+	w.coord.Unlock()
+	if delta == 0 {
+		return 0
+	}
+	w.epoch.Add(1)
+	w.mux.Apply(nil, delta)
+	w.epoch.Add(1)
+	return delta
 }
 
-func (w *WindowManager) expireLocked(now time.Time) {
+// stageExpiryLocked computes and stages the expiry delta under coord:
+// ring prefix by age, then the count cap, then the ring head and the
+// Expired counter advance. The monitors have NOT seen the delta yet —
+// the caller applies it through the fan-out.
+func (w *WindowManager) stageExpiryLocked(now time.Time) int {
 	delta := 0
 	if w.cfg.MaxAge > 0 {
 		cutoff := now.Add(-w.cfg.MaxAge).UnixNano()
@@ -257,7 +343,7 @@ func (w *WindowManager) expireLocked(now time.Time) {
 		}
 	}
 	if delta == 0 {
-		return
+		return 0
 	}
 	if w.retain {
 		w.head += delta
@@ -267,108 +353,194 @@ func (w *WindowManager) expireLocked(now time.Time) {
 			w.head = 0
 		}
 	}
-	w.mux.BatchExpire(delta)
 	w.stats.Expired += int64(delta)
+	return delta
 }
 
 func (w *WindowManager) windowLenLocked() int64 {
 	return w.stats.Arrivals - w.stats.Expired
 }
 
-// WindowLen returns the number of unexpired arrivals.
+// WindowLen returns the number of unexpired arrivals (staged).
 func (w *WindowManager) WindowLen() int64 {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	w.coord.Lock()
+	defer w.coord.Unlock()
 	return w.windowLenLocked()
 }
 
-// Stats snapshots the window counters.
+// Epoch returns the current apply epoch: even = every staged op is fully
+// applied to every monitor, odd = a fan-out is in flight. Epoch/2 counts
+// completed ops.
+func (w *WindowManager) Epoch() uint64 { return w.epoch.Load() }
+
+// Stats snapshots the window counters. The counters are staging state
+// (mutually consistent under coord — they always describe a whole number
+// of staged ops); Epoch records whether the monitors had fully caught up
+// (even) or an apply was in flight (odd) at snapshot time.
 func (w *WindowManager) Stats() WindowStats {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
+	e := w.epoch.Load()
+	w.coord.Lock()
 	s := w.stats
-	s.WindowLen = w.windowLenLocked()
+	w.coord.Unlock()
+	s.WindowLen = s.Arrivals - s.Expired
+	s.Epoch = e
 	return s
+}
+
+// MonitorStats snapshots each monitor's apply accounting: how long the
+// writer held (ApplyNS) and waited for (WaitNS) that monitor's lock —
+// i.e. which monitor's apply a query on it can block behind, and how much
+// readers pushed back on the writer.
+func (w *WindowManager) MonitorStats() []MonitorApplyStats { return w.mux.Stats() }
+
+// readMonitor runs fn on the named monitor under that monitor's read
+// lock, translating "not configured" into ErrNoMonitor.
+func (w *WindowManager) readMonitor(name string, fn func(Monitor)) error {
+	if !w.mux.withRead(name, fn) {
+		return fmt.Errorf("%w: %s", ErrNoMonitor, name)
+	}
+	return nil
 }
 
 // IsConnected reports window connectivity of u and v (conn monitor).
 func (w *WindowManager) IsConnected(u, v int32) (bool, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
 	if u < 0 || int(u) >= w.cfg.N || v < 0 || int(v) >= w.cfg.N {
 		return false, fmt.Errorf("stream: vertex out of range [0, %d)", w.cfg.N)
 	}
-	m, ok := w.mux.Monitor(MonitorConn).(*connMonitor)
-	if !ok {
-		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorConn)
-	}
-	return m.c.IsConnected(u, v), nil
+	var ans bool
+	err := w.readMonitor(MonitorConn, func(m Monitor) {
+		ans = m.(*connMonitor).c.IsConnected(u, v)
+	})
+	return ans, err
 }
 
 // NumComponents returns the number of connected components of the window
 // graph (conn monitor).
 func (w *WindowManager) NumComponents() (int, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorConn).(*connMonitor)
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorConn)
-	}
-	return m.c.NumComponents(), nil
+	var ans int
+	err := w.readMonitor(MonitorConn, func(m Monitor) {
+		ans = m.(*connMonitor).c.NumComponents()
+	})
+	return ans, err
 }
 
 // IsBipartite reports whether the window graph is bipartite.
 func (w *WindowManager) IsBipartite() (bool, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorBipartite).(*bipartiteMonitor)
-	if !ok {
-		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorBipartite)
-	}
-	return m.b.IsBipartite(), nil
+	var ans bool
+	err := w.readMonitor(MonitorBipartite, func(m Monitor) {
+		ans = m.(*bipartiteMonitor).b.IsBipartite()
+	})
+	return ans, err
 }
 
 // MSFWeight returns the (1+ε)-approximate MSF weight of the window graph.
 func (w *WindowManager) MSFWeight() (float64, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorMSFWeight).(*msfWeightMonitor)
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorMSFWeight)
-	}
-	return m.a.Weight(), nil
+	var ans float64
+	err := w.readMonitor(MonitorMSFWeight, func(m Monitor) {
+		ans = m.(*msfWeightMonitor).a.Weight()
+	})
+	return ans, err
 }
 
 // CertificateSize returns the number of k-certificate edges.
 func (w *WindowManager) CertificateSize() (int, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorKCert).(*kcertMonitor)
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorKCert)
-	}
-	return m.k.Size(), nil
+	var ans int
+	err := w.readMonitor(MonitorKCert, func(m Monitor) {
+		ans = m.(*kcertMonitor).k.Size()
+	})
+	return ans, err
 }
 
 // EdgeConnectivityUpToK returns min(k, edge connectivity) of the window
 // graph (kcert monitor).
 func (w *WindowManager) EdgeConnectivityUpToK() (int, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorKCert).(*kcertMonitor)
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorKCert)
-	}
-	return m.k.EdgeConnectivityUpToK(), nil
+	var ans int
+	err := w.readMonitor(MonitorKCert, func(m Monitor) {
+		ans = m.(*kcertMonitor).k.EdgeConnectivityUpToK()
+	})
+	return ans, err
+}
+
+// KCertInfo returns the certificate size and min(k, edge connectivity)
+// under ONE read-lock hold, so the pair describes a single window state —
+// two separate calls could straddle an apply.
+func (w *WindowManager) KCertInfo() (size, conn int, err error) {
+	err = w.readMonitor(MonitorKCert, func(m Monitor) {
+		k := m.(*kcertMonitor).k
+		size = k.Size()
+		conn = k.EdgeConnectivityUpToK()
+	})
+	return size, conn, err
 }
 
 // HasCycle reports whether the window graph contains a cycle.
 func (w *WindowManager) HasCycle() (bool, error) {
-	w.mu.RLock()
-	defer w.mu.RUnlock()
-	m, ok := w.mux.Monitor(MonitorCycleFree).(*cycleFreeMonitor)
-	if !ok {
-		return false, fmt.Errorf("%w: %s", ErrNoMonitor, MonitorCycleFree)
+	var ans bool
+	err := w.readMonitor(MonitorCycleFree, func(m Monitor) {
+		ans = m.(*cycleFreeMonitor).c.HasCycle()
+	})
+	return ans, err
+}
+
+// QuerySummary reads every configured monitor's O(1)-ish answers so that
+// they ALL correspond to one apply epoch — one prefix of staged ops.
+// Per-monitor locking makes independent queries fast but lets two reads
+// straddle an apply; this is the seqlock read for callers that need the
+// cross-monitor invariants to hold (e.g. cycle => components < n).
+//
+// The retry loop is bounded: if the window between fan-outs is too narrow
+// to read through (a saturated writer), it takes writerMu — excluding
+// writers entirely — and reads at a guaranteed-even epoch.
+func (w *WindowManager) QuerySummary() QuerySummary {
+	const spinAttempts = 64
+	for attempt := 0; ; attempt++ {
+		if attempt >= spinAttempts {
+			w.writerMu.Lock()
+			// No writer can be mid-fan-out: writerMu holders publish an
+			// even epoch before releasing.
+			res := w.querySummaryLocked()
+			w.writerMu.Unlock()
+			return res
+		}
+		e1 := w.epoch.Load()
+		if e1&1 == 1 {
+			runtime.Gosched() // fan-out in flight: let it finish
+			continue
+		}
+		res := w.querySummaryLocked()
+		if w.epoch.Load() == e1 {
+			res.Epoch = e1
+			return res
+		}
 	}
-	return m.c.HasCycle(), nil
+}
+
+// querySummaryLocked reads every configured monitor under its read lock.
+// Consistency across monitors is the caller's job (epoch check or
+// writerMu); the per-monitor read locks only keep each individual answer
+// atomic against an in-flight apply.
+func (w *WindowManager) querySummaryLocked() QuerySummary {
+	var res QuerySummary
+	res.Epoch = w.epoch.Load()
+	w.mux.withRead(MonitorConn, func(m Monitor) {
+		cc := m.(*connMonitor).c.NumComponents()
+		res.Components = &cc
+	})
+	w.mux.withRead(MonitorBipartite, func(m Monitor) {
+		b := m.(*bipartiteMonitor).b.IsBipartite()
+		res.Bipartite = &b
+	})
+	w.mux.withRead(MonitorMSFWeight, func(m Monitor) {
+		wt := m.(*msfWeightMonitor).a.Weight()
+		res.MSFWeight = &wt
+	})
+	w.mux.withRead(MonitorCycleFree, func(m Monitor) {
+		hc := m.(*cycleFreeMonitor).c.HasCycle()
+		res.HasCycle = &hc
+	})
+	w.mux.withRead(MonitorKCert, func(m Monitor) {
+		sz := m.(*kcertMonitor).k.Size()
+		res.CertificateSize = &sz
+	})
+	return res
 }

@@ -22,6 +22,7 @@ type ApproxMSF struct {
 	inst   []*ConnEager
 	tau    int64
 	tw     int64
+	guard  writerGuard
 }
 
 // NewApproxMSF returns an approximate-MSF-weight structure for edge weights
@@ -49,7 +50,10 @@ func NewApproxMSF(n int, eps float64, maxWeight int64, seed uint64) *ApproxMSF {
 func (a *ApproxMSF) Levels() int { return len(a.inst) }
 
 // BatchInsert appends weighted edge arrivals (weights in [1, maxWeight]).
+// Single-writer: mutations must be externally serialized.
 func (a *ApproxMSF) BatchInsert(edges []WeightedStreamEdge) {
+	a.guard.enter()
+	defer a.guard.exit()
 	taus := make([]int64, len(edges))
 	for i, e := range edges {
 		if e.W < 1 || e.W > a.maxW {
@@ -76,7 +80,10 @@ func (a *ApproxMSF) BatchInsert(edges []WeightedStreamEdge) {
 }
 
 // BatchExpire expires the oldest delta arrivals at every level.
+// Single-writer: mutations must be externally serialized.
 func (a *ApproxMSF) BatchExpire(delta int) {
+	a.guard.enter()
+	defer a.guard.exit()
 	a.tw += int64(delta)
 	if a.tw > a.tau {
 		a.tw = a.tau

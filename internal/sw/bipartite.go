@@ -6,9 +6,10 @@ package sw
 // (u, v) doubled into (u1, v2), (u2, v1) — has exactly twice as many
 // connected components as G.
 type Bipartite struct {
-	n int
-	g *ConnEager // the window graph on n vertices
-	d *ConnEager // its double cover on 2n vertices
+	n     int
+	g     *ConnEager // the window graph on n vertices
+	d     *ConnEager // its double cover on 2n vertices
+	guard writerGuard
 }
 
 // NewBipartite returns a bipartiteness monitor over n vertices.
@@ -21,7 +22,10 @@ func NewBipartite(n int, seed uint64) *Bipartite {
 }
 
 // BatchInsert appends edge arrivals to the window.
+// Single-writer: mutations must be externally serialized.
 func (b *Bipartite) BatchInsert(edges []StreamEdge) {
+	b.guard.enter()
+	defer b.guard.exit()
 	b.g.BatchInsert(edges)
 	dcc := make([]StreamEdge, 0, 2*len(edges))
 	n32 := int32(b.n)
@@ -35,7 +39,10 @@ func (b *Bipartite) BatchInsert(edges []StreamEdge) {
 }
 
 // BatchExpire expires the oldest delta arrivals.
+// Single-writer: mutations must be externally serialized.
 func (b *Bipartite) BatchExpire(delta int) {
+	b.guard.enter()
+	defer b.guard.exit()
 	b.g.BatchExpire(delta)
 	b.d.BatchExpire(2 * delta) // each arrival contributed two cover edges
 }

@@ -75,11 +75,12 @@ func (c *Conn) WindowLen() int64 { return c.tau - c.tw }
 // physically delete expired tree edges, which makes the component count
 // available in O(1).
 type ConnEager struct {
-	msf *core.BatchMSF
-	d   *ordset.Set // unexpired forest edges keyed by τ
-	n   int
-	tau int64
-	tw  int64
+	msf   *core.BatchMSF
+	d     *ordset.Set // unexpired forest edges keyed by τ
+	n     int
+	tau   int64
+	tw    int64
+	guard writerGuard // single-writer assert (see package comment)
 }
 
 // NewConnEager returns an eager sliding-window connectivity structure.
@@ -88,7 +89,10 @@ func NewConnEager(n int, seed uint64) *ConnEager {
 }
 
 // BatchInsert appends a batch of edge arrivals to the window.
+// Single-writer: mutations must be externally serialized.
 func (c *ConnEager) BatchInsert(edges []StreamEdge) {
+	c.guard.enter()
+	defer c.guard.exit()
 	taus := make([]int64, len(edges))
 	for i := range edges {
 		c.tau++
@@ -117,7 +121,12 @@ func (c *ConnEager) batchInsertAt(edges []StreamEdge, taus []int64) {
 // BatchExpire expires the oldest delta arrivals, physically cutting expired
 // forest edges. Safe without replacement search by the recent-edge property:
 // any replacement would be older and hence also expired.
-func (c *ConnEager) BatchExpire(delta int) { c.expireTo(c.tw + int64(delta)) }
+// Single-writer: mutations must be externally serialized.
+func (c *ConnEager) BatchExpire(delta int) {
+	c.guard.enter()
+	defer c.guard.exit()
+	c.expireTo(c.tw + int64(delta))
+}
 
 func (c *ConnEager) expireTo(tw int64) {
 	if tw > c.tau {

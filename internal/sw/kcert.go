@@ -18,12 +18,13 @@ import (
 // rejects are offered to F_2, and so on (the replacement sets O_i of the
 // paper). Expiry is eager in every level.
 type KCert struct {
-	k   int
-	n   int
-	f   []*core.BatchMSF
-	d   []*ordset.Set // unexpired edges of F_i keyed by τ
-	tau int64
-	tw  int64
+	k     int
+	n     int
+	f     []*core.BatchMSF
+	d     []*ordset.Set // unexpired edges of F_i keyed by τ
+	tau   int64
+	tw    int64
+	guard writerGuard
 }
 
 // NewKCert returns a k-certificate structure over n vertices.
@@ -43,7 +44,10 @@ func NewKCert(n, k int, seed uint64) *KCert {
 func (c *KCert) K() int { return c.k }
 
 // BatchInsert appends edge arrivals to the window.
+// Single-writer: mutations must be externally serialized.
 func (c *KCert) BatchInsert(edges []StreamEdge) {
+	c.guard.enter()
+	defer c.guard.exit()
 	taus := make([]int64, len(edges))
 	for i := range edges {
 		c.tau++
@@ -77,7 +81,12 @@ func (c *KCert) batchInsertAt(edges []StreamEdge, taus []int64) {
 }
 
 // BatchExpire expires the oldest delta arrivals in every level.
-func (c *KCert) BatchExpire(delta int) { c.expireTo(c.tw + int64(delta)) }
+// Single-writer: mutations must be externally serialized.
+func (c *KCert) BatchExpire(delta int) {
+	c.guard.enter()
+	defer c.guard.exit()
+	c.expireTo(c.tw + int64(delta))
+}
 
 func (c *KCert) expireTo(tw int64) {
 	if tw > c.tau {
@@ -165,10 +174,12 @@ func NewCycleFree(n int, seed uint64) *CycleFree {
 	return &CycleFree{kc: NewKCert(n, 2, seed)}
 }
 
-// BatchInsert appends edge arrivals to the window.
+// BatchInsert appends edge arrivals to the window. Single-writer,
+// asserted by the underlying certificate's guard.
 func (c *CycleFree) BatchInsert(edges []StreamEdge) { c.kc.BatchInsert(edges) }
 
-// BatchExpire expires the oldest delta arrivals.
+// BatchExpire expires the oldest delta arrivals. Single-writer, asserted
+// by the underlying certificate's guard.
 func (c *CycleFree) BatchExpire(delta int) { c.kc.BatchExpire(delta) }
 
 // HasCycle reports in O(1) whether the window graph contains a cycle.

@@ -19,7 +19,37 @@
 // older.
 package sw
 
-import "repro/internal/wgraph"
+import (
+	"sync/atomic"
+
+	"repro/internal/wgraph"
+)
+
+// Single-writer contract: none of the structures in this package carry
+// internal locks. Queries are safe to run concurrently with each other,
+// but every mutation (BatchInsert, BatchExpire) must come from exactly
+// one writer at a time, externally serialized — in the service pipeline,
+// the stream.WindowManager applies staged ops under one write lock per
+// monitor. Each structure asserts the contract with a writerGuard: a
+// second concurrent mutator panics immediately instead of corrupting the
+// forests. (The guard itself is atomic and invisible to the race
+// detector; -race catches concurrent mutators through the non-atomic
+// forest state they then touch.) Batch slices passed to BatchInsert are
+// converted into the
+// structure's own representation before it returns and are never
+// retained, so callers may reuse their buffers across batches.
+
+// writerGuard asserts the one-mutator-at-a-time contract (one CAS per
+// batch — noise next to any batch's real work).
+type writerGuard struct{ busy atomic.Int32 }
+
+func (g *writerGuard) enter() {
+	if !g.busy.CompareAndSwap(0, 1) {
+		panic("sw: concurrent batch mutation — the sliding-window structures are single-writer (serialize BatchInsert/BatchExpire externally)")
+	}
+}
+
+func (g *writerGuard) exit() { g.busy.Store(0) }
 
 // StreamEdge is one unweighted edge arrival.
 type StreamEdge struct {

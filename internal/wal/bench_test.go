@@ -21,6 +21,7 @@ func BenchmarkAppend(b *testing.B) {
 			defer l.Close()
 			batch := mkBatch(0, 512)
 			b.SetBytes(512 * edgeSize)
+			b.ReportAllocs() // steady-state appends reuse l.scratch: expect 0 allocs/op
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := l.Append(batch); err != nil {
@@ -28,6 +29,34 @@ func BenchmarkAppend(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestAppendAllocs pins the hot append path as allocation-free in steady
+// state: the record encode buffer (Log.scratch) is reused across appends,
+// so after the first append has grown it, logging a batch allocates
+// nothing. A regression here (a fresh encode buffer per batch) would put
+// one ~12 KiB allocation per flushed batch on the durable ingest path.
+func TestAppendAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; the plain build asserts allocs")
+	}
+	l, err := Open(t.TempDir(), Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	batch := mkBatch(0, 512)
+	if _, err := l.Append(batch); err != nil { // grow scratch once
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if _, err := l.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("steady-state Append allocates %.1f objects/op, want 0 (encode buffer not reused?)", avg)
 	}
 }
 

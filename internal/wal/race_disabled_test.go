@@ -1,0 +1,5 @@
+//go:build !race
+
+package wal
+
+const raceEnabled = false

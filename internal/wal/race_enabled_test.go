@@ -1,0 +1,8 @@
+//go:build race
+
+package wal
+
+// raceEnabled flags the race detector: its instrumentation allocates, so
+// the steady-state allocs/op assertions skip themselves under -race (the
+// race build checks synchronization, the plain build checks allocations).
+const raceEnabled = true

@@ -170,6 +170,16 @@ type StreamCheckpointStats = stream.CheckpointStats
 // StreamPersistenceStats is the /stats snapshot of the durability layer.
 type StreamPersistenceStats = stream.PersistenceStats
 
+// StreamMonitorApplyStats is one monitor's cumulative apply accounting
+// under the per-monitor locking scheme: how long the window's writer held
+// (ApplyNS) and waited for (WaitNS) that monitor's lock.
+type StreamMonitorApplyStats = stream.MonitorApplyStats
+
+// StreamQuerySummary is one consistent multi-monitor read: every answer
+// corresponds to the same apply epoch (seqlock read across the
+// per-monitor locks).
+type StreamQuerySummary = stream.QuerySummary
+
 // OpenStreamRegistry builds a registry from its durable state: each
 // manifest window is seeded from its newest valid live-edge snapshot
 // (when one exists) and the unexpired log suffix after it is replayed;
