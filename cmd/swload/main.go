@@ -38,6 +38,24 @@
 // EXPERIMENTS S7: a cheap connectivity probe must not wait out the
 // slowest monitor's apply.
 //
+// The -check-metrics mode scrapes GET /metrics — from -url, or from an
+// in-process server after a short ingest so every family has samples —
+// and strictly validates the Prometheus exposition: parse round-trip,
+// histogram invariants (cumulative buckets, +Inf == _count), and the sw_
+// naming rules. CI's smoke step runs this against a freshly booted
+// swserver.
+//
+// The -telemetry-compare mode runs the same stream twice — telemetry
+// registry wired vs no-op recorders — and reports the ingest overhead
+// the instrumentation costs. It is advisory (client-side throughput is
+// noisy); the controlled guard is the fixed-iteration benchmark
+// (go test ./internal/stream -bench IngestTelemetry -benchtime 20000x).
+//
+// The -mixed report also carries the ingest-queue backlog in both units
+// (queue_batches and queue_edges, scraped from /stats before the drain)
+// and a per-monitor apply p50/p99 table scraped from /metrics — the
+// server-side view the client percentiles can only approximate.
+//
 // -cpuprofile/-memprofile write pprof profiles of any mode; the fan-out
 // labels every monitor apply with its monitor name, so a CPU profile
 // attributes apply time per monitor (go tool pprof -tags).
@@ -49,6 +67,8 @@
 //	swload -windows 4 -compare
 //	swload -wal -fsync interval -json wal.json
 //	swload -wal -edges 1000000 -json snap.json   # snapshot vs full-replay recovery
+//	swload -check-metrics -url http://localhost:8080
+//	swload -telemetry-compare -edges 500000
 package main
 
 import (
@@ -57,6 +77,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net"
 	"net/http"
@@ -73,6 +94,7 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -99,6 +121,9 @@ type options struct {
 	mixed         bool
 	duration      time.Duration
 	queryMix      string
+	checkMetrics  bool
+	telemCompare  bool
+	telemetry     bool
 	cpuProfile    string
 	memProfile    string
 	jsonPath      string
@@ -111,6 +136,16 @@ type EndpointLatency struct {
 	P50Ms  float64 `json:"p50_ms"`
 	P99Ms  float64 `json:"p99_ms"`
 	MaxMs  float64 `json:"max_ms"`
+}
+
+// MonitorLatency is one monitor's server-side apply summary, scraped from
+// /metrics (-mixed only). Percentiles carry the telemetry histogram's
+// bucket-upper-bound semantics: conservative upper bounds in milliseconds.
+type MonitorLatency struct {
+	Applies    int64   `json:"applies"`
+	ApplyP50Ms float64 `json:"apply_p50_ms"`
+	ApplyP99Ms float64 `json:"apply_p99_ms"`
+	WaitP99Ms  float64 `json:"wait_p99_ms"`
 }
 
 // LoadResult is the machine-readable outcome of one load run.
@@ -140,6 +175,15 @@ type LoadResult struct {
 	Readers    int                        `json:"readers,omitempty"`
 	QueryMaxMs float64                    `json:"query_max_ms,omitempty"`
 	Endpoints  map[string]EndpointLatency `json:"endpoints,omitempty"`
+	// Queue backlog at the moment the -mixed clock ran out (before the
+	// drain), in both units — batches alone hides skew from variable
+	// submission sizes.
+	QueueBatches int64 `json:"queue_batches,omitempty"`
+	QueueEdges   int64 `json:"queue_edges,omitempty"`
+	QueueCap     int   `json:"queue_cap,omitempty"`
+	// Monitors is the server-side per-monitor apply table scraped from
+	// /metrics (-mixed only).
+	Monitors map[string]MonitorLatency `json:"monitors,omitempty"`
 }
 
 // Report is the full swload output, one entry per mode.
@@ -171,6 +215,9 @@ type Report struct {
 	RecoveredSnapshotEdges int64   `json:"recovered_snapshot_edges,omitempty"`
 	RecoveryFullSec        float64 `json:"recovery_full_sec,omitempty"`
 	RecoverySpeedup        float64 `json:"recovery_speedup,omitempty"`
+	// TelemetryOverhead is edges_per_sec(off) / edges_per_sec(on); only
+	// set by -telemetry-compare. 1.0 means free instrumentation.
+	TelemetryOverhead float64 `json:"telemetry_overhead,omitempty"`
 }
 
 func main() {
@@ -200,6 +247,10 @@ func main() {
 	flag.DurationVar(&o.duration, "duration", 5*time.Second, "sustained-ingest run length for -mixed")
 	flag.StringVar(&o.queryMix, "query-mix", "connected:6,components:2,bipartite:1,msfweight:1,cycle:1,stats:1",
 		"weighted endpoint mix the -mixed queriers draw from (name:weight, comma-separated); kcert is available but excluded by default — its min-cut dominates the mix with query compute rather than lock wait")
+	flag.BoolVar(&o.checkMetrics, "check-metrics", false,
+		"scrape GET /metrics (from -url, or an in-process server after a short ingest) and strictly validate the Prometheus exposition and sw_ naming rules")
+	flag.BoolVar(&o.telemCompare, "telemetry-compare", false,
+		"run the same stream with the telemetry registry wired vs no-op recorders and report the ingest overhead (in-process only)")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path at exit")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
@@ -215,12 +266,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swload: -snapshot-threshold must be a positive arrival count, or -1 to disable")
 		os.Exit(2)
 	}
-	if (o.compare || o.fanoutCompare || o.wal || o.mixed || o.windows > 1) && o.url != "" {
-		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-mixed/-windows need the in-process server; drop -url")
+	if (o.compare || o.fanoutCompare || o.wal || o.mixed || o.telemCompare || o.windows > 1) && o.url != "" {
+		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-mixed/-telemetry-compare/-windows need the in-process server; drop -url")
 		os.Exit(2)
 	}
-	if b2i(o.compare)+b2i(o.fanoutCompare)+b2i(o.wal)+b2i(o.mixed) > 1 {
-		fmt.Fprintln(os.Stderr, "pick one of -compare, -fanout-compare, -wal and -mixed")
+	if b2i(o.compare)+b2i(o.fanoutCompare)+b2i(o.wal)+b2i(o.mixed)+b2i(o.checkMetrics)+b2i(o.telemCompare) > 1 {
+		fmt.Fprintln(os.Stderr, "pick one of -compare, -fanout-compare, -wal, -mixed, -check-metrics and -telemetry-compare")
 		os.Exit(2)
 	}
 	if o.mixed && o.readers < 1 {
@@ -281,6 +332,11 @@ func main() {
 
 	var rep Report
 	switch {
+	case o.checkMetrics:
+		runCheckMetrics(o)
+		return
+	case o.telemCompare:
+		runTelemetryCompare(o, &rep)
 	case o.mixed:
 		res := runMixed(o)
 		rep.Results = []LoadResult{res}
@@ -428,6 +484,10 @@ func runMixed(o options) LoadResult {
 	setupStart := time.Now()
 	reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
 		Shards: o.shards,
+		// The mixed harness is also the observability harness: wire the
+		// telemetry registry so the report can carry the server-side
+		// per-monitor apply table alongside the client percentiles.
+		Telemetry: telemetry.NewRegistry(),
 		Template: stream.ServiceConfig{
 			Window: stream.WindowConfig{
 				N:           o.n,
@@ -583,7 +643,42 @@ func runMixed(o options) LoadResult {
 	prodWG.Wait()
 	readWG.Wait()
 	elapsed := time.Since(start)
+
+	// Queue backlog before the drain: what the window still owed when the
+	// clock ran out, in both units (the /stats read the gauges mirror).
+	var backlog struct {
+		Ingest struct {
+			QueueBatches int64 `json:"queue_batches"`
+			QueueEdges   int64 `json:"queue_edges"`
+			QueueCap     int   `json:"queue_cap"`
+		} `json:"ingest"`
+	}
+	if resp, err := client.Get(base + "/stats"); err == nil {
+		_ = json.NewDecoder(resp.Body).Decode(&backlog)
+		drainBody(resp)
+	}
 	svc.Flush()
+
+	// Server-side per-monitor apply percentiles, scraped from /metrics
+	// after the drain so the histograms hold every applied batch.
+	monitors := make(map[string]MonitorLatency)
+	if exp, err := scrapeMetrics(client, base); err != nil {
+		fmt.Fprintf(os.Stderr, "swload -mixed: /metrics scrape failed: %v\n", err)
+	} else {
+		for _, name := range stream.AllMonitors() {
+			lbl := map[string]string{"monitor": name}
+			cnt, ok := exp.Value("sw_monitor_apply_seconds_count", lbl)
+			if !ok || cnt == 0 {
+				continue
+			}
+			monitors[name] = MonitorLatency{
+				Applies:    int64(cnt),
+				ApplyP50Ms: histQuantileMs(exp, "sw_monitor_apply_seconds", lbl, 0.50),
+				ApplyP99Ms: histQuantileMs(exp, "sw_monitor_apply_seconds", lbl, 0.99),
+				WaitP99Ms:  histQuantileMs(exp, "sw_monitor_wait_seconds", lbl, 0.99),
+			}
+		}
+	}
 
 	// Merge the per-endpoint histograms into the overall query summary and
 	// the per-endpoint report.
@@ -630,6 +725,10 @@ func runMixed(o options) LoadResult {
 		Gomaxprocs:    maxprocs(),
 		Readers:       o.readers,
 		Endpoints:     endpoints,
+		QueueBatches:  backlog.Ingest.QueueBatches,
+		QueueEdges:    backlog.Ingest.QueueEdges,
+		QueueCap:      backlog.Ingest.QueueCap,
+		Monitors:      monitors,
 		ServerBatches: st.Batches,
 	}
 	if st.Batches > 0 {
@@ -657,6 +756,206 @@ func printMixed(r LoadResult) {
 	}
 	fmt.Printf("  worst endpoint: p50 %.3fms  p99 %.3fms  max %.3fms  (%d queries total)\n",
 		r.QueryP50Ms, r.QueryP99Ms, r.QueryMaxMs, r.Queries)
+	fmt.Printf("  queue backlog at cutoff: %d batches / %d edges (cap %d submissions)\n",
+		r.QueueBatches, r.QueueEdges, r.QueueCap)
+	if len(r.Monitors) > 0 {
+		fmt.Printf("  server-side monitor applies (from /metrics):\n")
+		mons := make([]string, 0, len(r.Monitors))
+		for name := range r.Monitors {
+			mons = append(mons, name)
+		}
+		sort.Strings(mons)
+		for _, name := range mons {
+			m := r.Monitors[name]
+			fmt.Printf("    %-10s apply p50 %7.3fms  p99 %7.3fms  wait p99 %7.3fms  (%d applies)\n",
+				name, m.ApplyP50Ms, m.ApplyP99Ms, m.WaitP99Ms, m.Applies)
+		}
+	}
+}
+
+// scrapeMetrics GETs base+"/metrics" and returns the strictly parsed and
+// validated exposition.
+func scrapeMetrics(client *http.Client, base string) (*telemetry.Exposition, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: status %d", resp.StatusCode)
+	}
+	exp, err := telemetry.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if err := exp.Validate(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+// histQuantileMs reads the q-quantile of one histogram child out of a
+// scraped exposition, in milliseconds. The answer carries the bucket
+// upper-bound semantics of the server's histograms: a conservative upper
+// bound on the true quantile.
+func histQuantileMs(exp *telemetry.Exposition, family string, match map[string]string, q float64) float64 {
+	type bkt struct{ le, cum float64 }
+	var bs []bkt
+	for _, s := range exp.Samples {
+		if s.Name != family+"_bucket" {
+			continue
+		}
+		ok := true
+		for k, v := range match {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		le, err := strconv.ParseFloat(s.Labels["le"], 64)
+		if err != nil {
+			continue
+		}
+		bs = append(bs, bkt{le: le, cum: s.Value})
+	}
+	if len(bs) < 2 {
+		return 0
+	}
+	sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+	total := bs[len(bs)-1].cum // the +Inf bucket
+	if total == 0 {
+		return 0
+	}
+	target := q * total
+	for _, b := range bs {
+		if b.cum >= target && !math.IsInf(b.le, +1) {
+			return b.le * 1e3
+		}
+	}
+	// Only +Inf reaches the target: report the largest finite bound.
+	return bs[len(bs)-2].le * 1e3
+}
+
+// runCheckMetrics is the exposition gate: scrape /metrics and fail loudly
+// on anything malformed. Against -url it validates a live server (the CI
+// smoke step); in-process it first pushes a short stream through the full
+// pipeline so every sw_ family has samples to check.
+func runCheckMetrics(o options) {
+	client := &http.Client{Timeout: 30 * time.Second}
+	base := o.url
+	if base == "" {
+		reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
+			Shards:    o.shards,
+			Telemetry: telemetry.NewRegistry(),
+			Template: stream.ServiceConfig{
+				Window: stream.WindowConfig{
+					N:           o.n,
+					Seed:        uint64(o.seed),
+					MaxArrivals: o.window,
+					// All monitors, so every per-monitor family appears.
+				},
+				Ingest: stream.IngesterConfig{MaxBatch: o.batch, MaxDelay: o.delay},
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer reg.Close()
+		svc, err := reg.Create(stream.DefaultWindow, reg.Template())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: stream.NewRegistryServer(reg, stream.ServerConfig{}).Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+
+		// One POST, one query, one flush: ingest, HTTP, and lifecycle
+		// families all gain mass through the real handlers.
+		r := rand.New(rand.NewSource(o.seed))
+		type wireEdge struct {
+			U int32 `json:"u"`
+			V int32 `json:"v"`
+		}
+		edges := make([]wireEdge, 256)
+		for i := range edges {
+			u := int32(r.Intn(o.n))
+			v := int32(r.Intn(o.n))
+			for v == u {
+				v = int32(r.Intn(o.n))
+			}
+			edges[i] = wireEdge{U: u, V: v}
+		}
+		body, _ := json.Marshal(map[string]any{"edges": edges})
+		resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		drainBody(resp)
+		if resp, err := client.Get(base + "/query/connected?u=0&v=1"); err == nil {
+			drainBody(resp)
+		}
+		svc.Flush()
+	}
+
+	exp, err := scrapeMetrics(client, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swload -check-metrics: %v\n", err)
+		os.Exit(1)
+	}
+	bad := 0
+	for name, typ := range exp.Types {
+		if err := telemetry.CheckMetricName(name, typ); err != nil {
+			fmt.Fprintf(os.Stderr, "swload -check-metrics: %v\n", err)
+			bad++
+		}
+		if !strings.HasPrefix(name, "sw_") {
+			fmt.Fprintf(os.Stderr, "swload -check-metrics: family %q missing the sw_ prefix\n", name)
+			bad++
+		}
+		if exp.Help[name] == "" {
+			fmt.Fprintf(os.Stderr, "swload -check-metrics: family %q has no HELP text\n", name)
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("metrics OK: %d families, %d samples, exposition valid\n", len(exp.Types), len(exp.Samples))
+}
+
+// runTelemetryCompare runs the same stream twice — telemetry registry
+// wired vs no-op recorders — and reports what the instrumentation costs.
+// Client-side throughput is noisy, so the verdict here is advisory; the
+// controlled guard is the fixed-iteration Go benchmark (see BENCH.md).
+func runTelemetryCompare(o options, rep *Report) {
+	o.telemetry = true
+	on := runInProc(o, "telemetry-on", o.batch, false, false, nil)
+	o.telemetry = false
+	off := runInProc(o, "telemetry-off", o.batch, false, false, nil)
+	rep.Results = []LoadResult{on, off}
+	if on.EdgesPerSec > 0 {
+		rep.TelemetryOverhead = off.EdgesPerSec / on.EdgesPerSec
+	}
+	printResult(on)
+	printResult(off)
+	pct := (rep.TelemetryOverhead - 1) * 100
+	fmt.Printf("\ntelemetry on/off ingest overhead: %+.1f%% (budget <3%%; client-side numbers are noisy — "+
+		"the authoritative guard is go test ./internal/stream -bench IngestTelemetry -benchtime 20000x)\n", pct)
+	if pct > 3 {
+		fmt.Fprintln(os.Stderr, "swload -telemetry-compare: overhead above the 3% budget on this run; re-check with the fixed-iteration benchmark")
+	}
 }
 
 // runWALCompare measures what durability costs and what recovery buys:
@@ -783,8 +1082,13 @@ func windowNames(m int) []string {
 // drives them — concurrently, or one window at a time (oneAtATime). A
 // non-nil persist makes the registry durable (the -wal mode).
 func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool, persist *stream.PersistenceConfig) LoadResult {
+	var treg *telemetry.Registry
+	if o.telemetry {
+		treg = telemetry.NewRegistry()
+	}
 	reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
-		Shards: o.shards,
+		Shards:    o.shards,
+		Telemetry: treg,
 		Template: stream.ServiceConfig{
 			Window: stream.WindowConfig{
 				N:                o.n,

@@ -35,14 +35,25 @@
 //	GET    /windows/{name}/stats           per-window counters (incl. per-monitor apply/wait)
 //	POST   /edges, GET /query/..., /stats  default window (legacy routes)
 //	POST   /admin/checkpoint               persist watermarks + GC segments
+//	GET    /metrics                        Prometheus text exposition (unless -metrics=false)
 //	GET    /healthz                        liveness
+//	GET    /readyz                         readiness (recovery, WAL, checkpoint age, queue budget)
 //	GET    /debug/pprof/...                profiling (only with -pprof)
+//
+// Observability: the whole pipeline is instrumented into sw_* metric
+// families (ingest, queue depth in batches AND edges, per-stage batch
+// lifecycle, per-monitor apply/wait, WAL append/fsync, checkpoints) —
+// see DESIGN.md §7. -log-level picks the slog threshold for operational
+// records (boot, recovery, checkpoints at debug); -slow-batch logs a warn
+// trace for any batch whose stage+fan-out time exceeds the bound.
+// -ready-queue-budget and -ready-checkpoint-age tune when /readyz sheds.
 //
 // Example:
 //
 //	swserver -addr :8080 -n 100000 -window 1000000 -batch 512 -delay 2ms \
 //	         -shards 32 -windows tenant-a,tenant-b -pprof \
-//	         -data-dir /var/lib/swserver -fsync interval -checkpoint-interval 30s
+//	         -data-dir /var/lib/swserver -fsync interval -checkpoint-interval 30s \
+//	         -log-level debug -slow-batch 50ms
 package main
 
 import (
@@ -50,7 +61,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -60,6 +71,7 @@ import (
 	"time"
 
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -87,7 +99,22 @@ func main() {
 		"period of the background checkpoint (persist expiry watermarks, GC expired WAL segments) with -data-dir; 0 = manual only")
 	snapThreshold := flag.Int("snapshot-threshold", 1<<20,
 		"with -data-dir: checkpoint writes a live-edge snapshot when a window's replayable WAL suffix exceeds this many arrivals, bounding restart time; -1 disables snapshots")
+	metricsOn := flag.Bool("metrics", true, "instrument the pipeline and expose Prometheus text at GET /metrics")
+	logLevel := flag.String("log-level", "info", "slog threshold for operational records: debug|info|warn|error")
+	slowBatch := flag.Duration("slow-batch", 0,
+		"log a warn-level lifecycle trace for any batch whose stage+fan-out time exceeds this (0 = disabled)")
+	queueBudget := flag.Float64("ready-queue-budget", 0.9,
+		"/readyz fails when any window's queued submissions exceed this fraction of its queue capacity (negative = disabled)")
+	ckptAgeBound := flag.Duration("ready-checkpoint-age", 0,
+		"with -data-dir: /readyz fails when no checkpoint has completed for this long (0 = disabled)")
 	flag.Parse()
+
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "swserver: bad -log-level %q (want debug|info|warn|error)\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
 
 	template := stream.ServiceConfig{
 		Window: stream.WindowConfig{
@@ -121,20 +148,29 @@ func main() {
 			SnapshotThreshold:  *snapThreshold,
 		}
 	}
+	var treg *telemetry.Registry
+	if *metricsOn {
+		treg = telemetry.NewRegistry()
+	}
 	reg, recovered, err := stream.OpenRegistry(stream.RegistryConfig{
 		Shards:      *shards,
 		MaxWindows:  *maxWindows,
 		Template:    template,
 		Persistence: persist,
+		Telemetry:   treg,
+		Logger:      logger,
+		SlowBatch:   *slowBatch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	if recovered.Windows > 0 {
-		log.Printf("recovered %d windows from %s: %d snapshot-seeded (%d edges), replayed %d batches / %d edges (skipped %d expired records) in %v",
-			recovered.Windows, *dataDir, recovered.Snapshots, recovered.SnapshotEdges,
-			recovered.Batches, recovered.Edges, recovered.SkippedRecords, recovered.Elapsed)
+		logger.Info("windows recovered",
+			"windows", recovered.Windows, "dir", *dataDir,
+			"snapshots", recovered.Snapshots, "snapshot_edges", recovered.SnapshotEdges,
+			"batches", recovered.Batches, "edges", recovered.Edges,
+			"skipped_records", recovered.SkippedRecords, "elapsed", recovered.Elapsed)
 	}
 	names := append([]string{stream.DefaultWindow}, stream.SplitMonitors(*windows)...)
 	for _, name := range names {
@@ -147,7 +183,11 @@ func main() {
 		}
 	}
 
-	api := stream.NewRegistryServer(reg, stream.ServerConfig{MaxBodyBytes: *maxBody})
+	api := stream.NewRegistryServer(reg, stream.ServerConfig{
+		MaxBodyBytes:       *maxBody,
+		QueueBudget:        *queueBudget,
+		CheckpointAgeBound: *ckptAgeBound,
+	})
 	root := http.NewServeMux()
 	root.Handle("/", api.Handler())
 	if *pprofOn {
@@ -173,23 +213,27 @@ func main() {
 	if persist != nil {
 		durability = fmt.Sprintf("wal:%s fsync=%s ckpt=%v", *dataDir, *fsync, *ckptEvery)
 	}
-	log.Printf("swserver listening on %s (windows=%s, shards=%d, n=%d, monitors=%s, window=%d, maxage=%v, batch=%d/%v, fanout=%s, %s, pprof=%v)",
-		*addr, strings.Join(reg.Names(), ","), reg.Shards(), *n, *monitors, *window, *maxAge, *batch, *delay,
-		map[bool]string{false: "parallel", true: "sequential"}[*seqFanout], durability, *pprofOn)
+	logger.Info("swserver listening",
+		"addr", *addr, "windows", strings.Join(reg.Names(), ","), "shards", reg.Shards(),
+		"n", *n, "monitors", *monitors, "window", *window, "maxage", *maxAge,
+		"batch", *batch, "delay", *delay,
+		"fanout", map[bool]string{false: "parallel", true: "sequential"}[*seqFanout],
+		"durability", durability, "metrics", *metricsOn, "pprof", *pprofOn)
 
 	select {
 	case err := <-errCh:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("serve: %v", err)
+			logger.Error("serve failed", "err", err)
+			os.Exit(1)
 		}
 	case <-ctx.Done():
-		log.Printf("shutting down...")
+		logger.Info("shutting down")
 		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shCtx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown", "err", err)
 		}
 	}
 	reg.Close()
-	log.Printf("bye")
+	logger.Info("bye")
 }

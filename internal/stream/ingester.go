@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -48,6 +50,15 @@ func (c *IngesterConfig) withDefaults() IngesterConfig {
 	return out
 }
 
+// submission is one producer enqueue: the edges plus the submit-time
+// stamp, which the flush goroutine turns into the queue-wait stage of the
+// batch lifecycle trace. The stamp reuses the Clock.Now() Submit already
+// pays for event-time defaulting, so carrying it costs nothing.
+type submission struct {
+	edges []Edge
+	enq   time.Time
+}
+
 // Ingester coalesces edges submitted by many concurrent producers into
 // batches, flushing to its sink when either MaxBatch edges are pending or
 // MaxDelay has elapsed since the first pending edge. A single background
@@ -56,7 +67,8 @@ func (c *IngesterConfig) withDefaults() IngesterConfig {
 type Ingester struct {
 	cfg     IngesterConfig
 	sink    func([]Edge)
-	in      chan []Edge
+	m       *Metrics
+	in      chan submission
 	flushCh chan chan struct{}
 	done    chan struct{}
 	wg      sync.WaitGroup
@@ -72,6 +84,16 @@ type Ingester struct {
 
 	edges   atomic.Int64 // edges accepted
 	flushes atomic.Int64 // batches flushed
+
+	// Queue depth in both units: submissions (channel occupancy, the
+	// backpressure signal — a submission blocked on a full channel still
+	// counts) and the edges inside them (the magnitude signal the
+	// ingress-budget work needs; a thousand one-edge submissions and one
+	// thousand-edge submission are very different queues). Incremented in
+	// Submit before the channel send, decremented when the flush
+	// goroutine absorbs the submission.
+	qBatches atomic.Int64
+	qEdges   atomic.Int64
 }
 
 // NewIngester starts an ingester flushing batches to sink. The sink is
@@ -80,13 +102,20 @@ type Ingester struct {
 // returns — the sink must not retain it (WindowManager.Apply doesn't:
 // the ring and every monitor copy what they keep).
 func NewIngester(cfg IngesterConfig, sink func([]Edge)) *Ingester {
+	return newIngesterWith(cfg, sink, noMetrics)
+}
+
+// newIngesterWith is NewIngester with a telemetry bundle; the service
+// wiring injects the registry's bundle through it.
+func newIngesterWith(cfg IngesterConfig, sink func([]Edge), m *Metrics) *Ingester {
 	g := &Ingester{
 		cfg:     cfg.withDefaults(),
 		sink:    sink,
+		m:       m.orNoop(),
 		flushCh: make(chan chan struct{}),
 		done:    make(chan struct{}),
 	}
-	g.in = make(chan []Edge, g.cfg.QueueLen)
+	g.in = make(chan submission, g.cfg.QueueLen)
 	g.wg.Add(1)
 	go g.run()
 	return g
@@ -126,11 +155,17 @@ func (g *Ingester) submitOwned(edges []Edge) error {
 			edges[i].T = now
 		}
 	}
+	n := int64(len(edges))
+	g.qBatches.Add(1)
+	g.qEdges.Add(n)
+	g.m.queueBatches.Add(1)
+	g.m.queueEdges.Add(n)
 	// done cannot close while we hold the read lock, and run() keeps
 	// consuming until done closes, so this send always completes (it may
 	// block for backpressure when the queue is full).
-	g.in <- edges
-	g.edges.Add(int64(len(edges)))
+	g.in <- submission{edges: edges, enq: now}
+	g.edges.Add(n)
+	g.m.ingestEdges.Add(n)
 	return nil
 }
 
@@ -166,6 +201,16 @@ func (g *Ingester) Stats() (edges, batches int64) {
 	return g.edges.Load(), g.flushes.Load()
 }
 
+// QueueDepth returns the current ingest queue depth in submissions and in
+// edges (see the qBatches/qEdges comment for the exact semantics).
+func (g *Ingester) QueueDepth() (batches, edges int64) {
+	return g.qBatches.Load(), g.qEdges.Load()
+}
+
+// QueueCap returns the submission-queue capacity — the denominator for
+// queue-utilization budgets (readiness checks).
+func (g *Ingester) QueueCap() int { return g.cfg.QueueLen }
+
 func (g *Ingester) run() {
 	defer g.wg.Done()
 	// pending accumulates submissions; head marks the already-flushed
@@ -180,12 +225,25 @@ func (g *Ingester) run() {
 	var flushBuf []Edge
 	var deadline <-chan time.Time
 
-	// Event times were stamped at submit; absorb just accumulates.
-	absorb := func(es []Edge) { pending = append(pending, es...) }
+	// Event times were stamped at submit; absorb accumulates and settles
+	// the queue gauges. The queue-wait observation is gated on m.on()
+	// because it costs an extra clock read per submission.
+	absorb := func(sub submission) {
+		pending = append(pending, sub.edges...)
+		n := int64(len(sub.edges))
+		g.qBatches.Add(-1)
+		g.qEdges.Add(-n)
+		g.m.queueBatches.Add(-1)
+		g.m.queueEdges.Add(-n)
+		if g.m.on() {
+			g.m.queueWait.Observe(g.cfg.Clock.Now().Sub(sub.enq))
+		}
+	}
 	// flushHead emits the oldest k pending edges as one batch via the
 	// reusable buffer, then resets the accumulator once it fully drains so
-	// its backing array is reused instead of re-grown.
-	flushHead := func(k int) {
+	// its backing array is reused instead of re-grown. reason attributes
+	// the flush trigger (threshold, deadline, manual, shutdown).
+	flushHead := func(k int, reason *telemetry.Counter) {
 		flushBuf = append(flushBuf[:0], pending[head:head+k]...)
 		head += k
 		if head == len(pending) {
@@ -193,6 +251,8 @@ func (g *Ingester) run() {
 			head = 0
 		}
 		g.flushes.Add(1)
+		reason.Inc()
+		g.m.flushEdges.ObserveVal(int64(k))
 		g.sink(flushBuf)
 	}
 	pendingLen := func() int { return len(pending) - head }
@@ -200,7 +260,7 @@ func (g *Ingester) run() {
 	// threshold, then re-arms (or clears) the deadline for any remainder.
 	flushFull := func() {
 		for pendingLen() >= g.cfg.MaxBatch {
-			flushHead(g.cfg.MaxBatch)
+			flushHead(g.cfg.MaxBatch, g.m.flushThreshold)
 		}
 		if pendingLen() == 0 {
 			deadline = nil
@@ -210,24 +270,24 @@ func (g *Ingester) run() {
 	}
 	// flushAll empties the buffer entirely (deadline fired, manual flush,
 	// or shutdown), still respecting the MaxBatch upper bound.
-	flushAll := func() {
+	flushAll := func(reason *telemetry.Counter) {
 		for pendingLen() > 0 {
 			k := g.cfg.MaxBatch
 			if k > pendingLen() {
 				k = pendingLen()
 			}
-			flushHead(k)
+			flushHead(k, reason)
 		}
 		deadline = nil
 	}
 	// drain empties the queue without blocking, then flushes everything.
-	drain := func() {
+	drain := func(reason *telemetry.Counter) {
 		for {
 			select {
-			case es := <-g.in:
-				absorb(es)
+			case sub := <-g.in:
+				absorb(sub)
 			default:
-				flushAll()
+				flushAll(reason)
 				return
 			}
 		}
@@ -235,16 +295,16 @@ func (g *Ingester) run() {
 
 	for {
 		select {
-		case es := <-g.in:
-			absorb(es)
+		case sub := <-g.in:
+			absorb(sub)
 			flushFull()
 		case <-deadline:
-			flushAll()
+			flushAll(g.m.flushDeadline)
 		case ack := <-g.flushCh:
-			drain()
+			drain(g.m.flushManual)
 			close(ack)
 		case <-g.done:
-			drain()
+			drain(g.m.flushShutdown)
 			return
 		}
 	}

@@ -4,10 +4,10 @@ import (
 	"context"
 	"runtime/pprof"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 )
 
 // Multiplexer fans one ingested stream out to several monitors that share
@@ -24,9 +24,12 @@ import (
 // number of staged ops on its monitor — never half a batch.
 //
 // The fan-out is also where apply time becomes observable: each slot
-// accumulates the time the writer spent holding (ApplyNS) and waiting for
-// (WaitNS) its lock, and the apply runs under a pprof label
-// ("monitor" = name) so CPU profiles attribute fan-out time per monitor.
+// keeps a log₂ histogram of the time the writer spent holding (apply) and
+// waiting for (wait) its lock — not just cumulative sums, so /stats and
+// /metrics can answer "what does the p99 lock hold on the conn monitor
+// look like", which is exactly the window a query can block for. The
+// apply runs under a pprof label ("monitor" = name) so CPU profiles
+// attribute fan-out time per monitor.
 //
 // Writer-side methods (Apply) must only be called by the window's writer
 // goroutine, one op at a time; the WindowManager's writer lock enforces
@@ -43,12 +46,25 @@ type monitorSlot struct {
 	mu     sync.RWMutex
 	labels pprof.LabelSet
 
-	// Written only by the single writer (one Apply at a time), read by
-	// Stats snapshots at any time — hence atomic, not mu-guarded: stats
-	// readers must not queue behind a slow apply.
-	ops     atomic.Int64
-	applyNS atomic.Int64
-	waitNS  atomic.Int64
+	// Per-slot apply/wait histograms (nanoseconds). Written only by the
+	// single writer's fan-out (one Apply at a time), read by Stats
+	// snapshots at any time — Observe and Snapshot are both lock-free, so
+	// stats readers never queue behind a slow apply. These always record:
+	// they back the /stats JSON, which predates the telemetry subsystem.
+	applyH telemetry.Histogram
+	waitH  telemetry.Histogram
+
+	// Shared process-wide per-monitor-name histograms from the telemetry
+	// bundle (nil when telemetry is off) — the /metrics view, aggregated
+	// across windows.
+	applyShared *telemetry.Histogram
+	waitShared  *telemetry.Histogram
+
+	// Last op's timings, written by this slot's fan-out goroutine and read
+	// by Apply after the fork-join barrier — ordinary fields, no atomics
+	// needed. They feed the fanoutReport that the slow-batch trace logs.
+	lastApplyNS int64
+	lastWaitNS  int64
 }
 
 // MonitorApplyStats is one monitor's cumulative apply accounting.
@@ -62,6 +78,21 @@ type MonitorApplyStats struct {
 	// WaitNS is the cumulative time the writer waited to acquire the
 	// write lock (in-flight readers of this monitor hold it out).
 	WaitNS int64 `json:"wait_ns"`
+	// Per-op lock-hold distribution (log₂ buckets, upper-bound quantiles
+	// clamped to max — overestimates by at most 2×).
+	ApplyP50NS int64 `json:"apply_p50_ns"`
+	ApplyP99NS int64 `json:"apply_p99_ns"`
+	ApplyMaxNS int64 `json:"apply_max_ns"`
+	WaitP99NS  int64 `json:"wait_p99_ns"`
+}
+
+// fanoutReport summarizes one fan-out for the slow-batch trace: the
+// monitor with the longest lock hold and the max hold/wait across slots
+// (== the fan-out critical path under parallel apply).
+type fanoutReport struct {
+	slowest string
+	applyNS int64
+	waitNS  int64
 }
 
 // NewMultiplexer builds a multiplexer over the named monitors. sequential
@@ -87,6 +118,16 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 	return m, nil
 }
 
+// setTelemetry points each slot at the process-wide per-monitor histograms
+// so fan-out timings land in /metrics as well as /stats. Called during
+// wiring, before the window is published to writers.
+func (m *Multiplexer) setTelemetry(tm *Metrics) {
+	for _, s := range m.slots {
+		s.applyShared = tm.monitorApplyHist(s.mon.Name())
+		s.waitShared = tm.monitorWaitHist(s.mon.Name())
+	}
+}
+
 // Apply applies one staged op — a batch insert (possibly empty) followed
 // by an expiry of delta arrivals — to every monitor, each under its own
 // write lock, in parallel unless the multiplexer is sequential or
@@ -94,9 +135,13 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 // converts it into its own representation) and is not retained past the
 // call, so sharing it across the parallel region — and recycling it after
 // Apply returns — is safe. Single-writer: never call concurrently.
-func (m *Multiplexer) Apply(edges []Edge, delta int) {
+//
+// The returned report carries the slowest monitor's name and the max
+// hold/wait across slots for this op — the fan-out critical path, which
+// the slow-batch trace attributes blame with.
+func (m *Multiplexer) Apply(edges []Edge, delta int) fanoutReport {
 	if len(edges) == 0 && delta <= 0 {
-		return
+		return fanoutReport{}
 	}
 	one := func(s *monitorSlot) {
 		pprof.Do(context.Background(), s.labels, func(context.Context) {
@@ -111,22 +156,37 @@ func (m *Multiplexer) Apply(edges []Edge, delta int) {
 			}
 			t2 := time.Now()
 			s.mu.Unlock()
-			s.ops.Add(1)
-			s.waitNS.Add(t1.Sub(t0).Nanoseconds())
-			s.applyNS.Add(t2.Sub(t1).Nanoseconds())
+			s.lastWaitNS = t1.Sub(t0).Nanoseconds()
+			s.lastApplyNS = t2.Sub(t1).Nanoseconds()
+			s.waitH.ObserveVal(s.lastWaitNS)
+			s.applyH.ObserveVal(s.lastApplyNS)
+			s.waitShared.ObserveVal(s.lastWaitNS)
+			s.applyShared.ObserveVal(s.lastApplyNS)
 		})
 	}
 	if m.sequential || len(m.slots) <= 1 {
 		for _, s := range m.slots {
 			one(s)
 		}
-		return
+	} else {
+		fns := make([]func(), len(m.slots))
+		for i, s := range m.slots {
+			fns[i] = func() { one(s) }
+		}
+		parallel.Do(fns...)
 	}
-	fns := make([]func(), len(m.slots))
-	for i, s := range m.slots {
-		fns[i] = func() { one(s) }
+	// All slot goroutines joined; lastApplyNS/lastWaitNS are settled.
+	var rep fanoutReport
+	for _, s := range m.slots {
+		if s.lastApplyNS >= rep.applyNS {
+			rep.applyNS = s.lastApplyNS
+			rep.slowest = s.mon.Name()
+		}
+		if s.lastWaitNS > rep.waitNS {
+			rep.waitNS = s.lastWaitNS
+		}
 	}
-	parallel.Do(fns...)
+	return rep
 }
 
 // withRead runs fn on the named monitor under that monitor's read lock,
@@ -170,11 +230,17 @@ func (m *Multiplexer) Names() []string {
 func (m *Multiplexer) Stats() []MonitorApplyStats {
 	out := make([]MonitorApplyStats, len(m.slots))
 	for i, s := range m.slots {
+		a := s.applyH.Snapshot()
+		w := s.waitH.Snapshot()
 		out[i] = MonitorApplyStats{
-			Name:    s.mon.Name(),
-			Ops:     s.ops.Load(),
-			ApplyNS: s.applyNS.Load(),
-			WaitNS:  s.waitNS.Load(),
+			Name:       s.mon.Name(),
+			Ops:        a.Count,
+			ApplyNS:    a.Sum,
+			WaitNS:     w.Sum,
+			ApplyP50NS: a.P50,
+			ApplyP99NS: a.P99,
+			ApplyMaxNS: a.Max,
+			WaitP99NS:  w.P99,
 		}
 	}
 	return out

@@ -4,12 +4,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/wal"
 )
 
@@ -234,6 +237,15 @@ func (pw *persistedWindow) watermark() uint64 {
 type persister struct {
 	cfg    PersistenceConfig
 	walOpt wal.Options
+	m      *Metrics     // telemetry bundle (never nil; noMetrics when off)
+	logger *slog.Logger // structured log sink (never nil)
+
+	// Health/age tracking for the readiness probes and age gauges, all
+	// UnixNano (0 = never). lastCheckpointAt starts at open so
+	// checkpoint-age alerts measure from boot, not from 1970.
+	lastCheckpointAt  atomic.Int64
+	lastSnapshotAt    atomic.Int64
+	lastSnapshotEdges atomic.Int64
 
 	mu     sync.Mutex
 	wins   map[string]*persistedWindow
@@ -264,7 +276,7 @@ type persister struct {
 	lastCkptErr error // transient: cleared by the next successful checkpoint
 }
 
-func newPersister(cfg PersistenceConfig) (*persister, error) {
+func newPersister(cfg PersistenceConfig, m *Metrics, logger *slog.Logger) (*persister, error) {
 	if cfg.Dir == "" {
 		return nil, errors.New("stream: persistence needs a data directory")
 	}
@@ -276,15 +288,83 @@ func newPersister(cfg PersistenceConfig) (*persister, error) {
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &persister{
-		cfg: cfg,
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	p := &persister{
+		cfg:    cfg,
+		m:      m.orNoop(),
+		logger: logger,
 		walOpt: wal.Options{
 			SegmentBytes: cfg.SegmentBytes,
 			Sync:         pol.walPolicy(),
 			SyncEvery:    cfg.SyncEvery,
 		},
 		wins: make(map[string]*persistedWindow),
-	}, nil
+	}
+	p.lastCheckpointAt.Store(time.Now().UnixNano())
+	if p.m.on() {
+		// The wal package stays metrics-free: the persister injects these
+		// closures into every log it opens.
+		p.walOpt.ObserveAppend = func(d time.Duration, edges, bytes int) {
+			p.m.walAppendSeconds.Observe(d)
+			p.m.walAppends.Inc()
+			p.m.walBytes.Add(int64(bytes))
+		}
+		p.walOpt.ObserveFsync = func(d time.Duration) {
+			p.m.walFsyncSeconds.Observe(d)
+			p.m.walFsyncs.Inc()
+		}
+		p.walOpt.ObserveRepair = func(bytes int64) {
+			p.m.walRepairs.Inc()
+			p.m.walRepairedBytes.Add(bytes)
+		}
+		p.registerDurabilityGauges(p.m.Registry())
+	}
+	return p, nil
+}
+
+// registerDurabilityGauges publishes the durability state that is read, not
+// accumulated: segment counts, checkpoint/snapshot ages, error tallies.
+func (p *persister) registerDurabilityGauges(reg *telemetry.Registry) {
+	reg.GaugeFunc("sw_wal_segments",
+		"WAL segment files across all windows.", func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			total := 0
+			for _, pw := range p.wins {
+				total += pw.log.Segments()
+			}
+			return float64(total)
+		})
+	reg.GaugeFunc("sw_checkpoint_age_seconds",
+		"Seconds since the last completed checkpoint (since boot if none yet).", func() float64 {
+			return time.Since(time.Unix(0, p.lastCheckpointAt.Load())).Seconds()
+		})
+	reg.GaugeFunc("sw_snapshot_age_seconds",
+		"Seconds since the last committed snapshot (0 until one commits).", func() float64 {
+			at := p.lastSnapshotAt.Load()
+			if at == 0 {
+				return 0
+			}
+			return time.Since(time.Unix(0, at)).Seconds()
+		})
+	reg.GaugeFunc("sw_snapshot_last_edges",
+		"Live edges captured by the most recent committed snapshot.", func() float64 {
+			return float64(p.lastSnapshotEdges.Load())
+		})
+	reg.CounterFunc("sw_wal_append_errors_total",
+		"WAL append failures (acknowledged batches missing from the log — sticky until restart).", func() float64 {
+			p.errMu.Lock()
+			defer p.errMu.Unlock()
+			return float64(p.appendErrs)
+		})
+	reg.CounterFunc("sw_checkpoint_errors_total",
+		"Checkpoint passes that failed.", func() float64 {
+			p.errMu.Lock()
+			defer p.errMu.Unlock()
+			return float64(p.ckptErrs)
+		})
 }
 
 func (p *persister) windowDir(name string) string {
@@ -545,6 +625,14 @@ func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold in
 	pw.snapName = snapName
 	pw.snapEnd = absW + uint64(len(edges))
 	p.snapshots++
+	p.m.snapshots.Inc()
+	p.m.snapshotEdges.Add(int64(len(edges)))
+	p.lastSnapshotAt.Store(time.Now().UnixNano())
+	p.lastSnapshotEdges.Store(int64(len(edges)))
+	p.logger.Debug("snapshot committed",
+		slog.String("window", name),
+		slog.String("file", snapName),
+		slog.Int("edges", len(edges)))
 	return int64(len(edges)), nil
 }
 
@@ -647,6 +735,15 @@ func (p *persister) checkpoint() (CheckpointStats, error) {
 	st.Windows = len(horizons)
 	st.Elapsed = time.Since(start)
 	p.checkpoints++
+	p.lastCheckpointAt.Store(time.Now().UnixNano())
+	p.m.checkpoints.Inc()
+	p.m.checkpointSeconds.Observe(st.Elapsed)
+	p.logger.Debug("checkpoint complete",
+		slog.Int("windows", st.Windows),
+		slog.Int("pruned_segments", st.PrunedSegments),
+		slog.Int("snapshots", st.Snapshots),
+		slog.Int64("snapshot_edges", st.SnapshotEdges),
+		slog.Duration("elapsed", st.Elapsed))
 	if snapErr == nil {
 		p.errMu.Lock()
 		p.lastCkptErr = nil // durability restored: the manifest write succeeded
@@ -741,6 +838,11 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 		return nil, res, fmt.Errorf("stream: window %q manifest config: %w", name, err)
 	}
 	cfg := configFromMeta(meta, tpl)
+	cfg.Window.Name = name
+	// The bundle attaches to the pipeline only in newServiceWith, AFTER
+	// the replay below — recovery mega-batches must not pollute the
+	// live-traffic histograms (the recovery counters cover them instead).
+	cfg.Telemetry = p.m
 	wm, err := NewWindowManager(cfg.Window)
 	if err != nil {
 		return nil, res, fmt.Errorf("stream: window %q: %w", name, err)
@@ -877,6 +979,15 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 	p.mu.Lock()
 	p.wins[name] = pw
 	p.mu.Unlock()
+	p.m.recoveryRecords.Add(st.Records)
+	p.m.recoveryEdges.Add(st.Edges)
+	p.logger.Info("window recovered",
+		slog.String("window", name),
+		slog.Int64("replayed_records", st.Records),
+		slog.Int64("replayed_edges", st.Edges),
+		slog.Int64("skipped_records", st.SkippedRecords),
+		slog.Bool("snapshot_used", res.SnapshotUsed),
+		slog.Int64("snapshot_edges", res.SnapshotEdges))
 	return svc, res, nil
 }
 
@@ -893,7 +1004,7 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 	if cfg.Persistence == nil {
 		return r, rep, nil
 	}
-	p, err := newPersister(*cfg.Persistence)
+	p, err := newPersister(*cfg.Persistence, r.metrics, r.logger)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -946,6 +1057,17 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 		}
 	}
 	rep.Elapsed = time.Since(start)
+	if r.metrics.on() {
+		elapsed := rep.Elapsed.Seconds()
+		r.metrics.Registry().GaugeFunc("sw_recovery_seconds",
+			"Wall time of the boot recovery pass.", func() float64 { return elapsed })
+	}
+	r.logger.Info("recovery complete",
+		slog.Int("windows", rep.Windows),
+		slog.Int64("replayed_records", rep.Batches),
+		slog.Int64("replayed_edges", rep.Edges),
+		slog.Int("snapshots_used", rep.Snapshots),
+		slog.Duration("elapsed", rep.Elapsed))
 	if p.cfg.CheckpointInterval > 0 {
 		r.startCheckpointLoop(p.cfg.CheckpointInterval)
 	}

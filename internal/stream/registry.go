@@ -3,10 +3,13 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultWindow is the window name the legacy single-window HTTP routes
@@ -40,6 +43,16 @@ type RegistryConfig struct {
 	// manifest + crash recovery); nil keeps the registry in-memory. Only
 	// OpenRegistry honours it — NewRegistry ignores the field.
 	Persistence *PersistenceConfig
+	// Telemetry, when set, instruments every pipeline the registry owns
+	// (ingest, apply, fan-out, WAL, checkpoints) into that registry's
+	// metric families. nil disables metrics at zero hot-path cost.
+	Telemetry *telemetry.Registry
+	// Logger receives the registry's structured operational records
+	// (recovery, checkpoints, slow batches). nil discards them.
+	Logger *slog.Logger
+	// SlowBatch, when > 0, logs a warn record for every batch whose
+	// stage+fan-out wall time exceeds it (requires Logger).
+	SlowBatch time.Duration
 }
 
 func (c *RegistryConfig) withDefaults() RegistryConfig {
@@ -108,6 +121,12 @@ type WindowRegistry struct {
 	persist  *persister
 	ckptStop chan struct{}
 	ckptWG   sync.WaitGroup
+
+	// metrics is the shared telemetry bundle every owned pipeline records
+	// into (never nil — noMetrics when disabled); logger is the registry's
+	// structured logger (never nil — a discard logger when unset).
+	metrics *Metrics
+	logger  *slog.Logger
 }
 
 // NewRegistry returns an empty registry.
@@ -117,12 +136,41 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 		cfg:    cfg,
 		shards: make([]registryShard, cfg.Shards),
 		mask:   uint64(cfg.Shards - 1),
+		logger: cfg.Logger,
+	}
+	if r.logger == nil {
+		r.logger = slog.New(slog.DiscardHandler)
+	}
+	switch {
+	case cfg.Telemetry != nil:
+		r.metrics = NewMetrics(cfg.Telemetry)
+		cfg.Telemetry.GaugeFunc("sw_windows_live",
+			"Live windows registered.", func() float64 { return float64(r.Len()) })
+	case cfg.SlowBatch > 0 && cfg.Logger != nil:
+		// Slow-batch tracing without a metrics registry: a private zero
+		// bundle carries the threshold and logger (mutating the shared
+		// noMetrics would leak them into every uninstrumented pipeline).
+		r.metrics = &Metrics{}
+	default:
+		r.metrics = noMetrics
+	}
+	if r.metrics != noMetrics {
+		r.metrics.SlowBatch = cfg.SlowBatch
+		r.metrics.Logger = cfg.Logger
 	}
 	for i := range r.shards {
 		r.shards[i].wins = make(map[string]*windowHandle)
 	}
 	return r
 }
+
+// Metrics returns the registry's telemetry bundle (never nil; a no-op
+// bundle when telemetry is disabled). The HTTP server records its
+// request-level instruments through it.
+func (r *WindowRegistry) Metrics() *Metrics { return r.metrics }
+
+// Logger returns the registry's structured logger (never nil).
+func (r *WindowRegistry) Logger() *slog.Logger { return r.logger }
 
 // Template returns the config new windows inherit defaults from.
 func (r *WindowRegistry) Template() ServiceConfig { return r.cfg.Template }
@@ -243,6 +291,8 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 		return nil, err
 	}
 	cfg = mergeTemplate(cfg, r.cfg.Template)
+	cfg.Window.Name = name
+	cfg.Telemetry = r.metrics
 	if err := r.reserve(); err != nil {
 		return nil, err
 	}
@@ -425,6 +475,16 @@ func (r *WindowRegistry) PersistenceStats() (PersistenceStats, bool) {
 		return PersistenceStats{}, false
 	}
 	return r.persist.stats(), true
+}
+
+// LastCheckpoint returns when the last checkpoint pass completed (boot
+// time until one runs); ok is false on an in-memory registry. The
+// readiness probe's checkpoint-age bound reads it.
+func (r *WindowRegistry) LastCheckpoint() (time.Time, bool) {
+	if r.persist == nil {
+		return time.Time{}, false
+	}
+	return time.Unix(0, r.persist.lastCheckpointAt.Load()), true
 }
 
 // startCheckpointLoop runs Checkpoint on a fixed period until Close.

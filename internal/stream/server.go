@@ -8,6 +8,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // DefaultMaxBodyBytes caps a POST /edges request body (8 MiB ≈ 200k edges)
@@ -33,16 +35,22 @@ const DefaultMaxBodyBytes = 8 << 20
 //	GET    /windows/{name}/query/summary     all monitors at one apply epoch
 //	GET    /windows/{name}/stats                per-window counters
 //	POST   /edges, GET /query/..., GET /stats   same, on the default window
-//	GET    /healthz                             liveness
+//	GET    /healthz                             liveness (process up)
+//	GET    /readyz                              readiness (see ServerConfig)
+//	GET    /metrics                             Prometheus text exposition
 //
 // Every endpoint records latency into an EndpointStats table keyed by route
 // pattern (shared across windows, so cardinality stays bounded), surfaced
-// by /stats.
+// by /stats — and, when the registry carries a telemetry bundle, into the
+// sw_http_request_seconds{route=...} histogram the /metrics endpoint
+// exposes (same buckets, same observations: the two views cannot drift).
 type Server struct {
 	reg        *WindowRegistry
 	defaultWin string
 	maxBody    int64
 	stats      *EndpointStats
+	m          *Metrics
+	health     *telemetry.Health
 	mux        *http.ServeMux
 	start      time.Time
 }
@@ -55,6 +63,19 @@ type ServerConfig struct {
 	// MaxBodyBytes caps the POST /edges (and POST /windows) request body;
 	// oversized bodies get 413 (default DefaultMaxBodyBytes).
 	MaxBodyBytes int64
+	// Metrics overrides the telemetry bundle (default: the registry's own
+	// bundle). /metrics is mounted only when the resolved bundle carries a
+	// registry.
+	Metrics *Metrics
+	// QueueBudget is the ingest-queue utilization (queued submissions over
+	// queue capacity, per window) above which /readyz reports not-ready —
+	// the load-shedding signal for balancers. Default 0.9; negative
+	// disables the check.
+	QueueBudget float64
+	// CheckpointAgeBound fails /readyz when the durable registry has not
+	// completed a checkpoint for this long — durability (expiry watermarks,
+	// segment GC) has stalled. 0 disables the check.
+	CheckpointAgeBound time.Duration
 }
 
 // edgeJSON is the wire form of one edge.
@@ -112,11 +133,19 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBodyBytes
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = reg.Metrics()
+	}
+	if cfg.QueueBudget == 0 {
+		cfg.QueueBudget = 0.9
+	}
 	s := &Server{
 		reg:        reg,
 		defaultWin: cfg.DefaultWindow,
 		maxBody:    cfg.MaxBodyBytes,
 		stats:      NewEndpointStats(),
+		m:          cfg.Metrics.orNoop(),
+		health:     buildHealth(reg, cfg),
 		mux:        http.NewServeMux(),
 		start:      time.Now(),
 	}
@@ -142,11 +171,81 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 	both("GET", "/query/summary", s.handleSummary)
 	s.handle("GET /windows/{name}/stats", s.handleWindowStats)
 	s.handle("GET /stats", s.handleStats)
+	// Probes and the exposition endpoint are deliberately NOT routed
+	// through handle(): a scraper hitting /metrics every few seconds must
+	// not shift the request-latency histograms it is reading.
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	s.mux.Handle("GET /readyz", s.health.ReadyHandler())
+	if treg := s.m.Registry(); treg != nil {
+		s.mux.Handle("GET /metrics", treg.Handler())
+	}
 	return s
 }
+
+// buildHealth assembles the readiness probe set for /readyz:
+//
+//   - recovery_complete (gate): the registry finished boot recovery. True
+//     from construction — OpenRegistry returns only after recovery — and
+//     flippable through Health() by embedders that serve during a warm-up
+//     of their own.
+//   - wal_writable (check, durable registries): no WAL append has failed;
+//     an append error means acknowledged edges are missing from the log,
+//     which a restart-with-recovery fixes and a live process cannot.
+//   - checkpoint_age (check, durable registries, opt-in): the last
+//     completed checkpoint is within CheckpointAgeBound.
+//   - queue_budget (check, opt-out): no window's ingest queue is above
+//     QueueBudget of its capacity — past it, producers are blocking and
+//     a balancer should route elsewhere.
+func buildHealth(reg *WindowRegistry, cfg ServerConfig) *telemetry.Health {
+	h := telemetry.NewHealth()
+	h.SetGate("recovery_complete", true)
+	if reg.Persistent() {
+		h.AddCheck("wal_writable", func() string {
+			ps, _ := reg.PersistenceStats()
+			if ps.AppendErrors > 0 {
+				return fmt.Sprintf("%d WAL append failures (last: %s)", ps.AppendErrors, ps.LastError)
+			}
+			return ""
+		})
+		if cfg.CheckpointAgeBound > 0 {
+			bound := cfg.CheckpointAgeBound
+			h.AddCheck("checkpoint_age", func() string {
+				last, ok := reg.LastCheckpoint()
+				if !ok {
+					return ""
+				}
+				if age := time.Since(last); age > bound {
+					return fmt.Sprintf("last checkpoint %s ago (bound %s)", age.Round(time.Millisecond), bound)
+				}
+				return ""
+			})
+		}
+	}
+	if cfg.QueueBudget >= 0 {
+		budget := cfg.QueueBudget
+		h.AddCheck("queue_budget", func() string {
+			for _, name := range reg.Names() {
+				svc, ok := reg.Get(name)
+				if !ok {
+					continue
+				}
+				batches, _ := svc.QueueDepth()
+				if cap := svc.QueueCap(); cap > 0 && float64(batches) > budget*float64(cap) {
+					return fmt.Sprintf("window %q ingest queue at %d/%d submissions (budget %.0f%%)",
+						name, batches, cap, budget*100)
+				}
+			}
+			return ""
+		})
+	}
+	return h
+}
+
+// Health exposes the server's readiness probe set so embedders can add
+// their own checks or flip gates (e.g. during a warm-up phase).
+func (s *Server) Health() *telemetry.Health { return s.health }
 
 // Registry returns the registry the server routes over.
 func (s *Server) Registry() *WindowRegistry { return s.reg }
@@ -154,13 +253,20 @@ func (s *Server) Registry() *WindowRegistry { return s.reg }
 // Handler returns the root handler for an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// handle registers a pattern with latency recording keyed by the pattern.
+// handle registers a pattern with latency recording keyed by the pattern:
+// the /stats recorder and (when telemetry is on) the per-route /metrics
+// histogram see the same observation, plus the in-flight gauge.
 func (s *Server) handle(pattern string, fn http.HandlerFunc) {
 	rec := s.stats.Recorder(pattern)
+	hist := s.m.routeHist(pattern) // nil (no-op) when telemetry is off
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.m.httpInflight.Add(1)
 		start := time.Now()
 		fn(w, r)
-		rec.Observe(time.Since(start))
+		d := time.Since(start)
+		s.m.httpInflight.Add(-1)
+		rec.Observe(d)
+		hist.Observe(d)
 	})
 }
 
@@ -513,9 +619,17 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 func windowStatsBody(svc *Service) map[string]any {
 	edges, batches := svc.IngestStats()
 	win := svc.Window().Stats()
+	qBatches, qEdges := svc.QueueDepth()
 	ingest := map[string]any{
 		"edges_accepted": edges,
 		"batches":        batches,
+		// Queue depth in both units: queued submissions are the
+		// backpressure signal (the channel fills in submissions), queued
+		// edges the work signal — a thousand singleton submissions and one
+		// thousand-edge submission are very different queues.
+		"queue_batches": qBatches,
+		"queue_edges":   qEdges,
+		"queue_cap":     svc.QueueCap(),
 	}
 	if batches > 0 {
 		ingest["mean_batch_size"] = float64(edges) / float64(batches)
@@ -542,6 +656,10 @@ func windowStatsBody(svc *Service) map[string]any {
 			"ops":           ms.Ops,
 			"mean_apply_ms": float64(ms.ApplyNS) / float64(ms.Ops) / 1e6,
 			"mean_wait_ms":  float64(ms.WaitNS) / float64(ms.Ops) / 1e6,
+			"p50_apply_ms":  float64(ms.ApplyP50NS) / 1e6,
+			"p99_apply_ms":  float64(ms.ApplyP99NS) / 1e6,
+			"max_apply_ms":  float64(ms.ApplyMaxNS) / 1e6,
+			"p99_wait_ms":   float64(ms.WaitP99NS) / 1e6,
 		}
 	}
 	if len(perMon) > 0 {

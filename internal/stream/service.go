@@ -9,6 +9,9 @@ import (
 type ServiceConfig struct {
 	Window WindowConfig
 	Ingest IngesterConfig
+	// Telemetry, when set, instruments the whole pipeline (ingester,
+	// apply path, fan-out). nil runs the zero-overhead no-op bundle.
+	Telemetry *Metrics
 }
 
 // Service wires producers → Ingester → WindowManager: the ingester's flush
@@ -58,7 +61,11 @@ func newServiceWith(wm *WindowManager, cfg ServiceConfig) *Service {
 		clock:      wm.cfg.Clock,
 		stopTicker: make(chan struct{}),
 	}
-	s.ing = NewIngester(cfg.Ingest, wm.Apply)
+	// Telemetry attaches before the ingester starts (so no live batch can
+	// race the bundle swap) and — on the recovery path — after replay, so
+	// replay mega-batches don't pollute the live-traffic histograms.
+	wm.setTelemetry(cfg.Telemetry)
+	s.ing = newIngesterWith(cfg.Ingest, wm.Apply, cfg.Telemetry)
 	if cfg.Window.MaxAge > 0 {
 		period := cfg.Window.MaxAge / 4
 		if period < 10*time.Millisecond {
@@ -99,6 +106,12 @@ func (s *Service) Window() *WindowManager { return s.wm }
 
 // IngestStats returns edges accepted and batches flushed by the ingester.
 func (s *Service) IngestStats() (edges, batches int64) { return s.ing.Stats() }
+
+// QueueDepth returns the ingest queue depth in submissions and edges.
+func (s *Service) QueueDepth() (batches, edges int64) { return s.ing.QueueDepth() }
+
+// QueueCap returns the ingest submission-queue capacity.
+func (s *Service) QueueCap() int { return s.ing.QueueCap() }
 
 // Close drains the ingester and stops the pipeline.
 func (s *Service) Close() {

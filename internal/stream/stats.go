@@ -1,20 +1,21 @@
 package stream
 
 import (
-	"math/bits"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // LatencyRecorder is a fixed-size log₂-bucket latency histogram: cheap
 // enough for per-request recording, and accurate to a factor of 2 on
-// quantiles, which is plenty for p50/p99 service dashboards.
+// quantiles, which is plenty for p50/p99 service dashboards. It is a thin
+// wrapper over telemetry.Histogram, so the /stats JSON quantiles and the
+// /metrics exposition are computed from the same buckets — the two
+// surfaces can never disagree about what was measured. The zero value is
+// ready to use, and Observe is lock-free (three atomic adds).
 type LatencyRecorder struct {
-	mu      sync.Mutex
-	count   int64
-	totalNS int64
-	maxNS   int64
-	buckets [64]int64 // bucket i holds durations with bits.Len64(ns) == i
+	h telemetry.Histogram
 }
 
 // LatencySnapshot is a point-in-time summary of a LatencyRecorder.
@@ -28,57 +29,20 @@ type LatencySnapshot struct {
 
 // Observe records one duration.
 func (r *LatencyRecorder) Observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	if ns < 0 {
-		ns = 0
-	}
-	i := bits.Len64(uint64(ns))
-	r.mu.Lock()
-	r.count++
-	r.totalNS += ns
-	if ns > r.maxNS {
-		r.maxNS = ns
-	}
-	r.buckets[i]++
-	r.mu.Unlock()
+	r.h.Observe(d)
 }
 
-// Snapshot summarizes the histogram so far.
+// Snapshot summarizes the histogram so far. Quantiles are bucket upper
+// bounds clamped to the observed max (overestimates by at most 2x).
 func (r *LatencyRecorder) Snapshot() LatencySnapshot {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := LatencySnapshot{Count: r.count, Max: time.Duration(r.maxNS)}
-	if r.count == 0 {
-		return s
+	s := r.h.Snapshot()
+	return LatencySnapshot{
+		Count: s.Count,
+		Mean:  time.Duration(s.Mean),
+		P50:   time.Duration(s.P50),
+		P99:   time.Duration(s.P99),
+		Max:   time.Duration(s.Max),
 	}
-	s.Mean = time.Duration(r.totalNS / r.count)
-	s.P50 = r.quantileLocked(0.50)
-	s.P99 = r.quantileLocked(0.99)
-	return s
-}
-
-// quantileLocked returns the upper bound of the bucket where the cumulative
-// count crosses q (so quantiles are overestimates by at most 2x).
-func (r *LatencyRecorder) quantileLocked(q float64) time.Duration {
-	target := int64(q * float64(r.count))
-	if target < 1 {
-		target = 1
-	}
-	var cum int64
-	for i, c := range r.buckets {
-		cum += c
-		if cum >= target {
-			if i == 0 {
-				return 0
-			}
-			upper := int64(1)<<uint(i) - 1
-			if upper > r.maxNS {
-				upper = r.maxNS
-			}
-			return time.Duration(upper)
-		}
-	}
-	return time.Duration(r.maxNS)
 }
 
 // EndpointStats tracks per-endpoint request counts and latency.

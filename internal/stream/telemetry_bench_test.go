@@ -1,0 +1,49 @@
+package stream
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// benchIngest drives the full pipeline — Submit → flush goroutine →
+// staging → monitor fan-out — with telemetry either wired or no-op'd.
+// BENCH.md's telemetry-overhead guard compares the two: the instrumented
+// hot path must stay within 3% of the no-op recorder.
+func benchIngest(b *testing.B, m *Metrics) {
+	svc, err := NewService(ServiceConfig{
+		Window:    WindowConfig{N: 1 << 12, MaxArrivals: 1 << 15},
+		Ingest:    IngesterConfig{MaxBatch: 512, QueueLen: 1 << 14},
+		Telemetry: m,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	const batch = 64
+	edges := make([]Edge, batch)
+	rng := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batch {
+		for j := range edges {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			u := int32(rng>>40) & (1<<12 - 1)
+			v := int32(rng>>20) & (1<<12 - 1)
+			if u == v {
+				v = (v + 1) & (1<<12 - 1)
+			}
+			edges[j] = Edge{U: u, V: v}
+		}
+		if err := svc.Submit(edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+	svc.Flush()
+	b.StopTimer()
+}
+
+func BenchmarkIngestTelemetryOff(b *testing.B) { benchIngest(b, nil) }
+
+func BenchmarkIngestTelemetryOn(b *testing.B) {
+	benchIngest(b, NewMetrics(telemetry.NewRegistry()))
+}

@@ -1,0 +1,408 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// newTelemetryServer boots a registry with a telemetry bundle, one default
+// window, and the HTTP front-end — the full instrumented stack.
+func newTelemetryServer(t *testing.T, cfg RegistryConfig, srvCfg ServerConfig) (*Server, *WindowRegistry) {
+	t.Helper()
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.NewRegistry()
+	}
+	if cfg.Template.Window.N == 0 {
+		cfg.Template.Window.N = 64
+	}
+	reg := NewRegistry(cfg)
+	t.Cleanup(reg.Close)
+	if _, err := reg.Create(DefaultWindow, ServiceConfig{}); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return NewRegistryServer(reg, srvCfg), reg
+}
+
+// TestMetricsEndToEnd drives edges through the HTTP server and checks that
+// /metrics serves valid exposition text whose counters reflect the traffic
+// across every pipeline stage the tentpole instruments.
+func TestMetricsEndToEnd(t *testing.T) {
+	srv, reg := newTelemetryServer(t, RegistryConfig{}, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{"edges":[{"u":1,"v":2},{"u":2,"v":3},{"u":3,"v":4}]}`
+	res, err := ts.Client().Post(ts.URL+"/edges", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /edges: %v", err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 202 {
+		t.Fatalf("POST /edges: status %d", res.StatusCode)
+	}
+	svc, _ := reg.Get(DefaultWindow)
+	svc.Flush()
+	if _, err := ts.Client().Get(ts.URL + "/query/components"); err != nil {
+		t.Fatalf("GET components: %v", err)
+	}
+
+	res, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("GET /metrics: status %d", res.StatusCode)
+	}
+	if ct := res.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	exp, err := telemetry.ParseExposition(res.Body)
+	if err != nil {
+		t.Fatalf("parse exposition: %v", err)
+	}
+	if err := exp.Validate(); err != nil {
+		t.Fatalf("validate exposition: %v", err)
+	}
+
+	wantValue := func(name string, labels map[string]string, want float64) {
+		t.Helper()
+		got, ok := exp.Value(name, labels)
+		if !ok {
+			t.Fatalf("metric %s%v missing", name, labels)
+		}
+		if got != want {
+			t.Errorf("%s%v = %v, want %v", name, labels, got, want)
+		}
+	}
+	wantValue("sw_ingest_edges_total", nil, 3)
+	wantValue("sw_apply_edges_total", nil, 3)
+	wantValue("sw_windows_live", nil, 1)
+	wantValue("sw_ingest_queue_batches", nil, 0)
+	wantValue("sw_ingest_queue_edges", nil, 0)
+
+	// The batch lifecycle histograms all saw the one flushed batch.
+	for _, name := range []string{
+		"sw_ingest_queue_wait_seconds_count",
+		"sw_apply_stage_seconds_count",
+		"sw_apply_fanout_seconds_count",
+		"sw_apply_batch_seconds_count",
+	} {
+		if got, ok := exp.Value(name, nil); !ok || got < 1 {
+			t.Errorf("%s = %v (present=%v), want >= 1", name, got, ok)
+		}
+	}
+	// Per-monitor apply histograms exist for every monitor, labeled.
+	for _, mon := range AllMonitors() {
+		lbl := map[string]string{"monitor": mon}
+		if got, ok := exp.Value("sw_monitor_apply_seconds_count", lbl); !ok || got < 1 {
+			t.Errorf("sw_monitor_apply_seconds_count{monitor=%s} = %v (present=%v), want >= 1", mon, got, ok)
+		}
+	}
+	// HTTP route histograms carry the pattern label.
+	if got, ok := exp.Value("sw_http_request_seconds_count", map[string]string{"route": "POST /edges"}); !ok || got != 1 {
+		t.Errorf(`sw_http_request_seconds_count{route="POST /edges"} = %v (present=%v), want 1`, got, ok)
+	}
+	if _, ok := exp.Value("sw_http_request_seconds_count", map[string]string{"route": "GET /metrics"}); ok {
+		t.Error("/metrics must not record itself into the request histograms")
+	}
+}
+
+// TestMetricsAndStatsAgree pins the "one source of truth" property: the
+// per-monitor apply p99 computed from the /metrics histogram buckets must
+// equal the p99 the /stats JSON reports, because both read the same
+// underlying bucket counts (shared per-name histograms aggregate across
+// windows; with a single window they see identical observations).
+func TestMetricsAndStatsAgree(t *testing.T) {
+	srv, reg := newTelemetryServer(t, RegistryConfig{}, ServerConfig{})
+	svc, _ := reg.Get(DefaultWindow)
+	for i := 0; i < 50; i++ {
+		if err := svc.Submit([]Edge{{U: int32(i % 60), V: int32((i + 1) % 60)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Flush()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	res, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	exp, err := telemetry.ParseExposition(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, ms := range svc.Window().MonitorStats() {
+		lbl := map[string]string{"monitor": ms.Name}
+		count, ok := exp.Value("sw_monitor_apply_seconds_count", lbl)
+		if !ok {
+			t.Fatalf("no apply histogram for %s", ms.Name)
+		}
+		if int64(count) != ms.Ops {
+			t.Errorf("%s: /metrics count %v != /stats ops %d", ms.Name, count, ms.Ops)
+		}
+		sum, _ := exp.Value("sw_monitor_apply_seconds_sum", lbl)
+		if gotNS := int64(sum * 1e9); abs64(gotNS-ms.ApplyNS) > ms.ApplyNS/100+1000 {
+			t.Errorf("%s: /metrics sum %dns != /stats apply_ns %d", ms.Name, gotNS, ms.ApplyNS)
+		}
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestMetricNameLint walks every family a fully-wired process registers and
+// re-checks it against the naming rules — the registration-time panics
+// enforce this too, but only on code paths a given run exercises; this test
+// wires everything (durable registry, server, per-route histograms) and
+// sweeps the result.
+func TestMetricNameLint(t *testing.T) {
+	treg := telemetry.NewRegistry()
+	reg, _, err := OpenRegistry(RegistryConfig{
+		Telemetry: treg,
+		Template:  ServiceConfig{Window: WindowConfig{N: 32}},
+		Persistence: &PersistenceConfig{
+			Dir: t.TempDir(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Create("w", ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRegistryServer(reg, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	if _, err := ts.Client().Get(ts.URL + "/windows/w/query/summary"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	fams := treg.Families()
+	if len(fams) < 25 {
+		t.Fatalf("only %d families registered — wiring is missing whole subsystems", len(fams))
+	}
+	for _, f := range fams {
+		if err := telemetry.CheckMetricName(f.Name, f.Type); err != nil {
+			t.Errorf("family %q: %v", f.Name, err)
+		}
+		if !strings.HasPrefix(f.Name, "sw_") {
+			t.Errorf("family %q: missing sw_ namespace prefix", f.Name)
+		}
+		if f.Help == "" {
+			t.Errorf("family %q: no help text", f.Name)
+		}
+	}
+}
+
+// TestReadyzFlipsOnWALFailure pins the readiness semantics: ready on a
+// healthy durable registry, 503 with a wal_writable failure after an
+// append error is recorded (acknowledged data is missing from the log —
+// only a restart's recovery fixes that).
+func TestReadyzFlipsOnWALFailure(t *testing.T) {
+	treg := telemetry.NewRegistry()
+	reg, _, err := OpenRegistry(RegistryConfig{
+		Telemetry:   treg,
+		Template:    ServiceConfig{Window: WindowConfig{N: 32}},
+		Persistence: &PersistenceConfig{Dir: t.TempDir()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if _, err := reg.Create(DefaultWindow, ServiceConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewRegistryServer(reg, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	readyz := func() (int, map[string]any) {
+		t.Helper()
+		res, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var body map[string]any
+		if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return res.StatusCode, body
+	}
+
+	if code, body := readyz(); code != 200 || body["ready"] != true {
+		t.Fatalf("healthy /readyz = %d %v, want 200 ready", code, body)
+	}
+
+	// Simulate a WAL append failure through the same tally the recorder
+	// uses; /readyz must flip to 503 and name the failing check.
+	reg.persist.noteErr(errors.New("disk full"))
+	code, body := readyz()
+	if code != 503 || body["ready"] != false {
+		t.Fatalf("post-failure /readyz = %d %v, want 503 not-ready", code, body)
+	}
+	found := false
+	for _, c := range body["checks"].([]any) {
+		m := c.(map[string]any)
+		if m["name"] == "wal_writable" && m["ok"] == false {
+			found = true
+			if !strings.Contains(m["detail"].(string), "disk full") {
+				t.Errorf("wal_writable detail %q does not carry the cause", m["detail"])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no failing wal_writable check in %v", body["checks"])
+	}
+
+	// /healthz (liveness) stays 200 throughout: the process is up even
+	// when it should be drained of traffic.
+	res, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("/healthz = %d during WAL failure, want 200", res.StatusCode)
+	}
+}
+
+// TestReadyzRecoveryGate simulates an embedder's warm-up: flipping the
+// recovery_complete gate takes /readyz to 503 and back.
+func TestReadyzRecoveryGate(t *testing.T) {
+	srv, _ := newTelemetryServer(t, RegistryConfig{}, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	status := func() int {
+		t.Helper()
+		res, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		return res.StatusCode
+	}
+	if got := status(); got != 200 {
+		t.Fatalf("/readyz = %d, want 200", got)
+	}
+	srv.Health().SetGate("recovery_complete", false)
+	if got := status(); got != 503 {
+		t.Fatalf("/readyz with recovery gate down = %d, want 503", got)
+	}
+	srv.Health().SetGate("recovery_complete", true)
+	if got := status(); got != 200 {
+		t.Fatalf("/readyz after gate restored = %d, want 200", got)
+	}
+}
+
+// TestReadyzQueueBudget drives the ingest queue over the budget with a
+// blocked sink and checks the queue_budget probe trips.
+func TestReadyzQueueBudget(t *testing.T) {
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once bool
+	ing := NewIngester(IngesterConfig{MaxBatch: 1, QueueLen: 4}, func([]Edge) {
+		if !once {
+			once = true
+			close(first)
+		}
+		<-release
+	})
+	defer func() { close(release); ing.Close() }()
+	for i := 0; i < 5; i++ { // 1 in the sink + 4 filling the queue
+		if err := ing.Submit(Edge{U: 1, V: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-first
+	batches, edges := ing.QueueDepth()
+	if batches != 4 || edges != 4 {
+		t.Fatalf("QueueDepth = (%d, %d), want (4, 4)", batches, edges)
+	}
+	if ing.QueueCap() != 4 {
+		t.Fatalf("QueueCap = %d, want 4", ing.QueueCap())
+	}
+}
+
+// TestSlowBatchTrace checks the opt-in slow-batch structured record: with a
+// zero-ish threshold every batch is "slow" and the log carries the stage
+// attribution fields.
+func TestSlowBatchTrace(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	reg := NewRegistry(RegistryConfig{
+		Template:  ServiceConfig{Window: WindowConfig{N: 32}},
+		Logger:    logger,
+		SlowBatch: time.Nanosecond,
+	})
+	defer reg.Close()
+	svc, err := reg.Create("traced", ServiceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Submit([]Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
+
+	out := buf.String()
+	if !strings.Contains(out, "slow batch") {
+		t.Fatalf("no slow-batch record in log output: %q", out)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.SplitN(out, "\n", 2)[0]), &rec); err != nil {
+		t.Fatalf("slow-batch record is not JSON: %v", err)
+	}
+	for _, key := range []string{"window", "edges", "stage", "fanout", "slowest_monitor"} {
+		if _, ok := rec[key]; !ok {
+			t.Errorf("slow-batch record missing %q: %v", key, rec)
+		}
+	}
+	if rec["window"] != "traced" {
+		t.Errorf("slow-batch window = %v, want traced", rec["window"])
+	}
+}
+
+// TestIngestHotPathAllocs pins the instrumented submit path: Submit with
+// telemetry ON must not allocate beyond the pre-existing batch copy.
+func TestIngestHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	m := NewMetrics(telemetry.NewRegistry())
+	sunk := func([]Edge) {}
+	ing := newIngesterWith(IngesterConfig{MaxBatch: 4, QueueLen: 1 << 16}, sunk, m)
+	defer ing.Close()
+	batch := []Edge{{U: 1, V: 2}}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := ing.SubmitBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One alloc: the defensive copy SubmitBatch has always made. The
+	// telemetry must add zero.
+	if allocs > 1 {
+		t.Fatalf("SubmitBatch with telemetry = %.1f allocs/op, want <= 1", allocs)
+	}
+}

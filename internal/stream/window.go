@@ -1,8 +1,10 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +16,9 @@ var ErrNoMonitor = errors.New("stream: monitor not configured")
 
 // WindowConfig describes one managed window.
 type WindowConfig struct {
+	// Name identifies the window in trace/log output (slow-batch records,
+	// recovery lines). Purely informational; "" is fine for tests.
+	Name string
 	// N is the number of vertices (vertex ids are [0, N)).
 	N int
 	// Seed drives every randomized structure in the window.
@@ -149,6 +154,11 @@ type WindowManager struct {
 	// epoch is the seqlock word (see the type comment). Only the writer
 	// (under writerMu) advances it.
 	epoch atomic.Uint64
+
+	// metrics is the telemetry bundle (noMetrics when disabled — never
+	// nil, so observation sites are branch-only when off). Installed by
+	// setTelemetry during wiring, before the window is published.
+	metrics *Metrics
 }
 
 // NewWindowManager builds a window and its monitors.
@@ -163,7 +173,16 @@ func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WindowManager{cfg: cfg, mux: mux, retain: cfg.MaxAge > 0}, nil
+	return &WindowManager{cfg: cfg, mux: mux, retain: cfg.MaxAge > 0, metrics: noMetrics}, nil
+}
+
+// setTelemetry installs the telemetry bundle on the window and its fan-out
+// slots. Called during wiring, after recovery replay (so replay
+// mega-batches don't pollute the live histograms) and before the window is
+// published to producers.
+func (w *WindowManager) setTelemetry(m *Metrics) {
+	w.metrics = m.orNoop()
+	w.mux.setTelemetry(w.metrics)
 }
 
 // N returns the vertex-set size.
@@ -184,17 +203,29 @@ func (w *WindowManager) Apply(batch []Edge) {
 	w.writerMu.Lock()
 	defer w.writerMu.Unlock()
 	now := w.cfg.Clock.Now()
+	m := w.metrics
+	// Lifecycle timing costs extra monotonic clock reads, so it only runs
+	// for the telemetry registry or the slow-batch trace. Always the real
+	// clock, never the injected Clock — FakeClock does not advance during
+	// a call.
+	timed := m.on() || (m.SlowBatch > 0 && m.Logger != nil)
+	var stageStart time.Time
+	if timed {
+		stageStart = time.Now()
+	}
 
 	// Stage: everything under the narrow coordinator lock, no monitor
 	// work. After this block the op is durable (recorder) and counted;
 	// the monitors just haven't seen it yet — the epoch stays odd until
 	// they all have.
+	dropped := 0
 	w.coord.Lock()
 	valid := batch[:0]
 	n32 := int32(w.cfg.N)
 	for _, e := range batch {
 		if e.U < 0 || e.U >= n32 || e.V < 0 || e.V >= n32 || e.U == e.V {
 			w.stats.Dropped++
+			dropped++
 			continue
 		}
 		valid = append(valid, e)
@@ -231,6 +262,16 @@ func (w *WindowManager) Apply(batch []Edge) {
 	}
 	delta := w.stageExpiryLocked(now)
 	w.coord.Unlock()
+	if dropped > 0 {
+		m.edgesDropped.Add(int64(dropped))
+	}
+	if delta > 0 {
+		m.edgesExpired.Add(int64(delta))
+	}
+	var stageNS int64
+	if timed {
+		stageNS = time.Since(stageStart).Nanoseconds()
+	}
 
 	if len(valid) == 0 && delta == 0 {
 		return
@@ -240,14 +281,41 @@ func (w *WindowManager) Apply(batch []Edge) {
 	// deliberately not the injected Clock: FakeClock time does not
 	// advance during a call, and the stat must reflect real apply time.
 	w.epoch.Add(1)
+	m.applyInflight.Add(1)
 	applyStart := time.Now()
-	w.mux.Apply(valid, delta)
+	rep := w.mux.Apply(valid, delta)
 	applyNS := time.Since(applyStart).Nanoseconds()
+	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
 	if len(valid) > 0 {
 		w.coord.Lock()
 		w.stats.ApplyNS += applyNS
 		w.coord.Unlock()
+		m.batchesApplied.Inc()
+		m.edgesApplied.Add(int64(len(valid)))
+	}
+	if m.on() {
+		m.stageSeconds.ObserveVal(stageNS)
+		m.fanoutSeconds.ObserveVal(applyNS)
+		m.batchSeconds.ObserveVal(stageNS + applyNS)
+	}
+	// Slow-batch trace: one structured record per batch over the
+	// threshold, attributing the critical path (staging vs fan-out, and
+	// which monitor's apply dominated the fan-out).
+	if m.SlowBatch > 0 && m.Logger != nil {
+		if total := time.Duration(stageNS + applyNS); total > m.SlowBatch {
+			m.Logger.LogAttrs(context.Background(), slog.LevelWarn, "slow batch",
+				slog.String("window", w.cfg.Name),
+				slog.Int("edges", len(valid)),
+				slog.Int("expired", delta),
+				slog.Duration("total", total),
+				slog.Duration("stage", time.Duration(stageNS)),
+				slog.Duration("fanout", time.Duration(applyNS)),
+				slog.String("slowest_monitor", rep.slowest),
+				slog.Duration("slowest_apply", time.Duration(rep.applyNS)),
+				slog.Duration("max_lock_wait", time.Duration(rep.waitNS)),
+			)
+		}
 	}
 }
 
@@ -319,8 +387,12 @@ func (w *WindowManager) ExpireByAge(now time.Time) int {
 	if delta == 0 {
 		return 0
 	}
+	m := w.metrics
+	m.edgesExpired.Add(int64(delta))
 	w.epoch.Add(1)
+	m.applyInflight.Add(1)
 	w.mux.Apply(nil, delta)
+	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
 	return delta
 }

@@ -1,0 +1,132 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Health tracks liveness and readiness for the HTTP probes.
+//
+// Liveness is unconditional: if the process can serve /healthz, it is
+// alive. Readiness is the conjunction of two kinds of condition:
+//
+//   - gates: boolean latches flipped by the owning subsystem (e.g.
+//     "recovery complete"). A gate set false makes the process not-ready
+//     until its owner sets it true again.
+//   - checks: callbacks evaluated per probe (e.g. "WAL writable",
+//     "checkpoint age under bound", "queue under budget"). A check returns
+//     a non-empty string describing why the process is not ready, or ""
+//     when healthy.
+//
+// The split matters operationally: gates express lifecycle state the
+// subsystem knows synchronously; checks express conditions that can only
+// be judged by looking (a sticky WAL error, a stale checkpoint timestamp).
+type Health struct {
+	mu     sync.Mutex
+	gates  map[string]bool
+	checks map[string]func() string
+}
+
+// NewHealth returns a Health with no gates and no checks — ready by
+// default.
+func NewHealth() *Health {
+	return &Health{
+		gates:  make(map[string]bool),
+		checks: make(map[string]func() string),
+	}
+}
+
+// SetGate sets a named boolean gate. Nil-safe.
+func (h *Health) SetGate(name string, ready bool) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.gates[name] = ready
+	h.mu.Unlock()
+}
+
+// AddCheck registers a named readiness check. The callback must be safe
+// for concurrent use and should be cheap — it runs on every /readyz probe.
+// Nil-safe.
+func (h *Health) AddCheck(name string, fn func() string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.checks[name] = fn
+	h.mu.Unlock()
+}
+
+// probeResult is one line of the readiness report.
+type probeResult struct {
+	Name   string `json:"name"`
+	OK     bool   `json:"ok"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Ready evaluates all gates and checks. It returns overall readiness and
+// the per-condition breakdown, sorted by name for stable output.
+func (h *Health) Ready() (bool, []probeResult) {
+	if h == nil {
+		return true, nil
+	}
+	h.mu.Lock()
+	gates := make(map[string]bool, len(h.gates))
+	for k, v := range h.gates {
+		gates[k] = v
+	}
+	checks := make(map[string]func() string, len(h.checks))
+	for k, v := range h.checks {
+		checks[k] = v
+	}
+	h.mu.Unlock()
+
+	results := make([]probeResult, 0, len(gates)+len(checks))
+	ok := true
+	for name, ready := range gates {
+		r := probeResult{Name: name, OK: ready}
+		if !ready {
+			r.Detail = "gate closed"
+			ok = false
+		}
+		results = append(results, r)
+	}
+	for name, fn := range checks {
+		detail := fn()
+		r := probeResult{Name: name, OK: detail == "", Detail: detail}
+		if detail != "" {
+			ok = false
+		}
+		results = append(results, r)
+	}
+	sort.Slice(results, func(i, j int) bool { return results[i].Name < results[j].Name })
+	return ok, results
+}
+
+// LiveHandler serves GET /healthz: 200 "ok" whenever the process can
+// answer at all.
+func (h *Health) LiveHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+}
+
+// ReadyHandler serves GET /readyz: 200 with a JSON breakdown when every
+// gate and check passes, 503 with the same breakdown otherwise.
+func (h *Health) ReadyHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		ok, results := h.Ready()
+		w.Header().Set("Content-Type", "application/json")
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(struct {
+			Ready  bool          `json:"ready"`
+			Checks []probeResult `json:"checks"`
+		}{Ready: ok, Checks: results})
+	})
+}

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The zero value is usable;
+// a nil *Counter is a no-op, so unwired instrumentation costs one branch.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n (n must be >= 0; negative deltas are a bug and are dropped).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous int64 value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a log₂-bucketed histogram over non-negative int64 values.
+// Bucket i holds values v with bits.Len64(v) == i, i.e. v in
+// [2^(i-1), 2^i). An observation is three uncontended atomic adds and at
+// most one CAS (new max) — no locks, no allocations. The zero value is a
+// usable raw-unit histogram; registry-created duration histograms store
+// nanoseconds and expose seconds.
+//
+// Quantiles are bucket-upper-bound estimates (same semantics as the
+// pre-telemetry LatencyRecorder): p99 answers "99% of observations were at
+// most this", rounded up to a power of two and clamped to the true max.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	sum     atomic.Int64
+	count   atomic.Int64
+	max     atomic.Int64
+	seconds bool // exposition divides by 1e9 (set by Registry.Histogram)
+}
+
+const histBuckets = 64
+
+// Observe records a duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	h.ObserveVal(int64(d))
+}
+
+// ObserveVal records a raw value. Negative values clamp to zero.
+func (h *Histogram) ObserveVal(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time read of a histogram, in the
+// histogram's stored units (nanoseconds for duration histograms).
+type HistogramSnapshot struct {
+	Count int64
+	Sum   int64
+	Mean  int64
+	P50   int64
+	P99   int64
+	Max   int64
+}
+
+// Snapshot computes count/mean/quantiles/max. Buckets are read without a
+// global lock, so a snapshot taken during concurrent observation is
+// approximate — fine for monitoring.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	if h == nil {
+		return s
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	if s.Count == 0 {
+		return s
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	s.Mean = s.Sum / s.Count
+	s.P50 = quantile(&counts, s.Count, s.Max, 0.50)
+	s.P99 = quantile(&counts, s.Count, s.Max, 0.99)
+	return s
+}
+
+// quantile returns the upper bound of the bucket containing the q-th
+// ranked observation, clamped to the observed max.
+func quantile(counts *[histBuckets]int64, total, max int64, q float64) int64 {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += counts[i]
+		if cum >= rank {
+			upper := bucketUpper(i)
+			if upper > max {
+				upper = max
+			}
+			return upper
+		}
+	}
+	return max
+}
+
+// bucketUpper is the largest value bucket i can hold: 2^i − 1 (bucket 0
+// holds only zero).
+func bucketUpper(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return math.MaxInt64
+	}
+	return 1<<uint(i) - 1
+}
+
+// Exposition bucket schedule: emitting all 64 internal buckets per family
+// would bloat the scrape, so cumulative counts are aggregated onto every
+// second power of two. Duration histograms cover ~1µs..~69s (internal
+// buckets 10..36), raw-unit histograms cover 3..~4.3e9 (buckets 2..32);
+// everything above the last bound lands in +Inf. Bounds are exact bucket
+// upper bounds (2^i − 1), so cumulative counts are exact, not interpolated.
+const (
+	expoStride = 2
+	expoSecLo  = 10
+	expoSecHi  = 36
+	expoRawLo  = 2
+	expoRawHi  = 32
+)
+
+// write renders the _bucket/_sum/_count exposition lines for one child.
+func (h *Histogram) write(b *strings.Builder, name string, labels []Label) {
+	var counts [histBuckets]int64
+	var total int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	sum := h.sum.Load()
+
+	lo, hi := expoRawLo, expoRawHi
+	if h.seconds {
+		lo, hi = expoSecLo, expoSecHi
+	}
+	var cum int64
+	next := 0
+	for i := lo; i <= hi; i += expoStride {
+		for ; next <= i; next++ {
+			cum += counts[next]
+		}
+		upper := float64(bucketUpper(i))
+		if h.seconds {
+			upper /= 1e9
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, labels, "le", formatFloat(upper))
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(float64(cum)))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	writeLabels(b, labels, "le", "+Inf")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(float64(total)))
+	b.WriteByte('\n')
+
+	fsum := float64(sum)
+	if h.seconds {
+		fsum /= 1e9
+	}
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, labels, "", "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(fsum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, labels, "", "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(float64(total)))
+	b.WriteByte('\n')
+}

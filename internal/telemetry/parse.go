@@ -1,0 +1,323 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a small Prometheus text-exposition parser and validator.
+// It exists so the things that consume our own /metrics output — the
+// golden test, the CI smoke step, and swload's scraper — share one strict
+// reader instead of three ad-hoc regexes. It parses the subset this
+// package emits (HELP, TYPE, samples with optional labels; no timestamps,
+// no exemplars) and rejects anything malformed.
+
+// Sample is one exposition sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Types   map[string]MetricType
+	Help    map[string]string
+	Samples []Sample
+}
+
+// ParseExposition reads Prometheus text format. It returns an error on any
+// line it cannot parse — a scrape this package emitted must round-trip.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	e := &Exposition{
+		Types: make(map[string]MetricType),
+		Help:  make(map[string]string),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, _ := strings.Cut(rest, " ")
+			if !validName(name) {
+				return nil, fmt.Errorf("line %d: invalid HELP metric name %q", lineNo, name)
+			}
+			e.Help[name] = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch MetricType(typ) {
+			case TypeCounter, TypeGauge, TypeHistogram:
+				e.Types[name] = MetricType(typ)
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal exposition
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		e.Samples = append(e.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseSample(line string) (Sample, error) {
+	s := Sample{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var nameEnd int
+	if brace >= 0 {
+		nameEnd = brace
+	} else if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		nameEnd = sp
+	} else {
+		return s, fmt.Errorf("malformed sample %q", line)
+	}
+	s.Name = rest[:nameEnd]
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	rest = rest[nameEnd:]
+	if brace >= 0 {
+		end, labels, err := parseLabelSet(rest)
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = rest[end:]
+	}
+	rest = strings.TrimLeft(rest, " ")
+	val, _, _ := strings.Cut(rest, " ") // ignore optional timestamp
+	f, err := parseValue(val)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q in %q", val, line)
+	}
+	s.Value = f
+	return s, nil
+}
+
+func parseValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "Inf":
+		return strconv.ParseFloat("+Inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-Inf", 64)
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// parseLabelSet parses a {a="x",...} block starting at s[0]=='{' and
+// returns the index just past the closing brace.
+func parseLabelSet(s string) (int, map[string]string, error) {
+	labels := make(map[string]string)
+	i := 1 // past '{'
+	for {
+		if i >= len(s) {
+			return 0, nil, fmt.Errorf("unterminated label set")
+		}
+		if s[i] == '}' {
+			return i + 1, labels, nil
+		}
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return 0, nil, fmt.Errorf("malformed label set %q", s)
+		}
+		name := s[i : i+eq]
+		i += eq + 1
+		if i >= len(s) || s[i] != '"' {
+			return 0, nil, fmt.Errorf("unquoted label value in %q", s)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(s) {
+				return 0, nil, fmt.Errorf("unterminated label value in %q", s)
+			}
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return 0, nil, fmt.Errorf("bad escape in label value in %q", s)
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				i++
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		labels[name] = b.String()
+		if i < len(s) && s[i] == ',' {
+			i++
+		}
+	}
+}
+
+// Value looks up a sample by exact name and label match (nil/empty labels
+// match an unlabeled sample).
+func (e *Exposition) Value(name string, labels map[string]string) (float64, bool) {
+	for _, s := range e.Samples {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		ok := true
+		for k, v := range labels {
+			if s.Labels[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// familyOf maps a sample name to its family name: histogram series carry
+// _bucket/_sum/_count suffixes.
+func (e *Exposition) familyOf(sample string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(sample, suf)
+		if base != sample {
+			if e.Types[base] == TypeHistogram {
+				return base
+			}
+		}
+	}
+	return sample
+}
+
+// Validate checks structural invariants of the scrape:
+//   - every sample belongs to a family with a TYPE line;
+//   - counter samples are non-negative and finite;
+//   - every histogram has a +Inf bucket per child, bucket counts are
+//     cumulative (non-decreasing in le order), and +Inf equals _count.
+func (e *Exposition) Validate() error {
+	type histChild struct {
+		buckets map[float64]float64 // le → cumulative count
+		count   float64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histChild)
+
+	childKey := func(family string, labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString(family)
+		for _, k := range keys {
+			b.WriteByte(1)
+			b.WriteString(k)
+			b.WriteByte(2)
+			b.WriteString(labels[k])
+		}
+		return b.String()
+	}
+
+	for _, s := range e.Samples {
+		fam := e.familyOf(s.Name)
+		typ, ok := e.Types[fam]
+		if !ok {
+			return fmt.Errorf("sample %q has no TYPE line", s.Name)
+		}
+		switch typ {
+		case TypeCounter:
+			if s.Value < 0 {
+				return fmt.Errorf("counter %q has negative value %v", s.Name, s.Value)
+			}
+		case TypeHistogram:
+			key := childKey(fam, s.Labels)
+			hc := hists[key]
+			if hc == nil {
+				hc = &histChild{buckets: make(map[float64]float64)}
+				hists[key] = hc
+			}
+			switch {
+			case strings.HasSuffix(s.Name, "_bucket"):
+				le, leOK := s.Labels["le"]
+				if !leOK {
+					return fmt.Errorf("histogram bucket %q missing le label", s.Name)
+				}
+				f, err := parseValue(le)
+				if err != nil {
+					return fmt.Errorf("histogram %q has bad le %q", fam, le)
+				}
+				hc.buckets[f] = s.Value
+			case strings.HasSuffix(s.Name, "_count"):
+				hc.count = s.Value
+				hc.hasCnt = true
+			}
+		}
+	}
+
+	for key, hc := range hists {
+		fam, _, _ := strings.Cut(key, "\x01")
+		les := make([]float64, 0, len(hc.buckets))
+		hasInf := false
+		for le := range hc.buckets {
+			les = append(les, le)
+			if math.IsInf(le, +1) {
+				hasInf = true
+			}
+		}
+		if !hasInf {
+			return fmt.Errorf("histogram %q missing +Inf bucket", fam)
+		}
+		sort.Float64s(les)
+		prev := -1.0
+		first := true
+		for _, le := range les {
+			v := hc.buckets[le]
+			if !first && v < prev {
+				return fmt.Errorf("histogram %q buckets not cumulative at le=%v", fam, le)
+			}
+			prev = v
+			first = false
+		}
+		if hc.hasCnt && hc.buckets[les[len(les)-1]] != hc.count {
+			return fmt.Errorf("histogram %q +Inf bucket %v != count %v",
+				fam, hc.buckets[les[len(les)-1]], hc.count)
+		}
+	}
+	return nil
+}

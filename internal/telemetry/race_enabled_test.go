@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled mirrors the build-tag pattern used by internal/stream:
+// alloc-count assertions are skipped under -race because the race runtime
+// allocates on atomic instrumentation paths.
+const raceEnabled = true

@@ -41,6 +41,22 @@ type Options struct {
 	Sync SyncPolicy
 	// SyncEvery is the SyncInterval period (default 100ms).
 	SyncEvery time.Duration
+
+	// Observation hooks, all optional. The wal package stays free of any
+	// metrics dependency; the stream layer injects closures that feed its
+	// telemetry registry. Hooks run outside l.mu where possible and must
+	// be cheap and non-blocking.
+	//
+	// ObserveAppend fires once per written record with the write latency
+	// (encode + write, excluding any fsync), the edge count, and the
+	// encoded byte size.
+	ObserveAppend func(d time.Duration, edges, bytes int)
+	// ObserveFsync fires once per fsync of the active segment with its
+	// latency.
+	ObserveFsync func(d time.Duration)
+	// ObserveRepair fires when Open truncates a torn or corrupt tail,
+	// with the number of bytes discarded.
+	ObserveRepair func(bytes int64)
 }
 
 func (o Options) withDefaults() Options {
@@ -144,6 +160,9 @@ func (l *Log) openTail() error {
 			f.Close()
 			return err
 		}
+		if l.opt.ObserveRepair != nil {
+			l.opt.ObserveRepair(int64(len(data) - valid))
+		}
 	}
 	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
 		f.Close()
@@ -239,6 +258,10 @@ func (l *Log) Append(edges []Edge) (uint64, error) {
 // appendLocked encodes and writes one record, rotating and syncing per
 // policy. Callers hold l.mu and have bounded len(edges).
 func (l *Log) appendLocked(edges []Edge) error {
+	var t0 time.Time
+	if l.opt.ObserveAppend != nil {
+		t0 = time.Now()
+	}
 	l.scratch = appendRecord(l.scratch[:0], l.nextSeq, edges)
 	if l.f == nil || (l.size > 0 && l.size+int64(len(l.scratch)) > l.opt.SegmentBytes) {
 		if err := l.rotateLocked(); err != nil {
@@ -262,6 +285,9 @@ func (l *Log) appendLocked(edges []Edge) error {
 	}
 	l.size += int64(len(l.scratch))
 	l.nextSeq += uint64(len(edges))
+	if l.opt.ObserveAppend != nil {
+		l.opt.ObserveAppend(time.Since(t0), len(edges), len(l.scratch))
+	}
 	switch l.opt.Sync {
 	case SyncBatch:
 		if err := l.syncLocked(); err != nil {
@@ -316,7 +342,13 @@ func (l *Log) syncLocked() error {
 	if l.f == nil {
 		return nil
 	}
-	return l.f.Sync()
+	if l.opt.ObserveFsync == nil {
+		return l.f.Sync()
+	}
+	t0 := time.Now()
+	err := l.f.Sync()
+	l.opt.ObserveFsync(time.Since(t0))
+	return err
 }
 
 // Prune deletes segments that hold only expired arrivals: every segment
