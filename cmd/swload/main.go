@@ -110,6 +110,7 @@ type options struct {
 	delay         time.Duration
 	monitors      string
 	seed          int64
+	seqLevels     bool
 	compare       bool
 	fanoutCompare bool
 	wal           bool
@@ -163,6 +164,12 @@ type LoadResult struct {
 	ServerBatches int64   `json:"server_batches"`
 	MeanBatchSize float64 `json:"mean_batch_size"`
 	MeanApplyMs   float64 `json:"mean_apply_ms,omitempty"`
+	// MSFWeightApplyMs is the msfweight monitor's mean write-lock hold per
+	// applied op — the number the intra-monitor level fork-join moves
+	// (aggregated across windows). ApplyParallelism is the effective level
+	// fork-join width the run used (1 = -seq-levels).
+	MSFWeightApplyMs float64 `json:"msfweight_mean_apply_ms,omitempty"`
+	ApplyParallelism int     `json:"apply_parallelism,omitempty"`
 	Posts         int64   `json:"posts"`
 	PostP50Ms     float64 `json:"post_p50_ms"`
 	PostP99Ms     float64 `json:"post_p99_ms"`
@@ -233,6 +240,8 @@ func main() {
 	flag.DurationVar(&o.delay, "delay", 5*time.Millisecond, "ingester flush deadline (in-process server)")
 	flag.StringVar(&o.monitors, "monitors", "conn", "monitors for the in-process server")
 	flag.Int64Var(&o.seed, "seed", 0xC0FFEE, "workload seed")
+	flag.BoolVar(&o.seqLevels, "seq-levels", false,
+		"force sequential msfweight level application (ApplyParallelism=1) instead of the default fork-join over connectivity levels — the intra-monitor parallelism measurement toggle (in-process only)")
 	flag.BoolVar(&o.compare, "compare", false, "run batched vs one-edge-per-batch on the same stream (in-process only)")
 	flag.BoolVar(&o.fanoutCompare, "fanout-compare", false, "run parallel vs sequential monitor fan-out with all monitors (in-process only)")
 	flag.BoolVar(&o.wal, "wal", false, "run durable (write-ahead logged) vs in-memory ingest, then measure crash-recovery replay (in-process only)")
@@ -266,8 +275,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swload: -snapshot-threshold must be a positive arrival count, or -1 to disable")
 		os.Exit(2)
 	}
-	if (o.compare || o.fanoutCompare || o.wal || o.mixed || o.telemCompare || o.windows > 1) && o.url != "" {
-		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-mixed/-telemetry-compare/-windows need the in-process server; drop -url")
+	if (o.compare || o.fanoutCompare || o.wal || o.mixed || o.telemCompare || o.seqLevels || o.windows > 1) && o.url != "" {
+		fmt.Fprintln(os.Stderr, "-compare/-fanout-compare/-wal/-mixed/-telemetry-compare/-seq-levels/-windows need the in-process server; drop -url")
 		os.Exit(2)
 	}
 	if b2i(o.compare)+b2i(o.fanoutCompare)+b2i(o.wal)+b2i(o.mixed)+b2i(o.checkMetrics)+b2i(o.telemCompare) > 1 {
@@ -490,9 +499,10 @@ func runMixed(o options) LoadResult {
 		Telemetry: telemetry.NewRegistry(),
 		Template: stream.ServiceConfig{
 			Window: stream.WindowConfig{
-				N:           o.n,
-				Seed:        uint64(o.seed),
-				MaxArrivals: o.window,
+				N:                o.n,
+				Seed:             uint64(o.seed),
+				MaxArrivals:      o.window,
+				ApplyParallelism: applyParallelism(o),
 				// Monitors deliberately left unset = ALL monitors: the
 				// harness exists to show queries contending with the full
 				// fan-out, so -monitors is ignored in this mode.
@@ -735,12 +745,18 @@ func runMixed(o options) LoadResult {
 		res.MeanBatchSize = float64(st.Arrivals) / float64(st.Batches)
 		res.MeanApplyMs = float64(st.ApplyNS) / float64(st.Batches) / 1e6
 	}
+	res.ApplyParallelism = svc.Window().ApplyParallelism()
+	for _, ms := range svc.Window().MonitorStats() {
+		if ms.Name == stream.MonitorMSFWeight && ms.Ops > 0 {
+			res.MSFWeightApplyMs = float64(ms.ApplyNS) / float64(ms.Ops) / 1e6
+		}
+	}
 	return res
 }
 
 func printMixed(r LoadResult) {
-	fmt.Printf("== mixed workload (GOMAXPROCS=%d, producers=%d, readers=%d) ==\n",
-		r.Gomaxprocs, r.Producers, r.Readers)
+	fmt.Printf("== mixed workload (GOMAXPROCS=%d, producers=%d, readers=%d, apply-parallelism=%d) ==\n",
+		r.Gomaxprocs, r.Producers, r.Readers, r.ApplyParallelism)
 	fmt.Printf("  ingest: %d edges in %.2fs  →  %.0f edges/sec (batches %d, mean size %.1f, mean apply %.3fms)\n",
 		r.Edges, r.ElapsedSec, r.EdgesPerSec, r.ServerBatches, r.MeanBatchSize, r.MeanApplyMs)
 	fmt.Printf("  POST   p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
@@ -1096,6 +1112,7 @@ func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool,
 				Monitors:         stream.SplitMonitors(o.monitors),
 				MaxArrivals:      o.window,
 				SequentialFanout: seqFanout,
+				ApplyParallelism: applyParallelism(o),
 			},
 			Ingest: stream.IngesterConfig{MaxBatch: maxBatch, MaxDelay: o.delay},
 		},
@@ -1187,7 +1204,35 @@ func runInProc(o options, mode string, maxBatch int, seqFanout, oneAtATime bool,
 		res.MeanApplyMs = float64(applyNS) / float64(batches) / 1e6
 	}
 
+	// Per-monitor view of the same window set: the msfweight mean apply is
+	// the intra-monitor fork-join's headline number.
+	var msfOps, msfNS int64
+	for _, svc := range svcs {
+		for _, ms := range svc.Window().MonitorStats() {
+			if ms.Name == stream.MonitorMSFWeight {
+				msfOps += ms.Ops
+				msfNS += ms.ApplyNS
+			}
+		}
+	}
+	if msfOps > 0 {
+		res.MSFWeightApplyMs = float64(msfNS) / float64(msfOps) / 1e6
+	}
+	if len(svcs) > 0 {
+		res.ApplyParallelism = svcs[0].Window().ApplyParallelism()
+	}
+
 	return res
+}
+
+// applyParallelism maps the CLI toggle onto WindowConfig.ApplyParallelism:
+// -seq-levels pins sequential level application, otherwise the registry
+// default (GOMAXPROCS-wide shared budget) stands.
+func applyParallelism(o options) int {
+	if o.seqLevels {
+		return 1
+	}
+	return 0
 }
 
 // runLoad fires o.producers concurrent POST loops plus o.readers query
@@ -1393,6 +1438,10 @@ func printResult(r LoadResult) {
 	fmt.Printf("  server batches: %d (mean size %.1f)\n", r.ServerBatches, r.MeanBatchSize)
 	if r.MeanApplyMs > 0 {
 		fmt.Printf("  mean apply (write-lock hold): %.3fms/batch\n", r.MeanApplyMs)
+	}
+	if r.MSFWeightApplyMs > 0 {
+		fmt.Printf("  msfweight mean apply: %.3fms/op (apply-parallelism=%d)\n",
+			r.MSFWeightApplyMs, r.ApplyParallelism)
 	}
 	fmt.Printf("  POST  p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
 	fmt.Printf("  query p50 %.3fms  p99 %.3fms  (%d requests)\n", r.QueryP50Ms, r.QueryP99Ms, r.Queries)

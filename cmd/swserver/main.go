@@ -91,6 +91,8 @@ func main() {
 	maxWindows := flag.Int("maxwindows", 0, "cap on live windows (0 = unlimited)")
 	windows := flag.String("windows", "", "comma-separated extra windows to pre-create from the template")
 	seqFanout := flag.Bool("seqfanout", false, "apply batches to monitors sequentially instead of in parallel")
+	applyPar := flag.Int("apply-parallelism", 0,
+		"intra-monitor batch-apply worker budget shared by all windows (msfweight level fork-join): 0 = GOMAXPROCS, 1 = sequential levels")
 	maxBody := flag.Int64("maxbody", stream.DefaultMaxBodyBytes, "request body size cap in bytes")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + manifest); empty = in-memory only")
@@ -125,6 +127,7 @@ func main() {
 			MaxArrivals:      *window,
 			MaxAge:           *maxAge,
 			SequentialFanout: *seqFanout,
+			ApplyParallelism: *applyPar,
 		},
 		Ingest: stream.IngesterConfig{MaxBatch: *batch, MaxDelay: *delay},
 	}
@@ -218,6 +221,7 @@ func main() {
 		"n", *n, "monitors", *monitors, "window", *window, "maxage", *maxAge,
 		"batch", *batch, "delay", *delay,
 		"fanout", map[bool]string{false: "parallel", true: "sequential"}[*seqFanout],
+		"apply_parallelism", *applyPar,
 		"durability", durability, "metrics", *metricsOn, "pprof", *pprofOn)
 
 	select {

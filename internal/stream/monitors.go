@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 
+	"repro/internal/parallel"
 	"repro/internal/sw"
 )
 
@@ -40,17 +41,19 @@ func (c *MonitorConfig) withDefaults() MonitorConfig {
 // monitor's write lock with exactly one writer in the pipeline, and the
 // sw structures convert the slice into their own representation before
 // returning, retaining nothing.
-func newMonitor(name string, n int, cfg MonitorConfig, seed uint64) (Monitor, error) {
+func newMonitor(name string, n int, cfg MonitorConfig, seed uint64, workers *parallel.Limiter) (Monitor, error) {
 	switch name {
 	case MonitorConn:
 		return &connMonitor{c: sw.NewConnEager(n, seed)}, nil
 	case MonitorBipartite:
 		return &bipartiteMonitor{b: sw.NewBipartite(n, seed)}, nil
 	case MonitorMSFWeight:
-		return &msfWeightMonitor{
-			a:    sw.NewApproxMSF(n, cfg.Eps, cfg.MaxWeight, seed),
-			maxW: cfg.MaxWeight,
-		}, nil
+		a := sw.NewApproxMSF(n, cfg.Eps, cfg.MaxWeight, seed)
+		// The level fork-join borrows from the window's (or registry's)
+		// shared budget, so nested parallelism — monitor fan-out × level
+		// fan-out × N windows — stays bounded by one configured number.
+		a.SetWorkers(workers)
+		return &msfWeightMonitor{a: a, maxW: cfg.MaxWeight}, nil
 	case MonitorKCert:
 		return &kcertMonitor{k: sw.NewKCert(n, cfg.K, seed)}, nil
 	case MonitorCycleFree:

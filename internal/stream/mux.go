@@ -97,7 +97,10 @@ type fanoutReport struct {
 
 // NewMultiplexer builds a multiplexer over the named monitors. sequential
 // forces one-monitor-at-a-time fan-out; the default is parallel fork-join.
-func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, sequential bool) (*Multiplexer, error) {
+// workers is the budget monitors with internal fork-joins (msfweight's
+// per-level apply) borrow auxiliary goroutines from; nil uses the
+// process-wide default budget.
+func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, sequential bool, workers *parallel.Limiter) (*Multiplexer, error) {
 	if len(names) == 0 {
 		names = AllMonitors()
 	}
@@ -107,7 +110,7 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 		if _, dup := m.byName[name]; dup {
 			continue
 		}
-		mon, err := newMonitor(name, n, cfg, seed+uint64(i)*0x9e3779b97f4a7c15+1)
+		mon, err := newMonitor(name, n, cfg, seed+uint64(i)*0x9e3779b97f4a7c15+1, workers)
 		if err != nil {
 			return nil, err
 		}

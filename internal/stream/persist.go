@@ -174,7 +174,10 @@ func metaFromConfig(cfg ServiceConfig) windowMeta {
 
 // configFromMeta rebuilds a ServiceConfig, borrowing clocks from the
 // template (tests inject FakeClock through it; production leaves it nil
-// and gets the real clock).
+// and gets the real clock). ApplyParallelism is a deployment knob like the
+// clocks, not window identity, so it too comes from the template rather
+// than the manifest — recovery replay mega-batches fork-join levels under
+// whatever budget THIS boot configured.
 func configFromMeta(m windowMeta, tpl ServiceConfig) ServiceConfig {
 	return ServiceConfig{
 		Window: WindowConfig{
@@ -186,6 +189,8 @@ func configFromMeta(m windowMeta, tpl ServiceConfig) ServiceConfig {
 			MaxAge:           time.Duration(m.MaxAgeNS),
 			Clock:            tpl.Window.Clock,
 			SequentialFanout: m.SequentialFanout,
+			ApplyParallelism: tpl.Window.ApplyParallelism,
+			workers:          tpl.Window.workers,
 		},
 		Ingest: IngesterConfig{
 			MaxBatch: m.MaxBatch,
@@ -1020,6 +1025,9 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 	}
 	sort.Strings(names)
 	tpl := r.cfg.Template.withClockDefaults()
+	// Recovered windows share the registry's fork-join budget exactly like
+	// created ones (configFromMeta forwards it from the template).
+	tpl.Window.workers = r.workers
 	// abort unwinds a partial recovery WITHOUT touching the on-disk
 	// manifest: one window's corruption must not erase the durable
 	// registration of windows not yet (or already) recovered. The logs

@@ -4,11 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 )
 
@@ -127,6 +129,15 @@ type WindowRegistry struct {
 	// structured logger (never nil — a discard logger when unset).
 	metrics *Metrics
 	logger  *slog.Logger
+
+	// workers is the intra-monitor fork-join budget shared by every window
+	// the registry creates or recovers, sized once from the template's
+	// ApplyParallelism (see WindowConfig). One budget across all windows
+	// keeps total auxiliary parallelism at the configured number no matter
+	// how many windows apply batches at once. applyParallelism is the
+	// effective total (callers + auxiliaries) the gauge reports.
+	workers          *parallel.Limiter
+	applyParallelism int
 }
 
 // NewRegistry returns an empty registry.
@@ -141,11 +152,21 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 	if r.logger == nil {
 		r.logger = slog.New(slog.DiscardHandler)
 	}
+	if p := cfg.Template.Window.ApplyParallelism; p > 0 {
+		r.workers = parallel.NewLimiter(p - 1)
+		r.applyParallelism = p
+	} else {
+		r.workers = parallel.Default()
+		r.applyParallelism = runtime.GOMAXPROCS(0)
+	}
 	switch {
 	case cfg.Telemetry != nil:
 		r.metrics = NewMetrics(cfg.Telemetry)
 		cfg.Telemetry.GaugeFunc("sw_windows_live",
 			"Live windows registered.", func() float64 { return float64(r.Len()) })
+		cfg.Telemetry.GaugeFunc("sw_apply_parallelism",
+			"Shared intra-monitor batch-apply worker budget (caller + auxiliaries).",
+			func() float64 { return float64(r.applyParallelism) })
 	case cfg.SlowBatch > 0 && cfg.Logger != nil:
 		// Slow-batch tracing without a metrics registry: a private zero
 		// bundle carries the threshold and logger (mutating the shared
@@ -238,6 +259,9 @@ func mergeTemplate(cfg, tpl ServiceConfig) ServiceConfig {
 	if cfg.Window.MaxAge == 0 {
 		cfg.Window.MaxAge = tpl.Window.MaxAge
 	}
+	if cfg.Window.ApplyParallelism == 0 {
+		cfg.Window.ApplyParallelism = tpl.Window.ApplyParallelism
+	}
 	if cfg.Window.Clock == nil {
 		cfg.Window.Clock = tpl.Window.Clock
 	}
@@ -292,6 +316,7 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 	}
 	cfg = mergeTemplate(cfg, r.cfg.Template)
 	cfg.Window.Name = name
+	cfg.Window.workers = r.workers
 	cfg.Telemetry = r.metrics
 	if err := r.reserve(); err != nil {
 		return nil, err

@@ -108,6 +108,12 @@ type createWindowRequest struct {
 	// SequentialFanout is tri-state: absent inherits the registry
 	// template's fan-out mode, an explicit true/false overrides it.
 	SequentialFanout *bool `json:"sequential_fanout,omitempty"`
+	// ApplyParallelism tunes the intra-monitor fork-join of the batch
+	// apply: 0/absent inherits the registry's shared budget, 1 forces
+	// sequential level application for this window (values above 1 are
+	// registry-level — the shared budget is sized from the server's
+	// template, so a per-window >1 still draws from it).
+	ApplyParallelism int `json:"apply_parallelism,omitempty"`
 }
 
 // NewServer wraps one Service in the HTTP front-end as the default window
@@ -378,6 +384,7 @@ func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
 			MaxArrivals:      req.MaxArrivals,
 			MaxAge:           time.Duration(req.MaxAgeMS) * time.Millisecond,
 			SequentialFanout: seqFanout,
+			ApplyParallelism: req.ApplyParallelism,
 		},
 		Ingest: IngesterConfig{
 			MaxBatch: req.MaxBatch,
@@ -643,7 +650,11 @@ func windowStatsBody(svc *Service) map[string]any {
 	// per-monitor locking the interesting production number is per
 	// monitor — whose apply a query waits behind (mean_apply_ms) and how
 	// hard readers push back on the writer (mean_wait_ms).
-	apply := map[string]any{}
+	apply := map[string]any{
+		// Effective intra-monitor fork-join width (caller + auxiliaries;
+		// 1 = sequential levels) — shared across windows in a registry.
+		"parallelism": svc.Window().ApplyParallelism(),
+	}
 	if win.Batches > 0 {
 		apply["mean_batch_ms"] = float64(win.ApplyNS) / float64(win.Batches) / 1e6
 	}

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/parallel"
 )
 
 // ErrNoMonitor is wrapped by query methods whose monitor is not configured.
@@ -45,6 +47,23 @@ type WindowConfig struct {
 	// switch exists for measurement (swload -fanout-compare) and for
 	// pinning down fan-out bugs.
 	SequentialFanout bool
+	// ApplyParallelism budgets the intra-monitor fork-join of the batch
+	// apply — today the msfweight monitor's per-level fan-out, which also
+	// covers expiry and recovery replay since they run through the same
+	// entry points. 0 inherits: the registry's shared budget when the
+	// window belongs to one, the process-wide GOMAXPROCS-sized budget
+	// otherwise. 1 forces sequential level application (the measurement /
+	// differential-debug mode behind swload -seq-levels). p > 1 sizes a
+	// private budget of the caller plus p-1 auxiliary workers — honoured
+	// on standalone windows; inside a registry the budget is shared and
+	// sized from the registry template, so N windows × R levels cannot
+	// stampede goroutines multiplicatively.
+	ApplyParallelism int
+
+	// workers is the resolved shared worker budget a registry injects into
+	// the windows it creates; nil on standalone windows. A per-window
+	// ApplyParallelism of 1 still overrides it with an empty budget.
+	workers *parallel.Limiter
 }
 
 // WindowStats is a point-in-time snapshot of a window's counters.
@@ -115,6 +134,10 @@ type WindowManager struct {
 	cfg WindowConfig
 	mux *Multiplexer
 
+	// workers is the resolved intra-monitor fork-join budget the monitors
+	// were built with (never nil; see resolveApplyWorkers).
+	workers *parallel.Limiter
+
 	// writerMu serializes Apply and ExpireByAge (see above).
 	writerMu sync.Mutex
 
@@ -169,11 +192,27 @@ func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = RealClock()
 	}
-	mux, err := NewMultiplexer(cfg.Monitors, cfg.N, cfg.Monitor, cfg.Seed, cfg.SequentialFanout)
+	workers := resolveApplyWorkers(cfg)
+	mux, err := NewMultiplexer(cfg.Monitors, cfg.N, cfg.Monitor, cfg.Seed, cfg.SequentialFanout, workers)
 	if err != nil {
 		return nil, err
 	}
-	return &WindowManager{cfg: cfg, mux: mux, retain: cfg.MaxAge > 0, metrics: noMetrics}, nil
+	return &WindowManager{cfg: cfg, mux: mux, workers: workers, retain: cfg.MaxAge > 0, metrics: noMetrics}, nil
+}
+
+// resolveApplyWorkers picks the intra-monitor fork-join budget the window's
+// monitors apply batches with (see WindowConfig.ApplyParallelism).
+func resolveApplyWorkers(cfg WindowConfig) *parallel.Limiter {
+	switch {
+	case cfg.ApplyParallelism == 1:
+		return parallel.NewLimiter(0) // sequential: a budget that never grants
+	case cfg.workers != nil:
+		return cfg.workers
+	case cfg.ApplyParallelism > 1:
+		return parallel.NewLimiter(cfg.ApplyParallelism - 1)
+	default:
+		return parallel.Default()
+	}
 }
 
 // setTelemetry installs the telemetry bundle on the window and its fan-out
@@ -458,6 +497,12 @@ func (w *WindowManager) Stats() WindowStats {
 	s.Epoch = e
 	return s
 }
+
+// ApplyParallelism reports the effective intra-monitor fork-join width of
+// this window's batch applies: the calling goroutine plus the auxiliary
+// budget it borrows from (1 = sequential levels). For a registry window
+// the budget — and hence the number — is shared across windows.
+func (w *WindowManager) ApplyParallelism() int { return w.workers.Aux() + 1 }
 
 // MonitorStats snapshots each monitor's apply accounting: how long the
 // writer held (ApplyNS) and waited for (WaitNS) that monitor's lock —

@@ -3,6 +3,9 @@ package sw
 import (
 	"fmt"
 	"math"
+	"sort"
+
+	"repro/internal/parallel"
 )
 
 // ApproxMSF is the sliding-window (1+ε)-approximate MSF weight structure of
@@ -14,6 +17,19 @@ import (
 // which overestimates each true MSF edge weight by at most a (1+ε) factor.
 // Each G_i is an eager sliding-window connectivity structure sharing global
 // timestamps, so expiry is uniform across all R = O(log_{1+ε} maxW) levels.
+//
+// The R levels are fully independent forests that only share the global
+// (τ, TW) counters, so batch application forks-and-joins across them: each
+// level's insert (and expiry) runs under that level's own writer guard, on
+// the calling goroutine plus however many workers the configured budget
+// grants (SetWorkers; the process-wide parallel.Default budget otherwise).
+// Levels are nested (G_0 ⊆ G_1 ⊆ …), so a batch is bucketed ONCE by the
+// level that first admits each edge, scattered — stably, preserving arrival
+// order within a bucket — into a reusable scratch buffer in bucket order,
+// and level i simply receives the prefix holding buckets 0..i plus the
+// matching timestamp prefix: zero per-level routing allocations, identical
+// forests either way (recency weights make every level's MSF unique
+// regardless of the order edges appear in a batch).
 type ApproxMSF struct {
 	n      int
 	eps    float64
@@ -23,6 +39,19 @@ type ApproxMSF struct {
 	tau    int64
 	tw     int64
 	guard  writerGuard
+
+	// workers is the fork-join budget for the per-level apply; nil means
+	// the process-wide default (parallel.Default).
+	workers *parallel.Limiter
+
+	// Routing scratch, reused across batches (safe under the single-writer
+	// contract). sorted/sortedTaus hold the batch in bucket order — level
+	// i's input is the prefix sorted[:cum[i]]; lvls holds each input edge's
+	// bucket; cum[i] accumulates the count of edges admitted at level <= i.
+	sorted     []StreamEdge
+	sortedTaus []int64
+	lvls       []int32
+	cum        []int
 }
 
 // NewApproxMSF returns an approximate-MSF-weight structure for edge weights
@@ -43,54 +72,127 @@ func NewApproxMSF(n int, eps float64, maxWeight int64, seed uint64) *ApproxMSF {
 			break
 		}
 	}
+	a.cum = make([]int, len(a.inst))
 	return a
 }
 
 // Levels returns R, the number of maintained connectivity levels.
 func (a *ApproxMSF) Levels() int { return len(a.inst) }
 
+// SetWorkers installs the fork-join worker budget batch application borrows
+// from (nil restores the process-wide parallel.Default budget; an empty
+// budget — parallel.NewLimiter(0) — forces sequential level application).
+// Must not be called concurrently with mutations.
+func (a *ApproxMSF) SetWorkers(l *parallel.Limiter) { a.workers = l }
+
+func (a *ApproxMSF) pool() *parallel.Limiter {
+	if a.workers != nil {
+		return a.workers
+	}
+	return parallel.Default()
+}
+
+// forEachLevel runs body over every level index, highest level first (the
+// top levels see the most edges, so they must start before the cheap ones
+// for the fork-join's dynamic load balance to matter).
+func (a *ApproxMSF) forEachLevel(body func(level int)) {
+	r := len(a.inst)
+	parallel.ForEachLimited(r, a.pool(), func(i int) { body(r - 1 - i) })
+}
+
+// levelOf returns the first (smallest) level whose threshold admits w.
+func (a *ApproxMSF) levelOf(w int64) int {
+	return sort.Search(len(a.thresh), func(i int) bool { return a.thresh[i] >= w })
+}
+
 // BatchInsert appends weighted edge arrivals (weights in [1, maxWeight]).
-// Single-writer: mutations must be externally serialized.
+// The whole batch is validated before any state moves, so a panic on a bad
+// weight leaves the structure exactly as it was. Single-writer: mutations
+// must be externally serialized.
 func (a *ApproxMSF) BatchInsert(edges []WeightedStreamEdge) {
+	if len(edges) == 0 {
+		return
+	}
 	a.guard.enter()
 	defer a.guard.exit()
-	taus := make([]int64, len(edges))
-	for i, e := range edges {
+
+	// Validate and classify up-front — no timestamp or forest mutation may
+	// precede the last possible panic.
+	lvls := a.lvls[:0]
+	for i := range a.cum {
+		a.cum[i] = 0
+	}
+	for _, e := range edges {
 		if e.W < 1 || e.W > a.maxW {
 			panic(fmt.Sprintf("sw: weight %d outside [1, %d]", e.W, a.maxW))
 		}
-		a.tau++
-		taus[i] = a.tau
+		l := a.levelOf(e.W)
+		lvls = append(lvls, int32(l))
+		a.cum[l]++
 	}
-	// Route each edge to every level whose threshold admits it. Levels are
-	// nested (G_0 ⊆ G_1 ⊆ ...), so each edge goes to a suffix of levels.
-	for i, inst := range a.inst {
-		var sub []StreamEdge
-		var subTau []int64
-		for j, e := range edges {
-			if e.W <= a.thresh[i] {
-				sub = append(sub, StreamEdge{U: e.U, V: e.V})
-				subTau = append(subTau, taus[j])
-			}
-		}
-		if len(sub) > 0 {
-			inst.batchInsertAt(sub, subTau)
-		}
+	a.lvls = lvls
+
+	// Bucket offsets: after the scatter below, cum[i] = #edges with bucket
+	// <= i — exactly the length of level i's prefix.
+	off := 0
+	for i, c := range a.cum {
+		a.cum[i] = off
+		off += c
 	}
+
+	// Assign arrival timestamps and scatter the batch — stably — into
+	// bucket order. All scratch is reused across batches: the routing for
+	// all R levels costs zero allocations at steady state.
+	if cap(a.sorted) < len(edges) {
+		a.sorted = make([]StreamEdge, len(edges))
+		a.sortedTaus = make([]int64, len(edges))
+	}
+	sorted := a.sorted[:len(edges)]
+	sortedTaus := a.sortedTaus[:len(edges)]
+	base := a.tau
+	a.tau += int64(len(edges))
+	for j, e := range edges {
+		l := lvls[j]
+		p := a.cum[l]
+		a.cum[l] = p + 1
+		sorted[p] = StreamEdge{U: e.U, V: e.V}
+		sortedTaus[p] = base + int64(j) + 1
+	}
+
+	// Fork-join the levels: level i inserts the prefix of buckets 0..i,
+	// under its own writer guard (the levels share no state, so parallelism
+	// across them is safe by construction — and asserted by the guards).
+	a.forEachLevel(func(i int) {
+		cnt := a.cum[i]
+		if cnt == 0 {
+			return
+		}
+		inst := a.inst[i]
+		inst.guard.enter()
+		inst.batchInsertAt(sorted[:cnt], sortedTaus[:cnt])
+		inst.guard.exit()
+	})
 }
 
-// BatchExpire expires the oldest delta arrivals at every level.
+// BatchExpire expires the oldest delta arrivals at every level, fork-joined
+// across levels like BatchInsert.
 // Single-writer: mutations must be externally serialized.
 func (a *ApproxMSF) BatchExpire(delta int) {
+	if delta <= 0 {
+		return
+	}
 	a.guard.enter()
 	defer a.guard.exit()
 	a.tw += int64(delta)
 	if a.tw > a.tau {
 		a.tw = a.tau
 	}
-	for _, inst := range a.inst {
+	a.forEachLevel(func(i int) {
+		inst := a.inst[i]
+		inst.guard.enter()
 		inst.expireTo(a.tw)
-	}
+		inst.guard.exit()
+	})
 }
 
 // Weight returns the (1+ε)-approximate MSF weight of the window graph,

@@ -6,10 +6,11 @@ package sw
 // (u, v) doubled into (u1, v2), (u2, v1) — has exactly twice as many
 // connected components as G.
 type Bipartite struct {
-	n     int
-	g     *ConnEager // the window graph on n vertices
-	d     *ConnEager // its double cover on 2n vertices
-	guard writerGuard
+	n       int
+	g       *ConnEager // the window graph on n vertices
+	d       *ConnEager // its double cover on 2n vertices
+	guard   writerGuard
+	scratch []StreamEdge // double-cover buffer, reused across batches
 }
 
 // NewBipartite returns a bipartiteness monitor over n vertices.
@@ -24,10 +25,13 @@ func NewBipartite(n int, seed uint64) *Bipartite {
 // BatchInsert appends edge arrivals to the window.
 // Single-writer: mutations must be externally serialized.
 func (b *Bipartite) BatchInsert(edges []StreamEdge) {
+	if len(edges) == 0 {
+		return
+	}
 	b.guard.enter()
 	defer b.guard.exit()
 	b.g.BatchInsert(edges)
-	dcc := make([]StreamEdge, 0, 2*len(edges))
+	dcc := b.scratch[:0]
 	n32 := int32(b.n)
 	for _, e := range edges {
 		dcc = append(dcc,
@@ -35,6 +39,7 @@ func (b *Bipartite) BatchInsert(edges []StreamEdge) {
 			StreamEdge{U: e.U + n32, V: e.V},
 		)
 	}
+	b.scratch = dcc
 	b.d.BatchInsert(dcc)
 }
 

@@ -10,9 +10,10 @@ import (
 // Theorem 5.1: expiry is O(1) (a watermark bump) and connectivity queries
 // test the recent-edge condition on the heaviest (oldest) path edge.
 type Conn struct {
-	msf *core.BatchMSF
-	tau int64 // arrivals so far
-	tw  int64 // expired prefix; the window is (tw, tau]
+	msf     *core.BatchMSF
+	tau     int64 // arrivals so far
+	tw      int64 // expired prefix; the window is (tw, tau]
+	scratch []wgraph.Edge // conversion buffer, reused across batches
 }
 
 // NewConn returns a lazy sliding-window connectivity structure over n
@@ -23,24 +24,35 @@ func NewConn(n int, seed uint64) *Conn {
 
 // BatchInsert appends a batch of edge arrivals to the window.
 func (c *Conn) BatchInsert(edges []StreamEdge) {
-	batch := make([]wgraph.Edge, len(edges))
-	for i, e := range edges {
-		c.tau++
-		batch[i] = windowEdge(e.U, e.V, c.tau)
+	if len(edges) == 0 {
+		return
 	}
+	batch := c.scratch[:0]
+	for _, e := range edges {
+		c.tau++
+		batch = append(batch, windowEdge(e.U, e.V, c.tau))
+	}
+	c.scratch = batch
 	c.msf.BatchInsert(batch)
 }
 
 // batchInsertAt inserts arrivals with caller-assigned global timestamps
-// (used when this instance receives a subset of a shared stream).
+// (used when this instance receives a subset of a shared stream). The taus
+// need not be sorted; the window advances to the largest one.
 func (c *Conn) batchInsertAt(edges []StreamEdge, taus []int64) {
-	batch := make([]wgraph.Edge, len(edges))
+	if len(edges) == 0 {
+		return
+	}
+	batch := c.scratch[:0]
+	maxTau := c.tau
 	for i, e := range edges {
-		batch[i] = windowEdge(e.U, e.V, taus[i])
+		if taus[i] > maxTau {
+			maxTau = taus[i]
+		}
+		batch = append(batch, windowEdge(e.U, e.V, taus[i]))
 	}
-	if len(taus) > 0 && taus[len(taus)-1] > c.tau {
-		c.tau = taus[len(taus)-1]
-	}
+	c.scratch = batch
+	c.tau = maxTau
 	c.msf.BatchInsert(batch)
 }
 
@@ -75,12 +87,14 @@ func (c *Conn) WindowLen() int64 { return c.tau - c.tw }
 // physically delete expired tree edges, which makes the component count
 // available in O(1).
 type ConnEager struct {
-	msf   *core.BatchMSF
-	d     *ordset.Set // unexpired forest edges keyed by τ
-	n     int
-	tau   int64
-	tw    int64
-	guard writerGuard // single-writer assert (see package comment)
+	msf     *core.BatchMSF
+	d       *ordset.Set // unexpired forest edges keyed by τ
+	n       int
+	tau     int64
+	tw      int64
+	guard   writerGuard     // single-writer assert (see package comment)
+	scratch []wgraph.Edge   // conversion buffer, reused across batches
+	idBuf   []wgraph.EdgeID // expiry delete buffer, reused across expiries
 }
 
 // NewConnEager returns an eager sliding-window connectivity structure.
@@ -91,24 +105,42 @@ func NewConnEager(n int, seed uint64) *ConnEager {
 // BatchInsert appends a batch of edge arrivals to the window.
 // Single-writer: mutations must be externally serialized.
 func (c *ConnEager) BatchInsert(edges []StreamEdge) {
+	if len(edges) == 0 {
+		return
+	}
 	c.guard.enter()
 	defer c.guard.exit()
-	taus := make([]int64, len(edges))
-	for i := range edges {
+	batch := c.scratch[:0]
+	for _, e := range edges {
 		c.tau++
-		taus[i] = c.tau
+		batch = append(batch, windowEdge(e.U, e.V, c.tau))
 	}
-	c.batchInsertAt(edges, taus)
+	c.scratch = batch
+	c.applyBatch(batch)
 }
 
+// batchInsertAt inserts arrivals with caller-assigned global timestamps
+// (used when this instance receives a subset of a shared stream — the
+// bipartite double cover and the msfweight level router). The taus need not
+// be sorted; the window advances to the largest one.
 func (c *ConnEager) batchInsertAt(edges []StreamEdge, taus []int64) {
-	batch := make([]wgraph.Edge, len(edges))
+	if len(edges) == 0 {
+		return
+	}
+	batch := c.scratch[:0]
+	maxTau := c.tau
 	for i, e := range edges {
-		batch[i] = windowEdge(e.U, e.V, taus[i])
+		if taus[i] > maxTau {
+			maxTau = taus[i]
+		}
+		batch = append(batch, windowEdge(e.U, e.V, taus[i]))
 	}
-	if len(taus) > 0 && taus[len(taus)-1] > c.tau {
-		c.tau = taus[len(taus)-1]
-	}
+	c.scratch = batch
+	c.tau = maxTau
+	c.applyBatch(batch)
+}
+
+func (c *ConnEager) applyBatch(batch []wgraph.Edge) {
 	added, removed, _ := c.msf.BatchInsert(batch)
 	for _, e := range removed {
 		c.d.Delete(int64(e.ID))
@@ -140,10 +172,11 @@ func (c *ConnEager) expireTo(tw int64) {
 	if len(evicted) == 0 {
 		return
 	}
-	ids := make([]wgraph.EdgeID, len(evicted))
-	for i, e := range evicted {
-		ids[i] = e.ID
+	ids := c.idBuf[:0]
+	for _, e := range evicted {
+		ids = append(ids, e.ID)
 	}
+	c.idBuf = ids
 	c.msf.BatchDelete(ids)
 }
 

@@ -18,13 +18,16 @@ import (
 // rejects are offered to F_2, and so on (the replacement sets O_i of the
 // paper). Expiry is eager in every level.
 type KCert struct {
-	k     int
-	n     int
-	f     []*core.BatchMSF
-	d     []*ordset.Set // unexpired edges of F_i keyed by τ
-	tau   int64
-	tw    int64
-	guard writerGuard
+	k       int
+	n       int
+	f       []*core.BatchMSF
+	d       []*ordset.Set // unexpired edges of F_i keyed by τ
+	tau     int64
+	tw      int64
+	guard   writerGuard
+	tauBuf  []int64         // timestamp buffer, reused across batches
+	scratch []wgraph.Edge   // cascade buffer, reused across batches
+	idBuf   []wgraph.EdgeID // expiry delete buffer, reused across expiries
 }
 
 // NewKCert returns a k-certificate structure over n vertices.
@@ -46,18 +49,25 @@ func (c *KCert) K() int { return c.k }
 // BatchInsert appends edge arrivals to the window.
 // Single-writer: mutations must be externally serialized.
 func (c *KCert) BatchInsert(edges []StreamEdge) {
+	if len(edges) == 0 {
+		return
+	}
 	c.guard.enter()
 	defer c.guard.exit()
-	taus := make([]int64, len(edges))
-	for i := range edges {
+	taus := c.tauBuf[:0]
+	for range edges {
 		c.tau++
-		taus[i] = c.tau
+		taus = append(taus, c.tau)
 	}
+	c.tauBuf = taus
 	c.batchInsertAt(edges, taus)
 }
 
 func (c *KCert) batchInsertAt(edges []StreamEdge, taus []int64) {
-	o := make([]wgraph.Edge, 0, len(edges))
+	if len(edges) == 0 {
+		return
+	}
+	o := c.scratch[:0]
 	for i, e := range edges {
 		if taus[i] > c.tau {
 			c.tau = taus[i]
@@ -78,6 +88,7 @@ func (c *KCert) batchInsertAt(edges []StreamEdge, taus []int64) {
 		o = append(o, removed...)
 		o = append(o, rejected...)
 	}
+	c.scratch = o[:0]
 }
 
 // BatchExpire expires the oldest delta arrivals in every level.
@@ -101,10 +112,11 @@ func (c *KCert) expireTo(tw int64) {
 		if len(evicted) == 0 {
 			continue
 		}
-		ids := make([]wgraph.EdgeID, len(evicted))
-		for j, e := range evicted {
-			ids[j] = e.ID
+		ids := c.idBuf[:0]
+		for _, e := range evicted {
+			ids = append(ids, e.ID)
 		}
+		c.idBuf = ids
 		c.f[i].BatchDelete(ids)
 	}
 }

@@ -1,0 +1,60 @@
+package sw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+)
+
+// BenchmarkApproxMSFLevels isolates the msfweight batch apply — the R
+// nested connectivity levels — under sequential vs fork-joined level
+// application. Unlike the swload mixed shape, nothing else competes for
+// the scheduler here, so the ratio of the two is the pure intra-monitor
+// speedup (≈1 at GOMAXPROCS=1, approaching min(R, P) as real cores grow;
+// on an oversubscribed single core the fork-join overhead shows up as a
+// few percent). Expiry rides along so the window stays at steady state
+// and the routing scratch is exercised on every iteration.
+func BenchmarkApproxMSFLevels(b *testing.B) {
+	const (
+		n      = 5_000
+		maxW   = 1 << 20
+		eps    = 0.25
+		batch  = 512
+		window = 20_000
+	)
+	for _, mode := range []struct {
+		name    string
+		workers *parallel.Limiter
+	}{
+		{"sequential", parallel.NewLimiter(0)},
+		{"parallel", nil}, // nil → parallel.Default(): GOMAXPROCS-1 aux workers
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			a := NewApproxMSF(n, eps, maxW, 7)
+			a.SetWorkers(mode.workers)
+			r := rand.New(rand.NewSource(3))
+			batches := make([][]WeightedStreamEdge, 64)
+			for i := range batches {
+				batches[i] = make([]WeightedStreamEdge, batch)
+				for j := range batches[i] {
+					u := int32(r.Intn(n))
+					v := int32(r.Intn(n - 1))
+					if v >= u {
+						v++
+					}
+					batches[i][j] = WeightedStreamEdge{U: u, V: v, W: 1 + r.Int63n(maxW)}
+				}
+			}
+			// Pre-fill to the steady-state window population.
+			for i := 0; i*batch < window; i++ {
+				a.BatchInsert(batches[i%len(batches)])
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				a.BatchInsert(batches[i%len(batches)])
+				a.BatchExpire(batch)
+			}
+		})
+	}
+}

@@ -1,0 +1,223 @@
+package sw
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/wgraph"
+)
+
+// seqBatchInsert applies a batch the way the pre-parallel implementation
+// did: a fresh filtered sub-slice per level, in input order, each level
+// applied on the calling goroutine. It is the sequential reference the
+// fork-join + bucket-routing path is pinned against: recency weights make
+// every level's MSF unique, so the two must agree bit-for-bit.
+func seqBatchInsert(a *ApproxMSF, edges []WeightedStreamEdge) {
+	if len(edges) == 0 {
+		return
+	}
+	a.guard.enter()
+	defer a.guard.exit()
+	for _, e := range edges {
+		if e.W < 1 || e.W > a.maxW {
+			panic("bad weight in reference")
+		}
+	}
+	base := a.tau
+	a.tau += int64(len(edges))
+	for i, inst := range a.inst {
+		var sub []StreamEdge
+		var subTau []int64
+		for j, e := range edges {
+			if e.W <= a.thresh[i] {
+				sub = append(sub, StreamEdge{U: e.U, V: e.V})
+				subTau = append(subTau, base+int64(j)+1)
+			}
+		}
+		inst.guard.enter()
+		inst.batchInsertAt(sub, subTau)
+		inst.guard.exit()
+	}
+}
+
+// seqBatchExpire is the sequential reference for BatchExpire.
+func seqBatchExpire(a *ApproxMSF, delta int) {
+	if delta <= 0 {
+		return
+	}
+	a.guard.enter()
+	defer a.guard.exit()
+	a.tw += int64(delta)
+	if a.tw > a.tau {
+		a.tw = a.tau
+	}
+	for _, inst := range a.inst {
+		inst.guard.enter()
+		inst.expireTo(a.tw)
+		inst.guard.exit()
+	}
+}
+
+func levelForest(c *ConnEager) []wgraph.Edge {
+	var out []wgraph.Edge
+	c.ForestEdges(func(e wgraph.Edge) bool {
+		out = append(out, e)
+		return true
+	})
+	return out
+}
+
+func requireIdentical(t *testing.T, step int, par, ref *ApproxMSF) {
+	t.Helper()
+	if pw, rw := par.Weight(), ref.Weight(); pw != rw {
+		t.Fatalf("step %d: Weight %v (parallel) != %v (reference)", step, pw, rw)
+	}
+	if pc, rc := par.NumComponents(), ref.NumComponents(); pc != rc {
+		t.Fatalf("step %d: NumComponents %d (parallel) != %d (reference)", step, pc, rc)
+	}
+	for i := range par.inst {
+		pf, rf := levelForest(par.inst[i]), levelForest(ref.inst[i])
+		if len(pf) != len(rf) {
+			t.Fatalf("step %d level %d: forest sizes %d != %d", step, i, len(pf), len(rf))
+		}
+		for j := range pf {
+			if pf[j] != rf[j] {
+				t.Fatalf("step %d level %d edge %d: %+v != %+v", step, i, j, pf[j], rf[j])
+			}
+		}
+	}
+}
+
+// TestApproxMSFParallelMatchesSequential pins the fork-join, bucket-routed
+// apply bit-identically to the pre-parallel sequential reference across
+// randomized insert/expire schedules and seeds (run under -race in CI: the
+// small worker budget forces real cross-goroutine level application).
+func TestApproxMSFParallelMatchesSequential(t *testing.T) {
+	const (
+		n    = 48
+		eps  = 0.3
+		maxW = int64(1 << 10)
+	)
+	for _, seed := range []uint64{1, 0xC0FFEE, 0x5EED5EED} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%#x", seed), func(t *testing.T) {
+			par := NewApproxMSF(n, eps, maxW, seed)
+			par.SetWorkers(parallel.NewLimiter(3))
+			ref := NewApproxMSF(n, eps, maxW, seed)
+			if par.Levels() != ref.Levels() {
+				t.Fatalf("level counts differ: %d != %d", par.Levels(), ref.Levels())
+			}
+			r := rand.New(rand.NewSource(int64(seed)))
+			live := 0
+			for step := 0; step < 60; step++ {
+				if live > 0 && r.Intn(4) == 0 {
+					delta := 1 + r.Intn(live)
+					par.BatchExpire(delta)
+					seqBatchExpire(ref, delta)
+					live -= delta
+				} else {
+					b := r.Intn(40) // occasionally zero: empty batches must be no-ops
+					batch := make([]WeightedStreamEdge, b)
+					for j := range batch {
+						batch[j] = WeightedStreamEdge{
+							U: int32(r.Intn(n)),
+							V: int32(r.Intn(n)),
+							W: 1 + r.Int63n(maxW),
+						}
+					}
+					par.BatchInsert(batch)
+					seqBatchInsert(ref, batch)
+					live += b
+				}
+				requireIdentical(t, step, par, ref)
+			}
+		})
+	}
+}
+
+// TestApproxMSFValidationAtomic is the regression test for the mid-batch
+// validation bug: a batch with an out-of-range weight must panic before ANY
+// state moves — previously τ was advanced edge-by-edge during validation,
+// leaving the clock ahead with nothing inserted.
+func TestApproxMSFValidationAtomic(t *testing.T) {
+	a := NewApproxMSF(16, 0.5, 100, 7)
+	good := []WeightedStreamEdge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 50}}
+	a.BatchInsert(good)
+	tau, tw, w, cc := a.tau, a.tw, a.Weight(), a.NumComponents()
+
+	bad := []WeightedStreamEdge{{U: 2, V: 3, W: 7}, {U: 3, V: 4, W: 101}, {U: 4, V: 5, W: 9}}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range weight did not panic")
+			}
+		}()
+		a.BatchInsert(bad)
+	}()
+
+	if a.tau != tau || a.tw != tw {
+		t.Fatalf("rejected batch moved the clocks: tau %d->%d, tw %d->%d", tau, a.tau, tw, a.tw)
+	}
+	if a.Weight() != w || a.NumComponents() != cc {
+		t.Fatalf("rejected batch changed state: weight %v->%v, components %d->%d",
+			w, a.Weight(), cc, a.NumComponents())
+	}
+
+	// The structure must remain usable and track a clean twin thereafter.
+	twin := NewApproxMSF(16, 0.5, 100, 7)
+	twin.BatchInsert(good)
+	more := []WeightedStreamEdge{{U: 2, V: 3, W: 7}, {U: 4, V: 5, W: 9}}
+	a.BatchInsert(more)
+	twin.BatchInsert(more)
+	requireIdentical(t, 0, a, twin)
+}
+
+// TestEmptyBatchesAllocateNothing covers the empty-input early returns of
+// every batch entry point in the package.
+func TestEmptyBatchesAllocateNothing(t *testing.T) {
+	conn := NewConn(8, 1)
+	eager := NewConnEager(8, 2)
+	kc := NewKCert(8, 2, 3)
+	bip := NewBipartite(8, 4)
+	amsf := NewApproxMSF(8, 0.5, 64, 5)
+	if allocs := testing.AllocsPerRun(50, func() {
+		conn.BatchInsert(nil)
+		eager.BatchInsert(nil)
+		kc.BatchInsert(nil)
+		bip.BatchInsert(nil)
+		amsf.BatchInsert(nil)
+		conn.BatchInsert([]StreamEdge{})
+		amsf.BatchExpire(0)
+	}); allocs != 0 {
+		t.Fatalf("empty batches allocated %v times per run", allocs)
+	}
+}
+
+// TestApproxMSFSteadyStateRoutingReuse checks that the level-routing scratch
+// is actually reused: after a warm-up batch, routing a same-sized batch must
+// not grow the scratch buffers.
+func TestApproxMSFSteadyStateRoutingReuse(t *testing.T) {
+	a := NewApproxMSF(32, 0.5, 1<<10, 9)
+	a.SetWorkers(parallel.NewLimiter(0)) // keep goroutine machinery out of the measurement
+	r := rand.New(rand.NewSource(42))
+	mk := func(b int) []WeightedStreamEdge {
+		batch := make([]WeightedStreamEdge, b)
+		for j := range batch {
+			batch[j] = WeightedStreamEdge{
+				U: int32(r.Intn(32)), V: int32(r.Intn(32)), W: 1 + r.Int63n(1<<10),
+			}
+		}
+		return batch
+	}
+	a.BatchInsert(mk(256)) // warm up scratch
+	capSorted, capTaus, capLvls := cap(a.sorted), cap(a.sortedTaus), cap(a.lvls)
+	for i := 0; i < 8; i++ {
+		a.BatchInsert(mk(256))
+	}
+	if cap(a.sorted) != capSorted || cap(a.sortedTaus) != capTaus || cap(a.lvls) != capLvls {
+		t.Fatalf("routing scratch reallocated at steady state: sorted %d->%d taus %d->%d lvls %d->%d",
+			capSorted, cap(a.sorted), capTaus, cap(a.sortedTaus), capLvls, cap(a.lvls))
+	}
+}
