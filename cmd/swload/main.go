@@ -42,7 +42,10 @@
 // in-process server after a short ingest so every family has samples —
 // and strictly validates the Prometheus exposition: parse round-trip,
 // histogram invariants (cumulative buckets, +Inf == _count), and the sw_
-// naming rules. CI's smoke step runs this against a freshly booted
+// naming rules. It then scrapes GET /debug/flight and checks that the
+// batch flight recorder served valid JSON with non-empty span trees and
+// that the exposition's histogram exemplars carry trace IDs that resolve
+// in the recorder. CI's smoke step runs this against a freshly booted
 // swserver.
 //
 // The -telemetry-compare mode runs the same stream twice — telemetry
@@ -52,9 +55,13 @@
 // (go test ./internal/stream -bench IngestTelemetry -benchtime 20000x).
 //
 // The -mixed report also carries the ingest-queue backlog in both units
-// (queue_batches and queue_edges, scraped from /stats before the drain)
-// and a per-monitor apply p50/p99 table scraped from /metrics — the
-// server-side view the client percentiles can only approximate.
+// (queue_batches and queue_edges, scraped from /stats before the drain),
+// a per-monitor apply p50/p99 table scraped from /metrics — the
+// server-side view the client percentiles can only approximate — and a
+// slowest-stage attribution table scraped from the batch flight recorder
+// (/debug/flight): per batch, which pipeline stage dominated its wall
+// time, so fsync-bound, apply-bound, and queue-bound runs are told apart
+// at a glance.
 //
 // -cpuprofile/-memprofile write pprof profiles of any mode; the fan-out
 // labels every monitor apply with its monitor name, so a CPU profile
@@ -95,6 +102,7 @@ import (
 	"repro/internal/cli"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -149,6 +157,21 @@ type MonitorLatency struct {
 	WaitP99Ms  float64 `json:"wait_p99_ms"`
 }
 
+// FlightSummary aggregates the batch flight recorder's traces scraped
+// from /debug/flight at the end of a -mixed run: how many traces the ring
+// held, how many crossed the slow threshold, and — per Dominant() — which
+// pipeline stage each batch was bound on (queue wait, WAL append/fsync,
+// monitor apply, or residual staging).
+type FlightSummary struct {
+	Traces       int            `json:"traces"`
+	Slow         int            `json:"slow"`
+	MeanSpans    float64        `json:"mean_spans_per_trace"`
+	Dominant     map[string]int `json:"dominant"`
+	WorstMs      float64        `json:"worst_ms"`
+	WorstTraceID string         `json:"worst_trace_id"`
+	WorstStage   string         `json:"worst_stage"`
+}
+
 // LoadResult is the machine-readable outcome of one load run.
 type LoadResult struct {
 	Mode          string  `json:"mode"` // "batched", "unbatched", "parallel-fanout", ...
@@ -170,12 +193,12 @@ type LoadResult struct {
 	// fork-join width the run used (1 = -seq-levels).
 	MSFWeightApplyMs float64 `json:"msfweight_mean_apply_ms,omitempty"`
 	ApplyParallelism int     `json:"apply_parallelism,omitempty"`
-	Posts         int64   `json:"posts"`
-	PostP50Ms     float64 `json:"post_p50_ms"`
-	PostP99Ms     float64 `json:"post_p99_ms"`
-	Queries       int64   `json:"queries"`
-	QueryP50Ms    float64 `json:"query_p50_ms"`
-	QueryP99Ms    float64 `json:"query_p99_ms"`
+	Posts            int64   `json:"posts"`
+	PostP50Ms        float64 `json:"post_p50_ms"`
+	PostP99Ms        float64 `json:"post_p99_ms"`
+	Queries          int64   `json:"queries"`
+	QueryP50Ms       float64 `json:"query_p50_ms"`
+	QueryP99Ms       float64 `json:"query_p99_ms"`
 	// Mixed-workload fields (-mixed only): the effective parallelism the
 	// run saw, the overall query max, and the per-endpoint breakdown.
 	Gomaxprocs int                        `json:"gomaxprocs,omitempty"`
@@ -191,6 +214,9 @@ type LoadResult struct {
 	// Monitors is the server-side per-monitor apply table scraped from
 	// /metrics (-mixed only).
 	Monitors map[string]MonitorLatency `json:"monitors,omitempty"`
+	// Flight is the batch flight-recorder attribution summary scraped
+	// from /debug/flight (-mixed only).
+	Flight *FlightSummary `json:"flight,omitempty"`
 }
 
 // Report is the full swload output, one entry per mode.
@@ -690,6 +716,18 @@ func runMixed(o options) LoadResult {
 		}
 	}
 
+	// Batch flight traces, scraped after the drain so every batch the run
+	// produced is in the ring (up to ring capacity). Each trace's Dominant()
+	// stage attributes where that batch spent its wall time: fsync-bound,
+	// apply-bound, or queue-bound runs look completely different here even
+	// when their throughput numbers agree.
+	var flight *FlightSummary
+	if fr, err := scrapeFlight(client, base, "?kind=batch&limit=1024"); err != nil {
+		fmt.Fprintf(os.Stderr, "swload -mixed: /debug/flight scrape failed: %v\n", err)
+	} else if len(fr.Traces) > 0 {
+		flight = summarizeFlight(fr)
+	}
+
 	// Merge the per-endpoint histograms into the overall query summary and
 	// the per-endpoint report.
 	endpoints := make(map[string]EndpointLatency)
@@ -739,6 +777,7 @@ func runMixed(o options) LoadResult {
 		QueueEdges:    backlog.Ingest.QueueEdges,
 		QueueCap:      backlog.Ingest.QueueCap,
 		Monitors:      monitors,
+		Flight:        flight,
 		ServerBatches: st.Batches,
 	}
 	if st.Batches > 0 {
@@ -787,6 +826,64 @@ func printMixed(r LoadResult) {
 				name, m.ApplyP50Ms, m.ApplyP99Ms, m.WaitP99Ms, m.Applies)
 		}
 	}
+	if f := r.Flight; f != nil && f.Traces > 0 {
+		fmt.Printf("  slowest-stage attribution (from /debug/flight, %d batch traces, %d slow, %.1f spans/trace):\n",
+			f.Traces, f.Slow, f.MeanSpans)
+		stages := make([]string, 0, len(f.Dominant))
+		for s := range f.Dominant {
+			stages = append(stages, s)
+		}
+		sort.Strings(stages)
+		for _, s := range stages {
+			n := f.Dominant[s]
+			fmt.Printf("    %-6s bound: %4d batches (%.0f%%)\n", s, n, 100*float64(n)/float64(f.Traces))
+		}
+		fmt.Printf("    worst batch: %.3fms, %s-bound, trace %s  →  curl /debug/flight?min_ms=%.0f\n",
+			f.WorstMs, f.WorstStage, f.WorstTraceID, f.WorstMs)
+	}
+}
+
+// scrapeFlight GETs base+"/debug/flight"+query and decodes the recorder's
+// JSON response.
+func scrapeFlight(client *http.Client, base, query string) (*trace.Response, error) {
+	resp, err := client.Get(base + "/debug/flight" + query)
+	if err != nil {
+		return nil, err
+	}
+	defer drainBody(resp)
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/flight: status %d", resp.StatusCode)
+	}
+	var fr trace.Response
+	if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+		return nil, fmt.Errorf("GET /debug/flight: %w", err)
+	}
+	return &fr, nil
+}
+
+// summarizeFlight reduces a scraped batch-trace set to the attribution
+// summary: per-stage dominant counts plus the single worst batch.
+func summarizeFlight(fr *trace.Response) *FlightSummary {
+	fs := &FlightSummary{
+		Traces:   len(fr.Traces),
+		Dominant: make(map[string]int),
+	}
+	spans := 0
+	for i := range fr.Traces {
+		v := &fr.Traces[i]
+		spans += len(v.Spans)
+		if v.Slow {
+			fs.Slow++
+		}
+		fs.Dominant[v.Dominant()]++
+		if v.TotalMS > fs.WorstMs {
+			fs.WorstMs = v.TotalMS
+			fs.WorstTraceID = v.TraceID
+			fs.WorstStage = v.Dominant()
+		}
+	}
+	fs.MeanSpans = float64(spans) / float64(len(fr.Traces))
+	return fs
 }
 
 // scrapeMetrics GETs base+"/metrics" and returns the strictly parsed and
@@ -948,7 +1045,68 @@ func runCheckMetrics(o options) {
 	if bad > 0 {
 		os.Exit(1)
 	}
+
+	// The flight recorder rides along on the same gate: /debug/flight must
+	// serve valid JSON whose batch traces carry non-empty span trees, and
+	// any exemplar the exposition advertises must name a trace the recorder
+	// can actually produce — the whole point of exemplars is that the ID on
+	// the histogram resolves to a span tree.
+	fr, err := scrapeFlight(client, base, "?kind=batch&limit=1024")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swload -check-metrics: %v\n", err)
+		os.Exit(1)
+	}
+	traceIDs := make(map[string]bool, len(fr.Traces))
+	for i := range fr.Traces {
+		v := &fr.Traces[i]
+		if len(v.Spans) == 0 {
+			fmt.Fprintf(os.Stderr, "swload -check-metrics: flight trace %s has an empty span tree\n", v.TraceID)
+			bad++
+		}
+		traceIDs[v.TraceID] = true
+	}
+	if o.url == "" && len(fr.Traces) == 0 {
+		// In-process we just pushed a batch through; an empty ring means the
+		// recorder never saw it.
+		fmt.Fprintln(os.Stderr, "swload -check-metrics: /debug/flight returned no batch traces after ingest")
+		bad++
+	}
+	resolved := 0
+	for _, ex := range exp.Exemplars {
+		if ex.Kind != "max" {
+			continue
+		}
+		if traceIDs[ex.TraceID] {
+			resolved++
+		}
+	}
+	if len(fr.Traces) > 0 && countMaxExemplars(exp) > 0 && resolved == 0 {
+		// Exemplars point at the all-time max observation, which can have
+		// aged out of a small ring on a long-lived server; in-process the
+		// max IS the batch we just applied, so it must resolve.
+		if o.url == "" {
+			fmt.Fprintln(os.Stderr, "swload -check-metrics: no histogram exemplar trace ID resolves in /debug/flight")
+			bad++
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
 	fmt.Printf("metrics OK: %d families, %d samples, exposition valid\n", len(exp.Types), len(exp.Samples))
+	fmt.Printf("flight OK: %d batch traces with span trees, %d/%d max exemplars resolve\n",
+		len(fr.Traces), resolved, countMaxExemplars(exp))
+}
+
+// countMaxExemplars counts the max-kind exemplar lines in a scraped
+// exposition.
+func countMaxExemplars(exp *telemetry.Exposition) int {
+	n := 0
+	for _, ex := range exp.Exemplars {
+		if ex.Kind == "max" {
+			n++
+		}
+	}
+	return n
 }
 
 // runTelemetryCompare runs the same stream twice — telemetry registry

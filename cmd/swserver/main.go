@@ -38,14 +38,23 @@
 //	GET    /metrics                        Prometheus text exposition (unless -metrics=false)
 //	GET    /healthz                        liveness
 //	GET    /readyz                         readiness (recovery, WAL, checkpoint age, queue budget)
+//	GET    /debug/flight                   batch flight recorder (?window=&kind=&min_ms=&slow=1&limit=)
 //	GET    /debug/pprof/...                profiling (only with -pprof)
 //
 // Observability: the whole pipeline is instrumented into sw_* metric
 // families (ingest, queue depth in batches AND edges, per-stage batch
 // lifecycle, per-monitor apply/wait, WAL append/fsync, checkpoints) —
-// see DESIGN.md §7. -log-level picks the slog threshold for operational
-// records (boot, recovery, checkpoints at debug); -slow-batch logs a warn
-// trace for any batch whose stage+fan-out time exceeds the bound.
+// see DESIGN.md §7. A zero-dependency flight recorder is always on:
+// every batch gets a span tree (queue wait → staging → WAL append/fsync →
+// per-monitor apply with msfweight level detail → publish) in a fixed
+// ring served at GET /debug/flight, batches slower than
+// -flight-slow-threshold are retained separately (?slow=1; on a durable
+// registry also appended to <data-dir>/flight_slow.jsonl), and the
+// latency histograms carry exemplar trace IDs linking a p99 back to the
+// batch that caused it. -log-level picks the slog threshold for
+// operational records (boot, recovery, checkpoints at debug);
+// -slow-batch additionally logs a warn summary per slow batch
+// (deprecated — the slow ring keeps the full span tree).
 // -ready-queue-budget and -ready-checkpoint-age tune when /readyz sheds.
 //
 // Example:
@@ -53,7 +62,7 @@
 //	swserver -addr :8080 -n 100000 -window 1000000 -batch 512 -delay 2ms \
 //	         -shards 32 -windows tenant-a,tenant-b -pprof \
 //	         -data-dir /var/lib/swserver -fsync interval -checkpoint-interval 30s \
-//	         -log-level debug -slow-batch 50ms
+//	         -log-level debug -flight-slow-threshold 50ms
 package main
 
 import (
@@ -72,6 +81,7 @@ import (
 
 	"repro/internal/stream"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -104,7 +114,13 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "instrument the pipeline and expose Prometheus text at GET /metrics")
 	logLevel := flag.String("log-level", "info", "slog threshold for operational records: debug|info|warn|error")
 	slowBatch := flag.Duration("slow-batch", 0,
-		"log a warn-level lifecycle trace for any batch whose stage+fan-out time exceeds this (0 = disabled)")
+		"log a warn-level lifecycle summary for any batch whose stage+fan-out time exceeds this (0 = disabled; deprecated — see /debug/flight?slow=1)")
+	flightRing := flag.Int("flight-ring", 0,
+		"per-window flight-recorder ring capacity in batch traces (0 = default 128)")
+	flightQueryRing := flag.Int("flight-query-ring", 0,
+		"per-window query-trace ring capacity (0 = default 64)")
+	flightSlow := flag.Duration("flight-slow-threshold", 0,
+		"retain batches at least this slow in the flight recorder's slow ring (0 = default 100ms, negative = disable the slow ring)")
 	queueBudget := flag.Float64("ready-queue-budget", 0.9,
 		"/readyz fails when any window's queued submissions exceed this fraction of its queue capacity (negative = disabled)")
 	ckptAgeBound := flag.Duration("ready-checkpoint-age", 0,
@@ -163,6 +179,11 @@ func main() {
 		Telemetry:   treg,
 		Logger:      logger,
 		SlowBatch:   *slowBatch,
+		Flight: trace.Options{
+			RingSlots:     *flightRing,
+			QuerySlots:    *flightQueryRing,
+			SlowThreshold: *flightSlow,
+		},
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -53,10 +53,24 @@ func (c *IngesterConfig) withDefaults() IngesterConfig {
 // submission is one producer enqueue: the edges plus the submit-time
 // stamp, which the flush goroutine turns into the queue-wait stage of the
 // batch lifecycle trace. The stamp reuses the Clock.Now() Submit already
-// pays for event-time defaulting, so carrying it costs nothing.
+// pays for event-time defaulting, so carrying it costs nothing. enqNS is
+// the real wall clock (never the injected Clock — FakeClock time cannot
+// be subtracted from the flight recorder's monotonic stage stamps),
+// captured only when a flush hook wants it.
 type submission struct {
 	edges []Edge
 	enq   time.Time
+	enqNS int64
+}
+
+// enqMark says "pending edges below index upto arrived no later than
+// enqNS". The flush goroutine keeps one mark per absorbed submission in a
+// ring parallel to pending, so each flush knows the enqueue time of its
+// oldest edge — the start of the batch's queue-wait span — without
+// per-edge stamps.
+type enqMark struct {
+	upto  int
+	enqNS int64
 }
 
 // Ingester coalesces edges submitted by many concurrent producers into
@@ -65,8 +79,13 @@ type submission struct {
 // goroutine performs all flushes, so the sink never runs concurrently with
 // itself — this is the single-writer half of the window discipline.
 type Ingester struct {
-	cfg     IngesterConfig
-	sink    func([]Edge)
+	cfg  IngesterConfig
+	sink func([]Edge)
+	// onFlush, when set, is called on the flush goroutine immediately
+	// before each sink call with the enqueue wall time (unix ns) of the
+	// batch's oldest edge — the flight recorder's queue-wait input. 0
+	// means unknown.
+	onFlush func(enqNS int64)
 	m       *Metrics
 	in      chan submission
 	flushCh chan chan struct{}
@@ -102,15 +121,19 @@ type Ingester struct {
 // returns — the sink must not retain it (WindowManager.Apply doesn't:
 // the ring and every monitor copy what they keep).
 func NewIngester(cfg IngesterConfig, sink func([]Edge)) *Ingester {
-	return newIngesterWith(cfg, sink, noMetrics)
+	return newIngesterWith(cfg, sink, noMetrics, nil)
 }
 
-// newIngesterWith is NewIngester with a telemetry bundle; the service
-// wiring injects the registry's bundle through it.
-func newIngesterWith(cfg IngesterConfig, sink func([]Edge), m *Metrics) *Ingester {
+// newIngesterWith is NewIngester with a telemetry bundle and an optional
+// pre-flush hook; the service wiring injects the registry's bundle and
+// the window's queue-wait note through it. onFlush is a constructor
+// parameter — not settable later — because run() starts reading it
+// immediately.
+func newIngesterWith(cfg IngesterConfig, sink func([]Edge), m *Metrics, onFlush func(enqNS int64)) *Ingester {
 	g := &Ingester{
 		cfg:     cfg.withDefaults(),
 		sink:    sink,
+		onFlush: onFlush,
 		m:       m.orNoop(),
 		flushCh: make(chan chan struct{}),
 		done:    make(chan struct{}),
@@ -155,6 +178,10 @@ func (g *Ingester) submitOwned(edges []Edge) error {
 			edges[i].T = now
 		}
 	}
+	var enqNS int64
+	if g.onFlush != nil {
+		enqNS = time.Now().UnixNano()
+	}
 	n := int64(len(edges))
 	g.qBatches.Add(1)
 	g.qEdges.Add(n)
@@ -163,7 +190,7 @@ func (g *Ingester) submitOwned(edges []Edge) error {
 	// done cannot close while we hold the read lock, and run() keeps
 	// consuming until done closes, so this send always completes (it may
 	// block for backpressure when the queue is full).
-	g.in <- submission{edges: edges, enq: now}
+	g.in <- submission{edges: edges, enq: now, enqNS: enqNS}
 	g.edges.Add(n)
 	g.m.ingestEdges.Add(n)
 	return nil
@@ -224,12 +251,21 @@ func (g *Ingester) run() {
 	var head int
 	var flushBuf []Edge
 	var deadline <-chan time.Time
+	// marks mirrors pending with one enqueue stamp per absorbed
+	// submission (mhead mirrors head); both reset together, so at steady
+	// state the marks ring reuses its backing array — the flush loop
+	// stays allocation-free with the hook installed.
+	var marks []enqMark
+	var mhead int
 
 	// Event times were stamped at submit; absorb accumulates and settles
 	// the queue gauges. The queue-wait observation is gated on m.on()
 	// because it costs an extra clock read per submission.
 	absorb := func(sub submission) {
 		pending = append(pending, sub.edges...)
+		if g.onFlush != nil {
+			marks = append(marks, enqMark{upto: len(pending), enqNS: sub.enqNS})
+		}
 		n := int64(len(sub.edges))
 		g.qBatches.Add(-1)
 		g.qEdges.Add(-n)
@@ -244,15 +280,29 @@ func (g *Ingester) run() {
 	// its backing array is reused instead of re-grown. reason attributes
 	// the flush trigger (threshold, deadline, manual, shutdown).
 	flushHead := func(k int, reason *telemetry.Counter) {
+		var enqNS int64
+		if g.onFlush != nil && mhead < len(marks) {
+			// The first live mark covers pending[head] — the oldest edge
+			// of this flush.
+			enqNS = marks[mhead].enqNS
+		}
 		flushBuf = append(flushBuf[:0], pending[head:head+k]...)
 		head += k
+		for mhead < len(marks) && marks[mhead].upto <= head {
+			mhead++
+		}
 		if head == len(pending) {
 			pending = pending[:0]
 			head = 0
+			marks = marks[:0]
+			mhead = 0
 		}
 		g.flushes.Add(1)
 		reason.Inc()
 		g.m.flushEdges.ObserveVal(int64(k))
+		if g.onFlush != nil {
+			g.onFlush(enqNS)
+		}
 		g.sink(flushBuf)
 	}
 	pendingLen := func() int { return len(pending) - head }

@@ -43,6 +43,7 @@ type Multiplexer struct {
 // monitorSlot is one monitor plus its lock and apply accounting.
 type monitorSlot struct {
 	mon    Monitor
+	idx    int // fan-out position; the span Arg monitor-scoped spans carry
 	mu     sync.RWMutex
 	labels pprof.LabelSet
 
@@ -114,7 +115,7 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 		if err != nil {
 			return nil, err
 		}
-		s := &monitorSlot{mon: mon, labels: pprof.Labels("monitor", name)}
+		s := &monitorSlot{mon: mon, idx: len(m.slots), labels: pprof.Labels("monitor", name)}
 		m.slots = append(m.slots, s)
 		m.byName[name] = s
 	}
@@ -142,7 +143,11 @@ func (m *Multiplexer) setTelemetry(tm *Metrics) {
 // The returned report carries the slowest monitor's name and the max
 // hold/wait across slots for this op — the fan-out critical path, which
 // the slow-batch trace attributes blame with.
-func (m *Multiplexer) Apply(edges []Edge, delta int) fanoutReport {
+//
+// traceID tags the shared per-monitor histograms' observations with the
+// flight-recorder trace of this op (0 = untraced), so a per-monitor p99
+// exemplar links back to the batch that set it.
+func (m *Multiplexer) Apply(edges []Edge, delta int, traceID uint64) fanoutReport {
 	if len(edges) == 0 && delta <= 0 {
 		return fanoutReport{}
 	}
@@ -163,8 +168,8 @@ func (m *Multiplexer) Apply(edges []Edge, delta int) fanoutReport {
 			s.lastApplyNS = t2.Sub(t1).Nanoseconds()
 			s.waitH.ObserveVal(s.lastWaitNS)
 			s.applyH.ObserveVal(s.lastApplyNS)
-			s.waitShared.ObserveVal(s.lastWaitNS)
-			s.applyShared.ObserveVal(s.lastApplyNS)
+			s.waitShared.ObserveValTraced(s.lastWaitNS, traceID)
+			s.applyShared.ObserveValTraced(s.lastApplyNS, traceID)
 		})
 	}
 	if m.sequential || len(m.slots) <= 1 {
@@ -205,6 +210,33 @@ func (m *Multiplexer) withRead(name string, fn func(Monitor)) bool {
 	defer s.mu.RUnlock()
 	fn(s.mon)
 	return true
+}
+
+// withReadTimed is withRead plus query-span timing: it reports the
+// monitor's fan-out index, how long fn waited for the read lock (the
+// time an in-flight apply held it out) and how long fn ran. Three extra
+// clock reads; the untraced query path keeps using withRead.
+func (m *Multiplexer) withReadTimed(name string, fn func(Monitor)) (idx int, waitNS, execNS int64, ok bool) {
+	s := m.byName[name]
+	if s == nil {
+		return 0, 0, 0, false
+	}
+	t0 := time.Now()
+	s.mu.RLock()
+	t1 := time.Now()
+	fn(s.mon)
+	execNS = time.Since(t1).Nanoseconds()
+	s.mu.RUnlock()
+	return s.idx, t1.Sub(t0).Nanoseconds(), execNS, true
+}
+
+// forEachLastTiming reads every slot's last-op lock wait and hold. Only
+// valid on the writer goroutine after an Apply's fork-join barrier —
+// exactly where the flight recorder stamps per-monitor spans.
+func (m *Multiplexer) forEachLastTiming(fn func(idx int, waitNS, applyNS int64)) {
+	for _, s := range m.slots {
+		fn(s.idx, s.lastWaitNS, s.lastApplyNS)
+	}
 }
 
 // Monitor returns the named monitor, or nil if it was not configured.

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -242,8 +243,9 @@ func (pw *persistedWindow) watermark() uint64 {
 type persister struct {
 	cfg    PersistenceConfig
 	walOpt wal.Options
-	m      *Metrics     // telemetry bundle (never nil; noMetrics when off)
-	logger *slog.Logger // structured log sink (never nil)
+	m      *Metrics        // telemetry bundle (never nil; noMetrics when off)
+	flight *trace.Recorder // registry's flight recorder (recovery wiring)
+	logger *slog.Logger    // structured log sink (never nil)
 
 	// Health/age tracking for the readiness probes and age gauges, all
 	// UnixNano (0 = never). lastCheckpointAt starts at open so
@@ -401,16 +403,35 @@ func (p *persister) noteCkptErr(err error) {
 // attachRecorder wires the window's write-ahead hook to the log. On an
 // append failure the window keeps serving (availability over durability)
 // and the error is tallied for /stats and the next Checkpoint to surface.
+// The hook returns the WAL sequence of the batch's first edge — the
+// window's flight-recorder trace ID source, stable across restarts.
 func (p *persister) attachRecorder(pw *persistedWindow) {
-	pw.svc.Window().setRecorder(func(edges []Edge) {
+	pw.svc.Window().setRecorder(func(edges []Edge) uint64 {
 		pw.scratch = pw.scratch[:0]
 		for _, e := range edges {
 			pw.scratch = append(pw.scratch, wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()})
 		}
-		if _, err := pw.log.Append(pw.scratch); err != nil {
+		seq, err := pw.log.Append(pw.scratch)
+		if err != nil {
 			p.noteErr(err)
 		}
+		return seq
 	})
+}
+
+// walOptFor copies the persister's WAL options with the fsync hook
+// additionally feeding the window's flight recorder, so batch traces can
+// carry a wal_fsync sub-span attributed to exactly their own append.
+func (p *persister) walOptFor(wm *WindowManager) wal.Options {
+	opt := p.walOpt
+	prev := opt.ObserveFsync
+	opt.ObserveFsync = func(d time.Duration) {
+		wm.noteWALFsync(d)
+		if prev != nil {
+			prev(d)
+		}
+	}
+	return opt
 }
 
 // addWindow opens a fresh log for a window being created and attaches the
@@ -429,7 +450,7 @@ func (p *persister) addWindow(name string, cfg ServiceConfig, svc *Service) erro
 	if err := os.RemoveAll(dir); err != nil {
 		return err
 	}
-	log, err := wal.Open(dir, p.walOpt)
+	log, err := wal.Open(dir, p.walOptFor(svc.Window()))
 	if err != nil {
 		return err
 	}
@@ -847,7 +868,9 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 	// The bundle attaches to the pipeline only in newServiceWith, AFTER
 	// the replay below — recovery mega-batches must not pollute the
 	// live-traffic histograms (the recovery counters cover them instead).
+	// Same for the flight rings: replay records no traces.
 	cfg.Telemetry = p.m
+	cfg.flight = p.flight
 	wm, err := NewWindowManager(cfg.Window)
 	if err != nil {
 		return nil, res, fmt.Errorf("stream: window %q: %w", name, err)
@@ -857,7 +880,7 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 	// the next checkpoint's snapshot reads the ring this replay fills.
 	wm.enableLiveRetention()
 	dir := p.windowDir(name)
-	log, err := wal.Open(dir, p.walOpt)
+	log, err := wal.Open(dir, p.walOptFor(wm))
 	if err != nil {
 		return nil, res, fmt.Errorf("stream: window %q log: %w", name, err)
 	}
@@ -1014,6 +1037,17 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 		return nil, nil, err
 	}
 	r.persist = p
+	p.flight = r.flight
+	// A durable registry persists its slow traces: one JSONL line per
+	// slow batch, append-only, so post-mortems survive the process. Purely
+	// best-effort — a sink failure must never take durability down.
+	if f, err := os.OpenFile(filepath.Join(p.cfg.Dir, "flight_slow.jsonl"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644); err == nil {
+		r.flight.SetSlowSink(f)
+		r.flightSink = f
+	} else {
+		r.logger.Warn("flight: slow-trace sink unavailable", slog.String("error", err.Error()))
+	}
 	man, err := wal.LoadManifest(p.cfg.Dir)
 	if err != nil {
 		return nil, nil, err

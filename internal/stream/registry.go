@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"runtime"
 	"sort"
@@ -12,6 +13,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // DefaultWindow is the window name the legacy single-window HTTP routes
@@ -54,7 +56,16 @@ type RegistryConfig struct {
 	Logger *slog.Logger
 	// SlowBatch, when > 0, logs a warn record for every batch whose
 	// stage+fan-out wall time exceeds it (requires Logger).
+	//
+	// Deprecated: the flight recorder's slow ring (GET /debug/flight?slow=1)
+	// retains the full span tree of every slow batch; the log line only
+	// carries a summary. Tune the threshold via Flight.SlowThreshold.
 	SlowBatch time.Duration
+	// Flight tunes the batch flight recorder (ring sizes, slow threshold).
+	// The recorder itself is always on — zero values select the trace
+	// package defaults; a negative Flight.SlowThreshold disables only the
+	// slow-retention ring.
+	Flight trace.Options
 }
 
 func (c *RegistryConfig) withDefaults() RegistryConfig {
@@ -138,6 +149,13 @@ type WindowRegistry struct {
 	// effective total (callers + auxiliaries) the gauge reports.
 	workers          *parallel.Limiter
 	applyParallelism int
+
+	// flight is the batch flight recorder every owned pipeline traces
+	// into — always on (recording is 0 allocs/op; cost is a handful of
+	// clock reads per batch). flightSink is the slow-trace JSONL file on
+	// a durable registry (nil otherwise), closed with the registry.
+	flight     *trace.Recorder
+	flightSink io.Closer
 }
 
 // NewRegistry returns an empty registry.
@@ -148,6 +166,7 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 		shards: make([]registryShard, cfg.Shards),
 		mask:   uint64(cfg.Shards - 1),
 		logger: cfg.Logger,
+		flight: trace.New(cfg.Flight),
 	}
 	if r.logger == nil {
 		r.logger = slog.New(slog.DiscardHandler)
@@ -189,6 +208,10 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 // bundle when telemetry is disabled). The HTTP server records its
 // request-level instruments through it.
 func (r *WindowRegistry) Metrics() *Metrics { return r.metrics }
+
+// Flight returns the registry's batch flight recorder (never nil). The
+// HTTP server mounts its handler at /debug/flight.
+func (r *WindowRegistry) Flight() *trace.Recorder { return r.flight }
 
 // Logger returns the registry's structured logger (never nil).
 func (r *WindowRegistry) Logger() *slog.Logger { return r.logger }
@@ -318,6 +341,7 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 	cfg.Window.Name = name
 	cfg.Window.workers = r.workers
 	cfg.Telemetry = r.metrics
+	cfg.flight = r.flight
 	if err := r.reserve(); err != nil {
 		return nil, err
 	}
@@ -629,5 +653,9 @@ func (r *WindowRegistry) Close() {
 	}
 	if !already && r.persist != nil {
 		r.persist.closeAll()
+	}
+	if !already && r.flightSink != nil {
+		r.flight.SetSlowSink(nil)
+		_ = r.flightSink.Close()
 	}
 }

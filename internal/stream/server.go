@@ -187,6 +187,9 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 	if treg := s.m.Registry(); treg != nil {
 		s.mux.Handle("GET /metrics", treg.Handler())
 	}
+	// The flight recorder is read-side forensics like /metrics: raw-mounted
+	// so scraping traces never shifts the request histograms.
+	s.mux.Handle("GET /debug/flight", reg.Flight().Handler())
 	return s
 }
 
@@ -707,6 +710,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if ps, ok := s.reg.PersistenceStats(); ok {
 		resp["persistence"] = ps
+	}
+	if ex := s.m.Exemplars(); len(ex) > 0 {
+		resp["exemplars"] = ex
 	}
 	if svc, ok := s.reg.Get(s.defaultWin); ok {
 		for k, v := range windowStatsBody(svc) {

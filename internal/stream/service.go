@@ -3,6 +3,8 @@ package stream
 import (
 	"sync"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // ServiceConfig assembles a full pipeline.
@@ -12,6 +14,11 @@ type ServiceConfig struct {
 	// Telemetry, when set, instruments the whole pipeline (ingester,
 	// apply path, fan-out). nil runs the zero-overhead no-op bundle.
 	Telemetry *Metrics
+
+	// flight, when set, records every batch and query of this pipeline
+	// into the recorder's per-window rings. Injected by the registry
+	// (always on there); standalone services run unrecorded.
+	flight *trace.Recorder
 }
 
 // Service wires producers → Ingester → WindowManager: the ingester's flush
@@ -63,9 +70,20 @@ func newServiceWith(wm *WindowManager, cfg ServiceConfig) *Service {
 	}
 	// Telemetry attaches before the ingester starts (so no live batch can
 	// race the bundle swap) and — on the recovery path — after replay, so
-	// replay mega-batches don't pollute the live-traffic histograms.
+	// replay mega-batches don't pollute the live-traffic histograms. The
+	// flight rings attach at the same point (and for the same reason:
+	// recovery replay is not live traffic and records no traces).
 	wm.setTelemetry(cfg.Telemetry)
-	s.ing = newIngesterWith(cfg.Ingest, wm.Apply, cfg.Telemetry)
+	var onFlush func(enqNS int64)
+	if cfg.flight != nil {
+		names := wm.Monitors()
+		wm.setFlight(
+			cfg.flight.Ring(wm.cfg.Name, trace.KindBatch, names),
+			cfg.flight.Ring(wm.cfg.Name, trace.KindQuery, names),
+		)
+		onFlush = wm.noteEnqueueTime
+	}
+	s.ing = newIngesterWith(cfg.Ingest, wm.Apply, cfg.Telemetry, onFlush)
 	if cfg.Window.MaxAge > 0 {
 		period := cfg.Window.MaxAge / 4
 		if period < 10*time.Millisecond {

@@ -2,10 +2,18 @@ package stream
 
 import (
 	"log/slog"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
+
+// processStart anchors sw_uptime_seconds; package init is close enough to
+// process start for an uptime gauge.
+var processStart = time.Now()
 
 // Metrics bundles every stream-layer instrument. The bundle is resolved
 // once at wiring time (NewMetrics) and handed to each pipeline component,
@@ -168,7 +176,49 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 
 	m.httpInflight = reg.Gauge("sw_http_inflight",
 		"HTTP requests currently being served.")
+
+	// Identification families: which build is this, and how long has it
+	// been up — the first two questions of any incident. The build info is
+	// the standard value-is-1 gauge whose labels carry the metadata.
+	reg.Gauge("sw_build_info",
+		"Build metadata; the value is always 1.",
+		telemetry.L("go_version", runtime.Version()),
+		telemetry.L("gomaxprocs", strconv.Itoa(runtime.GOMAXPROCS(0))),
+		telemetry.L("revision", buildRevision()),
+	).Set(1)
+	reg.GaugeFunc("sw_uptime_seconds",
+		"Seconds since process start.",
+		func() float64 { return time.Since(processStart).Seconds() })
 	return m
+}
+
+// buildRevision extracts the VCS revision stamped into the binary
+// ("unknown" for test binaries and non-VCS builds, "-dirty" appended for
+// modified trees).
+func buildRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
 }
 
 // on reports whether the bundle records anything: only bundles built by
@@ -208,6 +258,46 @@ func (m *Metrics) monitorWaitHist(name string) *telemetry.Histogram {
 		return nil
 	}
 	return m.monWait[name]
+}
+
+// ExemplarView is one histogram family's p-max exemplar for /stats: the
+// largest observation the family has seen and the flight-recorder trace
+// that produced it, resolvable at /debug/flight.
+type ExemplarView struct {
+	Family  string  `json:"family"`
+	Monitor string  `json:"monitor,omitempty"`
+	Seconds float64 `json:"seconds"`
+	TraceID string  `json:"trace_id"`
+}
+
+// Exemplars snapshots the max exemplar of every trace-tagged histogram
+// family (batch lifecycle and per-monitor fan-out); families that never
+// saw a traced observation are omitted.
+func (m *Metrics) Exemplars() []ExemplarView {
+	if !m.on() {
+		return nil
+	}
+	var out []ExemplarView
+	add := func(family, monitor string, h *telemetry.Histogram) {
+		ex := h.MaxExemplar()
+		if ex.TraceID == 0 {
+			return
+		}
+		out = append(out, ExemplarView{
+			Family:  family,
+			Monitor: monitor,
+			Seconds: float64(ex.Value) / 1e9,
+			TraceID: trace.FormatID(ex.TraceID),
+		})
+	}
+	add("sw_apply_stage_seconds", "", m.stageSeconds)
+	add("sw_apply_fanout_seconds", "", m.fanoutSeconds)
+	add("sw_apply_batch_seconds", "", m.batchSeconds)
+	for _, name := range AllMonitors() {
+		add("sw_monitor_apply_seconds", name, m.monApply[name])
+		add("sw_monitor_wait_seconds", name, m.monWait[name])
+	}
+	return out
 }
 
 // routeHist registers (or fetches) the per-route request latency histogram.

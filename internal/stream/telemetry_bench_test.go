@@ -4,18 +4,23 @@ import (
 	"testing"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // benchIngest drives the full pipeline — Submit → flush goroutine →
-// staging → monitor fan-out — with telemetry either wired or no-op'd.
-// BENCH.md's telemetry-overhead guard compares the two: the instrumented
-// hot path must stay within 3% of the no-op recorder.
-func benchIngest(b *testing.B, m *Metrics) {
-	svc, err := NewService(ServiceConfig{
+// staging → monitor fan-out — with telemetry either wired or no-op'd and
+// the flight recorder either attached or absent. BENCH.md's overhead
+// guards compare the variants: the instrumented hot path must stay within
+// 3% of the no-op recorder, and the flight recorder must add nothing
+// measurable on top of full telemetry.
+func benchIngest(b *testing.B, m *Metrics, rec *trace.Recorder) {
+	cfg := ServiceConfig{
 		Window:    WindowConfig{N: 1 << 12, MaxArrivals: 1 << 15},
 		Ingest:    IngesterConfig{MaxBatch: 512, QueueLen: 1 << 14},
 		Telemetry: m,
-	})
+	}
+	cfg.flight = rec
+	svc, err := NewService(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -42,8 +47,15 @@ func benchIngest(b *testing.B, m *Metrics) {
 	b.StopTimer()
 }
 
-func BenchmarkIngestTelemetryOff(b *testing.B) { benchIngest(b, nil) }
+func BenchmarkIngestTelemetryOff(b *testing.B) { benchIngest(b, nil, nil) }
 
 func BenchmarkIngestTelemetryOn(b *testing.B) {
-	benchIngest(b, NewMetrics(telemetry.NewRegistry()))
+	benchIngest(b, NewMetrics(telemetry.NewRegistry()), nil)
+}
+
+// BenchmarkIngestFlightOn is S10's guard: full telemetry plus the batch
+// flight recorder, the production default. Compare against
+// BenchmarkIngestTelemetryOn at fixed iterations (-benchtime 20000x).
+func BenchmarkIngestFlightOn(b *testing.B) {
+	benchIngest(b, NewMetrics(telemetry.NewRegistry()), trace.New(trace.Options{}))
 }

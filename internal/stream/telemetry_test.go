@@ -392,7 +392,7 @@ func TestIngestHotPathAllocs(t *testing.T) {
 	}
 	m := NewMetrics(telemetry.NewRegistry())
 	sunk := func([]Edge) {}
-	ing := newIngesterWith(IngesterConfig{MaxBatch: 4, QueueLen: 1 << 16}, sunk, m)
+	ing := newIngesterWith(IngesterConfig{MaxBatch: 4, QueueLen: 1 << 16}, sunk, m, nil)
 	defer ing.Close()
 	batch := []Edge{{U: 1, V: 2}}
 	allocs := testing.AllocsPerRun(200, func() {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/trace"
 )
 
 // ErrNoMonitor is wrapped by query methods whose monitor is not configured.
@@ -146,10 +147,12 @@ type WindowManager struct {
 
 	// rec, when set, is handed every valid batch (event times already
 	// clamped) before the monitors see it — the write-ahead hook the
-	// durability layer logs through. Called under coord, so record order
-	// is exactly staging order and the logged arrival indices line up
-	// with the stats counters.
-	rec func([]Edge)
+	// durability layer logs through. It returns the WAL sequence (arrival
+	// index) of the batch's first edge, which becomes the batch's flight
+	// trace ID so traces correlate across restarts. Called under coord, so
+	// record order is exactly staging order and the logged arrival indices
+	// line up with the stats counters.
+	rec func([]Edge) uint64
 
 	// live holds the unexpired arrivals in arrival order, oldest at
 	// live[head] — the canonical window content LiveEdges serves to the
@@ -182,6 +185,35 @@ type WindowManager struct {
 	// nil, so observation sites are branch-only when off). Installed by
 	// setTelemetry during wiring, before the window is published.
 	metrics *Metrics
+
+	// Flight recorder wiring (setFlight; nil = recording off, e.g.
+	// standalone windows built outside a registry).
+	//
+	// flight receives one batch trace per applied op; qflight receives
+	// query traces. ftrace is the reusable batch-trace scratch — only the
+	// writer (under writerMu) touches it, so recording is lock-free and
+	// 0 allocs. levelMon caches the msfweight monitor when per-level span
+	// timing is enabled (flight on and ApplyParallelism > 1).
+	flight      *trace.Ring
+	qflight     *trace.Ring
+	ftrace      trace.Trace
+	levelMon    *msfWeightMonitor
+	levelMonIdx int // msfweight's fan-out slot index (valid iff levelMon != nil)
+
+	// pendingEnqNS is the enqueue wall time (unix ns) of the oldest
+	// submission in the batch the ingester is about to Apply — the queue
+	// span's start. The flush goroutine writes it immediately before
+	// calling Apply on the same goroutine, so a plain field suffices; 0
+	// means unknown (direct Apply callers, tests).
+	pendingEnqNS int64
+
+	// walFsyncNS accumulates fsync time observed during the current WAL
+	// append (the durability layer's per-window ObserveFsync wrapper adds
+	// to it; Apply swaps it out around the rec call). Atomic because
+	// close-time and checkpoint-path syncs may fire off the writer
+	// goroutine; those land outside an append window and are discarded by
+	// the pre-append reset.
+	walFsyncNS atomic.Int64
 }
 
 // NewWindowManager builds a window and its monitors.
@@ -224,6 +256,34 @@ func (w *WindowManager) setTelemetry(m *Metrics) {
 	w.mux.setTelemetry(w.metrics)
 }
 
+// setFlight installs the flight-recorder rings (batch and query). Wiring
+// time only, before the window is published. When the window's effective
+// apply parallelism exceeds 1, the msfweight monitor's per-level timing
+// turns on so batch traces carry the fork-join detail.
+func (w *WindowManager) setFlight(batch, query *trace.Ring) {
+	w.flight = batch
+	w.qflight = query
+	if batch != nil && w.ApplyParallelism() > 1 {
+		if s := w.mux.byName[MonitorMSFWeight]; s != nil {
+			if mon, ok := s.mon.(*msfWeightMonitor); ok {
+				mon.a.SetLevelTiming(true)
+				w.levelMon = mon
+				w.levelMonIdx = s.idx
+			}
+		}
+	}
+}
+
+// noteEnqueueTime hands Apply the enqueue wall time of the oldest
+// submission in the batch about to be flushed. The ingester's flush
+// goroutine calls it right before the sink call — same goroutine as
+// Apply, so no synchronization.
+func (w *WindowManager) noteEnqueueTime(enqNS int64) { w.pendingEnqNS = enqNS }
+
+// noteWALFsync records fsync time the WAL observed for this window; the
+// durability layer's per-window ObserveFsync wrapper feeds it.
+func (w *WindowManager) noteWALFsync(d time.Duration) { w.walFsyncNS.Add(d.Nanoseconds()) }
+
 // N returns the vertex-set size.
 func (w *WindowManager) N() int { return w.cfg.N }
 
@@ -241,16 +301,25 @@ func (w *WindowManager) Monitors() []string { return w.mux.Names() }
 func (w *WindowManager) Apply(batch []Edge) {
 	w.writerMu.Lock()
 	defer w.writerMu.Unlock()
+	enqNS := w.pendingEnqNS
+	w.pendingEnqNS = 0
 	now := w.cfg.Clock.Now()
 	m := w.metrics
+	ft := w.flight
 	// Lifecycle timing costs extra monotonic clock reads, so it only runs
-	// for the telemetry registry or the slow-batch trace. Always the real
-	// clock, never the injected Clock — FakeClock does not advance during
-	// a call.
-	timed := m.on() || (m.SlowBatch > 0 && m.Logger != nil)
+	// for the telemetry registry, the slow-batch trace, or the flight
+	// recorder. Always the real clock, never the injected Clock —
+	// FakeClock does not advance during a call.
+	timed := m.on() || (m.SlowBatch > 0 && m.Logger != nil) || ft != nil
 	var stageStart time.Time
 	if timed {
 		stageStart = time.Now()
+	}
+	var queueNS int64
+	if ft != nil && enqNS > 0 {
+		if queueNS = stageStart.UnixNano() - enqNS; queueNS < 0 {
+			queueNS = 0
+		}
 	}
 
 	// Stage: everything under the narrow coordinator lock, no monitor
@@ -258,6 +327,9 @@ func (w *WindowManager) Apply(batch []Edge) {
 	// the monitors just haven't seen it yet — the epoch stays odd until
 	// they all have.
 	dropped := 0
+	var walSeq uint64
+	durable := false
+	var walOffNS, walNS, fsyncNS int64
 	w.coord.Lock()
 	valid := batch[:0]
 	n32 := int32(w.cfg.N)
@@ -294,7 +366,26 @@ func (w *WindowManager) Apply(batch []Edge) {
 			w.live = append(w.live, valid...)
 		}
 		if w.rec != nil {
-			w.rec(valid)
+			durable = true
+			if ft != nil {
+				// Bracket the append so the trace carries wal_append and
+				// (via the durability layer's per-window fsync note) the
+				// wal_fsync sub-span. The WAL fsyncs on the append path
+				// for both the batch and interval policies, so the swap
+				// after the call captures exactly this append's fsync.
+				w.walFsyncNS.Store(0)
+				walT0 := time.Now()
+				walSeq = w.rec(valid)
+				walNS = time.Since(walT0).Nanoseconds()
+				walOffNS = walT0.Sub(stageStart).Nanoseconds()
+				fsyncNS = w.walFsyncNS.Swap(0)
+			} else {
+				walSeq = w.rec(valid)
+			}
+		} else {
+			// No WAL: the batch's first arrival index plays the sequence
+			// role so trace IDs stay monotone and unique per window.
+			walSeq = uint64(w.stats.Arrivals)
 		}
 		w.stats.Arrivals += int64(len(valid))
 		w.stats.Batches++
@@ -315,6 +406,12 @@ func (w *WindowManager) Apply(batch []Edge) {
 	if len(valid) == 0 && delta == 0 {
 		return
 	}
+	// The trace ID is known before the fan-out so per-monitor histogram
+	// exemplars can be tagged with it as they observe.
+	var traceID uint64
+	if ft != nil {
+		traceID = ft.ID(walSeq)
+	}
 	// Fan out under the per-monitor locks, bracketed by the epoch.
 	// ApplyNS times the fan-out with the monotonic wall clock,
 	// deliberately not the injected Clock: FakeClock time does not
@@ -322,7 +419,7 @@ func (w *WindowManager) Apply(batch []Edge) {
 	w.epoch.Add(1)
 	m.applyInflight.Add(1)
 	applyStart := time.Now()
-	rep := w.mux.Apply(valid, delta)
+	rep := w.mux.Apply(valid, delta, traceID)
 	applyNS := time.Since(applyStart).Nanoseconds()
 	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
@@ -334,36 +431,101 @@ func (w *WindowManager) Apply(batch []Edge) {
 		m.edgesApplied.Add(int64(len(valid)))
 	}
 	if m.on() {
-		m.stageSeconds.ObserveVal(stageNS)
-		m.fanoutSeconds.ObserveVal(applyNS)
-		m.batchSeconds.ObserveVal(stageNS + applyNS)
+		m.stageSeconds.ObserveValTraced(stageNS, traceID)
+		m.fanoutSeconds.ObserveValTraced(applyNS, traceID)
+		m.batchSeconds.ObserveValTraced(stageNS+applyNS, traceID)
+	}
+	if ft != nil {
+		w.commitBatchTrace(ft, queueNS, stageNS, applyNS,
+			walSeq, durable, walOffNS, walNS, fsyncNS,
+			applyStart, stageStart, len(valid), delta)
 	}
 	// Slow-batch trace: one structured record per batch over the
 	// threshold, attributing the critical path (staging vs fan-out, and
 	// which monitor's apply dominated the fan-out).
+	//
+	// Deprecated in favor of the flight recorder's slow ring, which keeps
+	// the batch's full span tree: GET /debug/flight?slow=1.
 	if m.SlowBatch > 0 && m.Logger != nil {
 		if total := time.Duration(stageNS + applyNS); total > m.SlowBatch {
 			m.Logger.LogAttrs(context.Background(), slog.LevelWarn, "slow batch",
 				slog.String("window", w.cfg.Name),
 				slog.Int("edges", len(valid)),
 				slog.Int("expired", delta),
+				slog.Uint64("wal_seq", walSeq),
+				slog.Duration("queue_wait", time.Duration(queueNS)),
 				slog.Duration("total", total),
 				slog.Duration("stage", time.Duration(stageNS)),
 				slog.Duration("fanout", time.Duration(applyNS)),
 				slog.String("slowest_monitor", rep.slowest),
 				slog.Duration("slowest_apply", time.Duration(rep.applyNS)),
 				slog.Duration("max_lock_wait", time.Duration(rep.waitNS)),
+				slog.String("deprecated_see", "/debug/flight?slow=1"),
 			)
 		}
 	}
 }
 
-// setRecorder installs the write-ahead hook batches are logged through.
+// commitBatchTrace assembles the batch's span tree in the reusable
+// scratch and commits it to the flight ring — 0 allocs: the scratch, the
+// span array, and the ring slots are all preallocated. Runs under
+// writerMu on the flush goroutine, after the fan-out barrier (so the
+// per-monitor and per-level timings are settled plain reads).
+func (w *WindowManager) commitBatchTrace(ft *trace.Ring,
+	queueNS, stageNS, applyNS int64,
+	walSeq uint64, durable bool, walOffNS, walNS, fsyncNS int64,
+	applyStart, stageStart time.Time, edges, expired int,
+) {
+	t := &w.ftrace
+	t.Reset(trace.KindBatch)
+	t.Seq = walSeq
+	t.Durable = durable
+	t.Edges = int32(edges)
+	t.Expired = int32(expired)
+	// The trace starts when its oldest submission entered the queue, so
+	// the queue span is part of the tree (and of total_ms — the latency a
+	// producer actually experienced).
+	t.StartNS = stageStart.UnixNano() - queueNS
+	if queueNS > 0 {
+		t.Add(trace.SpanQueue, 0, 0, queueNS)
+	}
+	t.Add(trace.SpanStage, 0, queueNS, stageNS)
+	if walNS > 0 {
+		t.Add(trace.SpanWALAppend, 0, queueNS+walOffNS, walNS)
+		if fsyncNS > 0 {
+			t.Add(trace.SpanWALFsync, 0, queueNS+walOffNS, fsyncNS)
+		}
+	}
+	applyOff := queueNS + applyStart.Sub(stageStart).Nanoseconds()
+	w.mux.forEachLastTiming(func(idx int, waitNS, monApplyNS int64) {
+		t.Add(trace.SpanMonitorWait, int32(idx), applyOff, waitNS)
+		t.Add(trace.SpanMonitorApply, int32(idx), applyOff+waitNS, monApplyNS)
+		if w.levelMon != nil && idx == w.levelMonIdx && edges > 0 {
+			base := applyOff + waitNS
+			w.levelMon.a.LevelSpans(func(level int, startNS, durNS int64) {
+				t.Add(trace.SpanLevel, int32(level), base+startNS, durNS)
+			})
+		}
+	})
+	pubOff := applyOff + applyNS
+	pubNS := time.Since(stageStart).Nanoseconds() + queueNS - pubOff
+	if pubNS < 0 {
+		pubNS = 0
+	}
+	t.Add(trace.SpanPublish, 0, pubOff, pubNS)
+	t.TotalNS = pubOff + pubNS
+	ft.Commit(t)
+}
+
+// setRecorder installs the write-ahead hook batches are logged through;
+// the hook returns the WAL sequence assigned to the batch's first edge,
+// which becomes the batch's flight-recorder trace ID (stable across
+// restarts — replaying the log reproduces the same sequences).
 // Must be installed before any producer can reach Apply (the registry
 // attaches it while the window is still unpublished). A recorded window
 // is a durable one, so retention turns on: checkpoint snapshots will
 // read LiveEdges.
-func (w *WindowManager) setRecorder(rec func([]Edge)) {
+func (w *WindowManager) setRecorder(rec func([]Edge) uint64) {
 	w.coord.Lock()
 	w.rec = rec
 	w.retain = true
@@ -430,7 +592,7 @@ func (w *WindowManager) ExpireByAge(now time.Time) int {
 	m.edgesExpired.Add(int64(delta))
 	w.epoch.Add(1)
 	m.applyInflight.Add(1)
-	w.mux.Apply(nil, delta)
+	w.mux.Apply(nil, delta, 0)
 	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
 	return delta
@@ -511,11 +673,33 @@ func (w *WindowManager) ApplyParallelism() int { return w.workers.Aux() + 1 }
 func (w *WindowManager) MonitorStats() []MonitorApplyStats { return w.mux.Stats() }
 
 // readMonitor runs fn on the named monitor under that monitor's read
-// lock, translating "not configured" into ErrNoMonitor.
+// lock, translating "not configured" into ErrNoMonitor. When the flight
+// recorder is wired, each query commits a two-span trace (lock wait +
+// execute) to the window's query ring — the trace lives on the stack, so
+// concurrent queries never contend on anything but the ring slot.
 func (w *WindowManager) readMonitor(name string, fn func(Monitor)) error {
-	if !w.mux.withRead(name, fn) {
+	qf := w.qflight
+	if qf == nil {
+		if !w.mux.withRead(name, fn) {
+			return fmt.Errorf("%w: %s", ErrNoMonitor, name)
+		}
+		return nil
+	}
+	start := time.Now()
+	idx, waitNS, execNS, ok := w.mux.withReadTimed(name, fn)
+	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoMonitor, name)
 	}
+	var t trace.Trace
+	t.Reset(trace.KindQuery)
+	t.Seq = qf.SeqNext()
+	t.StartNS = start.UnixNano()
+	if waitNS > 0 {
+		t.Add(trace.SpanLockWait, int32(idx), 0, waitNS)
+	}
+	t.Add(trace.SpanExec, int32(idx), waitNS, execNS)
+	t.TotalNS = waitNS + execNS
+	qf.Commit(&t)
 	return nil
 }
 

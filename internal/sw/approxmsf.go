@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/parallel"
 )
@@ -52,6 +53,16 @@ type ApproxMSF struct {
 	sortedTaus []int64
 	lvls       []int32
 	cum        []int
+
+	// Level-span timing for the flight recorder, opt-in via
+	// SetLevelTiming. Each level writes only its own index (disjoint
+	// writes are race-free across the fork-join) and the reader drains
+	// after the join, so no synchronization beyond the join barrier is
+	// needed. Preallocated: timing a batch costs two clock reads per
+	// non-empty level and zero allocations.
+	timeLevels   bool
+	levelStartNS []int64 // offset of each level's start from the fork point
+	levelDurNS   []int64 // 0 = level did not run in the last timed insert
 }
 
 // NewApproxMSF returns an approximate-MSF-weight structure for edge weights
@@ -84,6 +95,31 @@ func (a *ApproxMSF) Levels() int { return len(a.inst) }
 // budget — parallel.NewLimiter(0) — forces sequential level application).
 // Must not be called concurrently with mutations.
 func (a *ApproxMSF) SetWorkers(l *parallel.Limiter) { a.workers = l }
+
+// SetLevelTiming turns per-level span timing of BatchInsert on or off.
+// Must not be called concurrently with mutations (wiring time only).
+func (a *ApproxMSF) SetLevelTiming(on bool) {
+	a.timeLevels = on
+	if on && a.levelDurNS == nil {
+		a.levelStartNS = make([]int64, len(a.inst))
+		a.levelDurNS = make([]int64, len(a.inst))
+	}
+}
+
+// LevelSpans calls fn for every level the last timed BatchInsert ran
+// (highest level first, matching the fork order), with the level's start
+// offset from the fork point and its duration. Call after the mutation
+// returns, from the same writer; the data is valid until the next insert.
+func (a *ApproxMSF) LevelSpans(fn func(level int, startNS, durNS int64)) {
+	if !a.timeLevels || a.levelDurNS == nil {
+		return
+	}
+	for i := len(a.levelDurNS) - 1; i >= 0; i-- {
+		if a.levelDurNS[i] > 0 {
+			fn(i, a.levelStartNS[i], a.levelDurNS[i])
+		}
+	}
+}
 
 func (a *ApproxMSF) pool() *parallel.Limiter {
 	if a.workers != nil {
@@ -162,15 +198,30 @@ func (a *ApproxMSF) BatchInsert(edges []WeightedStreamEdge) {
 	// Fork-join the levels: level i inserts the prefix of buckets 0..i,
 	// under its own writer guard (the levels share no state, so parallelism
 	// across them is safe by construction — and asserted by the guards).
+	var forkT0 time.Time
+	if a.timeLevels {
+		for i := range a.levelDurNS {
+			a.levelDurNS[i] = 0
+		}
+		forkT0 = time.Now()
+	}
 	a.forEachLevel(func(i int) {
 		cnt := a.cum[i]
 		if cnt == 0 {
 			return
 		}
+		var t0 time.Time
+		if a.timeLevels {
+			t0 = time.Now()
+		}
 		inst := a.inst[i]
 		inst.guard.enter()
 		inst.batchInsertAt(sorted[:cnt], sortedTaus[:cnt])
 		inst.guard.exit()
+		if a.timeLevels {
+			a.levelStartNS[i] = t0.Sub(forkT0).Nanoseconds()
+			a.levelDurNS[i] = time.Since(t0).Nanoseconds()
+		}
 	})
 }
 

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExemplarCaptureAndRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("sw_test_batch_seconds", "test", L("monitor", "conn"))
+	h.ObserveTraced(2*time.Millisecond, 0xdead)
+	h.ObserveTraced(9*time.Millisecond, 0xbeef) // new max
+	h.ObserveTraced(1*time.Millisecond, 0xf00d)
+	h.Observe(50 * time.Millisecond) // untraced: buckets move, exemplar must not
+
+	if ex := h.MaxExemplar(); ex.TraceID != 0xbeef || ex.Value != int64(9*time.Millisecond) {
+		t.Fatalf("max exemplar: %+v", ex)
+	}
+	recent := h.RecentExemplars(nil)
+	if len(recent) != 3 {
+		t.Fatalf("recent exemplars: %+v", recent)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "# EXEMPLAR sw_test_batch_seconds{monitor=\"conn\"} max 0.009 000000000000beef") {
+		t.Fatalf("missing max exemplar line in:\n%s", text)
+	}
+	e, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("round-trip parse: %v", err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatalf("round-trip validate: %v", err)
+	}
+	ex, ok := e.ExemplarFor("sw_test_batch_seconds", "max")
+	if !ok || ex.TraceID != "000000000000beef" || ex.Value != 0.009 || ex.Labels["monitor"] != "conn" {
+		t.Fatalf("parsed max exemplar: %+v ok=%v", ex, ok)
+	}
+	if _, ok := e.ExemplarFor("sw_test_batch_seconds", "recent"); !ok {
+		t.Fatal("no recent exemplar parsed")
+	}
+}
+
+func TestExemplarZeroTraceIDIsUntraced(t *testing.T) {
+	var h Histogram
+	h.ObserveValTraced(100, 0)
+	if h.Snapshot().Count != 1 {
+		t.Fatal("observation lost")
+	}
+	if ex := h.MaxExemplar(); ex.TraceID != 0 {
+		t.Fatalf("exemplar captured for trace ID 0: %+v", ex)
+	}
+	if got := h.RecentExemplars(nil); len(got) != 0 {
+		t.Fatalf("recent ring captured trace ID 0: %+v", got)
+	}
+	var nilH *Histogram
+	nilH.ObserveValTraced(1, 2) // must not panic
+	if ex := nilH.MaxExemplar(); ex.TraceID != 0 {
+		t.Fatal("nil histogram exemplar")
+	}
+}
+
+func TestExemplarRecentRingWraps(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= exRecentSlots+3; i++ {
+		h.ObserveValTraced(int64(i), uint64(i))
+	}
+	recent := h.RecentExemplars(nil)
+	if len(recent) != exRecentSlots {
+		t.Fatalf("recent ring size: %d", len(recent))
+	}
+	for _, ex := range recent {
+		if ex.TraceID <= 3 {
+			t.Fatalf("stale slot survived the wrap: %+v", recent)
+		}
+	}
+}
+
+func TestParseExemplarRejectsMalformed(t *testing.T) {
+	base := "# HELP sw_x_seconds h\n# TYPE sw_x_seconds histogram\n"
+	for _, line := range []string{
+		"# EXEMPLAR sw_x_seconds max 0.1",                    // missing trace id
+		"# EXEMPLAR sw_x_seconds huh 0.1 0000000000000001",   // unknown kind
+		"# EXEMPLAR sw_x_seconds max nope 0000000000000001",  // bad value
+		"# EXEMPLAR sw_x_seconds max 0.1 xyz",                // bad trace id
+		"# EXEMPLAR sw_x_seconds max 0.1 000000000000000G",   // non-hex
+		"# EXEMPLAR Bad-Name max 0.1 0000000000000001",       // bad name
+		"# EXEMPLAR sw_x_seconds{le=\"oops max 0.1 00000000", // unterminated labels
+	} {
+		if _, err := ParseExposition(strings.NewReader(base + line + "\n")); err == nil {
+			t.Errorf("accepted malformed exemplar line %q", line)
+		}
+	}
+	// An exemplar naming an unregistered family parses but fails Validate.
+	e, err := ParseExposition(strings.NewReader(base + "# EXEMPLAR sw_other_seconds max 0.1 0000000000000001\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err == nil {
+		t.Fatal("validated exemplar for unregistered family")
+	}
+	// Non-EXEMPLAR comments stay legal.
+	if _, err := ParseExposition(strings.NewReader(base + "# just a comment\n")); err != nil {
+		t.Fatalf("plain comment rejected: %v", err)
+	}
+}
+
+func TestExemplarObserveTracedAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts are unstable under -race")
+	}
+	var h Histogram
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveValTraced(12345, 0xabc)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveValTraced allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"math"
 	"math/bits"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -83,9 +84,35 @@ type Histogram struct {
 	count   atomic.Int64
 	max     atomic.Int64
 	seconds bool // exposition divides by 1e9 (set by Registry.Histogram)
+
+	// Exemplar state, fed by ObserveTraced: the trace ID of the largest
+	// traced observation plus a small ring of recent traced samples, so a
+	// p99 regression on the scrape links to a concrete flight-recorder
+	// trace. Value and ID are separate atomics — a CAS win on the value
+	// followed by the ID store can interleave with a concurrent winner, so
+	// pairing is best-effort by design (documented in DESIGN §7); the
+	// alternative is a lock on the observe path.
+	exMax    exPair
+	exRecent [exRecentSlots]exPair
+	exIdx    atomic.Uint64
 }
 
 const histBuckets = 64
+
+// exRecentSlots sizes the recent-exemplar ring.
+const exRecentSlots = 4
+
+type exPair struct {
+	v  atomic.Int64
+	id atomic.Uint64
+}
+
+// Exemplar pairs an observed value (in the histogram's stored units) with
+// the flight-recorder trace ID that produced it.
+type Exemplar struct {
+	Value   int64
+	TraceID uint64
+}
 
 // Observe records a duration. Negative durations clamp to zero.
 func (h *Histogram) Observe(d time.Duration) {
@@ -109,6 +136,67 @@ func (h *Histogram) ObserveVal(v int64) {
 			return
 		}
 	}
+}
+
+// ObserveTraced records a duration and tags it with a flight-recorder
+// trace ID (0 = untraced, equivalent to Observe).
+func (h *Histogram) ObserveTraced(d time.Duration, traceID uint64) {
+	h.ObserveValTraced(int64(d), traceID)
+}
+
+// ObserveValTraced records a raw value and tags it with a trace ID. The
+// tagged observation lands in the buckets like any other; additionally
+// the trace ID is CAS-captured when the value is a new traced max, and
+// always sampled into the recent-exemplar ring. Lock-free, 0 allocs.
+func (h *Histogram) ObserveValTraced(v int64, traceID uint64) {
+	if h == nil {
+		return
+	}
+	h.ObserveVal(v)
+	if traceID == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	for {
+		cur := h.exMax.v.Load()
+		if v < cur {
+			break
+		}
+		if h.exMax.v.CompareAndSwap(cur, v) {
+			h.exMax.id.Store(traceID)
+			break
+		}
+	}
+	i := h.exIdx.Add(1) % exRecentSlots
+	h.exRecent[i].v.Store(v)
+	h.exRecent[i].id.Store(traceID)
+}
+
+// MaxExemplar returns the largest traced observation and its trace ID
+// (zero Exemplar when nothing traced has been observed).
+func (h *Histogram) MaxExemplar() Exemplar {
+	if h == nil {
+		return Exemplar{}
+	}
+	return Exemplar{Value: h.exMax.v.Load(), TraceID: h.exMax.id.Load()}
+}
+
+// RecentExemplars appends the non-empty recent traced samples to dst,
+// newest slot order unspecified.
+func (h *Histogram) RecentExemplars(dst []Exemplar) []Exemplar {
+	if h == nil {
+		return dst
+	}
+	for i := range h.exRecent {
+		id := h.exRecent[i].id.Load()
+		if id == 0 {
+			continue
+		}
+		dst = append(dst, Exemplar{Value: h.exRecent[i].v.Load(), TraceID: id})
+	}
+	return dst
 }
 
 // HistogramSnapshot is a point-in-time read of a histogram, in the
@@ -247,4 +335,45 @@ func (h *Histogram) write(b *strings.Builder, name string, labels []Label) {
 	b.WriteByte(' ')
 	b.WriteString(formatFloat(float64(total)))
 	b.WriteByte('\n')
+
+	// Exemplar comment lines. `#` lines that are not HELP/TYPE are legal
+	// 0.0.4 exposition (real Prometheus and older ParseExposition builds
+	// skip them); the current parser reads them strictly.
+	h.writeExemplar(b, name, labels, "max", h.MaxExemplar())
+	for i := range h.exRecent {
+		h.writeExemplar(b, name, labels, "recent",
+			Exemplar{Value: h.exRecent[i].v.Load(), TraceID: h.exRecent[i].id.Load()})
+	}
+}
+
+// writeExemplar renders `# EXEMPLAR name{labels} kind value trace_id`,
+// with the value converted to exposed units. Empty exemplars are elided.
+func (h *Histogram) writeExemplar(b *strings.Builder, name string, labels []Label, kind string, ex Exemplar) {
+	if ex.TraceID == 0 {
+		return
+	}
+	v := float64(ex.Value)
+	if h.seconds {
+		v /= 1e9
+	}
+	b.WriteString("# EXEMPLAR ")
+	b.WriteString(name)
+	writeLabels(b, labels, "", "")
+	b.WriteByte(' ')
+	b.WriteString(kind)
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte(' ')
+	b.WriteString(formatTraceID(ex.TraceID))
+	b.WriteByte('\n')
+}
+
+// formatTraceID renders a trace ID the way the flight recorder does:
+// 16 lowercase hex digits, zero-padded.
+func formatTraceID(id uint64) string {
+	s := strconv.FormatUint(id, 16)
+	if len(s) < 16 {
+		s = strings.Repeat("0", 16-len(s)) + s
+	}
+	return s
 }

@@ -14,8 +14,9 @@ import (
 // It exists so the things that consume our own /metrics output — the
 // golden test, the CI smoke step, and swload's scraper — share one strict
 // reader instead of three ad-hoc regexes. It parses the subset this
-// package emits (HELP, TYPE, samples with optional labels; no timestamps,
-// no exemplars) and rejects anything malformed.
+// package emits (HELP, TYPE, samples with optional labels, and the
+// flight-recorder `# EXEMPLAR` comment lines; no timestamps) and rejects
+// anything malformed.
 
 // Sample is one exposition sample line.
 type Sample struct {
@@ -24,11 +25,24 @@ type Sample struct {
 	Value  float64
 }
 
+// ExemplarSample is one parsed `# EXEMPLAR name{labels} kind value
+// trace_id` comment line. Kind is "max" (the family's largest traced
+// observation) or "recent" (a recent-ring sample); Value is in exposed
+// units; TraceID is 16 lowercase hex digits resolvable at /debug/flight.
+type ExemplarSample struct {
+	Name    string
+	Labels  map[string]string
+	Kind    string
+	Value   float64
+	TraceID string
+}
+
 // Exposition is a parsed scrape.
 type Exposition struct {
-	Types   map[string]MetricType
-	Help    map[string]string
-	Samples []Sample
+	Types     map[string]MetricType
+	Help      map[string]string
+	Samples   []Sample
+	Exemplars []ExemplarSample
 }
 
 // ParseExposition reads Prometheus text format. It returns an error on any
@@ -68,6 +82,14 @@ func ParseExposition(r io.Reader) (*Exposition, error) {
 			default:
 				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
 			}
+			continue
+		}
+		if strings.HasPrefix(line, "# EXEMPLAR ") {
+			ex, err := parseExemplar(strings.TrimPrefix(line, "# EXEMPLAR "))
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			e.Exemplars = append(e.Exemplars, ex)
 			continue
 		}
 		if strings.HasPrefix(line, "#") {
@@ -118,6 +140,59 @@ func parseSample(line string) (Sample, error) {
 	}
 	s.Value = f
 	return s, nil
+}
+
+// parseExemplar reads the tail of an `# EXEMPLAR ` line:
+// name{labels} kind value trace_id.
+func parseExemplar(rest string) (ExemplarSample, error) {
+	ex := ExemplarSample{}
+	brace := strings.IndexByte(rest, '{')
+	sp := strings.IndexByte(rest, ' ')
+	nameEnd := sp
+	if brace >= 0 && (sp < 0 || brace < sp) {
+		nameEnd = brace
+	}
+	if nameEnd <= 0 {
+		return ex, fmt.Errorf("malformed EXEMPLAR %q", rest)
+	}
+	ex.Name = rest[:nameEnd]
+	if !validName(ex.Name) {
+		return ex, fmt.Errorf("invalid EXEMPLAR metric name %q", ex.Name)
+	}
+	rest = rest[nameEnd:]
+	if strings.HasPrefix(rest, "{") {
+		end, labels, err := parseLabelSet(rest)
+		if err != nil {
+			return ex, err
+		}
+		ex.Labels = labels
+		rest = rest[end:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 3 {
+		return ex, fmt.Errorf("EXEMPLAR wants `kind value trace_id`, got %q", rest)
+	}
+	ex.Kind = fields[0]
+	if ex.Kind != "max" && ex.Kind != "recent" {
+		return ex, fmt.Errorf("unknown EXEMPLAR kind %q", ex.Kind)
+	}
+	v, err := parseValue(fields[1])
+	if err != nil {
+		return ex, fmt.Errorf("bad EXEMPLAR value %q", fields[1])
+	}
+	ex.Value = v
+	id := fields[2]
+	if len(id) != 16 {
+		return ex, fmt.Errorf("EXEMPLAR trace ID %q is not 16 hex digits", id)
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return ex, fmt.Errorf("EXEMPLAR trace ID %q is not 16 hex digits", id)
+		}
+	}
+	ex.TraceID = id
+	return ex, nil
 }
 
 func parseValue(v string) (float64, error) {
@@ -225,7 +300,9 @@ func (e *Exposition) familyOf(sample string) string {
 //   - every sample belongs to a family with a TYPE line;
 //   - counter samples are non-negative and finite;
 //   - every histogram has a +Inf bucket per child, bucket counts are
-//     cumulative (non-decreasing in le order), and +Inf equals _count.
+//     cumulative (non-decreasing in le order), and +Inf equals _count;
+//   - every exemplar names a registered histogram family and carries a
+//     finite non-negative value.
 func (e *Exposition) Validate() error {
 	type histChild struct {
 		buckets map[float64]float64 // le → cumulative count
@@ -319,5 +396,29 @@ func (e *Exposition) Validate() error {
 				fam, hc.buckets[les[len(les)-1]], hc.count)
 		}
 	}
+
+	for _, ex := range e.Exemplars {
+		typ, ok := e.Types[ex.Name]
+		if !ok {
+			return fmt.Errorf("exemplar for %q has no TYPE line", ex.Name)
+		}
+		if typ != TypeHistogram {
+			return fmt.Errorf("exemplar for %q, a %s (exemplars attach to histograms)", ex.Name, typ)
+		}
+		if ex.Value < 0 || math.IsNaN(ex.Value) || math.IsInf(ex.Value, 0) {
+			return fmt.Errorf("exemplar for %q has bad value %v", ex.Name, ex.Value)
+		}
+	}
 	return nil
+}
+
+// ExemplarFor returns the first exemplar of the given kind for a family
+// (nil labels match any child).
+func (e *Exposition) ExemplarFor(family, kind string) (ExemplarSample, bool) {
+	for _, ex := range e.Exemplars {
+		if ex.Name == family && ex.Kind == kind {
+			return ex, true
+		}
+	}
+	return ExemplarSample{}, false
 }

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Response is the /debug/flight JSON envelope.
+type Response struct {
+	SlowThresholdMS float64 `json:"slow_threshold_ms"`
+	Count           int     `json:"count"`
+	Traces          []View  `json:"traces"`
+}
+
+// maxLimit caps limit= so a request cannot ask for unbounded work.
+const maxLimit = 1024
+
+// Handler serves the flight recorder as JSON.
+//
+//	GET /debug/flight?window=default&min_ms=5&slow=1&kind=batch&limit=32
+//
+// window= restricts to one window, min_ms= drops faster traces, slow=1
+// reads the slow-retention ring, kind= picks batch or query traces, and
+// limit= bounds the response (newest first, default 64, max 1024).
+func (rec *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		f := Filter{
+			Window: q.Get("window"),
+			Kind:   q.Get("kind"),
+			Slow:   q.Get("slow") == "1" || q.Get("slow") == "true",
+		}
+		if s := q.Get("min_ms"); s != "" {
+			ms, err := strconv.ParseFloat(s, 64)
+			if err != nil || ms < 0 {
+				http.Error(w, "bad min_ms", http.StatusBadRequest)
+				return
+			}
+			f.MinNS = int64(ms * 1e6)
+		}
+		if s := q.Get("kind"); s != "" && s != "batch" && s != "query" {
+			http.Error(w, "bad kind (want batch or query)", http.StatusBadRequest)
+			return
+		}
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			f.Limit = n
+		}
+		if f.Limit > maxLimit {
+			f.Limit = maxLimit
+		}
+		views := rec.Traces(f)
+		resp := Response{
+			SlowThresholdMS: msf(int64(rec.SlowThreshold())),
+			Count:           len(views),
+			Traces:          views,
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}

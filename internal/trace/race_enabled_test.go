@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled lets allocation-count tests skip under -race, where the
+// instrumentation itself allocates.
+const raceEnabled = true

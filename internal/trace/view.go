@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+)
+
+// View is the rendered, JSON-facing form of a trace. swload decodes the
+// /debug/flight response into this same type.
+type View struct {
+	TraceID string     `json:"trace_id"`
+	Window  string     `json:"window"`
+	Kind    string     `json:"kind"`
+	Seq     uint64     `json:"seq"`
+	WALSeq  *uint64    `json:"wal_seq,omitempty"` // set iff the window is durable
+	Start   time.Time  `json:"start"`
+	TotalMS float64    `json:"total_ms"`
+	Edges   int32      `json:"edges,omitempty"`
+	Expired int32      `json:"expired,omitempty"`
+	Slow    bool       `json:"slow,omitempty"`
+	Dropped int32      `json:"spans_dropped,omitempty"`
+	Spans   []SpanView `json:"spans"`
+}
+
+// SpanView is one rendered span. StartMS is the offset from the trace
+// start. Monitor is set for monitor-scoped spans, Level for msfweight
+// level spans.
+type SpanView struct {
+	Name    string  `json:"name"`
+	Monitor string  `json:"monitor,omitempty"`
+	Level   *int32  `json:"level,omitempty"`
+	StartMS float64 `json:"start_ms"`
+	MS      float64 `json:"ms"`
+}
+
+func msf(ns int64) float64 { return float64(ns) / 1e6 }
+
+func kindName(k uint8) string {
+	if k == KindQuery {
+		return "query"
+	}
+	return "batch"
+}
+
+func buildView(src *Ring, t *Trace) View {
+	v := View{
+		TraceID: FormatID(t.ID),
+		Kind:    kindName(t.Kind),
+		Seq:     t.Seq,
+		Start:   time.Unix(0, t.StartNS).UTC(),
+		TotalMS: msf(t.TotalNS),
+		Edges:   t.Edges,
+		Expired: t.Expired,
+		Slow:    t.Slow,
+		Dropped: t.Dropped,
+		Spans:   make([]SpanView, 0, t.N),
+	}
+	var monitors []string
+	if src != nil {
+		v.Window = src.name
+		monitors = src.monitors
+	}
+	if t.Durable {
+		seq := t.Seq
+		v.WALSeq = &seq
+	}
+	for i := int32(0); i < t.N; i++ {
+		s := &t.Spans[i]
+		sv := SpanView{Name: SpanName(s.Kind), StartMS: msf(s.StartNS), MS: msf(s.DurNS)}
+		switch s.Kind {
+		case SpanMonitorWait, SpanMonitorApply, SpanLockWait, SpanExec:
+			if int(s.Arg) >= 0 && int(s.Arg) < len(monitors) {
+				sv.Monitor = monitors[s.Arg]
+			}
+		case SpanLevel:
+			lvl := s.Arg
+			sv.Level = &lvl
+		}
+		v.Spans = append(v.Spans, sv)
+	}
+	return v
+}
+
+func (v View) appendJSON(dst []byte) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+func sortViews(views []View) {
+	sort.Slice(views, func(i, j int) bool {
+		if !views[i].Start.Equal(views[j].Start) {
+			return views[i].Start.After(views[j].Start)
+		}
+		return views[i].Seq > views[j].Seq
+	})
+}
+
+// Dominant names the span that explains most of a batch view's time,
+// bucketed for attribution: "queue", "wal" (append+fsync), "apply"
+// (slowest monitor, including its lock wait), or "stage" (staging net of
+// the WAL append). swload's -mixed report aggregates these over the slow
+// ring to answer "what are slow batches bound on".
+func (v View) Dominant() string {
+	var queue, wal, apply, stage, fsync float64
+	for _, s := range v.Spans {
+		switch s.Name {
+		case "queue":
+			queue = s.MS
+		case "wal_append":
+			wal = s.MS
+		case "wal_fsync":
+			fsync = s.MS
+		case "stage":
+			stage = s.MS
+		case "apply":
+			if s.MS > apply {
+				apply = s.MS
+			}
+		}
+	}
+	if fsync > wal {
+		wal = fsync
+	}
+	stage -= wal
+	if stage < 0 {
+		stage = 0
+	}
+	best, bestMS := "stage", stage
+	for _, c := range []struct {
+		name string
+		ms   float64
+	}{{"queue", queue}, {"wal", wal}, {"apply", apply}} {
+		if c.ms > bestMS {
+			best, bestMS = c.name, c.ms
+		}
+	}
+	return best
+}

@@ -304,10 +304,13 @@ func (l *Log) appendLocked(edges []Edge) error {
 }
 
 // rotateLocked finishes the active segment (fsyncing it so closed segments
-// are always durable) and starts a new one named after nextSeq.
+// are always durable) and starts a new one named after nextSeq. The
+// rotation fsync goes through syncLocked so it reaches ObserveFsync like
+// every other sync (it also resets the interval-policy timer, which is
+// right: the data is durable).
 func (l *Log) rotateLocked() error {
 	if l.f != nil {
-		if err := l.f.Sync(); err != nil {
+		if err := l.syncLocked(); err != nil {
 			return err
 		}
 		if err := l.f.Close(); err != nil {
