@@ -133,6 +133,9 @@ type options struct {
 	checkMetrics  bool
 	telemCompare  bool
 	telemetry     bool
+	ndjson        bool
+	syncAck       bool
+	burst         bool
 	cpuProfile    string
 	memProfile    string
 	jsonPath      string
@@ -217,6 +220,16 @@ type LoadResult struct {
 	// Flight is the batch flight-recorder attribution summary scraped
 	// from /debug/flight (-mixed only).
 	Flight *FlightSummary `json:"flight,omitempty"`
+	// Ingest-envelope fields: the wire format the producers used ("json"
+	// or "ndjson"), whether they requested durable acks (?sync=1), and the
+	// admission-control outcome — how many POSTs the server rejected with
+	// 429, how many edges those carried, and how long the producers spent
+	// honoring Retry-After (zero under -burst, which retries immediately).
+	Format        string  `json:"format,omitempty"`
+	SyncAck       bool    `json:"sync_ack,omitempty"`
+	RejectedPosts int64   `json:"rejected_posts,omitempty"`
+	RejectedEdges int64   `json:"rejected_edges,omitempty"`
+	RetryWaitSec  float64 `json:"retry_wait_sec,omitempty"`
 }
 
 // Report is the full swload output, one entry per mode.
@@ -286,6 +299,12 @@ func main() {
 		"scrape GET /metrics (from -url, or an in-process server after a short ingest) and strictly validate the Prometheus exposition and sw_ naming rules")
 	flag.BoolVar(&o.telemCompare, "telemetry-compare", false,
 		"run the same stream with the telemetry registry wired vs no-op recorders and report the ingest overhead (in-process only)")
+	flag.BoolVar(&o.ndjson, "ndjson", false,
+		"POST edges in the compact NDJSON wire format (?format=ndjson, one [u,v,w] array per line) instead of the JSON envelope")
+	flag.BoolVar(&o.syncAck, "sync-ack", false,
+		"request durable acks (?sync=1): each POST /edges returns 202 only after the batch's WAL append+fsync completed")
+	flag.BoolVar(&o.burst, "burst", false,
+		"burst offered load: on 429 retry immediately instead of honoring Retry-After, driving the admission budget as hard as possible")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path at exit")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
@@ -576,6 +595,7 @@ func runMixed(o options) LoadResult {
 	queryRecs := stream.NewEndpointStats()
 	var posted, posts atomic.Int64
 	stop := make(chan struct{})
+	po := &poster{client: client, base: base, ndjson: o.ndjson, syncAck: o.syncAck, burst: o.burst}
 
 	// Producers: sustained ingest until the clock runs out.
 	var prodWG, readWG sync.WaitGroup
@@ -585,11 +605,6 @@ func runMixed(o options) LoadResult {
 		go func(p int) {
 			defer prodWG.Done()
 			r := rand.New(rand.NewSource(o.seed + int64(p)))
-			type wireEdge struct {
-				U int32 `json:"u"`
-				V int32 `json:"v"`
-				W int64 `json:"w,omitempty"`
-			}
 			for {
 				select {
 				case <-stop:
@@ -605,24 +620,9 @@ func runMixed(o options) LoadResult {
 					}
 					edges[i] = wireEdge{U: u, V: v, W: 1 + r.Int63n(1<<10)}
 				}
-				body, _ := json.Marshal(map[string]any{"edges": edges})
-				t0 := time.Now()
-				resp, err := client.Post(base+"/edges", "application/json", bytes.NewReader(body))
-				if err != nil {
-					select {
-					case <-stop: // shutdown race: the server is going away
-						return
-					default:
-					}
-					fmt.Fprintf(os.Stderr, "POST /edges: %v\n", err)
+				if !po.post("", edges, &postRec, stop) {
 					return
 				}
-				drainBody(resp)
-				if resp.StatusCode != http.StatusAccepted {
-					fmt.Fprintf(os.Stderr, "POST /edges: status %d\n", resp.StatusCode)
-					return
-				}
-				postRec.Observe(time.Since(t0))
 				posted.Add(int64(len(edges)))
 				posts.Add(1)
 			}
@@ -790,6 +790,7 @@ func runMixed(o options) LoadResult {
 			res.MSFWeightApplyMs = float64(ms.ApplyNS) / float64(ms.Ops) / 1e6
 		}
 	}
+	po.fill(&res)
 	return res
 }
 
@@ -813,6 +814,7 @@ func printMixed(r LoadResult) {
 		r.QueryP50Ms, r.QueryP99Ms, r.QueryMaxMs, r.Queries)
 	fmt.Printf("  queue backlog at cutoff: %d batches / %d edges (cap %d submissions)\n",
 		r.QueueBatches, r.QueueEdges, r.QueueCap)
+	printAdmission(r)
 	if len(r.Monitors) > 0 {
 		fmt.Printf("  server-side monitor applies (from /metrics):\n")
 		mons := make([]string, 0, len(r.Monitors))
@@ -996,10 +998,6 @@ func runCheckMetrics(o options) {
 		// One POST, one query, one flush: ingest, HTTP, and lifecycle
 		// families all gain mass through the real handlers.
 		r := rand.New(rand.NewSource(o.seed))
-		type wireEdge struct {
-			U int32 `json:"u"`
-			V int32 `json:"v"`
-		}
 		edges := make([]wireEdge, 256)
 		for i := range edges {
 			u := int32(r.Intn(o.n))
@@ -1039,6 +1037,15 @@ func runCheckMetrics(o options) {
 		}
 		if exp.Help[name] == "" {
 			fmt.Fprintf(os.Stderr, "swload -check-metrics: family %q has no HELP text\n", name)
+			bad++
+		}
+	}
+	// Families the admission layer must always export, budgets configured
+	// or not — CI's smoke step asserts rejections out of these, so their
+	// absence has to fail here, not silently scrape as zero.
+	for _, fam := range []string{"sw_ingest_rejected_total", "sw_ingest_rejected_edges_total", "sw_ingest_queue_bytes"} {
+		if _, ok := exp.Types[fam]; !ok {
+			fmt.Fprintf(os.Stderr, "swload -check-metrics: family %q missing from the exposition\n", fam)
 			bad++
 		}
 	}
@@ -1393,6 +1400,157 @@ func applyParallelism(o options) int {
 	return 0
 }
 
+// wireEdge is the JSON-envelope edge shape the producers POST.
+type wireEdge struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+	W int64 `json:"w,omitempty"`
+}
+
+// edgesPath renders the ingest path for one window prefix with the wire
+// format and ack mode baked into the query string.
+func edgesPath(prefix string, ndjson, syncAck bool) string {
+	p := prefix + "/edges"
+	var q []string
+	if ndjson {
+		q = append(q, "format=ndjson")
+	}
+	if syncAck {
+		q = append(q, "sync=1")
+	}
+	if len(q) > 0 {
+		p += "?" + strings.Join(q, "&")
+	}
+	return p
+}
+
+// encodeEdges renders one chunk in the selected wire format and returns
+// the body plus its content type.
+func encodeEdges(edges []wireEdge, ndjson bool) ([]byte, string) {
+	if !ndjson {
+		body, _ := json.Marshal(map[string]any{"edges": edges})
+		return body, "application/json"
+	}
+	var buf []byte
+	for _, e := range edges {
+		buf = append(buf, '[')
+		buf = strconv.AppendInt(buf, int64(e.U), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(e.V), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, e.W, 10)
+		buf = append(buf, ']', '\n')
+	}
+	return buf, "application/x-ndjson"
+}
+
+// poster is the producers' shared POST /edges client: it speaks both wire
+// formats, and it understands the admission-control contract — a 429 is
+// not an error but backpressure, counted and retried (after the server's
+// Retry-After hint, or immediately under -burst).
+type poster struct {
+	client  *http.Client
+	base    string
+	ndjson  bool
+	syncAck bool
+	burst   bool
+
+	rejected  atomic.Int64 // POSTs answered 429
+	rejEdges  atomic.Int64 // edges those POSTs carried
+	retryWait atomic.Int64 // ns slept honoring Retry-After
+
+	noRetryAfter atomic.Bool // a 429 arrived without a Retry-After header
+	badLogged    atomic.Bool
+}
+
+// post delivers one chunk, retrying through 429s until it is accepted,
+// the stop channel closes, or a hard error lands. Only the accepted
+// attempt's latency is observed. Returns false when the producer loop
+// should give up.
+func (p *poster) post(prefix string, edges []wireEdge, rec *stream.LatencyRecorder, stop <-chan struct{}) bool {
+	body, ctype := encodeEdges(edges, p.ndjson)
+	path := p.base + edgesPath(prefix, p.ndjson, p.syncAck)
+	for {
+		t0 := time.Now()
+		resp, err := p.client.Post(path, ctype, bytes.NewReader(body))
+		if err != nil {
+			if stop != nil {
+				select {
+				case <-stop: // shutdown race: the server is going away
+					return false
+				default:
+				}
+			}
+			fmt.Fprintf(os.Stderr, "POST %s: %v\n", path, err)
+			return false
+		}
+		retryAfter := resp.Header.Get("Retry-After")
+		drainBody(resp)
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			if rec != nil {
+				rec.Observe(time.Since(t0))
+			}
+			return true
+		case http.StatusTooManyRequests:
+			p.rejected.Add(1)
+			p.rejEdges.Add(int64(len(edges)))
+			if retryAfter == "" {
+				p.noRetryAfter.Store(true)
+			}
+			if !p.burst {
+				wait := time.Second
+				if secs, err := strconv.Atoi(retryAfter); err == nil && secs > 0 {
+					wait = time.Duration(secs) * time.Second
+				}
+				p.retryWait.Add(int64(wait))
+				select {
+				case <-time.After(wait):
+				case <-stopOrNever(stop):
+					return false
+				}
+			}
+			if stop != nil {
+				select {
+				case <-stop:
+					return false
+				default:
+				}
+			}
+		default:
+			if !p.badLogged.Swap(true) {
+				fmt.Fprintf(os.Stderr, "POST %s: status %d\n", path, resp.StatusCode)
+			}
+			return false
+		}
+	}
+}
+
+// fill copies the poster's admission outcome into a result and complains
+// once if the server broke the 429 contract.
+func (p *poster) fill(res *LoadResult) {
+	res.Format = "json"
+	if p.ndjson {
+		res.Format = "ndjson"
+	}
+	res.SyncAck = p.syncAck
+	res.RejectedPosts = p.rejected.Load()
+	res.RejectedEdges = p.rejEdges.Load()
+	res.RetryWaitSec = time.Duration(p.retryWait.Load()).Seconds()
+	if p.noRetryAfter.Load() {
+		fmt.Fprintln(os.Stderr, "swload: a 429 response was missing its Retry-After header — the admission contract promises one")
+	}
+}
+
+// stopOrNever adapts an optional stop channel for select: a nil stop
+// never fires.
+func stopOrNever(stop <-chan struct{}) <-chan struct{} {
+	if stop == nil {
+		return make(chan struct{})
+	}
+	return stop
+}
+
 // runLoad fires o.producers concurrent POST loops plus o.readers query
 // loops at base, spreading them across the given window path prefixes, and
 // collects the measurements.
@@ -1407,6 +1565,7 @@ func runLoad(o options, mode, base string, prefixes []string, svcs []*stream.Ser
 	var postRec, queryRec stream.LatencyRecorder
 	var posted atomic.Int64
 	stop := make(chan struct{})
+	po := &poster{client: client, base: base, ndjson: o.ndjson, syncAck: o.syncAck, burst: o.burst}
 
 	var prodWG, readWG sync.WaitGroup
 	perProducer := o.edges / o.producers
@@ -1420,11 +1579,6 @@ func runLoad(o options, mode, base string, prefixes []string, svcs []*stream.Ser
 			perProducer := perProducer
 			if p == 0 { // first producer absorbs the division remainder
 				perProducer += o.edges % o.producers
-			}
-			type wireEdge struct {
-				U int32 `json:"u"`
-				V int32 `json:"v"`
-				W int64 `json:"w,omitempty"`
 			}
 			for sent := 0; sent < perProducer; sent += o.chunk {
 				k := o.chunk
@@ -1440,20 +1594,10 @@ func runLoad(o options, mode, base string, prefixes []string, svcs []*stream.Ser
 					}
 					edges[i] = wireEdge{U: u, V: v, W: 1 + r.Int63n(1<<10)}
 				}
-				body, _ := json.Marshal(map[string]any{"edges": edges})
-				t0 := time.Now()
-				resp, err := client.Post(base+prefix+"/edges", "application/json", bytes.NewReader(body))
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "POST %s/edges: %v\n", prefix, err)
+				// Only accepted posts count toward the latency stats.
+				if !po.post(prefix, edges, &postRec, nil) {
 					return
 				}
-				drainBody(resp)
-				if resp.StatusCode != http.StatusAccepted {
-					fmt.Fprintf(os.Stderr, "POST %s/edges: status %d\n", prefix, resp.StatusCode)
-					return
-				}
-				// Only successful posts count toward the latency stats.
-				postRec.Observe(time.Since(t0))
 				posted.Add(int64(k))
 			}
 		}(p)
@@ -1569,6 +1713,7 @@ func runLoad(o options, mode, base string, prefixes []string, svcs []*stream.Ser
 			res.MeanBatchSize = stats.Ingest.MeanBatchSize
 		}
 	}
+	po.fill(&res)
 	return res
 }
 
@@ -1603,4 +1748,17 @@ func printResult(r LoadResult) {
 	}
 	fmt.Printf("  POST  p50 %.3fms  p99 %.3fms  (%d requests)\n", r.PostP50Ms, r.PostP99Ms, r.Posts)
 	fmt.Printf("  query p50 %.3fms  p99 %.3fms  (%d requests)\n", r.QueryP50Ms, r.QueryP99Ms, r.Queries)
+	printAdmission(r)
+}
+
+// printAdmission prints the wire/ack mode and 429 outcome lines shared by
+// the plain and -mixed reports.
+func printAdmission(r LoadResult) {
+	if r.Format == "ndjson" || r.SyncAck {
+		fmt.Printf("  wire: format=%s sync_ack=%v\n", r.Format, r.SyncAck)
+	}
+	if r.RejectedPosts > 0 {
+		fmt.Printf("  admission: %d POSTs rejected with 429 (%d edges), %.2fs spent honoring Retry-After\n",
+			r.RejectedPosts, r.RejectedEdges, r.RetryWaitSec)
+	}
 }

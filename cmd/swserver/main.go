@@ -52,10 +52,18 @@
 // registry also appended to <data-dir>/flight_slow.jsonl), and the
 // latency histograms carry exemplar trace IDs linking a p99 back to the
 // batch that caused it. -log-level picks the slog threshold for
-// operational records (boot, recovery, checkpoints at debug);
-// -slow-batch additionally logs a warn summary per slow batch
-// (deprecated — the slow ring keeps the full span tree).
+// operational records (boot, recovery, checkpoints at debug).
 // -ready-queue-budget and -ready-checkpoint-age tune when /readyz sheds.
+//
+// Admission control: -max-queue-edges / -max-queue-bytes bound how much
+// un-applied work the ingest queue may hold (in the units that actually
+// cost memory), and -rate-limit / -rate-burst cap the sustained edge
+// rate. A submission over budget is rejected immediately — HTTP 429 with
+// a Retry-After hint and a sw_ingest_rejected_total{reason=} counter —
+// instead of parking the connection on a full channel. -sync-ack flips
+// the ack contract to durable-by-default: POST /edges returns 202 only
+// after the batch's WAL append (and, under -fsync batch, its fsync) has
+// completed; clients override per request with ?sync=0/1.
 //
 // Example:
 //
@@ -114,7 +122,17 @@ func main() {
 	metricsOn := flag.Bool("metrics", true, "instrument the pipeline and expose Prometheus text at GET /metrics")
 	logLevel := flag.String("log-level", "info", "slog threshold for operational records: debug|info|warn|error")
 	slowBatch := flag.Duration("slow-batch", 0,
-		"log a warn-level lifecycle summary for any batch whose stage+fan-out time exceeds this (0 = disabled; deprecated — see /debug/flight?slow=1)")
+		"deprecated alias for -flight-slow-threshold: slow batches are retained in the flight recorder's slow ring (/debug/flight?slow=1), not logged")
+	maxQueueEdges := flag.Int64("max-queue-edges", 0,
+		"admission budget: reject ingest (HTTP 429) once this many edges are queued un-applied (0 = unbounded)")
+	maxQueueBytes := flag.Int64("max-queue-bytes", 0,
+		"admission budget: reject ingest (HTTP 429) once queued edges occupy this many bytes (0 = unbounded)")
+	rateLimit := flag.Int("rate-limit", 0,
+		"admission rate limit in edges per second, enforced as a token bucket per window (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0,
+		"token-bucket burst for -rate-limit in edges (0 = one second's worth)")
+	syncAck := flag.Bool("sync-ack", false,
+		"durable acks by default: POST /edges returns 202 only after the batch's WAL append+fsync completed (per-request override: ?sync=0/1)")
 	flightRing := flag.Int("flight-ring", 0,
 		"per-window flight-recorder ring capacity in batch traces (0 = default 128)")
 	flightQueryRing := flag.Int("flight-query-ring", 0,
@@ -144,8 +162,16 @@ func main() {
 			MaxAge:           *maxAge,
 			SequentialFanout: *seqFanout,
 			ApplyParallelism: *applyPar,
+			SyncAck:          *syncAck,
 		},
-		Ingest: stream.IngesterConfig{MaxBatch: *batch, MaxDelay: *delay},
+		Ingest: stream.IngesterConfig{
+			MaxBatch:       *batch,
+			MaxDelay:       *delay,
+			MaxQueueEdges:  *maxQueueEdges,
+			MaxQueueBytes:  *maxQueueBytes,
+			MaxEdgesPerSec: *rateLimit,
+			BurstEdges:     *rateBurst,
+		},
 	}
 	var persist *stream.PersistenceConfig
 	if *dataDir != "" {
@@ -171,6 +197,15 @@ func main() {
 	if *metricsOn {
 		treg = telemetry.NewRegistry()
 	}
+	if *slowBatch > 0 {
+		// The warn-log path is gone; honour the old flag as the slow-ring
+		// threshold it was always approximating, unless the new flag set one.
+		logger.Warn("-slow-batch is deprecated; treating it as -flight-slow-threshold",
+			"threshold", *slowBatch)
+		if *flightSlow == 0 {
+			*flightSlow = *slowBatch
+		}
+	}
 	reg, recovered, err := stream.OpenRegistry(stream.RegistryConfig{
 		Shards:      *shards,
 		MaxWindows:  *maxWindows,
@@ -178,7 +213,6 @@ func main() {
 		Persistence: persist,
 		Telemetry:   treg,
 		Logger:      logger,
-		SlowBatch:   *slowBatch,
 		Flight: trace.Options{
 			RingSlots:     *flightRing,
 			QuerySlots:    *flightQueryRing,
@@ -243,6 +277,8 @@ func main() {
 		"batch", *batch, "delay", *delay,
 		"fanout", map[bool]string{false: "parallel", true: "sequential"}[*seqFanout],
 		"apply_parallelism", *applyPar,
+		"max_queue_edges", *maxQueueEdges, "max_queue_bytes", *maxQueueBytes,
+		"rate_limit", *rateLimit, "sync_ack", *syncAck,
 		"durability", durability, "metrics", *metricsOn, "pprof", *pprofOn)
 
 	select {

@@ -50,7 +50,7 @@ func TestFlightRecorderAllocs(t *testing.T) {
 	stageStart := time.Now()
 	applyStart := stageStart.Add(time.Millisecond)
 	allocs := testing.AllocsPerRun(500, func() {
-		w.commitBatchTrace(ft, 1000, 2000, 3000, 9, false, 0, 0, 0,
+		w.commitBatchTrace(ft, 500, 1000, 2000, 3000, 9, false, 0, 0, 0,
 			applyStart, stageStart, 3, 0)
 	})
 	if allocs != 0 {

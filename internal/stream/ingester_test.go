@@ -17,7 +17,7 @@ func TestIngesterFlushAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; the plain build asserts allocs")
 	}
-	g := NewIngester(IngesterConfig{MaxBatch: 256, MaxDelay: time.Hour}, func([]Edge) {})
+	g := NewIngester(IngesterConfig{MaxBatch: 256, MaxDelay: time.Hour}, func([]Edge) error { return nil })
 	defer g.Close()
 	batch := make([]Edge, 256) // exact multiples: no remainder, no deadline timer
 	for i := 0; i < 8; i++ {   // warmup: grow pending and the flush buffer
@@ -52,7 +52,7 @@ func TestIngesterFlushAllocs(t *testing.T) {
 // monitor applies. allocs/op is the number to watch (see
 // TestIngesterFlushAllocs).
 func BenchmarkIngesterFlush(b *testing.B) {
-	g := NewIngester(IngesterConfig{MaxBatch: 512, MaxDelay: time.Hour}, func([]Edge) {})
+	g := NewIngester(IngesterConfig{MaxBatch: 512, MaxDelay: time.Hour}, func([]Edge) error { return nil })
 	defer g.Close()
 	batch := make([]Edge, 512)
 	b.SetBytes(512)
@@ -77,7 +77,7 @@ func newBatchSink() *batchSink {
 	return &batchSink{notify: make(chan int, 1024)}
 }
 
-func (s *batchSink) sink(b []Edge) {
+func (s *batchSink) sink(b []Edge) error {
 	// The ingester recycles the batch buffer after the sink returns, so a
 	// sink that wants to keep the edges must copy them — same rule the
 	// real sink (WindowManager.Apply) follows.
@@ -86,6 +86,7 @@ func (s *batchSink) sink(b []Edge) {
 	s.batches = append(s.batches, cp)
 	s.mu.Unlock()
 	s.notify <- len(b)
+	return nil
 }
 
 func (s *batchSink) sizes() []int {

@@ -1,0 +1,366 @@
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// postRaw POSTs a body to path and returns the response with its decoded
+// JSON (nil when the body is not an object).
+func postRaw(t *testing.T, ts *httptest.Server, path, ctype, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	res, err := ts.Client().Post(ts.URL+path, ctype, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer res.Body.Close()
+	var m map[string]any
+	_ = json.NewDecoder(res.Body).Decode(&m)
+	return res, m
+}
+
+// TestServerAdmissionReject429 drives a POST past the edge budget and
+// checks the whole 429 contract: status, Retry-After header, machine-
+// readable body, reject counters on /metrics and /stats — and that the
+// rejected edges never reached the WAL (a recovered registry holds only
+// the accepted ones).
+func TestServerAdmissionReject429(t *testing.T) {
+	dir := t.TempDir()
+	regCfg := RegistryConfig{
+		Telemetry: telemetry.NewRegistry(),
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 64},
+			// Budget of 4: the 8-edge POST below could never fit and is
+			// rejected deterministically even on an idle queue.
+			Ingest: IngesterConfig{MaxBatch: 4, MaxDelay: time.Millisecond, MaxQueueEdges: 4},
+		},
+		Persistence: &PersistenceConfig{Dir: dir, Fsync: FsyncOff},
+	}
+	reg, _, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := reg.Create(DefaultWindow, reg.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg, ServerConfig{}).Handler())
+	defer ts.Close()
+
+	over := `{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3},{"u":3,"v":4},{"u":4,"v":5},{"u":5,"v":6},{"u":6,"v":7},{"u":7,"v":8}]}`
+	res, body := postRaw(t, ts, "/edges", "application/json", over)
+	if res.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget POST: status %d, want 429", res.StatusCode)
+	}
+	if ra := res.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without a Retry-After header")
+	} else if ra != "1" {
+		t.Fatalf("Retry-After = %q, want %q (the default budget backoff)", ra, "1")
+	}
+	if body["reason"] != "edges" {
+		t.Fatalf("429 body reason = %v, want edges", body["reason"])
+	}
+	if ms, ok := body["retry_after_ms"].(float64); !ok || ms <= 0 {
+		t.Fatalf("429 body retry_after_ms = %v, want > 0", body["retry_after_ms"])
+	}
+
+	// An in-budget POST still lands.
+	res, body = postRaw(t, ts, "/edges", "application/json", `{"edges":[{"u":0,"v":1},{"u":1,"v":2},{"u":2,"v":3}]}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("in-budget POST: status %d, want 202", res.StatusCode)
+	}
+	if body["accepted"] != float64(3) {
+		t.Fatalf("accepted = %v, want 3", body["accepted"])
+	}
+	svc.Flush()
+
+	// The reject counters: exposition and /stats agree.
+	mres, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, err := telemetry.ParseExposition(mres.Body)
+	mres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.Value("sw_ingest_rejected_total", map[string]string{"reason": "edges"}); !ok || v != 1 {
+		t.Fatalf("sw_ingest_rejected_total{reason=edges} = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := exp.Value("sw_ingest_rejected_edges_total", map[string]string{"reason": "edges"}); !ok || v != 8 {
+		t.Fatalf("sw_ingest_rejected_edges_total{reason=edges} = %v (ok=%v), want 8", v, ok)
+	}
+	var stats struct {
+		Ingest struct {
+			RejectedBatches  int64 `json:"rejected_batches"`
+			RejectedEdges    int64 `json:"rejected_edges"`
+			QueueBudgetEdges int64 `json:"queue_budget_edges"`
+		} `json:"ingest"`
+	}
+	sres, err := ts.Client().Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(sres.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	sres.Body.Close()
+	if stats.Ingest.RejectedBatches != 1 || stats.Ingest.RejectedEdges != 8 {
+		t.Fatalf("stats rejected = (%d, %d), want (1, 8)", stats.Ingest.RejectedBatches, stats.Ingest.RejectedEdges)
+	}
+	if stats.Ingest.QueueBudgetEdges != 4 {
+		t.Fatalf("stats queue_budget_edges = %d, want 4", stats.Ingest.QueueBudgetEdges)
+	}
+	reg.Close()
+
+	// Nothing rejected may have touched the WAL: recovery sees exactly the
+	// accepted edges.
+	reg2, rep, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	if rep.Edges != 3 {
+		t.Fatalf("recovered %d edges, want 3 (the accepted POST only)", rep.Edges)
+	}
+}
+
+// TestServerNDJSONIngest: the compact format round-trips through the real
+// handler — query-param and content-type routing, weights, explicit event
+// times — and malformed lines map to 400 with the offending line number.
+func TestServerNDJSONIngest(t *testing.T) {
+	srv, reg := newTelemetryServer(t, RegistryConfig{}, ServerConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	svc, _ := reg.Get(DefaultWindow)
+
+	body := "[1,2]\n[2,3,5]\n\n  [3,4,7,123456789]  \n"
+	res, m := postRaw(t, ts, "/edges?format=ndjson", "application/x-ndjson", body)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("ndjson POST: status %d (%v), want 202", res.StatusCode, m)
+	}
+	if m["accepted"] != float64(3) {
+		t.Fatalf("accepted = %v, want 3", m["accepted"])
+	}
+	// Content-type routing alone must select the fast path too.
+	res, m = postRaw(t, ts, "/edges", "application/x-ndjson", "[4,5]\n")
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("content-type routed ndjson POST: status %d (%v), want 202", res.StatusCode, m)
+	}
+	svc.Flush()
+	if got := svc.Window().WindowLen(); got != 4 {
+		t.Fatalf("window holds %d edges after ndjson ingest, want 4", got)
+	}
+	if w, err := svc.Window().MSFWeight(); err != nil || w == 0 {
+		t.Fatalf("MSFWeight after weighted ndjson ingest = %v (%v), want > 0", w, err)
+	}
+
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"too few fields", "[1]\n"},
+		{"too many fields", "[1,2,3,4,5]\n"},
+		{"unterminated", "[1,2\n"},
+		{"trailing garbage", "[1,2]x\n"},
+		{"not an array", "{\"u\":1}\n"},
+		{"bad digit", "[1,a]\n"},
+		{"vertex out of int32", fmt.Sprintf("[%d,1]\n", int64(1)<<40)},
+		{"self-loop", "[5,5]\n"},
+		{"vertex out of window range", "[63,64]\n"}, // N=64: valid ids are 0..63
+		{"empty body", "\n\n"},
+	} {
+		res, m := postRaw(t, ts, "/edges?format=ndjson", "application/x-ndjson", tc.body)
+		if res.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d (%v), want 400", tc.name, res.StatusCode, m)
+		}
+	}
+	// Line numbers in parse errors point at the bad line, not the batch.
+	res, m = postRaw(t, ts, "/edges?format=ndjson", "application/x-ndjson", "[1,2]\n[bad\n")
+	if res.StatusCode != http.StatusBadRequest || !strings.Contains(fmt.Sprint(m["error"]), "line 2") {
+		t.Errorf("bad line 2: status %d, error %v — want 400 naming line 2", res.StatusCode, m["error"])
+	}
+}
+
+// TestServerSyncAck: ?sync=1 blocks the 202 until the batch is durable,
+// the response says whether durability is real (WAL attached) or not, and
+// an abandoned-without-Close registry recovers every acknowledged edge —
+// the kill-after-ack contract at the HTTP level.
+func TestServerSyncAck(t *testing.T) {
+	dir := t.TempDir()
+	regCfg := RegistryConfig{
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 64},
+			// MaxBatch 1: every edge flushes (and under fsync=batch, syncs)
+			// immediately, so the sync'd POST never waits on a deadline.
+			Ingest: IngesterConfig{MaxBatch: 1, MaxDelay: time.Millisecond},
+		},
+		Persistence: &PersistenceConfig{Dir: dir, Fsync: FsyncBatch},
+	}
+	reg, _, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Create(DefaultWindow, reg.Template()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg, ServerConfig{}).Handler())
+
+	res, m := postRaw(t, ts, "/edges?sync=1", "application/json",
+		`{"edges":[{"u":1,"v":2},{"u":2,"v":3},{"u":3,"v":4}]}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("sync POST: status %d (%v), want 202", res.StatusCode, m)
+	}
+	if m["durable"] != true {
+		t.Fatalf("sync POST on a durable registry: durable = %v, want true", m["durable"])
+	}
+	// Async POSTs must not carry the durable field — 202 means queued there.
+	res, m = postRaw(t, ts, "/edges", "application/json", `{"edges":[{"u":4,"v":5}]}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("async POST: status %d, want 202", res.StatusCode)
+	}
+	if _, ok := m["durable"]; ok {
+		t.Fatalf("async POST carries durable = %v; the field is sync-only", m["durable"])
+	}
+	ts.Close()
+
+	// KILL: no Close, no flush — exactly the state after a SIGKILL on the
+	// heels of the sync'd 202. The three acknowledged edges must recover.
+	reg2, rep, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	if rep.Edges < 3 {
+		t.Fatalf("recovered %d edges, want at least the 3 sync-acknowledged ones", rep.Edges)
+	}
+
+	// In-memory: sync still acks after apply, but must admit durability is
+	// not real.
+	srv, _ := newTelemetryServer(t, RegistryConfig{
+		Template: ServiceConfig{Ingest: IngesterConfig{MaxBatch: 1, MaxDelay: time.Millisecond}},
+	}, ServerConfig{})
+	tsm := httptest.NewServer(srv.Handler())
+	defer tsm.Close()
+	res, m = postRaw(t, tsm, "/edges?sync=1", "application/json", `{"edges":[{"u":1,"v":2}]}`)
+	if res.StatusCode != http.StatusAccepted || m["durable"] != false {
+		t.Fatalf("in-memory sync POST: status %d durable %v, want 202/false", res.StatusCode, m["durable"])
+	}
+}
+
+// TestServerSyncAckDefault: WindowConfig.SyncAck flips the per-window
+// default, and ?sync=0 opts a request back out.
+func TestServerSyncAckDefault(t *testing.T) {
+	// SyncAck is deliberately not template-inherited (a bool can't signal
+	// "unset"), so pass the template itself as the creation config — the
+	// same dance cmd/swserver does.
+	reg := NewRegistry(RegistryConfig{
+		Telemetry: telemetry.NewRegistry(),
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 64, SyncAck: true},
+			Ingest: IngesterConfig{MaxBatch: 1, MaxDelay: time.Millisecond},
+		},
+	})
+	t.Cleanup(reg.Close)
+	svc, err := reg.Create(DefaultWindow, reg.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(NewRegistryServer(reg, ServerConfig{}).Handler())
+	defer ts.Close()
+	if !svc.SyncAckDefault() {
+		t.Fatal("SyncAck template default did not reach the window")
+	}
+	res, m := postRaw(t, ts, "/edges", "application/json", `{"edges":[{"u":1,"v":2}]}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("default-sync POST: status %d, want 202", res.StatusCode)
+	}
+	if _, ok := m["durable"]; !ok {
+		t.Fatal("default-sync POST missing the durable field: the SyncAck default was not applied")
+	}
+	res, m = postRaw(t, ts, "/edges?sync=0", "application/json", `{"edges":[{"u":2,"v":3}]}`)
+	if res.StatusCode != http.StatusAccepted {
+		t.Fatalf("opt-out POST: status %d, want 202", res.StatusCode)
+	}
+	if _, ok := m["durable"]; ok {
+		t.Fatal("?sync=0 did not override the window's SyncAck default")
+	}
+}
+
+// TestReadyzEdgeBudget: a budgeted window flips /readyz on queued EDGES
+// against the admission budget — not on queued submissions against the
+// channel capacity — once utilization crosses ServerConfig.QueueBudget.
+func TestReadyzEdgeBudget(t *testing.T) {
+	srv, reg := newTelemetryServer(t, RegistryConfig{
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 64},
+			Ingest: IngesterConfig{MaxBatch: 1, MaxDelay: time.Hour, QueueLen: 16, MaxQueueEdges: 8},
+		},
+	}, ServerConfig{QueueBudget: 0.5})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	svc, _ := reg.Get(DefaultWindow)
+
+	status := func() int {
+		t.Helper()
+		res, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		return res.StatusCode
+	}
+	if got := status(); got != 200 {
+		t.Fatalf("/readyz idle = %d, want 200", got)
+	}
+
+	// Wedge the window's writer lock so the flush goroutine blocks inside
+	// its first apply; everything submitted after that stays queued.
+	w := svc.Window()
+	w.writerMu.Lock()
+	if err := svc.Submit([]Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the flush goroutine to absorb the wedge edge, then queue 7
+	// more: 7 of the 8-edge budget is over the 50% readiness budget.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, qEdges := svc.QueueDepth(); qEdges == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flush goroutine never absorbed the wedge submission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 0; i < 7; i++ {
+		if err := svc.Submit([]Edge{{U: int32(i), V: int32(i + 8)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := ts.Client().Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health map[string]any
+	_ = json.NewDecoder(res.Body).Decode(&health)
+	res.Body.Close()
+	if res.StatusCode != 503 {
+		t.Fatalf("/readyz with 7/8 edges queued = %d (%v), want 503", res.StatusCode, health)
+	}
+	if !strings.Contains(fmt.Sprint(health), "edges") {
+		t.Fatalf("queue_budget failure does not name edge units: %v", health)
+	}
+
+	w.writerMu.Unlock()
+	svc.Flush()
+	if got := status(); got != 200 {
+		t.Fatalf("/readyz after drain = %d, want 200", got)
+	}
+}

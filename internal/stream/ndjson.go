@@ -1,0 +1,153 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// The compact NDJSON ingest format: one edge per line, each line a JSON
+// array of 2–4 integers —
+//
+//	[u,v]         unit weight, event time stamped at submit
+//	[u,v,w]       explicit weight
+//	[u,v,w,t]     explicit weight and event time (unix nanoseconds; 0
+//	              means "stamp at submit", like a zero Edge.T)
+//
+// Every line is valid JSON, but the decoder below is a hand-rolled byte
+// scanner, not encoding/json: the fast ingest path exists precisely to
+// keep reflection-driven decoding off the hot loop, and the grammar is
+// small enough that scanning digits directly is both faster and
+// allocation-free (the only allocation is the batch slice growth the
+// JSON path pays too). Blank lines are allowed (trailing newline,
+// keep-alive blank lines); whitespace may surround any token.
+
+var errNDJSONTrailing = errors.New("trailing data after ']'")
+
+// parseNDJSON appends the decoded edges to dst and returns it. Errors
+// carry the 1-based line number; nothing is served from a partially
+// decoded body — the caller discards dst on error.
+func parseNDJSON(data []byte, dst []Edge) ([]Edge, error) {
+	line := 1
+	for i := 0; i < len(data); line++ {
+		start := i
+		for i < len(data) && data[i] != '\n' {
+			i++
+		}
+		l := trimNDSpace(data[start:i])
+		if i < len(data) {
+			i++ // consume the newline
+		}
+		if len(l) == 0 {
+			continue
+		}
+		e, err := parseNDJSONLine(l)
+		if err != nil {
+			return dst, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		dst = append(dst, e)
+	}
+	return dst, nil
+}
+
+func trimNDSpace(b []byte) []byte {
+	for len(b) > 0 && isNDSpace(b[0]) {
+		b = b[1:]
+	}
+	for len(b) > 0 && isNDSpace(b[len(b)-1]) {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func isNDSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\r' }
+
+// parseNDJSONLine decodes one trimmed, non-empty line.
+func parseNDJSONLine(l []byte) (Edge, error) {
+	var e Edge
+	if l[0] != '[' {
+		return e, fmt.Errorf("expected '[', got %q", l[0])
+	}
+	p := 1
+	var f [4]int64
+	nf := 0
+	for {
+		v, n, err := parseNDInt(l[p:])
+		if err != nil {
+			return e, err
+		}
+		if nf == 4 {
+			return e, errors.New("more than 4 fields")
+		}
+		f[nf] = v
+		nf++
+		p += n
+		for p < len(l) && isNDSpace(l[p]) {
+			p++
+		}
+		if p >= len(l) {
+			return e, errors.New("unterminated array")
+		}
+		if l[p] == ']' {
+			p++
+			break
+		}
+		if l[p] != ',' {
+			return e, fmt.Errorf("expected ',' or ']', got %q", l[p])
+		}
+		p++
+	}
+	if len(trimNDSpace(l[p:])) != 0 {
+		return e, errNDJSONTrailing
+	}
+	if nf < 2 {
+		return e, errors.New("need at least [u,v]")
+	}
+	if f[0] < 0 || f[0] > int64(maxInt32) || f[1] < 0 || f[1] > int64(maxInt32) {
+		return e, fmt.Errorf("vertex out of int32 range: [%d,%d]", f[0], f[1])
+	}
+	e.U, e.V = int32(f[0]), int32(f[1])
+	if nf >= 3 {
+		e.W = f[2]
+	}
+	if nf == 4 && f[3] != 0 {
+		e.T = time.Unix(0, f[3])
+	}
+	return e, nil
+}
+
+const maxInt32 = int64(1<<31 - 1)
+
+// parseNDInt reads one optionally-negative decimal integer with optional
+// leading whitespace, returning the value and bytes consumed.
+func parseNDInt(b []byte) (int64, int, error) {
+	p := 0
+	for p < len(b) && isNDSpace(b[p]) {
+		p++
+	}
+	neg := false
+	if p < len(b) && b[p] == '-' {
+		neg = true
+		p++
+	}
+	start := p
+	var v int64
+	for p < len(b) && b[p] >= '0' && b[p] <= '9' {
+		d := int64(b[p] - '0')
+		if v > (1<<63-1-d)/10 {
+			return 0, 0, errors.New("integer overflow")
+		}
+		v = v*10 + d
+		p++
+	}
+	if p == start {
+		if p < len(b) {
+			return 0, 0, fmt.Errorf("expected digit, got %q", b[p])
+		}
+		return 0, 0, errors.New("expected digit at end of line")
+	}
+	if neg {
+		v = -v
+	}
+	return v, p, nil
+}

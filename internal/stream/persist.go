@@ -151,9 +151,14 @@ type windowMeta struct {
 	MaxArrivals      int      `json:"max_arrivals,omitempty"`
 	MaxAgeNS         int64    `json:"max_age_ns,omitempty"`
 	SequentialFanout bool     `json:"sequential_fanout,omitempty"`
+	SyncAck          bool     `json:"sync_ack,omitempty"`
 	MaxBatch         int      `json:"max_batch,omitempty"`
 	MaxDelayNS       int64    `json:"max_delay_ns,omitempty"`
 	QueueLen         int      `json:"queue_len,omitempty"`
+	MaxQueueEdges    int64    `json:"max_queue_edges,omitempty"`
+	MaxQueueBytes    int64    `json:"max_queue_bytes,omitempty"`
+	MaxEdgesPerSec   int      `json:"max_edges_per_sec,omitempty"`
+	BurstEdges       int      `json:"burst_edges,omitempty"`
 }
 
 func metaFromConfig(cfg ServiceConfig) windowMeta {
@@ -167,9 +172,14 @@ func metaFromConfig(cfg ServiceConfig) windowMeta {
 		MaxArrivals:      cfg.Window.MaxArrivals,
 		MaxAgeNS:         int64(cfg.Window.MaxAge),
 		SequentialFanout: cfg.Window.SequentialFanout,
+		SyncAck:          cfg.Window.SyncAck,
 		MaxBatch:         cfg.Ingest.MaxBatch,
 		MaxDelayNS:       int64(cfg.Ingest.MaxDelay),
 		QueueLen:         cfg.Ingest.QueueLen,
+		MaxQueueEdges:    cfg.Ingest.MaxQueueEdges,
+		MaxQueueBytes:    cfg.Ingest.MaxQueueBytes,
+		MaxEdgesPerSec:   cfg.Ingest.MaxEdgesPerSec,
+		BurstEdges:       cfg.Ingest.BurstEdges,
 	}
 }
 
@@ -190,14 +200,19 @@ func configFromMeta(m windowMeta, tpl ServiceConfig) ServiceConfig {
 			MaxAge:           time.Duration(m.MaxAgeNS),
 			Clock:            tpl.Window.Clock,
 			SequentialFanout: m.SequentialFanout,
+			SyncAck:          m.SyncAck,
 			ApplyParallelism: tpl.Window.ApplyParallelism,
 			workers:          tpl.Window.workers,
 		},
 		Ingest: IngesterConfig{
-			MaxBatch: m.MaxBatch,
-			MaxDelay: time.Duration(m.MaxDelayNS),
-			QueueLen: m.QueueLen,
-			Clock:    tpl.Ingest.Clock,
+			MaxBatch:       m.MaxBatch,
+			MaxDelay:       time.Duration(m.MaxDelayNS),
+			QueueLen:       m.QueueLen,
+			MaxQueueEdges:  m.MaxQueueEdges,
+			MaxQueueBytes:  m.MaxQueueBytes,
+			MaxEdgesPerSec: m.MaxEdgesPerSec,
+			BurstEdges:     m.BurstEdges,
+			Clock:          tpl.Ingest.Clock,
 		},
 	}.withClockDefaults()
 }
@@ -402,11 +417,15 @@ func (p *persister) noteCkptErr(err error) {
 
 // attachRecorder wires the window's write-ahead hook to the log. On an
 // append failure the window keeps serving (availability over durability)
-// and the error is tallied for /stats and the next Checkpoint to surface.
-// The hook returns the WAL sequence of the batch's first edge — the
-// window's flight-recorder trace ID source, stable across restarts.
+// and the error is tallied for /stats and the next Checkpoint to surface —
+// and returned, so durable acks waiting on the batch report the failure
+// instead of claiming durability. The hook returns the WAL sequence of the
+// batch's first edge — the window's flight-recorder trace ID source,
+// stable across restarts. The sync escalator (wal.Log.Sync) attaches
+// alongside it: sync-ack submissions fsync before their ack, a no-op when
+// the fsync=batch append already did.
 func (p *persister) attachRecorder(pw *persistedWindow) {
-	pw.svc.Window().setRecorder(func(edges []Edge) uint64 {
+	pw.svc.Window().setRecorder(func(edges []Edge) (uint64, error) {
 		pw.scratch = pw.scratch[:0]
 		for _, e := range edges {
 			pw.scratch = append(pw.scratch, wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()})
@@ -415,8 +434,9 @@ func (p *persister) attachRecorder(pw *persistedWindow) {
 		if err != nil {
 			p.noteErr(err)
 		}
-		return seq
+		return seq, err
 	})
+	pw.svc.setDurableSync(pw.log.Sync)
 }
 
 // walOptFor copies the persister's WAL options with the fsync hook

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -1045,4 +1046,128 @@ func TestOpenRegistryInMemory(t *testing.T) {
 	if _, err := reg.Checkpoint(); err != ErrNotPersistent {
 		t.Fatalf("Checkpoint = %v, want ErrNotPersistent", err)
 	}
+}
+
+// TestSyncAckKillAndRecoverDifferential extends the kill-and-recover grid
+// to the durable-ack path: every batch is submitted through the blocking
+// sync-ack API under fsync=batch, the registry is killed (abandoned, not
+// closed) right after an ack, and the recovered window must answer
+// identically to an in-memory reference fed the same edges — no
+// acknowledged edge may be lost. It also pins the manifest round-trip of
+// the new ingress knobs: SyncAck and the admission budgets survive
+// recovery.
+func TestSyncAckKillAndRecoverDifferential(t *testing.T) {
+	const (
+		n       = 48
+		batches = 60
+		killAt  = 40
+	)
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	rng := rand.New(rand.NewSource(7))
+	dir := t.TempDir()
+
+	winCfg := WindowConfig{
+		N:           n,
+		Seed:        0xFEED,
+		Monitor:     MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3},
+		MaxArrivals: 200,
+		Clock:       clock,
+		SyncAck:     true,
+	}
+	regCfg := RegistryConfig{
+		Template: ServiceConfig{
+			Window: winCfg,
+			// MaxBatch 16 with fixed 16-edge steps: the threshold flush
+			// fires inside Submit, so the durable ack never waits on the
+			// hour-long delay timer.
+			Ingest: IngesterConfig{
+				MaxBatch: 16, MaxDelay: time.Hour, Clock: clock,
+				MaxQueueEdges: 1 << 16, MaxQueueBytes: 1 << 24,
+			},
+		},
+		Persistence: &PersistenceConfig{
+			Dir: dir, Fsync: FsyncBatch, SegmentBytes: 1 << 10,
+		},
+	}
+
+	ref, err := NewWindowManager(winCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg1, _, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := reg1.Create("w", reg1.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !svc1.SyncAckDefault() || !svc1.Durable() {
+		t.Fatalf("sync-ack window not durable-sync: syncAck=%v durable=%v",
+			svc1.SyncAckDefault(), svc1.Durable())
+	}
+
+	// step builds one fixed-size batch and blocks until it is durable. By
+	// the time step returns, losing the edges is a contract violation.
+	step := func(svc *Service) {
+		clock.Advance(time.Duration(rng.Intn(4000)) * time.Millisecond)
+		batch := make([]Edge, 16)
+		for i := range batch {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			for v == u {
+				v = int32(rng.Intn(n))
+			}
+			batch[i] = Edge{U: u, V: v, W: 1 + rng.Int63n(1<<10), T: clock.Now()}
+		}
+		ref.Apply(append([]Edge(nil), batch...))
+		if err := svc.submitOwnedDurable(context.Background(), batch); err != nil {
+			t.Fatalf("durable submit: %v", err)
+		}
+	}
+	for i := 0; i < killAt; i++ {
+		step(svc1)
+	}
+
+	// KILL: no Close, no checkpoint. Every step above returned only after
+	// its WAL append was fsynced, so recovery owes us all of them.
+	reg2, rep, err := OpenRegistry(regCfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if rep.Windows != 1 || rep.Edges != killAt*16 {
+		t.Fatalf("recovery report %+v, want %d acknowledged edges replayed", rep, killAt*16)
+	}
+	svc2, ok := reg2.Get("w")
+	if !ok {
+		t.Fatal("recovered registry lost the window")
+	}
+	// The ingress knobs must survive the manifest round-trip.
+	if !svc2.SyncAckDefault() || !svc2.Durable() {
+		t.Fatalf("recovered window dropped sync-ack: syncAck=%v durable=%v",
+			svc2.SyncAckDefault(), svc2.Durable())
+	}
+	if maxE, maxB := svc2.QueueBudget(); maxE != 1<<16 || maxB != 1<<24 {
+		t.Fatalf("recovered queue budget = (%d, %d), want (%d, %d)", maxE, maxB, 1<<16, 1<<24)
+	}
+
+	pairs := make([][2]int32, 300)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	compare := func(tag string, wm *WindowManager) {
+		now := clock.Now()
+		ref.ExpireByAge(now)
+		wm.ExpireByAge(now)
+		diffAnswers(t, tag, answersOf(t, ref, pairs), answersOf(t, wm, pairs))
+	}
+	compare("post-recovery", svc2.Window())
+
+	// The recovered window keeps acking durably: stream the rest of the
+	// schedule through the same blocking path, then pin answers again.
+	for i := killAt; i < batches; i++ {
+		step(svc2)
+	}
+	compare("post-recovery stream", svc2.Window())
+	reg2.Close()
 }

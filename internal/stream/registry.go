@@ -52,15 +52,8 @@ type RegistryConfig struct {
 	// metric families. nil disables metrics at zero hot-path cost.
 	Telemetry *telemetry.Registry
 	// Logger receives the registry's structured operational records
-	// (recovery, checkpoints, slow batches). nil discards them.
+	// (recovery, checkpoints). nil discards them.
 	Logger *slog.Logger
-	// SlowBatch, when > 0, logs a warn record for every batch whose
-	// stage+fan-out wall time exceeds it (requires Logger).
-	//
-	// Deprecated: the flight recorder's slow ring (GET /debug/flight?slow=1)
-	// retains the full span tree of every slow batch; the log line only
-	// carries a summary. Tune the threshold via Flight.SlowThreshold.
-	SlowBatch time.Duration
 	// Flight tunes the batch flight recorder (ring sizes, slow threshold).
 	// The recorder itself is always on — zero values select the trace
 	// package defaults; a negative Flight.SlowThreshold disables only the
@@ -178,25 +171,15 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 		r.workers = parallel.Default()
 		r.applyParallelism = runtime.GOMAXPROCS(0)
 	}
-	switch {
-	case cfg.Telemetry != nil:
+	if cfg.Telemetry != nil {
 		r.metrics = NewMetrics(cfg.Telemetry)
 		cfg.Telemetry.GaugeFunc("sw_windows_live",
 			"Live windows registered.", func() float64 { return float64(r.Len()) })
 		cfg.Telemetry.GaugeFunc("sw_apply_parallelism",
 			"Shared intra-monitor batch-apply worker budget (caller + auxiliaries).",
 			func() float64 { return float64(r.applyParallelism) })
-	case cfg.SlowBatch > 0 && cfg.Logger != nil:
-		// Slow-batch tracing without a metrics registry: a private zero
-		// bundle carries the threshold and logger (mutating the shared
-		// noMetrics would leak them into every uninstrumented pipeline).
-		r.metrics = &Metrics{}
-	default:
+	} else {
 		r.metrics = noMetrics
-	}
-	if r.metrics != noMetrics {
-		r.metrics.SlowBatch = cfg.SlowBatch
-		r.metrics.Logger = cfg.Logger
 	}
 	for i := range r.shards {
 		r.shards[i].wins = make(map[string]*windowHandle)
@@ -288,12 +271,12 @@ func mergeTemplate(cfg, tpl ServiceConfig) ServiceConfig {
 	if cfg.Window.Clock == nil {
 		cfg.Window.Clock = tpl.Window.Clock
 	}
-	// SequentialFanout is NOT inherited: a bool cannot distinguish "unset"
-	// from an explicit false, so the merged value is exactly what the
-	// caller set. Callers that want the template's fan-out mode pass the
-	// template itself as the base config (cmd/swserver, cmd/swload) or
-	// resolve it before calling Create (the HTTP create handler's
-	// tri-state sequential_fanout field).
+	// SequentialFanout and SyncAck are NOT inherited: a bool cannot
+	// distinguish "unset" from an explicit false, so the merged value is
+	// exactly what the caller set. Callers that want the template's mode
+	// pass the template itself as the base config (cmd/swserver,
+	// cmd/swload) or resolve it before calling Create (the HTTP create
+	// handler's tri-state sequential_fanout / sync_ack fields).
 	if cfg.Ingest.MaxBatch == 0 {
 		cfg.Ingest.MaxBatch = tpl.Ingest.MaxBatch
 	}
@@ -302,6 +285,18 @@ func mergeTemplate(cfg, tpl ServiceConfig) ServiceConfig {
 	}
 	if cfg.Ingest.QueueLen == 0 {
 		cfg.Ingest.QueueLen = tpl.Ingest.QueueLen
+	}
+	if cfg.Ingest.MaxQueueEdges == 0 {
+		cfg.Ingest.MaxQueueEdges = tpl.Ingest.MaxQueueEdges
+	}
+	if cfg.Ingest.MaxQueueBytes == 0 {
+		cfg.Ingest.MaxQueueBytes = tpl.Ingest.MaxQueueBytes
+	}
+	if cfg.Ingest.MaxEdgesPerSec == 0 {
+		cfg.Ingest.MaxEdgesPerSec = tpl.Ingest.MaxEdgesPerSec
+	}
+	if cfg.Ingest.BurstEdges == 0 {
+		cfg.Ingest.BurstEdges = tpl.Ingest.BurstEdges
 	}
 	if cfg.Ingest.Clock == nil {
 		cfg.Ingest.Clock = tpl.Ingest.Clock

@@ -1,12 +1,14 @@
 package stream
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/telemetry"
@@ -105,9 +107,20 @@ type createWindowRequest struct {
 	K           int      `json:"k,omitempty"`
 	MaxBatch    int      `json:"max_batch,omitempty"`
 	MaxDelayMS  int64    `json:"max_delay_ms,omitempty"`
+	// Admission budgets and rate limit (see IngesterConfig); zero inherits
+	// the registry template.
+	MaxQueueEdges  int64 `json:"max_queue_edges,omitempty"`
+	MaxQueueBytes  int64 `json:"max_queue_bytes,omitempty"`
+	MaxEdgesPerSec int   `json:"max_edges_per_sec,omitempty"`
+	BurstEdges     int   `json:"burst_edges,omitempty"`
 	// SequentialFanout is tri-state: absent inherits the registry
 	// template's fan-out mode, an explicit true/false overrides it.
 	SequentialFanout *bool `json:"sequential_fanout,omitempty"`
+	// SyncAck is tri-state like SequentialFanout: absent inherits the
+	// template's ack mode, explicit true/false overrides. True makes
+	// POST /edges on this window block for durability by default
+	// (per-request ?sync= still overrides).
+	SyncAck *bool `json:"sync_ack,omitempty"`
 	// ApplyParallelism tunes the intra-monitor fork-join of the batch
 	// apply: 0/absent inherits the registry's shared budget, 1 forces
 	// sequential level application for this window (values above 1 are
@@ -238,6 +251,23 @@ func buildHealth(reg *WindowRegistry, cfg ServerConfig) *telemetry.Health {
 			for _, name := range reg.Names() {
 				svc, ok := reg.Get(name)
 				if !ok {
+					continue
+				}
+				// Budgeted windows flip readiness in the units admission
+				// enforces — queued edges/bytes against the configured
+				// budgets — so a queue of mega-batches cannot read healthy
+				// while memory grows. Submission count over QueueCap is
+				// only the fallback for unbudgeted windows.
+				maxEdges, maxBytes := svc.QueueBudget()
+				if maxEdges > 0 || maxBytes > 0 {
+					if _, qEdges := svc.QueueDepth(); maxEdges > 0 && float64(qEdges) > budget*float64(maxEdges) {
+						return fmt.Sprintf("window %q ingest queue at %d/%d edges (budget %.0f%%)",
+							name, qEdges, maxEdges, budget*100)
+					}
+					if qBytes := svc.QueueBytes(); maxBytes > 0 && float64(qBytes) > budget*float64(maxBytes) {
+						return fmt.Sprintf("window %q ingest queue at %d/%d bytes (budget %.0f%%)",
+							name, qBytes, maxBytes, budget*100)
+					}
 					continue
 				}
 				batches, _ := svc.QueueDepth()
@@ -378,6 +408,10 @@ func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
 	if req.SequentialFanout != nil {
 		seqFanout = *req.SequentialFanout
 	}
+	syncAck := s.reg.Template().Window.SyncAck
+	if req.SyncAck != nil {
+		syncAck = *req.SyncAck
+	}
 	cfg := ServiceConfig{
 		Window: WindowConfig{
 			N:                req.N,
@@ -387,11 +421,16 @@ func (s *Server) handleCreateWindow(w http.ResponseWriter, r *http.Request) {
 			MaxArrivals:      req.MaxArrivals,
 			MaxAge:           time.Duration(req.MaxAgeMS) * time.Millisecond,
 			SequentialFanout: seqFanout,
+			SyncAck:          syncAck,
 			ApplyParallelism: req.ApplyParallelism,
 		},
 		Ingest: IngesterConfig{
-			MaxBatch: req.MaxBatch,
-			MaxDelay: time.Duration(req.MaxDelayMS) * time.Millisecond,
+			MaxBatch:       req.MaxBatch,
+			MaxDelay:       time.Duration(req.MaxDelayMS) * time.Millisecond,
+			MaxQueueEdges:  req.MaxQueueEdges,
+			MaxQueueBytes:  req.MaxQueueBytes,
+			MaxEdgesPerSec: req.MaxEdgesPerSec,
+			BurstEdges:     req.BurstEdges,
 		},
 	}
 	svc, err := s.reg.Create(req.Name, cfg)
@@ -465,47 +504,134 @@ func (s *Server) handleDropWindow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"dropped": name})
 }
 
+// ndjsonRequest reports whether the ingest request uses the compact
+// NDJSON format: ?format=ndjson, or an application/x-ndjson content type
+// when no format parameter says otherwise.
+func ndjsonRequest(r *http.Request) bool {
+	if f := r.URL.Query().Get("format"); f != "" {
+		return f == "ndjson"
+	}
+	return strings.HasPrefix(r.Header.Get("Content-Type"), "application/x-ndjson")
+}
+
+// ingestErr maps a Submit failure onto the ingest status contract:
+// admission rejections are 429 with a Retry-After hint (whole seconds,
+// rounded up — the header's unit) and machine-readable reason; a closed
+// pipeline or an abandoned wait is 503; anything else — a WAL append or
+// fsync failure under sync-ack — is 500, because the edges were accepted
+// in memory but the durability promise failed.
+func ingestErr(w http.ResponseWriter, err error) {
+	var adm *AdmissionError
+	if errors.As(err, &adm) {
+		secs := (adm.RetryAfter + time.Second - 1) / time.Second
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(int64(secs), 10))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":          adm.Error(),
+			"reason":         adm.Reason,
+			"retry_after_ms": adm.RetryAfter.Milliseconds(),
+		})
+		return
+	}
+	if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, fmt.Errorf("durability failure: %w", err))
+}
+
+// readBody reads the size-capped raw request body (the NDJSON path);
+// oversized bodies get 413. Returns nil after writing the error response.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) []byte {
+	body := http.MaxBytesReader(w, r.Body, s.maxBody)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("body exceeds %d bytes", tooLarge.Limit))
+			return nil
+		}
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad body: %w", err))
+		return nil
+	}
+	return data
+}
+
 func (s *Server) handleEdges(w http.ResponseWriter, r *http.Request) {
 	svc := s.service(w, r)
 	if svc == nil {
 		return
 	}
-	var req edgesRequest
-	if !s.decodeBody(w, r, &req) {
-		return
+	var batch []Edge
+	if ndjsonRequest(r) {
+		data := s.readBody(w, r)
+		if data == nil {
+			return
+		}
+		var err error
+		if batch, err = parseNDJSON(data, nil); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		var req edgesRequest
+		if !s.decodeBody(w, r, &req) {
+			return
+		}
+		batch = make([]Edge, 0, len(req.Edges))
+		for i, e := range req.Edges {
+			var t time.Time
+			if e.T != "" {
+				var err error
+				t, err = time.Parse(time.RFC3339Nano, e.T)
+				if err != nil {
+					writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: bad time: %w", i, err))
+					return
+				}
+			}
+			batch = append(batch, Edge{U: e.U, V: e.V, W: e.W, T: t})
+		}
 	}
-	if len(req.Edges) == 0 {
+	if len(batch) == 0 {
 		writeErr(w, http.StatusBadRequest, errors.New("no edges in body"))
 		return
 	}
 	n := int32(svc.Window().N())
-	batch := make([]Edge, len(req.Edges))
-	for i, e := range req.Edges {
-		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+	for i := range batch {
+		if e := &batch[i]; e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
 			writeErr(w, http.StatusBadRequest,
 				fmt.Errorf("edge %d: vertex out of range [0, %d)", i, n))
 			return
-		}
-		if e.U == e.V {
+		} else if e.U == e.V {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: self-loop", i))
 			return
 		}
-		var t time.Time
-		if e.T != "" {
-			var err error
-			t, err = time.Parse(time.RFC3339Nano, e.T)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, fmt.Errorf("edge %d: bad time: %w", i, err))
-				return
-			}
-		}
-		batch[i] = Edge{U: e.U, V: e.V, W: e.W, T: t}
 	}
-	if err := svc.submitOwned(batch); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+	// Ack mode: the window's SyncAck default, overridable per request with
+	// ?sync=1 / ?sync=0. Sync means the 202 is written only after the
+	// batch's WAL append + fsync completed — durable, not just queued.
+	sync := svc.SyncAckDefault()
+	if v := r.URL.Query().Get("sync"); v != "" {
+		sync = v == "1" || v == "true"
+	}
+	var err error
+	if sync {
+		err = svc.submitOwnedDurable(r.Context(), batch)
+	} else {
+		err = svc.submitOwned(batch)
+	}
+	if err != nil {
+		ingestErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, map[string]int{"accepted": len(batch)})
+	resp := map[string]any{"accepted": len(batch)}
+	if sync {
+		resp["durable"] = svc.Durable()
+	}
+	writeJSON(w, http.StatusAccepted, resp)
 }
 
 func vertexParam(r *http.Request, name string) (int32, error) {
@@ -633,13 +759,26 @@ func windowStatsBody(svc *Service) map[string]any {
 	ingest := map[string]any{
 		"edges_accepted": edges,
 		"batches":        batches,
-		// Queue depth in both units: queued submissions are the
+		// Queue depth in three units: queued submissions are the
 		// backpressure signal (the channel fills in submissions), queued
-		// edges the work signal — a thousand singleton submissions and one
-		// thousand-edge submission are very different queues.
+		// edges and bytes the magnitude signals admission budgets bound — a
+		// thousand singleton submissions and one thousand-edge submission
+		// are very different queues.
 		"queue_batches": qBatches,
 		"queue_edges":   qEdges,
+		"queue_bytes":   svc.QueueBytes(),
 		"queue_cap":     svc.QueueCap(),
+	}
+	if maxEdges, maxBytes := svc.QueueBudget(); maxEdges > 0 || maxBytes > 0 {
+		ingest["queue_budget_edges"] = maxEdges
+		ingest["queue_budget_bytes"] = maxBytes
+	}
+	if rejSubs, rejEdges := svc.RejectStats(); rejSubs > 0 {
+		ingest["rejected_batches"] = rejSubs
+		ingest["rejected_edges"] = rejEdges
+	}
+	if svc.SyncAckDefault() {
+		ingest["sync_ack"] = true
 	}
 	if batches > 0 {
 		ingest["mean_batch_size"] = float64(edges) / float64(batches)

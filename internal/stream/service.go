@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -74,7 +75,7 @@ func newServiceWith(wm *WindowManager, cfg ServiceConfig) *Service {
 	// flight rings attach at the same point (and for the same reason:
 	// recovery replay is not live traffic and records no traces).
 	wm.setTelemetry(cfg.Telemetry)
-	var onFlush func(enqNS int64)
+	var onFlush func(enqNS, admitNS int64)
 	if cfg.flight != nil {
 		names := wm.Monitors()
 		wm.setFlight(
@@ -116,6 +117,25 @@ func (s *Service) Submit(edges []Edge) error { return s.ing.SubmitBatch(edges) }
 // call (the HTTP handler).
 func (s *Service) submitOwned(edges []Edge) error { return s.ing.submitOwned(edges) }
 
+// submitOwnedDurable enqueues an owned slice and blocks until the batch
+// holding it is durably applied (WAL append + fsync) — the sync-ack
+// ingest path. See Ingester.submitOwnedDurable for the ctx semantics.
+func (s *Service) submitOwnedDurable(ctx context.Context, edges []Edge) error {
+	return s.ing.submitOwnedDurable(ctx, edges)
+}
+
+// setDurableSync attaches the durability escalator durable acks wait on;
+// the persistence layer wires the window's wal.Log.Sync through it.
+func (s *Service) setDurableSync(fn func() error) { s.ing.setDurableSync(fn) }
+
+// Durable reports whether the pipeline has a durability layer — whether a
+// sync ack can actually mean "fsynced".
+func (s *Service) Durable() bool { return s.ing.durable() }
+
+// SyncAckDefault reports whether this window acknowledges durably by
+// default (WindowConfig.SyncAck); requests override per-call.
+func (s *Service) SyncAckDefault() bool { return s.wm.cfg.SyncAck }
+
 // Flush synchronously pushes everything submitted so far into the window.
 func (s *Service) Flush() { s.ing.Flush() }
 
@@ -130,6 +150,17 @@ func (s *Service) QueueDepth() (batches, edges int64) { return s.ing.QueueDepth(
 
 // QueueCap returns the ingest submission-queue capacity.
 func (s *Service) QueueCap() int { return s.ing.QueueCap() }
+
+// QueueBytes returns the in-memory bytes of queued edges.
+func (s *Service) QueueBytes() int64 { return s.ing.QueueBytes() }
+
+// QueueBudget returns the configured edge/byte admission budgets
+// (0 = unlimited).
+func (s *Service) QueueBudget() (maxEdges, maxBytes int64) { return s.ing.QueueBudget() }
+
+// RejectStats returns submissions and edges turned away by admission
+// control.
+func (s *Service) RejectStats() (subs, edges int64) { return s.ing.RejectStats() }
 
 // Close drains the ingester and stops the pipeline.
 func (s *Service) Close() {

@@ -1,7 +1,6 @@
 package stream
 
 import (
-	"log/slog"
 	"runtime"
 	"runtime/debug"
 	"strconv"
@@ -37,12 +36,18 @@ type Metrics struct {
 	ingestEdges    *telemetry.Counter
 	queueBatches   *telemetry.Gauge
 	queueEdges     *telemetry.Gauge
+	queueBytes     *telemetry.Gauge
 	queueWait      *telemetry.Histogram
 	flushEdges     *telemetry.Histogram
 	flushThreshold *telemetry.Counter
 	flushDeadline  *telemetry.Counter
 	flushManual    *telemetry.Counter
 	flushShutdown  *telemetry.Counter
+
+	// Admission control, indexed by admitReason (fixed label universe:
+	// edges, bytes, rate).
+	rejectedBatches [admitReasons]*telemetry.Counter
+	rejectedEdges   [admitReasons]*telemetry.Counter
 
 	// Batch lifecycle (WindowManager.Apply).
 	stageSeconds   *telemetry.Histogram
@@ -77,14 +82,6 @@ type Metrics struct {
 
 	// HTTP front-end.
 	httpInflight *telemetry.Gauge
-
-	// SlowBatch, when > 0, emits a structured log record (through Logger)
-	// for any batch whose stage+fan-out wall time exceeds it — the opt-in
-	// slow-batch trace.
-	SlowBatch time.Duration
-	// Logger receives slow-batch records; nil disables the trace even when
-	// SlowBatch is set.
-	Logger *slog.Logger
 }
 
 // noMetrics is the shared disabled bundle: every instrument nil, every
@@ -105,6 +102,8 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		"Submitted batches waiting in ingest queues (all windows).")
 	m.queueEdges = reg.Gauge("sw_ingest_queue_edges",
 		"Edges inside queued submissions (all windows).")
+	m.queueBytes = reg.Gauge("sw_ingest_queue_bytes",
+		"In-memory bytes of queued edges (edges × sizeof(Edge), all windows).")
 	m.queueWait = reg.Histogram("sw_ingest_queue_wait_seconds",
 		"Time a submission waited in the ingest queue before the flush goroutine absorbed it.")
 	m.flushEdges = reg.ValueHistogram("sw_ingest_flush_edges",
@@ -117,6 +116,14 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 	m.flushDeadline = reason("deadline")
 	m.flushManual = reason("manual")
 	m.flushShutdown = reason("shutdown")
+	for r := admitReason(0); r < admitReasons; r++ {
+		m.rejectedBatches[r] = reg.Counter("sw_ingest_rejected_total",
+			"Submissions turned away by admission control, by cause.",
+			telemetry.L("reason", admitReasonNames[r]))
+		m.rejectedEdges[r] = reg.Counter("sw_ingest_rejected_edges_total",
+			"Edges inside submissions turned away by admission control, by cause.",
+			telemetry.L("reason", admitReasonNames[r]))
+	}
 
 	m.stageSeconds = reg.Histogram("sw_apply_stage_seconds",
 		"Batch staging under the coordinator lock: validate, clamp, ring append, WAL append, expiry computation.")

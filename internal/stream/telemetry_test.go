@@ -1,14 +1,11 @@
 package stream
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
-	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"testing"
-	"time"
 
 	"repro/internal/telemetry"
 )
@@ -322,12 +319,13 @@ func TestReadyzQueueBudget(t *testing.T) {
 	release := make(chan struct{})
 	first := make(chan struct{})
 	var once bool
-	ing := NewIngester(IngesterConfig{MaxBatch: 1, QueueLen: 4}, func([]Edge) {
+	ing := NewIngester(IngesterConfig{MaxBatch: 1, QueueLen: 4}, func([]Edge) error {
 		if !once {
 			once = true
 			close(first)
 		}
 		<-release
+		return nil
 	})
 	defer func() { close(release); ing.Close() }()
 	for i := 0; i < 5; i++ { // 1 in the sink + 4 filling the queue
@@ -345,45 +343,6 @@ func TestReadyzQueueBudget(t *testing.T) {
 	}
 }
 
-// TestSlowBatchTrace checks the opt-in slow-batch structured record: with a
-// zero-ish threshold every batch is "slow" and the log carries the stage
-// attribution fields.
-func TestSlowBatchTrace(t *testing.T) {
-	var buf bytes.Buffer
-	logger := slog.New(slog.NewJSONHandler(&buf, nil))
-	reg := NewRegistry(RegistryConfig{
-		Template:  ServiceConfig{Window: WindowConfig{N: 32}},
-		Logger:    logger,
-		SlowBatch: time.Nanosecond,
-	})
-	defer reg.Close()
-	svc, err := reg.Create("traced", ServiceConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := svc.Submit([]Edge{{U: 1, V: 2}}); err != nil {
-		t.Fatal(err)
-	}
-	svc.Flush()
-
-	out := buf.String()
-	if !strings.Contains(out, "slow batch") {
-		t.Fatalf("no slow-batch record in log output: %q", out)
-	}
-	var rec map[string]any
-	if err := json.Unmarshal([]byte(strings.SplitN(out, "\n", 2)[0]), &rec); err != nil {
-		t.Fatalf("slow-batch record is not JSON: %v", err)
-	}
-	for _, key := range []string{"window", "edges", "stage", "fanout", "slowest_monitor"} {
-		if _, ok := rec[key]; !ok {
-			t.Errorf("slow-batch record missing %q: %v", key, rec)
-		}
-	}
-	if rec["window"] != "traced" {
-		t.Errorf("slow-batch window = %v, want traced", rec["window"])
-	}
-}
-
 // TestIngestHotPathAllocs pins the instrumented submit path: Submit with
 // telemetry ON must not allocate beyond the pre-existing batch copy.
 func TestIngestHotPathAllocs(t *testing.T) {
@@ -391,7 +350,7 @@ func TestIngestHotPathAllocs(t *testing.T) {
 		t.Skip("race instrumentation allocates")
 	}
 	m := NewMetrics(telemetry.NewRegistry())
-	sunk := func([]Edge) {}
+	sunk := func([]Edge) error { return nil }
 	ing := newIngesterWith(IngesterConfig{MaxBatch: 4, QueueLen: 1 << 16}, sunk, m, nil)
 	defer ing.Close()
 	batch := []Edge{{U: 1, V: 2}}

@@ -1,10 +1,8 @@
 package stream
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -42,6 +40,12 @@ type WindowConfig struct {
 	MaxAge time.Duration
 	// Clock defaults to RealClock; tests inject FakeClock.
 	Clock Clock
+	// SyncAck makes durable acknowledgment the window's default ingest
+	// mode: POST /edges blocks until the batch's WAL append (and fsync,
+	// under fsync=batch) completes, so a 202 means durable, not queued.
+	// Requests can override per-call with ?sync=0/1. Meaningless without
+	// a durability layer.
+	SyncAck bool
 	// SequentialFanout forces one-monitor-at-a-time batch application
 	// instead of the default parallel fork-join across monitors. The
 	// answers are identical either way (monitors are independent); the
@@ -149,10 +153,12 @@ type WindowManager struct {
 	// clamped) before the monitors see it — the write-ahead hook the
 	// durability layer logs through. It returns the WAL sequence (arrival
 	// index) of the batch's first edge, which becomes the batch's flight
-	// trace ID so traces correlate across restarts. Called under coord, so
-	// record order is exactly staging order and the logged arrival indices
-	// line up with the stats counters.
-	rec func([]Edge) uint64
+	// trace ID so traces correlate across restarts, plus the append error
+	// (Apply propagates it to the ingester so durable acks report append
+	// failures). Called under coord, so record order is exactly staging
+	// order and the logged arrival indices line up with the stats
+	// counters.
+	rec func([]Edge) (uint64, error)
 
 	// live holds the unexpired arrivals in arrival order, oldest at
 	// live[head] — the canonical window content LiveEdges serves to the
@@ -204,8 +210,11 @@ type WindowManager struct {
 	// submission in the batch the ingester is about to Apply — the queue
 	// span's start. The flush goroutine writes it immediately before
 	// calling Apply on the same goroutine, so a plain field suffices; 0
-	// means unknown (direct Apply callers, tests).
-	pendingEnqNS int64
+	// means unknown (direct Apply callers, tests). pendingAdmitNS is the
+	// admission-check time that submission paid before its enqueue — the
+	// trace's admit span.
+	pendingEnqNS   int64
+	pendingAdmitNS int64
 
 	// walFsyncNS accumulates fsync time observed during the current WAL
 	// append (the durability layer's per-window ObserveFsync wrapper adds
@@ -275,10 +284,13 @@ func (w *WindowManager) setFlight(batch, query *trace.Ring) {
 }
 
 // noteEnqueueTime hands Apply the enqueue wall time of the oldest
-// submission in the batch about to be flushed. The ingester's flush
-// goroutine calls it right before the sink call — same goroutine as
-// Apply, so no synchronization.
-func (w *WindowManager) noteEnqueueTime(enqNS int64) { w.pendingEnqNS = enqNS }
+// submission in the batch about to be flushed, plus the admission time
+// that submission paid. The ingester's flush goroutine calls it right
+// before the sink call — same goroutine as Apply, so no synchronization.
+func (w *WindowManager) noteEnqueueTime(enqNS, admitNS int64) {
+	w.pendingEnqNS = enqNS
+	w.pendingAdmitNS = admitNS
+}
 
 // noteWALFsync records fsync time the WAL observed for this window; the
 // durability layer's per-window ObserveFsync wrapper feeds it.
@@ -297,20 +309,23 @@ func (w *WindowManager) Monitors() []string { return w.mux.Names() }
 // batch slice may be compacted in place and is read by the monitor
 // fan-out until Apply returns, so the caller yields ownership for the
 // duration of the call (and may recycle the slice afterwards — nothing
-// retains it).
-func (w *WindowManager) Apply(batch []Edge) {
+// retains it). The return is the write-ahead recorder's append error
+// (nil on undurable windows): the batch is still applied in-memory
+// either way, but a durable ack must report that the WAL did not keep
+// it.
+func (w *WindowManager) Apply(batch []Edge) error {
 	w.writerMu.Lock()
 	defer w.writerMu.Unlock()
-	enqNS := w.pendingEnqNS
-	w.pendingEnqNS = 0
+	enqNS, admitNS := w.pendingEnqNS, w.pendingAdmitNS
+	w.pendingEnqNS, w.pendingAdmitNS = 0, 0
 	now := w.cfg.Clock.Now()
 	m := w.metrics
 	ft := w.flight
 	// Lifecycle timing costs extra monotonic clock reads, so it only runs
-	// for the telemetry registry, the slow-batch trace, or the flight
-	// recorder. Always the real clock, never the injected Clock —
-	// FakeClock does not advance during a call.
-	timed := m.on() || (m.SlowBatch > 0 && m.Logger != nil) || ft != nil
+	// for the telemetry registry or the flight recorder. Always the real
+	// clock, never the injected Clock — FakeClock does not advance during
+	// a call.
+	timed := m.on() || ft != nil
 	var stageStart time.Time
 	if timed {
 		stageStart = time.Now()
@@ -328,6 +343,7 @@ func (w *WindowManager) Apply(batch []Edge) {
 	// they all have.
 	dropped := 0
 	var walSeq uint64
+	var recErr error
 	durable := false
 	var walOffNS, walNS, fsyncNS int64
 	w.coord.Lock()
@@ -375,12 +391,12 @@ func (w *WindowManager) Apply(batch []Edge) {
 				// after the call captures exactly this append's fsync.
 				w.walFsyncNS.Store(0)
 				walT0 := time.Now()
-				walSeq = w.rec(valid)
+				walSeq, recErr = w.rec(valid)
 				walNS = time.Since(walT0).Nanoseconds()
 				walOffNS = walT0.Sub(stageStart).Nanoseconds()
 				fsyncNS = w.walFsyncNS.Swap(0)
 			} else {
-				walSeq = w.rec(valid)
+				walSeq, recErr = w.rec(valid)
 			}
 		} else {
 			// No WAL: the batch's first arrival index plays the sequence
@@ -404,7 +420,7 @@ func (w *WindowManager) Apply(batch []Edge) {
 	}
 
 	if len(valid) == 0 && delta == 0 {
-		return
+		return recErr
 	}
 	// The trace ID is known before the fan-out so per-monitor histogram
 	// exemplars can be tagged with it as they observe.
@@ -419,7 +435,7 @@ func (w *WindowManager) Apply(batch []Edge) {
 	w.epoch.Add(1)
 	m.applyInflight.Add(1)
 	applyStart := time.Now()
-	rep := w.mux.Apply(valid, delta, traceID)
+	w.mux.Apply(valid, delta, traceID)
 	applyNS := time.Since(applyStart).Nanoseconds()
 	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
@@ -436,34 +452,11 @@ func (w *WindowManager) Apply(batch []Edge) {
 		m.batchSeconds.ObserveValTraced(stageNS+applyNS, traceID)
 	}
 	if ft != nil {
-		w.commitBatchTrace(ft, queueNS, stageNS, applyNS,
+		w.commitBatchTrace(ft, admitNS, queueNS, stageNS, applyNS,
 			walSeq, durable, walOffNS, walNS, fsyncNS,
 			applyStart, stageStart, len(valid), delta)
 	}
-	// Slow-batch trace: one structured record per batch over the
-	// threshold, attributing the critical path (staging vs fan-out, and
-	// which monitor's apply dominated the fan-out).
-	//
-	// Deprecated in favor of the flight recorder's slow ring, which keeps
-	// the batch's full span tree: GET /debug/flight?slow=1.
-	if m.SlowBatch > 0 && m.Logger != nil {
-		if total := time.Duration(stageNS + applyNS); total > m.SlowBatch {
-			m.Logger.LogAttrs(context.Background(), slog.LevelWarn, "slow batch",
-				slog.String("window", w.cfg.Name),
-				slog.Int("edges", len(valid)),
-				slog.Int("expired", delta),
-				slog.Uint64("wal_seq", walSeq),
-				slog.Duration("queue_wait", time.Duration(queueNS)),
-				slog.Duration("total", total),
-				slog.Duration("stage", time.Duration(stageNS)),
-				slog.Duration("fanout", time.Duration(applyNS)),
-				slog.String("slowest_monitor", rep.slowest),
-				slog.Duration("slowest_apply", time.Duration(rep.applyNS)),
-				slog.Duration("max_lock_wait", time.Duration(rep.waitNS)),
-				slog.String("deprecated_see", "/debug/flight?slow=1"),
-			)
-		}
-	}
+	return recErr
 }
 
 // commitBatchTrace assembles the batch's span tree in the reusable
@@ -472,7 +465,7 @@ func (w *WindowManager) Apply(batch []Edge) {
 // writerMu on the flush goroutine, after the fan-out barrier (so the
 // per-monitor and per-level timings are settled plain reads).
 func (w *WindowManager) commitBatchTrace(ft *trace.Ring,
-	queueNS, stageNS, applyNS int64,
+	admitNS, queueNS, stageNS, applyNS int64,
 	walSeq uint64, durable bool, walOffNS, walNS, fsyncNS int64,
 	applyStart, stageStart time.Time, edges, expired int,
 ) {
@@ -482,21 +475,25 @@ func (w *WindowManager) commitBatchTrace(ft *trace.Ring,
 	t.Durable = durable
 	t.Edges = int32(edges)
 	t.Expired = int32(expired)
-	// The trace starts when its oldest submission entered the queue, so
-	// the queue span is part of the tree (and of total_ms — the latency a
-	// producer actually experienced).
-	t.StartNS = stageStart.UnixNano() - queueNS
-	if queueNS > 0 {
-		t.Add(trace.SpanQueue, 0, 0, queueNS)
+	// The trace starts when its oldest submission entered admission, so
+	// the admit and queue spans are part of the tree (and of total_ms —
+	// the latency a producer actually experienced).
+	t.StartNS = stageStart.UnixNano() - queueNS - admitNS
+	if admitNS > 0 {
+		t.Add(trace.SpanAdmit, 0, 0, admitNS)
 	}
-	t.Add(trace.SpanStage, 0, queueNS, stageNS)
+	if queueNS > 0 {
+		t.Add(trace.SpanQueue, 0, admitNS, queueNS)
+	}
+	pre := admitNS + queueNS
+	t.Add(trace.SpanStage, 0, pre, stageNS)
 	if walNS > 0 {
-		t.Add(trace.SpanWALAppend, 0, queueNS+walOffNS, walNS)
+		t.Add(trace.SpanWALAppend, 0, pre+walOffNS, walNS)
 		if fsyncNS > 0 {
-			t.Add(trace.SpanWALFsync, 0, queueNS+walOffNS, fsyncNS)
+			t.Add(trace.SpanWALFsync, 0, pre+walOffNS, fsyncNS)
 		}
 	}
-	applyOff := queueNS + applyStart.Sub(stageStart).Nanoseconds()
+	applyOff := pre + applyStart.Sub(stageStart).Nanoseconds()
 	w.mux.forEachLastTiming(func(idx int, waitNS, monApplyNS int64) {
 		t.Add(trace.SpanMonitorWait, int32(idx), applyOff, waitNS)
 		t.Add(trace.SpanMonitorApply, int32(idx), applyOff+waitNS, monApplyNS)
@@ -508,7 +505,7 @@ func (w *WindowManager) commitBatchTrace(ft *trace.Ring,
 		}
 	})
 	pubOff := applyOff + applyNS
-	pubNS := time.Since(stageStart).Nanoseconds() + queueNS - pubOff
+	pubNS := time.Since(stageStart).Nanoseconds() + pre - pubOff
 	if pubNS < 0 {
 		pubNS = 0
 	}
@@ -525,7 +522,7 @@ func (w *WindowManager) commitBatchTrace(ft *trace.Ring,
 // attaches it while the window is still unpublished). A recorded window
 // is a durable one, so retention turns on: checkpoint snapshots will
 // read LiveEdges.
-func (w *WindowManager) setRecorder(rec func([]Edge) uint64) {
+func (w *WindowManager) setRecorder(rec func([]Edge) (uint64, error)) {
 	w.coord.Lock()
 	w.rec = rec
 	w.retain = true

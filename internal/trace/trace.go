@@ -66,6 +66,10 @@ const (
 	SpanLockWait
 	// SpanExec is a query's execution under the monitor read lock.
 	SpanExec
+	// SpanAdmit is the admission work the batch's oldest submission paid
+	// in Submit before its enqueue: budget and rate-limit checks. Queue
+	// backpressure (a blocked channel send) stays in the queue span.
+	SpanAdmit
 )
 
 var spanNames = [...]string{
@@ -79,6 +83,7 @@ var spanNames = [...]string{
 	SpanPublish:      "publish",
 	SpanLockWait:     "lock_wait",
 	SpanExec:         "exec",
+	SpanAdmit:        "admit",
 }
 
 // SpanName returns the wire name of a span kind ("queue", "apply", ...).

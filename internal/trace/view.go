@@ -105,9 +105,11 @@ func sortViews(views []View) {
 // the WAL append). swload's -mixed report aggregates these over the slow
 // ring to answer "what are slow batches bound on".
 func (v View) Dominant() string {
-	var queue, wal, apply, stage, fsync float64
+	var queue, wal, apply, stage, fsync, admit float64
 	for _, s := range v.Spans {
 		switch s.Name {
+		case "admit":
+			admit = s.MS
 		case "queue":
 			queue = s.MS
 		case "wal_append":
@@ -133,7 +135,7 @@ func (v View) Dominant() string {
 	for _, c := range []struct {
 		name string
 		ms   float64
-	}{{"queue", queue}, {"wal", wal}, {"apply", apply}} {
+	}{{"queue", queue}, {"wal", wal}, {"apply", apply}, {"admit", admit}} {
 		if c.ms > bestMS {
 			best, bestMS = c.name, c.ms
 		}

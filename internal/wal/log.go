@@ -89,6 +89,7 @@ type Log struct {
 	segs     []uint64 // first seq of every segment file, ascending
 	nextSeq  uint64
 	lastSync time.Time
+	dirty    bool // bytes written since the last successful fsync
 	closed   bool
 	poisoned error // set when a failed append could not be rolled back
 	scratch  []byte
@@ -285,6 +286,7 @@ func (l *Log) appendLocked(edges []Edge) error {
 	}
 	l.size += int64(len(l.scratch))
 	l.nextSeq += uint64(len(edges))
+	l.dirty = true
 	if l.opt.ObserveAppend != nil {
 		l.opt.ObserveAppend(time.Since(t0), len(edges), len(l.scratch))
 	}
@@ -330,7 +332,10 @@ func (l *Log) rotateLocked() error {
 	return nil
 }
 
-// Sync fsyncs the active segment.
+// Sync fsyncs the active segment. A log with nothing written since the
+// last successful sync is a cheap no-op — durable-ack escalation under
+// fsync=batch (where every append already synced) costs a mutex hop, not
+// an fsync.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -342,15 +347,20 @@ func (l *Log) Sync() error {
 
 func (l *Log) syncLocked() error {
 	l.lastSync = time.Now()
-	if l.f == nil {
+	if l.f == nil || !l.dirty {
 		return nil
 	}
+	var err error
 	if l.opt.ObserveFsync == nil {
-		return l.f.Sync()
+		err = l.f.Sync()
+	} else {
+		t0 := time.Now()
+		err = l.f.Sync()
+		l.opt.ObserveFsync(time.Since(t0))
 	}
-	t0 := time.Now()
-	err := l.f.Sync()
-	l.opt.ObserveFsync(time.Since(t0))
+	if err == nil {
+		l.dirty = false
+	}
 	return err
 }
 

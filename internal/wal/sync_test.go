@@ -1,0 +1,82 @@
+package wal
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSyncNoopWhenClean pins the dirty-flag contract that makes the
+// durable-ack escalation cheap under fsync=batch: Sync only fsyncs when
+// bytes were written since the last successful fsync.
+func TestSyncNoopWhenClean(t *testing.T) {
+	fsyncs := 0
+	l, err := Open(t.TempDir(), Options{
+		Sync:         SyncNone,
+		ObserveFsync: func(time.Duration) { fsyncs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// A fresh log has nothing to flush.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 0 {
+		t.Fatalf("Sync on a clean log fsynced %d times, want 0", fsyncs)
+	}
+	if _, err := l.Append([]Edge{{U: 1, V: 2, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 1 {
+		t.Fatalf("Sync after an append fsynced %d times, want 1", fsyncs)
+	}
+	// Nothing new written: the second Sync must be a mutex hop, not an
+	// fsync — this is what a durable ack pays under fsync=batch.
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 1 {
+		t.Fatalf("Sync on a clean log fsynced again (%d total), want still 1", fsyncs)
+	}
+	// And the flag re-arms on the next append.
+	if _, err := l.Append([]Edge{{U: 2, V: 3, W: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 2 {
+		t.Fatalf("Sync after a second append fsynced %d times total, want 2", fsyncs)
+	}
+}
+
+// TestSyncBatchMakesSyncFree: under SyncBatch every append already
+// fsynced, so an explicit Sync right after an append is a no-op.
+func TestSyncBatchMakesSyncFree(t *testing.T) {
+	fsyncs := 0
+	l, err := Open(t.TempDir(), Options{
+		Sync:         SyncBatch,
+		ObserveFsync: func(time.Duration) { fsyncs++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if _, err := l.Append([]Edge{{U: 1, V: 2, W: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 1 {
+		t.Fatalf("append under SyncBatch fsynced %d times, want 1", fsyncs)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fsyncs != 1 {
+		t.Fatalf("Sync after a batch-synced append fsynced again (%d total), want still 1", fsyncs)
+	}
+}
