@@ -100,6 +100,7 @@ import (
 	"time"
 
 	"repro/internal/cli"
+	"repro/internal/fault"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -136,6 +137,8 @@ type options struct {
 	ndjson        bool
 	syncAck       bool
 	burst         bool
+	chaosOutage   time.Duration
+	chaosInterval time.Duration
 	cpuProfile    string
 	memProfile    string
 	jsonPath      string
@@ -305,6 +308,10 @@ func main() {
 		"request durable acks (?sync=1): each POST /edges returns 202 only after the batch's WAL append+fsync completed")
 	flag.BoolVar(&o.burst, "burst", false,
 		"burst offered load: on 429 retry immediately instead of honoring Retry-After, driving the admission budget as hard as possible")
+	flag.DurationVar(&o.chaosOutage, "chaos-outage", 0,
+		"with -mixed: every -chaos-interval, inject a WAL write+sync outage of this length through /admin/fault (the in-process server gets a temp WAL dir and a fault injector), exercising degrade -> re-arm -> healthy under live load; 0 = no chaos")
+	flag.DurationVar(&o.chaosInterval, "chaos-interval", 5*time.Second,
+		"period of the -chaos-outage schedule, measured start to start")
 	flag.StringVar(&o.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&o.memProfile, "memprofile", "", "write a heap profile to this path at exit")
 	flag.StringVar(&o.jsonPath, "json", "", "write the report as JSON to this path (\"-\" = stdout)")
@@ -331,6 +338,16 @@ func main() {
 	if o.mixed && o.readers < 1 {
 		fmt.Fprintln(os.Stderr, "swload -mixed: need -readers >= 1 (the queriers are the workload under test)")
 		os.Exit(2)
+	}
+	if o.chaosOutage > 0 {
+		if !o.mixed {
+			fmt.Fprintln(os.Stderr, "swload: -chaos-outage needs -mixed (the outage schedule drives the in-process mixed-load server)")
+			os.Exit(2)
+		}
+		if o.chaosOutage >= o.chaosInterval {
+			fmt.Fprintln(os.Stderr, "swload: need -chaos-outage < -chaos-interval (the window must get time to heal between outages)")
+			os.Exit(2)
+		}
 	}
 	// Producers and readers are spread over windows round-robin; with
 	// fewer than one per window some windows would get no load at all
@@ -518,6 +535,50 @@ func parseQueryMix(spec string, n int) ([]mixEntry, error) {
 	return mix, nil
 }
 
+// runChaos drives the -chaos-outage schedule against the server's chaos
+// control plane: every interval it installs WAL write+sync fault rules
+// through POST /admin/fault (matching ".seg" segment files, so manifest
+// and snapshot I/O stay healthy and the blast radius is exactly the WAL
+// append path), holds the outage, then clears the rules and lets the
+// self-heal loop re-arm the log. Returns the number of completed outages.
+func runChaos(client *http.Client, base string, outage, interval time.Duration, stop <-chan struct{}) int {
+	const rules = `[
+		{"id":"chaos-write","op":"write","path":".seg","kind":"eio"},
+		{"id":"chaos-sync","op":"sync","path":".seg","kind":"eio"}
+	]`
+	clear := func() {
+		req, _ := http.NewRequest(http.MethodDelete, base+"/admin/fault", nil)
+		if resp, err := client.Do(req); err == nil {
+			drainBody(resp)
+		}
+	}
+	outages := 0
+	for {
+		select {
+		case <-stop:
+			return outages
+		case <-time.After(interval - outage):
+		}
+		resp, err := client.Post(base+"/admin/fault", "application/json", strings.NewReader(rules))
+		if err != nil {
+			return outages
+		}
+		drainBody(resp)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(os.Stderr, "swload chaos: POST /admin/fault: status %d\n", resp.StatusCode)
+			return outages
+		}
+		select {
+		case <-stop:
+			clear()
+			return outages
+		case <-time.After(outage):
+		}
+		clear()
+		outages++
+	}
+}
+
 // runMixed is the mixed-workload latency harness: -readers concurrent
 // queriers draw endpoints from the -query-mix distribution against one
 // window with the full monitor set, while -producers sustain ingest for
@@ -536,8 +597,33 @@ func runMixed(o options) LoadResult {
 	}
 
 	setupStart := time.Now()
+	// Chaos runs need a durability layer to break: a temp WAL dir plus a
+	// fault injector the outage scheduler toggles through /admin/fault.
+	var injector *fault.Injector
+	var persist *stream.PersistenceConfig
+	if o.chaosOutage > 0 {
+		dir, err := os.MkdirTemp("", "swload-chaos-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer os.RemoveAll(dir)
+		injector = fault.NewInjector(nil, o.seed)
+		pol, err := stream.ParseFsyncPolicy(o.fsync)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		persist = &stream.PersistenceConfig{
+			Dir:                dir,
+			Fsync:              pol,
+			CheckpointInterval: time.Second,
+		}
+	}
 	reg, _, err := stream.OpenRegistry(stream.RegistryConfig{
-		Shards: o.shards,
+		Shards:        o.shards,
+		Persistence:   persist,
+		FaultInjector: injector,
 		// The mixed harness is also the observability harness: wire the
 		// telemetry registry so the report can carry the server-side
 		// per-monitor apply table alongside the client percentiles.
@@ -596,6 +682,17 @@ func runMixed(o options) LoadResult {
 	var posted, posts atomic.Int64
 	stop := make(chan struct{})
 	po := &poster{client: client, base: base, ndjson: o.ndjson, syncAck: o.syncAck, burst: o.burst}
+
+	// Outage scheduler: degrade → re-arm → healthy cycles under live load.
+	var chaosWG sync.WaitGroup
+	var outages int
+	if o.chaosOutage > 0 {
+		chaosWG.Add(1)
+		go func() {
+			defer chaosWG.Done()
+			outages = runChaos(client, base, o.chaosOutage, o.chaosInterval, stop)
+		}()
+	}
 
 	// Producers: sustained ingest until the clock runs out.
 	var prodWG, readWG sync.WaitGroup
@@ -678,7 +775,43 @@ func runMixed(o options) LoadResult {
 	close(stop)
 	prodWG.Wait()
 	readWG.Wait()
+	chaosWG.Wait()
 	elapsed := time.Since(start)
+
+	if o.chaosOutage > 0 {
+		// The last outage may still be healing: wait for /readyz to report
+		// ready again, then surface the degrade/heal ledger.
+		healed := false
+		for deadline := time.Now().Add(15 * time.Second); time.Now().Before(deadline); time.Sleep(100 * time.Millisecond) {
+			resp, err := client.Get(base + "/readyz")
+			if err != nil {
+				break
+			}
+			drainBody(resp)
+			if resp.StatusCode == http.StatusOK {
+				healed = true
+				break
+			}
+		}
+		var after struct {
+			Persistence struct {
+				WALHeals     int64 `json:"wal_heals"`
+				GapEdges     int64 `json:"gap_edges"`
+				AppendErrors int64 `json:"append_errors"`
+			} `json:"persistence"`
+		}
+		if resp, err := client.Get(base + "/stats"); err == nil {
+			_ = json.NewDecoder(resp.Body).Decode(&after)
+			drainBody(resp)
+		}
+		fmt.Fprintf(os.Stderr,
+			"swload -mixed chaos: %d outage(s) of %v injected, %d WAL append/fsync failures, %d heals, ready_again=%v\n",
+			outages, o.chaosOutage, after.Persistence.AppendErrors, after.Persistence.WALHeals, healed)
+		if !healed {
+			fmt.Fprintln(os.Stderr, "swload -mixed chaos: server did not return to ready within 15s — degraded state is stuck")
+			os.Exit(1)
+		}
+	}
 
 	// Queue backlog before the drain: what the window still owed when the
 	// clock ran out, in both units (the /stats read the gauges mirror).

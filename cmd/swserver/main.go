@@ -87,6 +87,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/stream"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -143,6 +144,16 @@ func main() {
 		"/readyz fails when any window's queued submissions exceed this fraction of its queue capacity (negative = disabled)")
 	ckptAgeBound := flag.Duration("ready-checkpoint-age", 0,
 		"with -data-dir: /readyz fails when no checkpoint has completed for this long (0 = disabled)")
+	readTimeout := flag.Duration("read-timeout", time.Minute,
+		"http.Server ReadTimeout: full request (headers+body) read deadline (0 = unlimited)")
+	writeTimeout := flag.Duration("write-timeout", time.Minute,
+		"http.Server WriteTimeout: response write deadline from end of headers (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 2*time.Minute,
+		"http.Server IdleTimeout: keep-alive connection idle deadline (0 = unlimited)")
+	faultInject := flag.Bool("fault-inject", false,
+		"mount the chaos control plane: wrap durability I/O in a runtime-togglable fault injector driven via /admin/fault (never enable in production)")
+	faultSeed := flag.Int64("fault-seed", 1,
+		"seed for probabilistic fault rules with -fault-inject")
 	flag.Parse()
 
 	var lvl slog.Level
@@ -206,13 +217,19 @@ func main() {
 			*flightSlow = *slowBatch
 		}
 	}
+	var injector *fault.Injector
+	if *faultInject {
+		injector = fault.NewInjector(nil, *faultSeed)
+		logger.Warn("fault injection armed: durability I/O runs through a chaos injector controlled at /admin/fault")
+	}
 	reg, recovered, err := stream.OpenRegistry(stream.RegistryConfig{
-		Shards:      *shards,
-		MaxWindows:  *maxWindows,
-		Template:    template,
-		Persistence: persist,
-		Telemetry:   treg,
-		Logger:      logger,
+		Shards:        *shards,
+		MaxWindows:    *maxWindows,
+		Template:      template,
+		Persistence:   persist,
+		Telemetry:     treg,
+		Logger:        logger,
+		FaultInjector: injector,
 		Flight: trace.Options{
 			RingSlots:     *flightRing,
 			QuerySlots:    *flightQueryRing,
@@ -256,10 +273,16 @@ func main() {
 		root.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 
+	// Slow-loris protection end to end: header deadline, full-request
+	// deadline, response deadline, and keep-alive reaping — a stuck client
+	// cannot pin a connection (and its handler goroutine) forever.
 	srv := &http.Server{
 		Addr:              *addr,
 		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,504 @@
+// Package fault is a small injectable fault plane for the durability layer.
+//
+// It defines an os-shaped filesystem interface (FS / File) that internal/wal
+// threads through every disk operation, plus an Injector that wraps a real FS
+// and injects deterministic or probabilistic failures — EIO, ENOSPC, short
+// writes, fsync errors, latency — per operation class and path. Rules are
+// runtime-mutable and JSON-serializable so chaos tests and a live server
+// (POST /admin/fault) can drive real outage schedules without restarting.
+//
+// The package is a std-only leaf: wal imports fault, stream imports both.
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// File is the subset of *os.File the WAL and snapshot writers need.
+type File interface {
+	io.Writer
+	Truncate(size int64) error
+	Seek(offset int64, whence int) (int64, error)
+	Sync() error
+	Close() error
+	Name() string
+}
+
+// FS is the subset of package os the durability layer needs. All paths are
+// passed through verbatim; implementations must behave like the os functions
+// of the same name. SyncDir opens the directory and fsyncs it (best-effort
+// durability for renames and creates).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	ReadDir(dir string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	OpenFile(path string, flag int, perm os.FileMode) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Remove(name string) error
+	Rename(oldpath, newpath string) error
+	SyncDir(dir string) error
+}
+
+// osFS is the passthrough FS backed by package os.
+type osFS struct{}
+
+var osSingleton FS = osFS{}
+
+// OS returns the passthrough FS backed by the real filesystem.
+func OS() FS { return osSingleton }
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) ReadDir(dir string) ([]os.DirEntry, error)    { return os.ReadDir(dir) }
+func (osFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+
+func (osFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Fault kinds. "panic" is intended for the op "apply" (the monitor fan-out
+// boundary); injecting it into file ops is allowed but will crash callers
+// that do not recover.
+const (
+	KindEIO     = "eio"     // return EIO
+	KindENOSPC  = "enospc"  // return ENOSPC
+	KindShort   = "short"   // write half the bytes, then fail (torn write)
+	KindLatency = "latency" // sleep LatencyMS, then succeed
+	KindPanic   = "panic"   // panic (monitor apply boundary)
+)
+
+// Operation classes a rule can match. Empty Op matches all of them.
+const (
+	OpWrite    = "write"
+	OpSync     = "sync"
+	OpTruncate = "truncate"
+	OpSeek     = "seek"
+	OpClose    = "close"
+	OpOpen     = "open"
+	OpCreate   = "create"
+	OpRead     = "read"
+	OpReadDir  = "readdir"
+	OpMkdir    = "mkdir"
+	OpRemove   = "remove"
+	OpRename   = "rename"
+	OpSyncDir  = "syncdir"
+	OpApply    = "apply" // monitor fan-out boundary (window/monitor path)
+)
+
+// Rule describes one fault to inject. Zero Prob means "always fire when
+// matched" (deterministic); otherwise each match fires with probability Prob
+// using the injector's seeded generator. After skips the first After matches;
+// Count caps total firings (0 = unlimited). The zero ID is replaced with a
+// generated one on Set.
+type Rule struct {
+	ID        string  `json:"id"`
+	Op        string  `json:"op,omitempty"`   // operation class, "" = any
+	Path      string  `json:"path,omitempty"` // substring match on path, "" = any
+	Kind      string  `json:"kind"`           // eio | enospc | short | latency | panic
+	After     int64   `json:"after,omitempty"`
+	Count     int64   `json:"count,omitempty"`
+	Prob      float64 `json:"prob,omitempty"`
+	LatencyMS int64   `json:"latency_ms,omitempty"`
+}
+
+func (r Rule) validate() error {
+	switch r.Kind {
+	case KindEIO, KindENOSPC, KindShort, KindLatency, KindPanic:
+	default:
+		return fmt.Errorf("fault: unknown kind %q", r.Kind)
+	}
+	if r.Prob < 0 || r.Prob > 1 {
+		return fmt.Errorf("fault: prob %v out of [0,1]", r.Prob)
+	}
+	if r.Kind == KindLatency && r.LatencyMS <= 0 {
+		return errors.New("fault: latency rule needs latency_ms > 0")
+	}
+	return nil
+}
+
+// RuleStatus is a Rule plus its runtime counters, for GET /admin/fault.
+type RuleStatus struct {
+	Rule
+	Matched int64 `json:"matched"`
+	Fired   int64 `json:"fired"`
+}
+
+type liveRule struct {
+	Rule
+	matched int64
+	fired   int64
+}
+
+// Injector wraps a base FS and injects faults according to its rule set.
+// It implements FS itself, so it can be handed to wal.Options.FS directly.
+// All methods are safe for concurrent use; rules may be added, cleared, and
+// listed while the wrapped filesystem is in active use.
+type Injector struct {
+	base FS
+
+	mu    sync.Mutex
+	rules []*liveRule
+	rng   *rand.Rand
+	next  int64 // generated rule IDs
+	trips int64 // total faults fired
+}
+
+// NewInjector wraps base (nil = the real filesystem) with an empty rule set.
+// seed drives probabilistic rules; deterministic rules ignore it.
+func NewInjector(base FS, seed int64) *Injector {
+	if base == nil {
+		base = OS()
+	}
+	return &Injector{base: base, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set installs a rule (validated), replacing any rule with the same ID.
+// An empty ID gets a generated one. Returns the installed ID.
+func (in *Injector) Set(r Rule) (string, error) {
+	if err := r.validate(); err != nil {
+		return "", err
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if r.ID == "" {
+		in.next++
+		r.ID = fmt.Sprintf("rule-%d", in.next)
+	}
+	for i, lr := range in.rules {
+		if lr.ID == r.ID {
+			in.rules[i] = &liveRule{Rule: r}
+			return r.ID, nil
+		}
+	}
+	in.rules = append(in.rules, &liveRule{Rule: r})
+	return r.ID, nil
+}
+
+// Clear removes the rule with the given ID; reports whether it existed.
+func (in *Injector) Clear(id string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for i, lr := range in.rules {
+		if lr.ID == id {
+			in.rules = append(in.rules[:i], in.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Reset removes every rule.
+func (in *Injector) Reset() {
+	in.mu.Lock()
+	in.rules = nil
+	in.mu.Unlock()
+}
+
+// Rules returns a snapshot of the rule set with runtime counters.
+func (in *Injector) Rules() []RuleStatus {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]RuleStatus, 0, len(in.rules))
+	for _, lr := range in.rules {
+		out = append(out, RuleStatus{Rule: lr.Rule, Matched: lr.matched, Fired: lr.fired})
+	}
+	return out
+}
+
+// Trips returns the total number of faults fired since construction.
+func (in *Injector) Trips() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.trips
+}
+
+// SetRulesJSON replaces the rule set from a JSON array of rules.
+func (in *Injector) SetRulesJSON(data []byte) error {
+	var rules []Rule
+	if err := json.Unmarshal(data, &rules); err != nil {
+		return err
+	}
+	for _, r := range rules {
+		if err := r.validate(); err != nil {
+			return err
+		}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.rules = nil
+	for _, r := range rules {
+		if r.ID == "" {
+			in.next++
+			r.ID = fmt.Sprintf("rule-%d", in.next)
+		}
+		in.rules = append(in.rules, &liveRule{Rule: r})
+	}
+	return nil
+}
+
+// injected is the error wrapper for injected faults; errors.Is sees through
+// to the underlying syscall errno (EIO / ENOSPC).
+type injected struct {
+	op, path, kind string
+	errno          error
+}
+
+func (e *injected) Error() string {
+	return fmt.Sprintf("fault: injected %s on %s %q: %v", e.kind, e.op, e.path, e.errno)
+}
+
+func (e *injected) Unwrap() error { return e.errno }
+
+// IsInjected reports whether err originated from a fault injector.
+func IsInjected(err error) bool {
+	var inj *injected
+	return errors.As(err, &inj)
+}
+
+type verdict struct {
+	kind  string
+	sleep time.Duration
+	err   error
+}
+
+// eval matches (op, path) against the rule set and returns the fault to
+// apply, if any. Counters update under the injector lock; the sleep (for
+// latency rules) is returned to the caller so it happens outside the lock.
+func (in *Injector) eval(op, path string) *verdict {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, lr := range in.rules {
+		if lr.Op != "" && lr.Op != op {
+			continue
+		}
+		if lr.Path != "" && !contains(path, lr.Path) {
+			continue
+		}
+		lr.matched++
+		if lr.matched <= lr.After {
+			continue
+		}
+		if lr.Count > 0 && lr.fired >= lr.Count {
+			continue
+		}
+		if lr.Prob > 0 && in.rng.Float64() >= lr.Prob {
+			continue
+		}
+		lr.fired++
+		in.trips++
+		v := &verdict{kind: lr.Kind, sleep: time.Duration(lr.LatencyMS) * time.Millisecond}
+		switch lr.Kind {
+		case KindEIO, KindShort:
+			v.err = &injected{op: op, path: path, kind: lr.Kind, errno: syscall.EIO}
+		case KindENOSPC:
+			v.err = &injected{op: op, path: path, kind: lr.Kind, errno: syscall.ENOSPC}
+		}
+		return v
+	}
+	return nil
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// check evaluates (op, path) and returns the error to inject, sleeping for
+// latency rules and panicking for panic rules.
+func (in *Injector) check(op, path string) error {
+	v := in.eval(op, path)
+	if v == nil {
+		return nil
+	}
+	if v.sleep > 0 {
+		time.Sleep(v.sleep)
+	}
+	if v.kind == KindPanic {
+		panic(fmt.Sprintf("fault: injected panic on %s %q", op, path))
+	}
+	return v.err
+}
+
+// CheckApply evaluates the "apply" operation for the given path (typically
+// "window/monitor"). Panic rules panic; latency rules sleep; error kinds are
+// ignored at this boundary (the apply path has no error channel).
+func (in *Injector) CheckApply(path string) {
+	v := in.eval(OpApply, path)
+	if v == nil {
+		return
+	}
+	if v.sleep > 0 {
+		time.Sleep(v.sleep)
+	}
+	if v.kind == KindPanic {
+		panic(fmt.Sprintf("fault: injected panic on apply %q", path))
+	}
+}
+
+// FS implementation — every call consults the rule set first.
+
+func (in *Injector) MkdirAll(path string, perm os.FileMode) error {
+	if err := in.check(OpMkdir, path); err != nil {
+		return err
+	}
+	return in.base.MkdirAll(path, perm)
+}
+
+func (in *Injector) ReadDir(dir string) ([]os.DirEntry, error) {
+	if err := in.check(OpReadDir, dir); err != nil {
+		return nil, err
+	}
+	return in.base.ReadDir(dir)
+}
+
+func (in *Injector) ReadFile(path string) ([]byte, error) {
+	if err := in.check(OpRead, path); err != nil {
+		return nil, err
+	}
+	return in.base.ReadFile(path)
+}
+
+func (in *Injector) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if err := in.check(OpOpen, path); err != nil {
+		return nil, err
+	}
+	f, err := in.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{in: in, f: f, path: path}, nil
+}
+
+func (in *Injector) CreateTemp(dir, pattern string) (File, error) {
+	if err := in.check(OpCreate, dir); err != nil {
+		return nil, err
+	}
+	f, err := in.base.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &file{in: in, f: f, path: f.Name()}, nil
+}
+
+func (in *Injector) Remove(name string) error {
+	if err := in.check(OpRemove, name); err != nil {
+		return err
+	}
+	return in.base.Remove(name)
+}
+
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if err := in.check(OpRename, newpath); err != nil {
+		return err
+	}
+	return in.base.Rename(oldpath, newpath)
+}
+
+func (in *Injector) SyncDir(dir string) error {
+	if err := in.check(OpSyncDir, dir); err != nil {
+		return err
+	}
+	return in.base.SyncDir(dir)
+}
+
+// file wraps a File so per-operation faults apply to the open handle too.
+type file struct {
+	in   *Injector
+	f    File
+	path string
+}
+
+func (w *file) Name() string { return w.f.Name() }
+
+func (w *file) Write(p []byte) (int, error) {
+	v := w.in.eval(OpWrite, w.path)
+	if v != nil {
+		if v.sleep > 0 {
+			time.Sleep(v.sleep)
+		}
+		switch v.kind {
+		case KindPanic:
+			panic(fmt.Sprintf("fault: injected panic on write %q", w.path))
+		case KindShort:
+			// Torn write: half the payload lands, then the device errors.
+			// Exercises the caller's rollback/truncate path.
+			n, werr := w.f.Write(p[:len(p)/2])
+			if werr != nil {
+				return n, werr
+			}
+			return n, v.err
+		case KindLatency:
+			// sleep already applied; fall through to the real write
+		default:
+			return 0, v.err
+		}
+	}
+	return w.f.Write(p)
+}
+
+func (w *file) Truncate(size int64) error {
+	if err := w.in.check(OpTruncate, w.path); err != nil {
+		return err
+	}
+	return w.f.Truncate(size)
+}
+
+func (w *file) Seek(offset int64, whence int) (int64, error) {
+	if err := w.in.check(OpSeek, w.path); err != nil {
+		return 0, err
+	}
+	return w.f.Seek(offset, whence)
+}
+
+func (w *file) Sync() error {
+	if err := w.in.check(OpSync, w.path); err != nil {
+		return err
+	}
+	return w.f.Sync()
+}
+
+func (w *file) Close() error {
+	if err := w.in.check(OpClose, w.path); err != nil {
+		_ = w.f.Close() // release the real fd regardless
+		return err
+	}
+	return w.f.Close()
+}

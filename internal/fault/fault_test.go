@@ -1,0 +1,222 @@
+package fault
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOSPassthrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	if err := fs.MkdirAll(filepath.Join(dir, "a/b"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.OpenFile(filepath.Join(dir, "a/b/x"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.ReadFile(filepath.Join(dir, "a/b/x"))
+	if err != nil || string(b) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if err := fs.SyncDir(filepath.Join(dir, "a/b")); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(filepath.Join(dir, "a/b"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	if err := fs.Rename(filepath.Join(dir, "a/b/x"), filepath.Join(dir, "a/b/y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(filepath.Join(dir, "a/b/y")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectEIOOnWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 1)
+	if _, err := in.Set(Rule{Op: OpWrite, Kind: KindEIO, Path: "wal"}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := in.OpenFile(filepath.Join(dir, "wal.seg"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	_, err = f.Write([]byte("data"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("want EIO, got %v", err)
+	}
+	if !IsInjected(err) {
+		t.Fatalf("IsInjected(%v) = false", err)
+	}
+	// Non-matching path is untouched.
+	g, err := in.OpenFile(filepath.Join(dir, "other"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Close()
+}
+
+func TestAfterAndCount(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 1)
+	// Skip first 2 writes, then fail exactly 1.
+	if _, err := in.Set(Rule{Op: OpWrite, Kind: KindENOSPC, After: 2, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := in.OpenFile(filepath.Join(dir, "f"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var errs []error
+	for i := 0; i < 5; i++ {
+		_, werr := f.Write([]byte("x"))
+		errs = append(errs, werr)
+	}
+	for i, werr := range errs {
+		wantErr := i == 2
+		if (werr != nil) != wantErr {
+			t.Fatalf("write %d: err=%v, want fail=%v", i, werr, wantErr)
+		}
+	}
+	if !errors.Is(errs[2], syscall.ENOSPC) {
+		t.Fatalf("want ENOSPC, got %v", errs[2])
+	}
+	st := in.Rules()
+	if len(st) != 1 || st[0].Fired != 1 || st[0].Matched != 5 {
+		t.Fatalf("rule status = %+v", st)
+	}
+	if in.Trips() != 1 {
+		t.Fatalf("trips = %d", in.Trips())
+	}
+}
+
+func TestShortWrite(t *testing.T) {
+	dir := t.TempDir()
+	in := NewInjector(nil, 1)
+	if _, err := in.Set(Rule{Op: OpWrite, Kind: KindShort, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "f")
+	f, err := in.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, werr := f.Write([]byte("0123456789"))
+	if werr == nil || n != 5 {
+		t.Fatalf("short write: n=%d err=%v", n, werr)
+	}
+	_ = f.Close()
+	b, _ := os.ReadFile(path)
+	if string(b) != "01234" {
+		t.Fatalf("on disk: %q", b)
+	}
+}
+
+func TestClearAndReset(t *testing.T) {
+	in := NewInjector(nil, 1)
+	id, err := in.Set(Rule{Op: OpSync, Kind: KindEIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Clear(id) {
+		t.Fatal("Clear returned false")
+	}
+	if in.Clear(id) {
+		t.Fatal("double Clear returned true")
+	}
+	if _, err := in.Set(Rule{Kind: KindEIO}); err != nil {
+		t.Fatal(err)
+	}
+	in.Reset()
+	if len(in.Rules()) != 0 {
+		t.Fatal("Reset left rules behind")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	in := NewInjector(nil, 1)
+	if _, err := in.Set(Rule{Kind: "bogus"}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if _, err := in.Set(Rule{Kind: KindEIO, Prob: 1.5}); err == nil {
+		t.Fatal("prob > 1 accepted")
+	}
+	if _, err := in.Set(Rule{Kind: KindLatency}); err == nil {
+		t.Fatal("latency without latency_ms accepted")
+	}
+}
+
+func TestCheckApplyPanic(t *testing.T) {
+	in := NewInjector(nil, 1)
+	if _, err := in.Set(Rule{Op: OpApply, Path: "w1/conn", Kind: KindPanic}); err != nil {
+		t.Fatal(err)
+	}
+	in.CheckApply("w1/bipartite") // no match: must not panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CheckApply did not panic")
+		}
+	}()
+	in.CheckApply("w1/conn")
+}
+
+func TestProbabilisticDeterminism(t *testing.T) {
+	run := func() int64 {
+		in := NewInjector(nil, 42)
+		if _, err := in.Set(Rule{Op: OpApply, Kind: KindLatency, LatencyMS: 1, Prob: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			in.CheckApply("w")
+		}
+		return in.Trips()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 64 {
+		t.Fatalf("prob 0.5 fired %d/64 times", a)
+	}
+}
+
+func TestRulesJSONRoundTrip(t *testing.T) {
+	in := NewInjector(nil, 1)
+	if err := in.SetRulesJSON([]byte(`[{"op":"write","kind":"eio","path":"w1"},{"kind":"latency","latency_ms":5}]`)); err != nil {
+		t.Fatal(err)
+	}
+	st := in.Rules()
+	if len(st) != 2 {
+		t.Fatalf("rules = %+v", st)
+	}
+	if st[0].ID == "" || st[1].ID == "" {
+		t.Fatal("generated IDs missing")
+	}
+	if _, err := json.Marshal(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.SetRulesJSON([]byte(`[{"kind":"bogus"}]`)); err == nil {
+		t.Fatal("invalid rules accepted")
+	}
+}

@@ -110,15 +110,19 @@ func ForEachLimited(n int, l *Limiter, body func(i int)) {
 			body(i)
 		}
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	for spawned := 0; spawned < n-1 && l.TryAcquire(); spawned++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			defer l.Release()
-			work()
+			box.protect(work)
 		}()
 	}
-	work()
+	// Protect the caller's share too: unwinding before the join would leave
+	// borrowed workers iterating against a vanished caller frame.
+	box.protect(work)
 	wg.Wait()
+	box.rethrow()
 }

@@ -9,8 +9,11 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultGrain is the default number of loop iterations executed serially per
@@ -20,6 +23,64 @@ const DefaultGrain = 2048
 
 // Procs returns the current parallelism level.
 func Procs() int { return runtime.GOMAXPROCS(0) }
+
+// Panic wraps a panic recovered on a fork-join worker goroutine. Without
+// this, a panic on a spawned worker kills the whole process with no chance
+// for the caller to contain it (the stream layer quarantines the panicking
+// monitor instead). Every fork-join in this package captures the first
+// worker panic, completes the join — so no goroutine is left running against
+// a caller that has unwound — and then re-panics with a *Panic on the
+// calling goroutine. Sequential fast paths propagate the original value
+// unchanged; boundary recover()s must handle both.
+type Panic struct {
+	Value any    // the original panic value
+	Stack []byte // the panicking goroutine's stack at recovery time
+}
+
+func (p *Panic) String() string {
+	return fmt.Sprintf("panic on fork-join worker: %v\n%s", p.Value, p.Stack)
+}
+
+// Unwrap returns the original panic value, unwrapping nested *Panic layers
+// (a fork-join inside a fork-join re-wraps once per boundary).
+func (p *Panic) Unwrap() any {
+	v := p.Value
+	for {
+		inner, ok := v.(*Panic)
+		if !ok {
+			return v
+		}
+		v = inner.Value
+	}
+}
+
+// panicBox records the first panic of a fork-join (first-capture-wins; the
+// others are necessarily concurrent and carry no extra ordering meaning).
+type panicBox struct {
+	p atomic.Pointer[Panic]
+}
+
+// protect runs f, capturing a panic into the box instead of unwinding the
+// worker goroutine past the fork-join frame.
+func (b *panicBox) protect(f func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pv, ok := r.(*Panic); ok {
+				b.p.CompareAndSwap(nil, pv)
+				return
+			}
+			b.p.CompareAndSwap(nil, &Panic{Value: r, Stack: debug.Stack()})
+		}
+	}()
+	f()
+}
+
+// rethrow re-raises the captured panic, if any, after the join completed.
+func (b *panicBox) rethrow() {
+	if p := b.p.Load(); p != nil {
+		panic(p)
+	}
+}
 
 // For runs body(i) for every i in [0, n) with the default grain.
 func For(n int, body func(i int)) {
@@ -57,6 +118,7 @@ func BlockedFor(n, grain int, body func(lo, hi int)) {
 		blocks = max
 	}
 	chunk := (n + blocks - 1) / blocks
+	var box panicBox
 	var wg sync.WaitGroup
 	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
@@ -66,10 +128,11 @@ func BlockedFor(n, grain int, body func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
+			box.protect(func() { body(lo, hi) })
 		}(lo, hi)
 	}
 	wg.Wait()
+	box.rethrow()
 }
 
 // Do runs the given thunks in parallel (fork-join).
@@ -83,16 +146,20 @@ func Do(fns ...func()) {
 		}
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(len(fns) - 1)
 	for _, f := range fns[1:] {
 		go func(f func()) {
 			defer wg.Done()
-			f()
+			box.protect(f)
 		}(f)
 	}
-	fns[0]()
+	// The caller's own thunk is protected too: were it to unwind before
+	// wg.Wait, the spawned workers would race a stack that no longer exists.
+	box.protect(fns[0])
 	wg.Wait()
+	box.rethrow()
 }
 
 // ReduceInt64 reduces f(i) over [0, n) with +.
@@ -109,6 +176,7 @@ func ReduceInt64(n, grain int, f func(i int) int64) int64 {
 	}
 	partial := make([]int64, nb)
 	chunk := (n + nb - 1) / nb
+	var box panicBox
 	var wg sync.WaitGroup
 	for b := 0; b < nb; b++ {
 		lo := b * chunk
@@ -122,14 +190,17 @@ func ReduceInt64(n, grain int, f func(i int) int64) int64 {
 		wg.Add(1)
 		go func(b, lo, hi int) {
 			defer wg.Done()
-			var s int64
-			for i := lo; i < hi; i++ {
-				s += f(i)
-			}
-			partial[b] = s
+			box.protect(func() {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += f(i)
+				}
+				partial[b] = s
+			})
 		}(b, lo, hi)
 	}
 	wg.Wait()
+	box.rethrow()
 	var s int64
 	for _, v := range partial {
 		s += v

@@ -1,0 +1,564 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// faultRig is the shared harness of the fault-schedule differentials: a
+// durable registry whose disk I/O runs through a fault.Injector, next to
+// an uninterrupted in-memory reference manager fed identical batches.
+type faultRig struct {
+	t     *testing.T
+	clock *FakeClock
+	rng   *rand.Rand
+	dir   string
+	inj   *fault.Injector
+	cfg   RegistryConfig
+	ref   *WindowManager
+	reg   *WindowRegistry
+	svc   *Service
+}
+
+func newFaultRig(t *testing.T, mutate func(*PersistenceConfig)) *faultRig {
+	t.Helper()
+	const n = 48
+	r := &faultRig{
+		t:     t,
+		clock: NewFakeClock(time.Unix(1_700_000_000, 0)),
+		rng:   rand.New(rand.NewSource(42)),
+		dir:   t.TempDir(),
+		inj:   fault.NewInjector(nil, 1),
+	}
+	winCfg := WindowConfig{
+		N:           n,
+		Seed:        0xFEED,
+		Monitor:     MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3},
+		MaxArrivals: 250,
+		Clock:       r.clock,
+	}
+	pcfg := &PersistenceConfig{
+		Dir: r.dir, Fsync: FsyncOff, SegmentBytes: 1 << 10,
+		SnapshotThreshold: -1,
+		// An aggressive heal cadence so the degrade→heal round trip fits a
+		// unit test; production default is 250ms with backoff.
+		HealRetry: time.Millisecond,
+	}
+	if mutate != nil {
+		mutate(pcfg)
+	}
+	r.cfg = RegistryConfig{
+		Template: ServiceConfig{
+			Window: winCfg,
+			Ingest: IngesterConfig{MaxBatch: 1 << 16, MaxDelay: time.Hour, Clock: r.clock},
+		},
+		Persistence:   pcfg,
+		FaultInjector: r.inj,
+	}
+	var err error
+	if r.ref, err = NewWindowManager(winCfg); err != nil {
+		t.Fatal(err)
+	}
+	if r.reg, _, err = OpenRegistry(r.cfg); err != nil {
+		t.Fatal(err)
+	}
+	if r.svc, err = r.reg.Create("w", r.reg.Template()); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// step feeds one identical random batch to the reference manager and the
+// durable pipeline (one Submit+Flush = one applied batch).
+func (r *faultRig) step(svc *Service) {
+	r.t.Helper()
+	r.clock.Advance(time.Duration(r.rng.Intn(4000)) * time.Millisecond)
+	n := r.cfg.Template.Window.N
+	k := 1 + r.rng.Intn(24)
+	batch := make([]Edge, k)
+	for i := range batch {
+		u := int32(r.rng.Intn(n))
+		v := int32(r.rng.Intn(n))
+		for v == u {
+			v = int32(r.rng.Intn(n))
+		}
+		batch[i] = Edge{U: u, V: v, W: 1 + r.rng.Int63n(1<<10), T: r.clock.Now()}
+	}
+	r.ref.Apply(append([]Edge(nil), batch...))
+	if err := svc.Submit(batch); err != nil {
+		r.t.Fatal(err)
+	}
+	svc.Flush()
+}
+
+func (r *faultRig) compare(tag string, wm *WindowManager) {
+	r.t.Helper()
+	n := r.cfg.Template.Window.N
+	pairs := make([][2]int32, 300)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(r.rng.Intn(n)), int32(r.rng.Intn(n))}
+	}
+	now := r.clock.Now()
+	r.ref.ExpireByAge(now)
+	wm.ExpireByAge(now)
+	diffAnswers(r.t, tag, answersOf(r.t, r.ref, pairs), answersOf(r.t, wm, pairs))
+}
+
+// durableSubmit runs a sync-ack submission to completion. Durable acks are
+// delivered by the flush that covers the submission, and this harness uses
+// a frozen FakeClock with MaxDelay=1h — no flush ever fires on its own —
+// so the waiter runs in a goroutine while we drive Flush until it acks.
+func (r *faultRig) durableSubmit(edges []Edge) error {
+	r.t.Helper()
+	ch := make(chan error, 1)
+	go func() { ch <- r.svc.submitOwnedDurable(context.Background(), edges) }()
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		r.svc.Flush()
+		select {
+		case err := <-ch:
+			return err
+		case <-time.After(2 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			r.t.Fatal("durable submit never acked")
+		}
+	}
+}
+
+// waitNotDegraded polls the live degraded set until the self-heal loop
+// declares the window healthy again.
+func (r *faultRig) waitNotDegraded() {
+	r.t.Helper()
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(2 * time.Millisecond) {
+		if len(r.reg.DegradedWindows()) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			ps, _ := r.reg.PersistenceStats()
+			r.t.Fatalf("window still degraded after 10s: %+v", ps)
+		}
+	}
+}
+
+// degradeUnderRules streams batches with the given fault rules armed until
+// the window enters the degraded state (or the step budget runs out).
+func (r *faultRig) degradeUnderRules(rules ...fault.Rule) {
+	r.t.Helper()
+	for _, rule := range rules {
+		if _, err := r.inj.Set(rule); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		r.step(r.svc)
+		if len(r.reg.DegradedWindows()) > 0 {
+			return
+		}
+	}
+	r.t.Fatalf("window never degraded under rules %+v", rules)
+}
+
+// TestWALOutageDegradeHealDifferential is the tentpole's acceptance test:
+// a WAL append outage mid-stream must flip the window into the degraded
+// state (sync-ack submissions fail with ErrWindowDegraded instead of lying,
+// async ingest keeps flowing), the self-heal loop must re-arm the log and
+// close the un-logged gap with a forced snapshot once the fault clears, and
+// a subsequent kill-and-recover must answer every monitor query identically
+// to the uninterrupted reference — the outage left no durability hole.
+func TestWALOutageDegradeHealDifferential(t *testing.T) {
+	r := newFaultRig(t, nil)
+	for i := 0; i < 40; i++ {
+		r.step(r.svc)
+	}
+
+	// Outage: every WAL segment write AND snapshot-temp write fails with
+	// EIO. Blocking only .seg would let the heal loop close the gap
+	// immediately through a forced snapshot (by design — the heal path
+	// avoids the broken log); a full write outage holds the window
+	// degraded until the fault actually clears.
+	r.degradeUnderRules(
+		fault.Rule{ID: "outage-seg", Op: fault.OpWrite, Path: ".seg", Kind: fault.KindEIO},
+		fault.Rule{ID: "outage-snap", Op: fault.OpWrite, Path: ".snap-tmp-", Kind: fault.KindEIO},
+	)
+
+	// Degraded is a served state: async ingest continues...
+	for i := 0; i < 20; i++ {
+		r.step(r.svc)
+	}
+	// ...but a durable ack would be a lie, so sync submissions fail loudly.
+	// (The edges are still accepted and applied — only the receipt fails.)
+	if err := r.durableSubmit([]Edge{{U: 1, V: 2, W: 3, T: r.clock.Now()}}); !errors.Is(err, ErrWindowDegraded) {
+		t.Fatalf("sync-ack submit while degraded: err=%v, want ErrWindowDegraded", err)
+	}
+	ps, _ := r.reg.PersistenceStats()
+	if ps.DegradedWindows != 1 || ps.GapEdges == 0 || ps.AppendErrors == 0 {
+		t.Fatalf("degraded stats: %+v", ps)
+	}
+	// The window itself still answers queries (availability over durability).
+	if _, err := r.svc.Window().NumComponents(); err != nil {
+		t.Fatalf("query while degraded: %v", err)
+	}
+
+	// Fault clears; the heal loop re-arms the log and closes the gap.
+	r.inj.Reset()
+	r.waitNotDegraded()
+	ps, _ = r.reg.PersistenceStats()
+	if ps.WALHeals == 0 || ps.GapEdges != 0 {
+		t.Fatalf("healed stats: %+v", ps)
+	}
+	if err := r.durableSubmit([]Edge{{U: 3, V: 4, W: 5, T: r.clock.Now()}}); err != nil {
+		t.Fatalf("sync-ack submit after heal: %v", err)
+	}
+	r.ref.Apply([]Edge{{U: 1, V: 2, W: 3, T: r.clock.Now()}, {U: 3, V: 4, W: 5, T: r.clock.Now()}})
+
+	// Post-heal streaming appends to the healed log.
+	for i := 0; i < 20; i++ {
+		r.step(r.svc)
+	}
+
+	// KILL: abandon the registry and recover from disk. The degraded
+	// interval's arrivals must be present (covered by the heal's forced
+	// snapshot), not silently missing.
+	reg2, rep, err := OpenRegistry(r.cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer reg2.Close()
+	if rep.Windows != 1 || rep.DegradedAtCrash != 0 || rep.LostEdges != 0 {
+		t.Fatalf("recovery report %+v", rep)
+	}
+	if rep.Snapshots != 1 {
+		t.Fatalf("recovery did not seed from the heal's forced snapshot: %+v", rep)
+	}
+	svc2, _ := reg2.Get("w")
+	r.compare("post-outage recovery", svc2.Window())
+
+	for i := 0; i < 20; i++ {
+		r.step(svc2)
+	}
+	r.compare("post-outage recovery stream", svc2.Window())
+}
+
+// TestENOSPCDuringRotationDegradesAndHeals injects ENOSPC at segment
+// rotation (opening the next *.seg file) — the disk-full shape — and pins
+// the same degrade → heal → recover-clean contract.
+func TestENOSPCDuringRotationDegradesAndHeals(t *testing.T) {
+	r := newFaultRig(t, nil)
+	for i := 0; i < 10; i++ {
+		r.step(r.svc)
+	}
+	// The currently-open segment keeps working; the fault lands on the
+	// next rotation's segment open. The degraded interval can be too
+	// short to observe — the heal loop may re-arm the log without a new
+	// open and flip the window back to healthy between polls — so the
+	// cumulative counters are the witness that degrade→heal happened.
+	if _, err := r.inj.Set(fault.Rule{ID: "full", Op: fault.OpOpen, Path: ".seg", Kind: fault.KindENOSPC}); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	for i := 0; i < 64 && !fired; i++ {
+		r.step(r.svc)
+		ps, _ := r.reg.PersistenceStats()
+		fired = ps.AppendErrors > 0
+	}
+	if !fired {
+		t.Fatal("segment rotation never hit the ENOSPC rule")
+	}
+	r.inj.Reset()
+	r.waitNotDegraded()
+	if ps, _ := r.reg.PersistenceStats(); ps.WALHeals == 0 {
+		t.Fatalf("rotation failure degraded the window but no heal was recorded: %+v", ps)
+	}
+
+	for i := 0; i < 10; i++ {
+		r.step(r.svc)
+	}
+	reg2, rep, err := OpenRegistry(r.cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer reg2.Close()
+	if rep.DegradedAtCrash != 0 || rep.LostEdges != 0 {
+		t.Fatalf("recovery report %+v", rep)
+	}
+	svc2, _ := reg2.Get("w")
+	r.compare("post-enospc recovery", svc2.Window())
+}
+
+// TestSnapshotFsyncFailureFailsCheckpointLoudly injects an fsync failure
+// into the snapshot commit path: the checkpoint must fail (and count a
+// consecutive-failure streak for the loop's backoff), no *.snap file may
+// appear, and once the fault clears a checkpoint must succeed and reset
+// the streak — with recovery still answering identically.
+func TestSnapshotFsyncFailureFailsCheckpointLoudly(t *testing.T) {
+	r := newFaultRig(t, func(p *PersistenceConfig) {
+		p.SnapshotThreshold = 1 // every checkpoint wants a snapshot
+	})
+	for i := 0; i < 30; i++ {
+		r.step(r.svc)
+	}
+	if _, err := r.inj.Set(fault.Rule{
+		ID: "snapsync", Op: fault.OpSync, Path: ".snap-tmp-", Kind: fault.KindEIO,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.reg.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded with snapshot fsync failing")
+	}
+	ps, _ := r.reg.PersistenceStats()
+	if ps.CheckpointFailStreak == 0 || ps.CheckpointErrors == 0 {
+		t.Fatalf("checkpoint failure not counted: %+v", ps)
+	}
+	if got := countSnapshots(t, r.dir+"/windows/w"); got != 0 {
+		t.Fatalf("%d snapshot files committed despite fsync failure", got)
+	}
+	if len(r.reg.DegradedWindows()) != 0 {
+		t.Fatal("snapshot failure must not degrade the window (the WAL is intact)")
+	}
+
+	r.inj.Reset()
+	if _, err := r.reg.Checkpoint(); err != nil {
+		t.Fatalf("checkpoint after fault cleared: %v", err)
+	}
+	ps, _ = r.reg.PersistenceStats()
+	if ps.CheckpointFailStreak != 0 {
+		t.Fatalf("fail streak not reset: %+v", ps)
+	}
+	if got := countSnapshots(t, r.dir+"/windows/w"); got != 1 {
+		t.Fatalf("%d snapshot files after recovered checkpoint, want 1", got)
+	}
+
+	reg2, _, err := OpenRegistry(r.cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer reg2.Close()
+	svc2, _ := reg2.Get("w")
+	r.compare("post-snapshot-failure recovery", svc2.Window())
+}
+
+// TestKillWhileDegradedIsLoud pins the correct-or-loud contract for the
+// one unavoidable hole: a crash while still degraded loses the un-logged
+// arrivals, and recovery must SAY so — DegradedAtCrash and LostEdges in
+// the report — rather than silently serving a shorter window.
+func TestKillWhileDegradedIsLoud(t *testing.T) {
+	r := newFaultRig(t, nil)
+	for i := 0; i < 20; i++ {
+		r.step(r.svc)
+	}
+	r.degradeUnderRules(
+		fault.Rule{ID: "outage-seg", Op: fault.OpWrite, Path: ".seg", Kind: fault.KindEIO},
+		fault.Rule{ID: "outage-snap", Op: fault.OpWrite, Path: ".snap-tmp-", Kind: fault.KindEIO},
+	)
+	for i := 0; i < 10; i++ {
+		r.step(r.svc)
+	}
+	// Persist the degraded marker the way a live server would (checkpoint
+	// runs on a ticker). The checkpoint surfaces the sticky append error —
+	// acknowledged data is missing from the log — but still writes the
+	// manifest, Degraded marker included.
+	if _, err := r.reg.Checkpoint(); err == nil {
+		t.Fatal("checkpoint while degraded must surface the append failure")
+	}
+
+	// KILL while degraded: the gap is unrecoverable and must be loud.
+	r.inj.Reset()
+	reg2, rep, err := OpenRegistry(r.cfg)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer reg2.Close()
+	if rep.DegradedAtCrash != 1 || rep.LostEdges == 0 {
+		t.Fatalf("recovery after degraded crash must be loud, got %+v", rep)
+	}
+	// The recovered window serves (shorter, but consistent) queries.
+	svc2, _ := reg2.Get("w")
+	if _, err := svc2.Window().NumComponents(); err != nil {
+		t.Fatalf("query after loud recovery: %v", err)
+	}
+	if len(reg2.DegradedWindows()) != 0 {
+		t.Fatal("recovered window must start healthy (the lost gap is already accounted)")
+	}
+}
+
+// TestApplyPanicQuarantineIsolation pins the quarantine fault domain with
+// no rebuild escape hatch: an unbounded window retains no live edges, so a
+// panicking monitor is quarantined permanently — its queries fail with
+// ErrMonitorQuarantined, every sibling monitor of the same window and every
+// other window keeps answering, and the quarantine is machine-readable in
+// the query summary.
+func TestApplyPanicQuarantineIsolation(t *testing.T) {
+	inj := fault.NewInjector(nil, 1)
+	reg := NewRegistry(RegistryConfig{
+		FaultInjector: inj,
+		Template: ServiceConfig{
+			Window: WindowConfig{N: 32, Seed: 7, Monitor: MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3}},
+			Ingest: IngesterConfig{MaxBatch: 1 << 16, MaxDelay: time.Hour},
+		},
+	})
+	defer reg.Close()
+	w1, err := reg.Create("w1", reg.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := reg.Create("w2", reg.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.Set(fault.Rule{
+		ID: "boom", Op: fault.OpApply, Path: "w1/" + MonitorConn, Kind: fault.KindPanic, Count: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batch := []Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 7}, {U: 3, V: 4, W: 9}}
+	for _, svc := range []*Service{w1, w2} {
+		if err := svc.Submit(append([]Edge(nil), batch...)); err != nil {
+			t.Fatal(err)
+		}
+		svc.Flush()
+	}
+	if inj.Trips() == 0 {
+		t.Fatal("apply panic rule never fired")
+	}
+
+	// The victim monitor is quarantined; with no retention the rebuild must
+	// fail fast and mark it permanent rather than retry forever.
+	var q []QuarantineInfo
+	for deadline := time.Now().Add(5 * time.Second); ; time.Sleep(2 * time.Millisecond) {
+		q = w1.Window().Quarantined()
+		if len(q) == 1 && q[0].Permanent {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("quarantine not permanent after 5s: %+v", q)
+		}
+	}
+	if q[0].Monitor != MonitorConn || q[0].Reason == "" || q[0].RebuildErr == "" {
+		t.Fatalf("quarantine record: %+v", q[0])
+	}
+
+	// Quarantined monitor: 503-shaped error, machine-readable.
+	if _, err := w1.Window().IsConnected(0, 1); !errors.Is(err, ErrMonitorQuarantined) {
+		t.Fatalf("IsConnected on quarantined monitor: err=%v, want ErrMonitorQuarantined", err)
+	}
+	// Sibling monitors of the same window keep answering.
+	if b, err := w1.Window().IsBipartite(); err != nil || !b {
+		t.Fatalf("bipartite on w1 = %v, %v; the batch is a forest, want true", b, err)
+	}
+	if _, err := w1.Window().MSFWeight(); err != nil {
+		t.Fatalf("msfweight on w1: %v", err)
+	}
+	if _, err := w1.Window().HasCycle(); err != nil {
+		t.Fatalf("cycle on w1: %v", err)
+	}
+	// The consistent summary serves what it can and names the hole.
+	sum := w1.Window().QuerySummary()
+	if len(sum.Quarantined) != 1 || sum.Quarantined[0] != MonitorConn {
+		t.Fatalf("summary quarantined list: %+v", sum.Quarantined)
+	}
+	// The other window is a separate fault domain: fully healthy.
+	if len(w2.Window().Quarantined()) != 0 {
+		t.Fatal("w2 caught w1's quarantine")
+	}
+	if conn, err := w2.Window().IsConnected(0, 2); err != nil || !conn {
+		t.Fatalf("w2 IsConnected(0,2) = %v, %v; want true", conn, err)
+	}
+}
+
+// TestApplyPanicRebuildRestores pins the self-healing half of quarantine:
+// with live-edge retention, the background rebuild replays the window's
+// unexpired suffix into a fresh monitor and swaps it in — queries return
+// and answer exactly like an uninterrupted reference, no restart needed.
+func TestApplyPanicRebuildRestores(t *testing.T) {
+	const n = 48
+	inj := fault.NewInjector(nil, 1)
+	clock := NewFakeClock(time.Unix(1_700_000_000, 0))
+	// Live-edge retention needs time-based expiry (or a durability layer);
+	// a frozen clock with a wide MaxAge keeps every arrival rebuildable.
+	winCfg := WindowConfig{
+		N: n, Seed: 0xFEED,
+		Monitor: MonitorConfig{Eps: 0.25, MaxWeight: 1 << 10, K: 3},
+		MaxAge:  time.Hour,
+		Clock:   clock,
+	}
+	reg := NewRegistry(RegistryConfig{
+		FaultInjector: inj,
+		Template: ServiceConfig{
+			Window: winCfg,
+			Ingest: IngesterConfig{MaxBatch: 1 << 16, MaxDelay: time.Hour, Clock: clock},
+		},
+	})
+	defer reg.Close()
+	svc, err := reg.Create("w", reg.Template())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewWindowManager(winCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	step := func() {
+		k := 1 + rng.Intn(24)
+		batch := make([]Edge, k)
+		for i := range batch {
+			u := int32(rng.Intn(n))
+			v := int32(rng.Intn(n))
+			for v == u {
+				v = int32(rng.Intn(n))
+			}
+			batch[i] = Edge{U: u, V: v, W: 1 + rng.Int63n(1<<10), T: clock.Now()}
+		}
+		ref.Apply(append([]Edge(nil), batch...))
+		if err := svc.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		svc.Flush()
+	}
+
+	for i := 0; i < 15; i++ {
+		step()
+	}
+	if _, err := inj.Set(fault.Rule{
+		ID: "boom", Op: fault.OpApply, Path: "w/" + MonitorMSFWeight, Kind: fault.KindPanic, Count: 1,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// This batch panics msfweight's apply; the fan-out quarantines it and
+	// keeps applying to the other four monitors.
+	step()
+	if inj.Trips() == 0 {
+		t.Fatal("apply panic rule never fired")
+	}
+	// Stream on while the rebuild races the writer: the rebuild's catch-up
+	// rounds must converge regardless.
+	for i := 0; i < 15; i++ {
+		step()
+	}
+	for deadline := time.Now().Add(10 * time.Second); ; time.Sleep(2 * time.Millisecond) {
+		if len(svc.Window().Quarantined()) == 0 {
+			break
+		}
+		svc.Window().kickRebuilds()
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor still quarantined after 10s: %+v", svc.Window().Quarantined())
+		}
+	}
+
+	pairs := make([][2]int32, 200)
+	for i := range pairs {
+		pairs[i] = [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+	}
+	diffAnswers(t, "post-rebuild", answersOf(t, ref, pairs), answersOf(t, svc.Window(), pairs))
+
+	// And the window stays live: more stream, still reference-equal.
+	for i := 0; i < 10; i++ {
+		step()
+	}
+	diffAnswers(t, "post-rebuild stream", answersOf(t, ref, pairs), answersOf(t, svc.Window(), pairs))
+}

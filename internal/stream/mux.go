@@ -2,8 +2,11 @@ package stream
 
 import (
 	"context"
+	"fmt"
+	"runtime/debug"
 	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/parallel"
@@ -38,14 +41,61 @@ type Multiplexer struct {
 	slots      []*monitorSlot
 	byName     map[string]*monitorSlot
 	sequential bool
+
+	// Construction parameters, retained so a quarantined monitor can be
+	// rebuilt bit-identically (same defaulted config, same per-slot seed).
+	n       int
+	cfg     MonitorConfig
+	workers *parallel.Limiter
+
+	// applyCheck, when set, runs at the top of every per-monitor apply —
+	// the fault injector's hook for inducing panics and latency at the
+	// fan-out boundary ("op":"apply", path "window/monitor").
+	applyCheck func(monitor string)
+
+	// onQuarantine, when set, fires once per new quarantine (metrics +
+	// structured log wiring; runs on the panicking fan-out goroutine).
+	onQuarantine func(q *QuarantineInfo)
+
+	// quarTotal counts slots currently quarantined; the post-apply rebuild
+	// scan is gated on it so the healthy hot path pays one atomic load.
+	quarTotal atomic.Int32
+}
+
+// QuarantineInfo describes one quarantined monitor: why it was isolated and
+// whether a rebuild can bring it back. Served machine-readably on 503s and
+// in /stats.
+type QuarantineInfo struct {
+	Monitor string    `json:"monitor"`
+	Reason  string    `json:"reason"`
+	Stack   string    `json:"stack,omitempty"`
+	At      time.Time `json:"at"`
+	// Permanent means no rebuild is possible (the window retains no live
+	// edges to rebuild from, or the rebuild itself failed); only a process
+	// restart recovers the monitor.
+	Permanent  bool   `json:"permanent,omitempty"`
+	RebuildErr string `json:"rebuild_error,omitempty"`
 }
 
 // monitorSlot is one monitor plus its lock and apply accounting.
 type monitorSlot struct {
 	mon    Monitor
+	name   string
 	idx    int // fan-out position; the span Arg monitor-scoped spans carry
+	seed   uint64
 	mu     sync.RWMutex
 	labels pprof.LabelSet
+
+	// quar is non-nil while the monitor is quarantined: an apply panicked
+	// mid-mutation, so the structure may be arbitrarily corrupt. Applies
+	// skip the slot, queries 503, and a background rebuild replaces the
+	// monitor wholesale. Written under s.mu (write lock); a reader that
+	// observes quar == nil under its read lock is therefore guaranteed a
+	// monitor no panic has touched.
+	quar atomic.Pointer[QuarantineInfo]
+
+	// rebuilding guards the one-rebuild-at-a-time CAS for this slot.
+	rebuilding atomic.Bool
 
 	// Per-slot apply/wait histograms (nanoseconds). Written only by the
 	// single writer's fan-out (one Apply at a time), read by Stats
@@ -106,20 +156,45 @@ func NewMultiplexer(names []string, n int, cfg MonitorConfig, seed uint64, seque
 		names = AllMonitors()
 	}
 	cfg = cfg.withDefaults()
-	m := &Multiplexer{byName: make(map[string]*monitorSlot, len(names)), sequential: sequential}
+	m := &Multiplexer{
+		byName:     make(map[string]*monitorSlot, len(names)),
+		sequential: sequential,
+		n:          n,
+		cfg:        cfg,
+		workers:    workers,
+	}
 	for i, name := range names {
 		if _, dup := m.byName[name]; dup {
 			continue
 		}
-		mon, err := newMonitor(name, n, cfg, seed+uint64(i)*0x9e3779b97f4a7c15+1, workers)
+		monSeed := seed + uint64(i)*0x9e3779b97f4a7c15 + 1
+		mon, err := newMonitor(name, n, cfg, monSeed, workers)
 		if err != nil {
 			return nil, err
 		}
-		s := &monitorSlot{mon: mon, idx: len(m.slots), labels: pprof.Labels("monitor", name)}
+		s := &monitorSlot{mon: mon, name: name, idx: len(m.slots), seed: monSeed, labels: pprof.Labels("monitor", name)}
 		m.slots = append(m.slots, s)
 		m.byName[name] = s
 	}
 	return m, nil
+}
+
+// setApplyCheck installs the fault-injection hook run at the top of every
+// per-monitor apply. Called during wiring, before the window is published.
+func (m *Multiplexer) setApplyCheck(fn func(monitor string)) { m.applyCheck = fn }
+
+// setOnQuarantine installs the new-quarantine callback. Called during
+// wiring, before the window is published.
+func (m *Multiplexer) setOnQuarantine(fn func(q *QuarantineInfo)) { m.onQuarantine = fn }
+
+// describePanic extracts a reason and stack from a recovered panic value,
+// unwrapping the fork-join capture wrapper when the panic crossed a
+// parallel boundary (msfweight's per-level workers).
+func describePanic(r any) (reason, stack string) {
+	if p, ok := r.(*parallel.Panic); ok {
+		return fmt.Sprint(p.Unwrap()), string(p.Stack)
+	}
+	return fmt.Sprint(r), string(debug.Stack())
 }
 
 // setTelemetry points each slot at the process-wide per-monitor histograms
@@ -152,16 +227,45 @@ func (m *Multiplexer) Apply(edges []Edge, delta int, traceID uint64) fanoutRepor
 		return fanoutReport{}
 	}
 	one := func(s *monitorSlot) {
+		if s.quar.Load() != nil {
+			// Quarantined: the structure is corrupt; feeding it more ops
+			// would only deepen the damage. The rebuild catches this slot
+			// up from the live ring afterwards.
+			s.lastWaitNS, s.lastApplyNS = 0, 0
+			return
+		}
 		pprof.Do(context.Background(), s.labels, func(context.Context) {
 			t0 := time.Now()
 			s.mu.Lock()
 			t1 := time.Now()
-			if len(edges) > 0 {
-				s.mon.BatchInsert(edges)
-			}
-			if delta > 0 {
-				s.mon.BatchExpire(delta)
-			}
+			// The mutation runs inside its own frame so a panic anywhere in
+			// the monitor (internal/sw and internal/rctree panic liberally
+			// on invariant violations) is converted into a quarantine while
+			// the write lock is STILL HELD — the quarantine marker is
+			// published before any reader can acquire the lock and observe
+			// the half-mutated structure.
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						reason, stack := describePanic(r)
+						q := &QuarantineInfo{Monitor: s.name, Reason: reason, Stack: stack, At: time.Now()}
+						s.quar.Store(q)
+						m.quarTotal.Add(1)
+						if m.onQuarantine != nil {
+							m.onQuarantine(q)
+						}
+					}
+				}()
+				if m.applyCheck != nil {
+					m.applyCheck(s.name)
+				}
+				if len(edges) > 0 {
+					s.mon.BatchInsert(edges)
+				}
+				if delta > 0 {
+					s.mon.BatchExpire(delta)
+				}
+			}()
 			t2 := time.Now()
 			s.mu.Unlock()
 			s.lastWaitNS = t1.Sub(t0).Nanoseconds()
@@ -198,36 +302,125 @@ func (m *Multiplexer) Apply(edges []Edge, delta int, traceID uint64) fanoutRepor
 }
 
 // withRead runs fn on the named monitor under that monitor's read lock,
-// reporting whether the monitor is configured. fn runs concurrently with
-// other readers and with applies to OTHER monitors; it waits out only an
-// in-flight apply to this one.
-func (m *Multiplexer) withRead(name string, fn func(Monitor)) bool {
+// reporting whether the monitor is configured (ok) and, when it is, whether
+// it is currently quarantined (q != nil — fn did NOT run). The quarantine
+// check happens under the read lock: a quarantine is published while the
+// apply still holds the write lock, so a reader that sees q == nil holds a
+// monitor no panic has touched. fn runs concurrently with other readers and
+// with applies to OTHER monitors; it waits out only an in-flight apply to
+// this one.
+func (m *Multiplexer) withRead(name string, fn func(Monitor)) (q *QuarantineInfo, ok bool) {
 	s := m.byName[name]
 	if s == nil {
-		return false
+		return nil, false
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if q := s.quar.Load(); q != nil {
+		return q, true
+	}
 	fn(s.mon)
-	return true
+	return nil, true
 }
 
 // withReadTimed is withRead plus query-span timing: it reports the
 // monitor's fan-out index, how long fn waited for the read lock (the
 // time an in-flight apply held it out) and how long fn ran. Three extra
 // clock reads; the untraced query path keeps using withRead.
-func (m *Multiplexer) withReadTimed(name string, fn func(Monitor)) (idx int, waitNS, execNS int64, ok bool) {
+func (m *Multiplexer) withReadTimed(name string, fn func(Monitor)) (idx int, waitNS, execNS int64, q *QuarantineInfo, ok bool) {
 	s := m.byName[name]
 	if s == nil {
-		return 0, 0, 0, false
+		return 0, 0, 0, nil, false
 	}
 	t0 := time.Now()
 	s.mu.RLock()
 	t1 := time.Now()
+	if q := s.quar.Load(); q != nil {
+		s.mu.RUnlock()
+		return s.idx, t1.Sub(t0).Nanoseconds(), 0, q, true
+	}
 	fn(s.mon)
 	execNS = time.Since(t1).Nanoseconds()
 	s.mu.RUnlock()
-	return s.idx, t1.Sub(t0).Nanoseconds(), execNS, true
+	return s.idx, t1.Sub(t0).Nanoseconds(), execNS, nil, true
+}
+
+// quarantined returns the named monitor's quarantine record, or nil.
+func (m *Multiplexer) quarantined(name string) *QuarantineInfo {
+	if s := m.byName[name]; s != nil {
+		return s.quar.Load()
+	}
+	return nil
+}
+
+// anyQuarantined reports whether any slot is quarantined — one atomic load,
+// cheap enough for the post-apply hot path.
+func (m *Multiplexer) anyQuarantined() bool { return m.quarTotal.Load() > 0 }
+
+// Quarantined snapshots every quarantined monitor's record, in fan-out
+// order. Empty on a healthy multiplexer.
+func (m *Multiplexer) Quarantined() []QuarantineInfo {
+	if m.quarTotal.Load() == 0 {
+		return nil
+	}
+	var out []QuarantineInfo
+	for _, s := range m.slots {
+		if q := s.quar.Load(); q != nil {
+			out = append(out, *q)
+		}
+	}
+	return out
+}
+
+// claimRebuilds returns the quarantined, non-permanent slots this caller
+// just won the right to rebuild (rebuilding CAS false→true). The caller
+// must finish each claim with swapMonitor or failRebuild.
+func (m *Multiplexer) claimRebuilds() []*monitorSlot {
+	if m.quarTotal.Load() == 0 {
+		return nil
+	}
+	var out []*monitorSlot
+	for _, s := range m.slots {
+		q := s.quar.Load()
+		if q == nil || q.Permanent {
+			continue
+		}
+		if s.rebuilding.CompareAndSwap(false, true) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// rebuildMonitor constructs a replacement monitor for the slot with the
+// slot's original seed and the multiplexer's retained (defaulted) config —
+// the replacement is distribution-identical to the original at birth.
+func (m *Multiplexer) rebuildMonitor(s *monitorSlot) (Monitor, error) {
+	return newMonitor(s.name, m.n, m.cfg, s.seed, m.workers)
+}
+
+// swapMonitor installs the rebuilt monitor and lifts the quarantine. The
+// swap happens under the slot's write lock, so readers move atomically from
+// "503 quarantined" to the healthy replacement.
+func (m *Multiplexer) swapMonitor(s *monitorSlot, mon Monitor) {
+	s.mu.Lock()
+	s.mon = mon
+	s.quar.Store(nil)
+	s.mu.Unlock()
+	m.quarTotal.Add(-1)
+	s.rebuilding.Store(false)
+}
+
+// failRebuild marks a claimed rebuild as permanently failed; the quarantine
+// stays, annotated with why no further rebuilds will be attempted.
+func (m *Multiplexer) failRebuild(s *monitorSlot, reason string) {
+	if q := s.quar.Load(); q != nil {
+		qq := *q
+		qq.Permanent = true
+		qq.RebuildErr = reason
+		s.quar.Store(&qq)
+	}
+	s.rebuilding.Store(false)
 }
 
 // forEachLastTiming reads every slot's last-op lock wait and hold. Only

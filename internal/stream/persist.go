@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -20,6 +21,15 @@ import (
 // ErrNotPersistent is returned by Checkpoint on a registry without a
 // durability layer.
 var ErrNotPersistent = errors.New("stream: registry has no persistence")
+
+// ErrWindowDegraded marks a window whose WAL lost its append path: edges
+// are still accepted and applied (availability over durability) but are NOT
+// reaching the log. Sync-ack submissions fail with it (503 upstream)
+// instead of lying about durability; async ingest keeps flowing. The
+// self-heal loop clears it only after the log is writable again AND a
+// forced live-edge snapshot has closed the un-logged gap — recovery
+// correctness restored, not just append success.
+var ErrWindowDegraded = errors.New("stream: window WAL degraded (appends not durable)")
 
 // FsyncPolicy names a WAL fsync policy on the wire and the command line.
 type FsyncPolicy string
@@ -91,6 +101,23 @@ type PersistenceConfig struct {
 	// one mega-batch apply and replays only the records after it. Default
 	// 1M arrivals (0 selects it); negative disables snapshot writing.
 	SnapshotThreshold int
+	// HealRetry is the initial delay between self-heal attempts on a
+	// degraded window's WAL (default 250ms); the delay doubles per failed
+	// attempt, capped at 32× the initial value. Tests shrink it.
+	HealRetry time.Duration
+
+	// fs routes every durability-layer disk operation (WAL segments,
+	// snapshots, manifest, heal probes); nil selects the real filesystem.
+	// The registry injects its fault.Injector here so chaos tests and
+	// swload outage schedules exercise the degrade→heal machinery.
+	fs fault.FS
+}
+
+func (c PersistenceConfig) healRetry() time.Duration {
+	if c.HealRetry > 0 {
+		return c.HealRetry
+	}
+	return 250 * time.Millisecond
 }
 
 // snapshotThreshold resolves the configured threshold: -1 disabled,
@@ -125,17 +152,30 @@ type PersistenceStats struct {
 	CheckpointErrors int64  `json:"checkpoint_errors"`
 	AppendErrors     int64  `json:"append_errors"`
 	LastError        string `json:"last_error,omitempty"`
+	// DegradedWindows counts windows currently serving without a working
+	// WAL; GapEdges is the total arrivals they accepted un-logged so far.
+	DegradedWindows int      `json:"degraded_windows"`
+	Degraded        []string `json:"degraded,omitempty"` // their names
+	GapEdges        int64    `json:"gap_edges,omitempty"`
+	// WALHeals counts degraded→healthy transitions since boot.
+	WALHeals int64 `json:"wal_heals"`
+	// CheckpointFailStreak is the consecutive-failure count of the
+	// checkpoint pass (0 after any success) — the number the checkpoint
+	// loop's backoff keys off.
+	CheckpointFailStreak int64 `json:"checkpoint_fail_streak"`
 }
 
 // RecoveryReport summarizes a boot-time recovery pass.
 type RecoveryReport struct {
-	Windows        int           // windows re-created from the manifest
-	Batches        int64         // log records replayed
-	Edges          int64         // edges replayed from the log
-	SkippedRecords int64         // records skipped as fully expired
-	Snapshots      int           // windows seeded from a snapshot
-	SnapshotEdges  int64         // edges loaded from snapshots
-	Elapsed        time.Duration // wall time of the whole recovery
+	Windows         int           // windows re-created from the manifest
+	Batches         int64         // log records replayed
+	Edges           int64         // edges replayed from the log
+	SkippedRecords  int64         // records skipped as fully expired
+	Snapshots       int           // windows seeded from a snapshot
+	SnapshotEdges   int64         // edges loaded from snapshots
+	DegradedAtCrash int           // windows the manifest marked WAL-degraded
+	LostEdges       int64         // arrivals those windows accepted un-logged (gone)
+	Elapsed         time.Duration // wall time of the whole recovery
 }
 
 // windowMeta is the JSON image of a window's configuration stored in the
@@ -219,6 +259,7 @@ func configFromMeta(m windowMeta, tpl ServiceConfig) ServiceConfig {
 
 // persistedWindow is the durability state of one live window.
 type persistedWindow struct {
+	name string
 	svc  *Service
 	log  *wal.Log
 	meta json.RawMessage
@@ -242,8 +283,19 @@ type persistedWindow struct {
 	snapEnd  uint64
 	// scratch is the wal.Edge conversion buffer; only the single flush
 	// goroutine touches it (the recorder runs under the window coordinator
-	// lock, from the one staging writer).
+	// lock, from the one staging writer — the heal loop's catch-up append
+	// also runs under that lock, so it may share the buffer).
 	scratch []wal.Edge
+
+	// degraded marks the WAL append path broken: the recorder stops
+	// touching the log, tallies the un-logged arrivals in gap, and returns
+	// ErrWindowDegraded so sync acks fail honestly. Set by the recorder on
+	// append failure, cleared only by a completed heal (log writable again
+	// AND a forced snapshot covering every un-logged arrival committed).
+	degraded atomic.Bool
+	gap      atomic.Int64
+	// healing guards the per-window heal loop: one goroutine at a time.
+	healing atomic.Bool
 }
 
 func (pw *persistedWindow) watermark() uint64 {
@@ -257,10 +309,23 @@ func (pw *persistedWindow) watermark() uint64 {
 // persister → log} never form a cycle.
 type persister struct {
 	cfg    PersistenceConfig
+	fs     fault.FS // every disk op routes through it (never nil)
 	walOpt wal.Options
 	m      *Metrics        // telemetry bundle (never nil; noMetrics when off)
 	flight *trace.Recorder // registry's flight recorder (recovery wiring)
 	logger *slog.Logger    // structured log sink (never nil)
+
+	// Heal-loop lifecycle: loops register on healWG and exit on stopHeal
+	// (or when their window is gone). closeAll stops and joins them OUTSIDE
+	// p.mu — a heal's publish step takes p.mu, so joining under it would
+	// deadlock.
+	stopHeal chan struct{}
+	stopOnce sync.Once
+	healWG   sync.WaitGroup
+
+	healsTotal      atomic.Int64 // completed degraded→healthy transitions
+	healedGapEdges  atomic.Int64 // un-logged arrivals those heals covered
+	ckptConsecFails atomic.Int64 // consecutive checkpoint failures (0 after success)
 
 	// Health/age tracking for the readiness probes and age gauges, all
 	// UnixNano (0 = never). lastCheckpointAt starts at open so
@@ -307,7 +372,10 @@ func newPersister(cfg PersistenceConfig, m *Metrics, logger *slog.Logger) (*pers
 		return nil, err
 	}
 	cfg.Fsync = pol
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+	if cfg.fs == nil {
+		cfg.fs = fault.OS()
+	}
+	if err := cfg.fs.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, err
 	}
 	if logger == nil {
@@ -315,14 +383,17 @@ func newPersister(cfg PersistenceConfig, m *Metrics, logger *slog.Logger) (*pers
 	}
 	p := &persister{
 		cfg:    cfg,
+		fs:     cfg.fs,
 		m:      m.orNoop(),
 		logger: logger,
 		walOpt: wal.Options{
 			SegmentBytes: cfg.SegmentBytes,
 			Sync:         pol.walPolicy(),
 			SyncEvery:    cfg.SyncEvery,
+			FS:           cfg.fs,
 		},
-		wins: make(map[string]*persistedWindow),
+		wins:     make(map[string]*persistedWindow),
+		stopHeal: make(chan struct{}),
 	}
 	p.lastCheckpointAt.Store(time.Now().UnixNano())
 	if p.m.on() {
@@ -387,6 +458,18 @@ func (p *persister) registerDurabilityGauges(reg *telemetry.Registry) {
 			defer p.errMu.Unlock()
 			return float64(p.ckptErrs)
 		})
+	reg.CounterFunc("sw_wal_heals_total",
+		"Degraded windows restored to full durability by the self-heal loop.", func() float64 {
+			return float64(p.healsTotal.Load())
+		})
+	reg.CounterFunc("sw_wal_heal_gap_edges_total",
+		"Arrivals accepted while degraded and later covered by a heal's forced snapshot.", func() float64 {
+			return float64(p.healedGapEdges.Load())
+		})
+	reg.GaugeFunc("sw_checkpoint_fail_streak",
+		"Consecutive checkpoint-pass failures (0 after any success).", func() float64 {
+			return float64(p.ckptConsecFails.Load())
+		})
 }
 
 func (p *persister) windowDir(name string) string {
@@ -417,15 +500,22 @@ func (p *persister) noteCkptErr(err error) {
 
 // attachRecorder wires the window's write-ahead hook to the log. On an
 // append failure the window keeps serving (availability over durability)
-// and the error is tallied for /stats and the next Checkpoint to surface —
-// and returned, so durable acks waiting on the batch report the failure
-// instead of claiming durability. The hook returns the WAL sequence of the
-// batch's first edge — the window's flight-recorder trace ID source,
-// stable across restarts. The sync escalator (wal.Log.Sync) attaches
-// alongside it: sync-ack submissions fsync before their ack, a no-op when
-// the fsync=batch append already did.
+// but transitions to the explicit DEGRADED state: the error is tallied,
+// subsequent batches skip the dead log entirely (their count accumulates in
+// pw.gap), every recorder return carries ErrWindowDegraded so durable acks
+// report 503 instead of claiming durability, and the self-heal loop starts
+// probing. The hook returns the WAL sequence of the batch's first edge —
+// the window's flight-recorder trace ID source, stable across restarts;
+// while degraded the sequence is extrapolated (NextSeq + gap) so trace IDs
+// stay monotone. The sync escalator attaches alongside it and fails fast
+// while degraded: fsyncing a poisoned fd cannot restore the pages the
+// kernel already dropped.
 func (p *persister) attachRecorder(pw *persistedWindow) {
 	pw.svc.Window().setRecorder(func(edges []Edge) (uint64, error) {
+		if pw.degraded.Load() {
+			gapEnd := pw.gap.Add(int64(len(edges)))
+			return pw.log.NextSeq() + uint64(gapEnd) - uint64(len(edges)), ErrWindowDegraded
+		}
 		pw.scratch = pw.scratch[:0]
 		for _, e := range edges {
 			pw.scratch = append(pw.scratch, wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()})
@@ -433,10 +523,211 @@ func (p *persister) attachRecorder(pw *persistedWindow) {
 		seq, err := pw.log.Append(pw.scratch)
 		if err != nil {
 			p.noteErr(err)
+			// The batch was accepted and applied but never reached the log:
+			// it IS the first gap entry. Mark degraded before kicking the
+			// heal so the loop can only observe a consistent state.
+			pw.gap.Add(int64(len(edges)))
+			pw.degraded.Store(true)
+			p.logger.Error("WAL append failed: window degraded (serving without durability)",
+				slog.String("window", pw.name),
+				slog.String("error", err.Error()))
+			p.kickHeal(pw)
+			return seq, fmt.Errorf("%w: %w", ErrWindowDegraded, err)
 		}
 		return seq, err
 	})
-	pw.svc.setDurableSync(pw.log.Sync)
+	pw.svc.setDurableSync(func() error {
+		if pw.degraded.Load() {
+			return ErrWindowDegraded
+		}
+		return pw.log.Sync()
+	})
+}
+
+// kickHeal starts the window's self-heal loop unless one is already
+// running. Called from the recorder (under the window coordinator lock) and
+// from recovery for windows that boot degraded-marked.
+func (p *persister) kickHeal(pw *persistedWindow) {
+	if !pw.healing.CompareAndSwap(false, true) {
+		return
+	}
+	p.healWG.Add(1)
+	go p.healLoop(pw)
+}
+
+// healLoop drives heal attempts with capped exponential backoff until one
+// succeeds, the window is gone, or the persister shuts down.
+func (p *persister) healLoop(pw *persistedWindow) {
+	defer p.healWG.Done()
+	defer pw.healing.Store(false)
+	delay := p.cfg.healRetry()
+	maxDelay := delay * 32
+	for attempt := 1; ; attempt++ {
+		if p.windowGone(pw.name, pw) {
+			return
+		}
+		err := p.healWindow(pw)
+		if err == nil {
+			return
+		}
+		if errors.Is(err, wal.ErrClosed) {
+			return // shutdown closed the log under us
+		}
+		p.logger.Warn("WAL heal attempt failed",
+			slog.String("window", pw.name),
+			slog.Int("attempt", attempt),
+			slog.Duration("retry_in", delay),
+			slog.String("error", err.Error()))
+		select {
+		case <-p.stopHeal:
+			return
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// healWindow performs one heal attempt. Recovery correctness — not mere
+// append success — is the bar for leaving DEGRADED: after the log is
+// writable again, the un-logged gap is closed by a forced live-edge
+// snapshot covering everything below `end` plus a catch-up append of the
+// arrivals that landed after the capture, so a crash at any later point
+// recovers the exact window. The steps, each failable and retried whole:
+//
+//  1. probe: prove the directory takes a write+fsync with a scratch file —
+//     never by re-fsyncing the failed fd (the kernel dropped those pages).
+//  2. wal.Log.Heal: abandon the poisoned fd, truncate-or-create a tail
+//     segment, resume numbering at NextSeq. Committed records survive.
+//  3. capture the canonical window content (watermark + live edges) under
+//     the coordinator lock.
+//  4. commit a snapshot of it — the artifact that makes the gap durable.
+//  5. back under the coordinator lock: advance the log past everything the
+//     snapshot covers, append the arrivals that raced in since the capture
+//     (the recorder was still gap-counting them), and flip degraded off —
+//     from this instant the recorder logs normally and no arrival is in
+//     neither snapshot nor log.
+//  6. publish the snapshot and rewrite the manifest so recovery (and GC)
+//     see it.
+//
+// A failure after 4 leaves an unpublished snapshot on disk: harmless —
+// it is valid and newer than the published one, and recovery's directory
+// scan may legitimately use it. maybeSnapshot skips degraded windows, so
+// no checkpoint can prune it out from under the retry.
+func (p *persister) healWindow(pw *persistedWindow) error {
+	dir := p.windowDir(pw.name)
+	if err := p.probeDir(dir); err != nil {
+		return fmt.Errorf("probe: %w", err)
+	}
+	if err := pw.log.Heal(); err != nil {
+		return fmt.Errorf("heal log: %w", err)
+	}
+	var edges []wal.Edge
+	var absW, end uint64
+	if err := pw.svc.Window().LiveEdges(func(expired int64, live []Edge) error {
+		absW = pw.base + uint64(expired)
+		end = absW + uint64(len(live))
+		edges = make([]wal.Edge, len(live))
+		for i, e := range live {
+			edges[i] = wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	w, err := wal.CreateSnapshotFS(p.fs, dir, absW, uint64(len(edges)))
+	if err != nil {
+		return err
+	}
+	if err := w.Append(edges); err != nil {
+		return err // Append aborts the writer on failure
+	}
+	snapName, err := w.Commit()
+	if err != nil {
+		return err
+	}
+	var closedGap int64
+	if err := pw.svc.Window().LiveEdges(func(expired int64, live []Edge) error {
+		// The snapshot covers [absW, end); the log must cover [end, …).
+		// Arrivals in [end, base+expired) — if expiry lapped the capture —
+		// are expired, and the manifest watermark covers them; the live
+		// suffix from max(end, base+expired) is appended explicitly.
+		absW2 := pw.base + uint64(expired)
+		from := end
+		if absW2 > from {
+			from = absW2
+		}
+		pw.log.AdvanceTo(from)
+		if tail := live[from-absW2:]; len(tail) > 0 {
+			pw.scratch = pw.scratch[:0]
+			for _, e := range tail {
+				pw.scratch = append(pw.scratch, wal.Edge{U: e.U, V: e.V, W: e.W, T: e.T.UnixNano()})
+			}
+			if _, err := pw.log.Append(pw.scratch); err != nil {
+				return err
+			}
+		}
+		// Atomic resume: degraded flips off under the same coordinator hold
+		// the catch-up append ran in, so the next recorder call appends to
+		// a log that is exactly contiguous with the snapshot.
+		closedGap = pw.gap.Swap(0)
+		pw.degraded.Store(false)
+		return nil
+	}); err != nil {
+		return err
+	}
+	p.healsTotal.Add(1)
+	p.healedGapEdges.Add(closedGap)
+	p.errMu.Lock()
+	p.lastErr = nil // durability restored (appendErrs stays as history)
+	p.errMu.Unlock()
+	p.logger.Info("WAL healed: degraded window restored to full durability",
+		slog.String("window", pw.name),
+		slog.String("snapshot", snapName),
+		slog.Int64("gap_edges_covered", closedGap),
+		slog.Int("snapshot_edges", len(edges)))
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed || p.wins[pw.name] != pw {
+		return nil
+	}
+	pw.snapName = snapName
+	pw.snapEnd = end
+	p.snapshots++
+	p.m.snapshots.Inc()
+	p.m.snapshotEdges.Add(int64(len(edges)))
+	p.lastSnapshotAt.Store(time.Now().UnixNano())
+	p.lastSnapshotEdges.Store(int64(len(edges)))
+	if _, err := p.saveManifestLocked(); err != nil {
+		// The snapshot and log are already consistent; only the manifest
+		// pointer is stale. The next checkpoint rewrites it — do not
+		// re-degrade a healthy window over it.
+		p.logger.Warn("heal: manifest rewrite failed (next checkpoint retries)",
+			slog.String("window", pw.name), slog.String("error", err.Error()))
+	}
+	return nil
+}
+
+// probeDir proves the directory accepts a durable write by round-tripping a
+// scratch file through write+fsync. The heal sequence runs only after it
+// passes, so a still-broken disk costs a retry, not a half-healed log.
+func (p *persister) probeDir(dir string) error {
+	f, err := p.fs.CreateTemp(dir, "heal-probe-*")
+	if err != nil {
+		return err
+	}
+	name := f.Name()
+	defer func() { _ = p.fs.Remove(name) }()
+	if _, err := f.Write([]byte("heal probe\n")); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // walOptFor copies the persister's WAL options with the fsync hook
@@ -474,7 +765,7 @@ func (p *persister) addWindow(name string, cfg ServiceConfig, svc *Service) erro
 	if err != nil {
 		return err
 	}
-	pw := &persistedWindow{svc: svc, log: log, meta: meta}
+	pw := &persistedWindow{name: name, svc: svc, log: log, meta: meta}
 	p.attachRecorder(pw)
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -565,6 +856,15 @@ func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 		horizons[name] = wm
 	}
 	for _, pw := range p.wins {
+		if pw.degraded.Load() {
+			// A degraded log is broken by definition (it may still hold
+			// the failed append's buffered bytes, so syncing it would
+			// fail and veto the whole manifest save — keeping the
+			// Degraded marker OFF disk exactly when a crash most needs
+			// it). The heal loop owns this log; the marker below makes
+			// the gap loud on recovery.
+			continue
+		}
 		if err := pw.log.Sync(); err != nil && !errors.Is(err, wal.ErrClosed) {
 			return nil, err
 		}
@@ -577,10 +877,15 @@ func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 				Watermark:   w,
 				Snapshot:    pw.snapName,
 				SnapshotEnd: pw.snapEnd,
+				// Correct-or-loud: a crash while degraded must not recover
+				// silently — the marker makes the next boot warn that the
+				// gap arrivals are unrecoverable.
+				Degraded: pw.degraded.Load(),
+				GapEdges: uint64(pw.gap.Load()),
 			}
 		}
 	}
-	if err := wal.SaveManifest(p.cfg.Dir, m); err != nil {
+	if err := wal.SaveManifestFS(p.fs, p.cfg.Dir, m); err != nil {
 		return nil, err
 	}
 	return horizons, nil
@@ -611,6 +916,13 @@ func (p *persister) saveManifestLocked() (map[string]uint64, error) {
 // previous snapshot (and therefore the GC horizon) in place, so a failed
 // write can never strand recovery without its suffix.
 func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold int) (int64, error) {
+	if pw.degraded.Load() {
+		// The heal loop owns snapshotting while degraded: its forced
+		// snapshot is the gap-closing artifact, and skipping here keeps a
+		// concurrent checkpoint's PruneSnapshots from eating the heal's
+		// not-yet-published file.
+		return -1, nil
+	}
 	var edges []wal.Edge
 	var absW uint64
 	skipped := true
@@ -638,7 +950,7 @@ func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold in
 	if skipped {
 		return -1, nil
 	}
-	w, err := wal.CreateSnapshot(p.windowDir(name), absW, uint64(len(edges)))
+	w, err := wal.CreateSnapshotFS(p.fs, p.windowDir(name), absW, uint64(len(edges)))
 	if err != nil {
 		return -1, err
 	}
@@ -692,6 +1004,19 @@ func (p *persister) maybeSnapshot(name string, pw *persistedWindow, threshold in
 // abort the pass (snapshots are an accelerator; watermark persistence and
 // watermark-based GC still proceed safely) but is surfaced in the error.
 func (p *persister) checkpoint() (CheckpointStats, error) {
+	st, err := p.checkpointPass()
+	switch {
+	case err == nil:
+		p.ckptConsecFails.Store(0)
+	case !errors.Is(err, ErrRegistryClosed):
+		// The streak feeds the ticker's backoff and /stats; a pass refused
+		// because the registry is closing is shutdown, not failure.
+		p.ckptConsecFails.Add(1)
+	}
+	return st, err
+}
+
+func (p *persister) checkpointPass() (CheckpointStats, error) {
 	start := time.Now()
 	// Serialize whole passes; keep p.mu free during the file writes so
 	// Create/Drop/stats never stall behind a multi-megabyte snapshot.
@@ -770,7 +1095,7 @@ func (p *persister) checkpoint() (CheckpointStats, error) {
 			// superseded snapshot files are now dead weight. Only a pass
 			// that wrote a snapshot can have superseded one, so steady-state
 			// checkpoints skip the per-window directory scan entirely.
-			prunedSnaps, err := wal.PruneSnapshots(p.windowDir(name), pw.snapName)
+			prunedSnaps, err := wal.PruneSnapshotsFS(p.fs, p.windowDir(name), pw.snapName)
 			if err != nil {
 				p.noteCkptErr(err)
 				return st, err
@@ -813,31 +1138,48 @@ func (p *persister) checkpoint() (CheckpointStats, error) {
 
 // closeAll runs after every service has been closed (so the shutdown
 // drain's final appends are in the logs): persist final watermarks, then
-// close the logs.
+// close the logs, then stop and join the heal loops — strictly outside
+// p.mu, since a heal's publish step takes it.
 func (p *persister) closeAll() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	p.closed = true               // later checkpoints/creates/drops must not touch the manifest
 	_, _ = p.saveManifestLocked() // captures watermarks, syncs, renames
 	for _, pw := range p.wins {
 		_ = pw.log.Close()
 	}
 	p.wins = make(map[string]*persistedWindow)
+	p.mu.Unlock()
+	p.stopOnce.Do(func() { close(p.stopHeal) })
+	p.healWG.Wait()
 }
 
 func (p *persister) stats() PersistenceStats {
 	p.mu.Lock()
 	ckpts, snaps := p.checkpoints, p.snapshots
+	var degraded []string
+	var gap int64
+	for name, pw := range p.wins {
+		if pw.degraded.Load() {
+			degraded = append(degraded, name)
+			gap += pw.gap.Load()
+		}
+	}
 	p.mu.Unlock()
+	sort.Strings(degraded)
 	p.errMu.Lock()
 	defer p.errMu.Unlock()
 	st := PersistenceStats{
-		Dir:              p.cfg.Dir,
-		Fsync:            string(p.cfg.Fsync),
-		Checkpoints:      ckpts,
-		Snapshots:        snaps,
-		CheckpointErrors: p.ckptErrs,
-		AppendErrors:     p.appendErrs,
+		Dir:                  p.cfg.Dir,
+		Fsync:                string(p.cfg.Fsync),
+		Checkpoints:          ckpts,
+		Snapshots:            snaps,
+		CheckpointErrors:     p.ckptErrs,
+		AppendErrors:         p.appendErrs,
+		DegradedWindows:      len(degraded),
+		Degraded:             degraded,
+		GapEdges:             gap,
+		WALHeals:             p.healsTotal.Load(),
+		CheckpointFailStreak: p.ckptConsecFails.Load(),
 	}
 	switch { // a lost append outranks a failed checkpoint
 	case p.lastErr != nil:
@@ -848,12 +1190,31 @@ func (p *persister) stats() PersistenceStats {
 	return st
 }
 
+// degradedWindows snapshots the names of windows currently serving without
+// a working WAL (readiness and /stats feed).
+func (p *persister) degradedWindows() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for name, pw := range p.wins {
+		if pw.degraded.Load() {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // recoverResult is one window's recovery accounting: the log replay stats
 // plus the snapshot contribution.
 type recoverResult struct {
 	wal.ReplayStats
 	SnapshotUsed  bool
 	SnapshotEdges int64
+	// DegradedAtCrash: the manifest recorded the window WAL-degraded, so
+	// LostEdges arrivals it had accepted are durably gone.
+	DegradedAtCrash bool
+	LostEdges       int64
 }
 
 // recoverWindow rebuilds one manifest window: fresh monitors, then —
@@ -905,16 +1266,28 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 		return nil, res, fmt.Errorf("stream: window %q log: %w", name, err)
 	}
 
+	if ws.Degraded {
+		// Correct-or-loud: the process died while this window was serving
+		// without a working WAL. Everything durable is recovered below;
+		// the gap arrivals were acknowledged non-durably (sync acks had
+		// been failing with 503) and are unrecoverable.
+		res.DegradedAtCrash = true
+		res.LostEdges = int64(ws.GapEdges)
+		p.logger.Error("window was WAL-degraded at crash: arrivals accepted after the append failure were never logged and cannot be recovered",
+			slog.String("window", name),
+			slog.Uint64("lost_edges", ws.GapEdges))
+	}
+
 	var snap *wal.Snapshot
 	var snapName string
-	marks, err := wal.Snapshots(dir)
+	marks, err := wal.SnapshotsFS(p.fs, dir)
 	if err != nil {
 		log.Close()
 		return nil, res, fmt.Errorf("stream: window %q snapshots: %w", name, err)
 	}
 	for i := len(marks) - 1; i >= 0; i-- {
 		cand := wal.SnapshotName(marks[i])
-		s, err := wal.ReadSnapshot(filepath.Join(dir, cand))
+		s, err := wal.ReadSnapshotFS(p.fs, filepath.Join(dir, cand))
 		if err != nil {
 			continue // corrupt: try an older snapshot, else full replay
 		}
@@ -936,7 +1309,7 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 		// otherwise leak window-sized images forever (steady-state
 		// checkpoints only prune on passes that write a new snapshot).
 		// Best-effort — recovery must not fail over dead weight.
-		_, _ = wal.PruneSnapshots(dir, snapName)
+		_, _ = wal.PruneSnapshotsFS(p.fs, dir, snapName)
 	}
 	// replayFrom is where log replay must pick up: past everything the
 	// snapshot covers and everything the manifest says is expired.
@@ -1019,7 +1392,7 @@ func (p *persister) recoverWindow(name string, ws wal.WindowState, tpl ServiceCo
 	log.AdvanceTo(end)
 	base := end - uint64(wm.Stats().Arrivals)
 	svc := newServiceWith(wm, cfg)
-	pw := &persistedWindow{svc: svc, log: log, meta: ws.Config, base: base, committed: true}
+	pw := &persistedWindow{name: name, svc: svc, log: log, meta: ws.Config, base: base, committed: true}
 	if snap != nil {
 		pw.snapName, pw.snapEnd = snapName, snap.End()
 	}
@@ -1052,7 +1425,11 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 	if cfg.Persistence == nil {
 		return r, rep, nil
 	}
-	p, err := newPersister(*cfg.Persistence, r.metrics, r.logger)
+	pcfg := *cfg.Persistence
+	if cfg.FaultInjector != nil {
+		pcfg.fs = cfg.FaultInjector
+	}
+	p, err := newPersister(pcfg, r.metrics, r.logger)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1068,7 +1445,18 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 	} else {
 		r.logger.Warn("flight: slow-trace sink unavailable", slog.String("error", err.Error()))
 	}
-	man, err := wal.LoadManifest(p.cfg.Dir)
+	// Sink appends are best-effort, but silently dropping forensics is a
+	// fault of its own kind: count every failed line and log the first.
+	r.flight.SetSinkErrorHook(func(err error) {
+		r.logger.Warn("flight: slow-trace sink append failed; further failures counted in sw_flight_sink_errors_total",
+			slog.String("error", err.Error()))
+	})
+	if r.metrics.on() {
+		r.metrics.Registry().CounterFunc("sw_flight_sink_errors_total",
+			"Slow-trace JSONL sink appends that failed (lines dropped).",
+			func() float64 { return float64(r.flight.SinkErrors()) })
+	}
+	man, err := wal.LoadManifestFS(p.fs, p.cfg.Dir)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -1104,6 +1492,7 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 			abort()
 			return nil, nil, err
 		}
+		r.armWindow(name, svc)
 		if err := r.attachService(name, svc); err != nil {
 			svc.Close()
 			abort()
@@ -1116,6 +1505,10 @@ func OpenRegistry(cfg RegistryConfig) (*WindowRegistry, *RecoveryReport, error) 
 		if st.SnapshotUsed {
 			rep.Snapshots++
 			rep.SnapshotEdges += st.SnapshotEdges
+		}
+		if st.DegradedAtCrash {
+			rep.DegradedAtCrash++
+			rep.LostEdges += st.LostEdges
 		}
 	}
 	rep.Elapsed = time.Since(start)

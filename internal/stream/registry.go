@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -59,6 +60,13 @@ type RegistryConfig struct {
 	// package defaults; a negative Flight.SlowThreshold disables only the
 	// slow-retention ring.
 	Flight trace.Options
+	// FaultInjector, when set, is threaded through every durability-layer
+	// disk operation (WAL, snapshots, manifest, heal probes) and through
+	// the monitor apply boundary (CheckApply with "window/monitor" paths),
+	// so fault schedules — set programmatically or via /admin/fault — can
+	// exercise the degrade→heal and quarantine→rebuild machinery against a
+	// live registry. Nil (production default) costs nothing.
+	FaultInjector *fault.Injector
 }
 
 func (c *RegistryConfig) withDefaults() RegistryConfig {
@@ -178,6 +186,18 @@ func NewRegistry(cfg RegistryConfig) *WindowRegistry {
 		cfg.Telemetry.GaugeFunc("sw_apply_parallelism",
 			"Shared intra-monitor batch-apply worker budget (caller + auxiliaries).",
 			func() float64 { return float64(r.applyParallelism) })
+		// Window health by state — registry-level counts, not per-window
+		// labels (windows are tenant-controlled; names would be unbounded
+		// cardinality). Per-window detail lives in /stats.
+		health := func(state string, pick func(h, d, q int) int) {
+			cfg.Telemetry.GaugeFunc("sw_window_health",
+				"Live windows by health state (quarantined outranks degraded).",
+				func() float64 { h, d, q := r.healthCounts(); return float64(pick(h, d, q)) },
+				telemetry.L("state", state))
+		}
+		health("healthy", func(h, _, _ int) int { return h })
+		health("degraded", func(_, d, _ int) int { return d })
+		health("quarantined", func(_, _, q int) int { return q })
 	} else {
 		r.metrics = noMetrics
 	}
@@ -363,6 +383,9 @@ func (r *WindowRegistry) Create(name string, cfg ServiceConfig) (*Service, error
 	sh.mu.Unlock()
 
 	svc, err := NewService(cfg)
+	if err == nil {
+		r.armWindow(name, svc)
+	}
 	if err == nil && r.persist != nil {
 		// Open the window's log and attach the write-ahead recorder while
 		// the window is still an unpublished placeholder: no producer can
@@ -497,6 +520,63 @@ func (r *WindowRegistry) Drop(name string) error {
 	return nil
 }
 
+// armWindow wires the registry's operational hooks into a window before it
+// is published: the structured logger for quarantine/heal/rebuild events,
+// and the fault-injection apply check when an injector is configured.
+func (r *WindowRegistry) armWindow(name string, svc *Service) {
+	wm := svc.Window()
+	wm.setLogger(r.logger)
+	if inj := r.cfg.FaultInjector; inj != nil {
+		wm.setApplyCheck(func(mon string) { inj.CheckApply(name + "/" + mon) })
+	}
+}
+
+// healthCounts classifies every live window: quarantined (≥1 monitor
+// isolated after an apply panic — outranks degraded), degraded (serving
+// without a working WAL), else healthy.
+func (r *WindowRegistry) healthCounts() (healthy, degraded, quarantined int) {
+	degradedSet := make(map[string]bool)
+	if r.persist != nil {
+		for _, n := range r.persist.degradedWindows() {
+			degradedSet[n] = true
+		}
+	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.RLock()
+		for name, h := range sh.wins {
+			if h.svc == nil {
+				continue
+			}
+			switch {
+			case h.svc.Window().hasQuarantine():
+				quarantined++
+			case degradedSet[name]:
+				degraded++
+			default:
+				healthy++
+			}
+		}
+		sh.mu.RUnlock()
+	}
+	return healthy, degraded, quarantined
+}
+
+// DegradedWindows lists windows currently serving without a working WAL,
+// sorted (nil on healthy or in-memory registries). The readiness probe's
+// wal_writable check keys off it — and goes green again when the self-heal
+// loop empties it.
+func (r *WindowRegistry) DegradedWindows() []string {
+	if r.persist == nil {
+		return nil
+	}
+	return r.persist.degradedWindows()
+}
+
+// FaultInjector returns the configured injector (nil in production). The
+// HTTP server gates /admin/fault on it.
+func (r *WindowRegistry) FaultInjector() *fault.Injector { return r.cfg.FaultInjector }
+
 // Checkpoint persists every window's expiry low-watermark to the manifest
 // (after fsyncing the logs, so the watermarks never outrun the data) and
 // prunes log segments that hold only expired arrivals. Fails with
@@ -531,21 +611,40 @@ func (r *WindowRegistry) LastCheckpoint() (time.Time, bool) {
 	return time.Unix(0, r.persist.lastCheckpointAt.Load()), true
 }
 
-// startCheckpointLoop runs Checkpoint on a fixed period until Close.
+// startCheckpointLoop runs Checkpoint on a fixed period until Close. A
+// failed pass is retried with bounded exponential backoff (period/8 · 2^k,
+// capped at the period) instead of waiting out the whole interval with
+// durability progress stale — a transient stall (disk briefly full, fsync
+// hiccup) recovers in a fraction of the checkpoint interval, while a hard
+// failure degenerates to the normal cadence.
 func (r *WindowRegistry) startCheckpointLoop(period time.Duration) {
 	r.ckptStop = make(chan struct{})
 	r.ckptWG.Add(1)
 	go func() {
 		defer r.ckptWG.Done()
-		t := time.NewTicker(period)
+		t := time.NewTimer(period)
 		defer t.Stop()
 		for {
 			select {
 			case <-t.C:
 				// Checkpoint records its own failures (checkpoint_errors
 				// + last_error in PersistenceStats), so dropping the
-				// return here loses nothing.
-				_, _ = r.Checkpoint()
+				// error's content here loses nothing.
+				_, err := r.Checkpoint()
+				next := period
+				if err != nil && !errors.Is(err, ErrRegistryClosed) {
+					retry := period / 8
+					for i := r.persist.ckptConsecFails.Load(); i > 1 && retry < period; i-- {
+						retry *= 2
+					}
+					if retry < 10*time.Millisecond {
+						retry = 10 * time.Millisecond
+					}
+					if retry < next {
+						next = retry
+					}
+				}
+				t.Reset(next)
 			case <-r.ckptStop:
 				return
 			}

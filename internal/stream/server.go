@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -170,6 +172,14 @@ func NewRegistryServer(reg *WindowRegistry, cfg ServerConfig) *Server {
 	}
 	s.handle("POST /windows", s.handleCreateWindow)
 	s.handle("POST /admin/checkpoint", s.handleCheckpoint)
+	// The chaos control plane exists only when the process was booted with
+	// a fault injector (-fault-inject); a production server has no fault
+	// surface and these routes 404.
+	if reg.FaultInjector() != nil {
+		s.handle("GET /admin/fault", s.handleFaultGet)
+		s.handle("POST /admin/fault", s.handleFaultSet)
+		s.handle("DELETE /admin/fault", s.handleFaultDelete)
+	}
 	s.handle("GET /windows", s.handleListWindows)
 	s.handle("GET /windows/{name}", s.handleWindowInfo)
 	s.handle("DELETE /windows/{name}", s.handleDropWindow)
@@ -224,10 +234,15 @@ func buildHealth(reg *WindowRegistry, cfg ServerConfig) *telemetry.Health {
 	h := telemetry.NewHealth()
 	h.SetGate("recovery_complete", true)
 	if reg.Persistent() {
+		// Live state, not a sticky tally: the check fails while any window
+		// is in the degraded durability state and passes again once the
+		// self-heal loop re-arms the log and closes the gap — a balancer
+		// sees degrade → heal without a restart.
 		h.AddCheck("wal_writable", func() string {
-			ps, _ := reg.PersistenceStats()
-			if ps.AppendErrors > 0 {
-				return fmt.Sprintf("%d WAL append failures (last: %s)", ps.AppendErrors, ps.LastError)
+			if deg := reg.DegradedWindows(); len(deg) > 0 {
+				ps, _ := reg.PersistenceStats()
+				return fmt.Sprintf("%d degraded window(s) [%s]: WAL appends failing, self-heal pending (last: %s)",
+					len(deg), strings.Join(deg, ", "), ps.LastError)
 			}
 			return ""
 		})
@@ -286,6 +301,17 @@ func buildHealth(reg *WindowRegistry, cfg ServerConfig) *telemetry.Health {
 // their own checks or flip gates (e.g. during a warm-up phase).
 func (s *Server) Health() *telemetry.Health { return s.health }
 
+// windowDegraded reports whether the named window is in the degraded
+// durability state (always false on in-memory registries).
+func (s *Server) windowDegraded(name string) bool {
+	for _, d := range s.reg.DegradedWindows() {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Registry returns the registry the server routes over.
 func (s *Server) Registry() *WindowRegistry { return s.reg }
 
@@ -320,10 +346,19 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // queryErr maps query failures: missing monitor is a client configuration
-// problem (404), anything else a bad request.
+// problem (404); a quarantined monitor is 503 with a machine-readable
+// reason — the monitor's state is being rebuilt in the background and the
+// query is retryable; anything else a bad request.
 func queryErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrNoMonitor) {
 		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	if errors.Is(err, ErrMonitorQuarantined) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":  err.Error(),
+			"reason": "monitor_quarantined",
+		})
 		return
 	}
 	writeErr(w, http.StatusBadRequest, err)
@@ -469,6 +504,62 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// handleFaultGet lists the injector's rule set with per-rule match/fire
+// counters and the total trip count.
+func (s *Server) handleFaultGet(w http.ResponseWriter, _ *http.Request) {
+	inj := s.reg.FaultInjector()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"rules": inj.Rules(),
+		"trips": inj.Trips(),
+	})
+}
+
+// handleFaultSet installs fault rules at runtime: a JSON object installs
+// (or replaces, by ID) one rule; a JSON array replaces the whole rule set
+// atomically — the shape swload's outage scheduler posts.
+func (s *Server) handleFaultSet(w http.ResponseWriter, r *http.Request) {
+	inj := s.reg.FaultInjector()
+	data := s.readBody(w, r)
+	if data == nil {
+		return
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := inj.SetRulesJSON(trimmed); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"rules": inj.Rules()})
+		return
+	}
+	var rule fault.Rule
+	if err := json.Unmarshal(data, &rule); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad fault rule: %w", err))
+		return
+	}
+	id, err := inj.Set(rule)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+// handleFaultDelete clears one rule (?id=) or, with no id, the whole set —
+// the "end of outage" control.
+func (s *Server) handleFaultDelete(w http.ResponseWriter, r *http.Request) {
+	inj := s.reg.FaultInjector()
+	if id := r.URL.Query().Get("id"); id != "" {
+		if !inj.Clear(id) {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("no fault rule %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"cleared": id})
+		return
+	}
+	inj.Reset()
+	writeJSON(w, http.StatusOK, map[string]string{"cleared": "all"})
+}
+
 func (s *Server) handleListWindows(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"windows": s.reg.List(),
@@ -537,6 +628,17 @@ func ingestErr(w http.ResponseWriter, err error) {
 	}
 	if errors.Is(err, ErrClosed) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	// A degraded window accepted the edges in memory but cannot currently
+	// make them durable — 503 (retryable once the self-heal loop re-arms
+	// the log), not a false 202 and not a 500: the server is not broken,
+	// the durability promise is suspended and loudly flagged.
+	if errors.Is(err, ErrWindowDegraded) {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error":  err.Error(),
+			"reason": "wal_degraded",
+		})
 		return
 	}
 	writeErr(w, http.StatusInternalServerError, fmt.Errorf("durability failure: %w", err))
@@ -752,7 +854,9 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 
 // windowStatsBody builds the per-window stats document shared by
 // /windows/{name}/stats and the default-window section of /stats.
-func windowStatsBody(svc *Service) map[string]any {
+// degraded is the window's durability state (always false for in-memory
+// registries — the caller resolves it against the persister).
+func windowStatsBody(svc *Service, degraded bool) map[string]any {
 	edges, batches := svc.IngestStats()
 	win := svc.Window().Stats()
 	qBatches, qEdges := svc.QueueDepth()
@@ -788,6 +892,31 @@ func windowStatsBody(svc *Service) map[string]any {
 		"window":   win,
 		"ingest":   ingest,
 	}
+	// Health is per-window state, not process state: quarantined (a monitor
+	// panicked during apply and is being rebuilt) outranks degraded (WAL
+	// appends failing, self-heal pending), which outranks healthy.
+	quar := svc.Window().Quarantined()
+	state := "healthy"
+	if degraded {
+		state = "degraded"
+	}
+	if len(quar) > 0 {
+		state = "quarantined"
+	}
+	health := map[string]any{"state": state, "wal_degraded": degraded}
+	if len(quar) > 0 {
+		qs := make([]map[string]any, 0, len(quar))
+		for _, q := range quar {
+			e := map[string]any{"monitor": q.Monitor, "reason": q.Reason, "at": q.At}
+			if q.Permanent {
+				e["permanent"] = true
+				e["rebuild_error"] = q.RebuildErr
+			}
+			qs = append(qs, e)
+		}
+		health["quarantined"] = qs
+	}
+	body["health"] = health
 	// The apply block replaces the old single mean_apply_ms: with
 	// per-monitor locking the interesting production number is per
 	// monitor — whose apply a query waits behind (mean_apply_ms) and how
@@ -829,7 +958,7 @@ func (s *Server) handleWindowStats(w http.ResponseWriter, r *http.Request) {
 	if svc == nil {
 		return
 	}
-	body := windowStatsBody(svc)
+	body := windowStatsBody(svc, s.windowDegraded(s.windowName(r)))
 	body["name"] = s.windowName(r)
 	writeJSON(w, http.StatusOK, body)
 }
@@ -854,7 +983,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp["exemplars"] = ex
 	}
 	if svc, ok := s.reg.Get(s.defaultWin); ok {
-		for k, v := range windowStatsBody(svc) {
+		for k, v := range windowStatsBody(svc, s.windowDegraded(s.defaultWin)) {
 			resp[k] = v
 		}
 	}

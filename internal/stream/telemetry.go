@@ -63,6 +63,12 @@ type Metrics struct {
 	monApply map[string]*telemetry.Histogram
 	monWait  map[string]*telemetry.Histogram
 
+	// Fault isolation: apply-panic quarantines and completed rebuilds.
+	// Counters, not per-monitor gauges — live quarantine state is served by
+	// sw_window_health and /stats (cardinality discipline).
+	monQuarantines *telemetry.Counter
+	monRebuilds    *telemetry.Counter
+
 	// WAL / durability.
 	walAppendSeconds  *telemetry.Histogram
 	walFsyncSeconds   *telemetry.Histogram
@@ -152,6 +158,11 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 			"Time the writer waited to acquire one monitor's write lock (readers holding it out).",
 			telemetry.L("monitor", name))
 	}
+
+	m.monQuarantines = reg.Counter("sw_monitor_quarantines_total",
+		"Monitors quarantined after a panic during batch apply.")
+	m.monRebuilds = reg.Counter("sw_monitor_rebuilds_total",
+		"Quarantined monitors replaced by a completed background rebuild.")
 
 	m.walAppendSeconds = reg.Histogram("sw_wal_append_seconds",
 		"WAL record write latency (encode + write, excluding fsync).")

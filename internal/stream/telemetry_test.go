@@ -2,10 +2,12 @@ package stream
 
 import (
 	"encoding/json"
-	"errors"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/fault"
 
 	"repro/internal/telemetry"
 )
@@ -212,15 +214,17 @@ func TestMetricNameLint(t *testing.T) {
 }
 
 // TestReadyzFlipsOnWALFailure pins the readiness semantics: ready on a
-// healthy durable registry, 503 with a wal_writable failure after an
-// append error is recorded (acknowledged data is missing from the log —
-// only a restart's recovery fixes that).
+// healthy durable registry, 503 with a wal_writable failure while a
+// window is in the degraded durability state — and back to 200 once the
+// self-heal loop re-arms the log, with no restart.
 func TestReadyzFlipsOnWALFailure(t *testing.T) {
 	treg := telemetry.NewRegistry()
+	inj := fault.NewInjector(nil, 1)
 	reg, _, err := OpenRegistry(RegistryConfig{
-		Telemetry:   treg,
-		Template:    ServiceConfig{Window: WindowConfig{N: 32}},
-		Persistence: &PersistenceConfig{Dir: t.TempDir()},
+		Telemetry:     treg,
+		FaultInjector: inj,
+		Template:      ServiceConfig{Window: WindowConfig{N: 32}},
+		Persistence:   &PersistenceConfig{Dir: t.TempDir(), HealRetry: time.Millisecond},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -251,9 +255,22 @@ func TestReadyzFlipsOnWALFailure(t *testing.T) {
 		t.Fatalf("healthy /readyz = %d %v, want 200 ready", code, body)
 	}
 
-	// Simulate a WAL append failure through the same tally the recorder
-	// uses; /readyz must flip to 503 and name the failing check.
-	reg.persist.noteErr(errors.New("disk full"))
+	// Break the WAL for real: segment and snapshot-temp writes fail, so
+	// the next append degrades the window and the heal loop cannot close
+	// the gap. /readyz must flip to 503 and name the failing check.
+	for _, rule := range []fault.Rule{
+		{ID: "seg", Op: fault.OpWrite, Path: ".seg", Kind: fault.KindEIO},
+		{ID: "snap", Op: fault.OpWrite, Path: ".snap-tmp-", Kind: fault.KindEIO},
+	} {
+		if _, err := inj.Set(rule); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc, _ := reg.Get(DefaultWindow)
+	if err := svc.Submit([]Edge{{U: 1, V: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Flush()
 	code, body := readyz()
 	if code != 503 || body["ready"] != false {
 		t.Fatalf("post-failure /readyz = %d %v, want 503 not-ready", code, body)
@@ -263,13 +280,27 @@ func TestReadyzFlipsOnWALFailure(t *testing.T) {
 		m := c.(map[string]any)
 		if m["name"] == "wal_writable" && m["ok"] == false {
 			found = true
-			if !strings.Contains(m["detail"].(string), "disk full") {
-				t.Errorf("wal_writable detail %q does not carry the cause", m["detail"])
+			if !strings.Contains(m["detail"].(string), DefaultWindow) {
+				t.Errorf("wal_writable detail %q does not name the degraded window", m["detail"])
 			}
 		}
 	}
 	if !found {
 		t.Fatalf("no failing wal_writable check in %v", body["checks"])
+	}
+
+	// The check is live, not sticky: clearing the fault lets the heal
+	// loop re-arm the log, and /readyz returns to 200 without a restart.
+	inj.Reset()
+	healed := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); time.Sleep(2 * time.Millisecond) {
+		if code, _ := readyz(); code == 200 {
+			healed = true
+			break
+		}
+	}
+	if !healed {
+		t.Fatal("/readyz still 503 10s after the WAL fault cleared; heal never completed")
 	}
 
 	// /healthz (liveness) stays 200 throughout: the process is up even

@@ -3,6 +3,7 @@ package stream
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,12 @@ import (
 
 // ErrNoMonitor is wrapped by query methods whose monitor is not configured.
 var ErrNoMonitor = errors.New("stream: monitor not configured")
+
+// ErrMonitorQuarantined is wrapped by query methods whose monitor is
+// quarantined after an apply panic: the structure may be corrupt, so it is
+// isolated (503, machine-readable reason) while a background rebuild
+// replaces it. Every other monitor and window keeps serving.
+var ErrMonitorQuarantined = errors.New("stream: monitor quarantined after apply panic")
 
 // WindowConfig describes one managed window.
 type WindowConfig struct {
@@ -106,6 +113,9 @@ type QuerySummary struct {
 	MSFWeight       *float64 `json:"msfweight,omitempty"`
 	HasCycle        *bool    `json:"cycle,omitempty"`
 	CertificateSize *int     `json:"kcert_size,omitempty"`
+	// Quarantined lists monitors whose answers are missing above because
+	// they are isolated after an apply panic (their fields stay nil).
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // WindowManager owns one window's monitors behind a staged-apply,
@@ -223,6 +233,10 @@ type WindowManager struct {
 	// goroutine; those land outside an append window and are discarded by
 	// the pre-append reset.
 	walFsyncNS atomic.Int64
+
+	// logger, when set (setLogger, wiring time), receives quarantine and
+	// rebuild events. Nil on standalone windows.
+	logger *slog.Logger
 }
 
 // NewWindowManager builds a window and its monitors.
@@ -238,8 +252,24 @@ func NewWindowManager(cfg WindowConfig) (*WindowManager, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &WindowManager{cfg: cfg, mux: mux, workers: workers, retain: cfg.MaxAge > 0, metrics: noMetrics}, nil
+	w := &WindowManager{cfg: cfg, mux: mux, workers: workers, retain: cfg.MaxAge > 0, metrics: noMetrics}
+	mux.setOnQuarantine(func(q *QuarantineInfo) {
+		w.metrics.monQuarantines.Inc()
+		if w.logger != nil {
+			w.logger.Error("monitor quarantined after apply panic",
+				"window", cfg.Name, "monitor", q.Monitor, "reason", q.Reason)
+		}
+	})
+	return w, nil
 }
+
+// setLogger installs the structured logger quarantine and rebuild events go
+// to. Wiring time only, before the window is published.
+func (w *WindowManager) setLogger(l *slog.Logger) { w.logger = l }
+
+// setApplyCheck installs the fault-injection hook on the fan-out boundary.
+// Wiring time only.
+func (w *WindowManager) setApplyCheck(fn func(monitor string)) { w.mux.setApplyCheck(fn) }
 
 // resolveApplyWorkers picks the intra-monitor fork-join budget the window's
 // monitors apply batches with (see WindowConfig.ApplyParallelism).
@@ -456,6 +486,7 @@ func (w *WindowManager) Apply(batch []Edge) error {
 			walSeq, durable, walOffNS, walNS, fsyncNS,
 			applyStart, stageStart, len(valid), delta)
 	}
+	w.kickRebuilds()
 	return recErr
 }
 
@@ -592,6 +623,7 @@ func (w *WindowManager) ExpireByAge(now time.Time) int {
 	w.mux.Apply(nil, delta, 0)
 	m.applyInflight.Add(-1)
 	w.epoch.Add(1)
+	w.kickRebuilds()
 	return delta
 }
 
@@ -670,22 +702,33 @@ func (w *WindowManager) ApplyParallelism() int { return w.workers.Aux() + 1 }
 func (w *WindowManager) MonitorStats() []MonitorApplyStats { return w.mux.Stats() }
 
 // readMonitor runs fn on the named monitor under that monitor's read
-// lock, translating "not configured" into ErrNoMonitor. When the flight
-// recorder is wired, each query commits a two-span trace (lock wait +
-// execute) to the window's query ring — the trace lives on the stack, so
+// lock, translating "not configured" into ErrNoMonitor and "quarantined
+// after an apply panic" into ErrMonitorQuarantined (and nudging the
+// background rebuild, in case no apply has run since the panic). When the
+// flight recorder is wired, each query commits a two-span trace (lock wait
+// + execute) to the window's query ring — the trace lives on the stack, so
 // concurrent queries never contend on anything but the ring slot.
 func (w *WindowManager) readMonitor(name string, fn func(Monitor)) error {
 	qf := w.qflight
 	if qf == nil {
-		if !w.mux.withRead(name, fn) {
+		q, ok := w.mux.withRead(name, fn)
+		if !ok {
 			return fmt.Errorf("%w: %s", ErrNoMonitor, name)
+		}
+		if q != nil {
+			w.kickRebuilds()
+			return fmt.Errorf("%w: %s: %s", ErrMonitorQuarantined, name, q.Reason)
 		}
 		return nil
 	}
 	start := time.Now()
-	idx, waitNS, execNS, ok := w.mux.withReadTimed(name, fn)
+	idx, waitNS, execNS, q, ok := w.mux.withReadTimed(name, fn)
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNoMonitor, name)
+	}
+	if q != nil {
+		w.kickRebuilds()
+		return fmt.Errorf("%w: %s: %s", ErrMonitorQuarantined, name, q.Reason)
 	}
 	var t trace.Trace
 	t.Reset(trace.KindQuery)
@@ -820,25 +863,172 @@ func (w *WindowManager) QuerySummary() QuerySummary {
 func (w *WindowManager) querySummaryLocked() QuerySummary {
 	var res QuerySummary
 	res.Epoch = w.epoch.Load()
-	w.mux.withRead(MonitorConn, func(m Monitor) {
+	// A quarantined monitor's field stays nil and its name lands in
+	// Quarantined — a partial summary with an explicit reason beats
+	// failing the four healthy answers.
+	read := func(name string, fn func(Monitor)) {
+		if q, ok := w.mux.withRead(name, fn); ok && q != nil {
+			res.Quarantined = append(res.Quarantined, name)
+		}
+	}
+	read(MonitorConn, func(m Monitor) {
 		cc := m.(*connMonitor).c.NumComponents()
 		res.Components = &cc
 	})
-	w.mux.withRead(MonitorBipartite, func(m Monitor) {
+	read(MonitorBipartite, func(m Monitor) {
 		b := m.(*bipartiteMonitor).b.IsBipartite()
 		res.Bipartite = &b
 	})
-	w.mux.withRead(MonitorMSFWeight, func(m Monitor) {
+	read(MonitorMSFWeight, func(m Monitor) {
 		wt := m.(*msfWeightMonitor).a.Weight()
 		res.MSFWeight = &wt
 	})
-	w.mux.withRead(MonitorCycleFree, func(m Monitor) {
+	read(MonitorCycleFree, func(m Monitor) {
 		hc := m.(*cycleFreeMonitor).c.HasCycle()
 		res.HasCycle = &hc
 	})
-	w.mux.withRead(MonitorKCert, func(m Monitor) {
+	read(MonitorKCert, func(m Monitor) {
 		sz := m.(*kcertMonitor).k.Size()
 		res.CertificateSize = &sz
 	})
 	return res
+}
+
+// Quarantined snapshots the quarantined monitors' records (nil when
+// healthy). /stats serves it so operators see the reason and stack without
+// grepping logs.
+func (w *WindowManager) Quarantined() []QuarantineInfo { return w.mux.Quarantined() }
+
+// hasQuarantine reports whether any monitor is quarantined (one atomic
+// load — the health gauges poll it per scrape).
+func (w *WindowManager) hasQuarantine() bool { return w.mux.anyQuarantined() }
+
+// kickRebuilds claims every quarantined monitor nobody is rebuilding yet
+// and starts a background rebuild for each. Gated on a single atomic load,
+// so calling it after every apply — and on every query that hits a
+// quarantined monitor — is free in the healthy steady state.
+func (w *WindowManager) kickRebuilds() {
+	if !w.mux.anyQuarantined() {
+		return
+	}
+	for _, s := range w.mux.claimRebuilds() {
+		go w.rebuildSlot(s)
+	}
+}
+
+// rebuildSlot replaces a quarantined monitor with a freshly built one fed
+// the window's canonical content, without ever stopping the writer:
+// catch-up rounds copy the missing arrival suffix under coord and apply it
+// to the private replacement outside all locks while the stream keeps
+// flowing; only the final (small) delta is applied with the writer held
+// out, then the swap lifts the quarantine. Sound because every monitor's
+// state is a function of the unexpired arrival suffix applied as in-order
+// inserts plus a prefix expiry — exactly what LiveEdges serves — and
+// because insert-then-expire batching is equivalent to the interleaved
+// history (recency weights make the forests canonical in the arrival
+// sequence).
+func (w *WindowManager) rebuildSlot(s *monitorSlot) {
+	defer func() {
+		if r := recover(); r != nil {
+			reason, _ := describePanic(r)
+			w.mux.failRebuild(s, "rebuild panicked: "+reason)
+			if w.logger != nil {
+				w.logger.Error("monitor rebuild failed permanently",
+					"window", w.cfg.Name, "monitor", s.name, "reason", reason)
+			}
+		}
+	}()
+	start := time.Now()
+	fresh, err := w.mux.rebuildMonitor(s)
+	if err != nil {
+		w.mux.failRebuild(s, err.Error())
+		return
+	}
+	// fresh holds arrivals [fExp, fEnd) in absolute arrival indices; both
+	// are 0 until the first round seeds it.
+	var fExp, fEnd int64
+	seeded := false
+	// expireCount is how many of fresh's entries fall below the new expiry
+	// watermark exp2: its entries are [fExp, fEnd) plus a suffix starting
+	// at max(fEnd, exp2), so min(fEnd, exp2) − fExp of them expire. The
+	// same formula covers the lapped case (exp2 > fEnd: everything old
+	// expires, the middle arrivals were never inserted).
+	expireCount := func(exp2 int64) int64 {
+		cut := fEnd
+		if exp2 < cut {
+			cut = exp2
+		}
+		return cut - fExp
+	}
+	const (
+		maxRounds   = 8    // offline rounds before forcing the locked finish
+		finalMaxLag = 4096 // captured-suffix size small enough to finish locked
+	)
+	var scratch []Edge
+	for r := 0; r < maxRounds; r++ {
+		var exp2, end2 int64
+		err := w.LiveEdges(func(expired int64, live []Edge) error {
+			exp2 = expired
+			end2 = expired + int64(len(live))
+			from := fEnd
+			if exp2 > from {
+				from = exp2
+			}
+			// Copy: the batch is applied after coord is released.
+			scratch = append(scratch[:0], live[from-exp2:]...)
+			return nil
+		})
+		if err != nil {
+			// No retention (standalone in-memory window without time expiry):
+			// there is no canonical content to rebuild from.
+			w.mux.failRebuild(s, err.Error())
+			return
+		}
+		expire := int64(0)
+		if seeded {
+			expire = expireCount(exp2)
+		}
+		if len(scratch) > 0 {
+			fresh.BatchInsert(scratch)
+		}
+		if expire > 0 {
+			fresh.BatchExpire(int(expire))
+		}
+		seeded = true
+		fExp, fEnd = exp2, end2
+		if int64(len(scratch)) <= finalMaxLag {
+			break // close enough: the locked delta will be tiny
+		}
+	}
+	// Final round: with the writer held out the content is frozen, so the
+	// remaining delta is applied inside the coord hold (no copy) and the
+	// swap publishes a replacement that exactly matches its siblings.
+	w.writerMu.Lock()
+	err = w.LiveEdges(func(expired int64, live []Edge) error {
+		exp2 := expired
+		from := fEnd
+		if exp2 > from {
+			from = exp2
+		}
+		if batch := live[from-exp2:]; len(batch) > 0 {
+			fresh.BatchInsert(batch)
+		}
+		if expire := expireCount(exp2); expire > 0 {
+			fresh.BatchExpire(int(expire))
+		}
+		return nil
+	})
+	if err != nil {
+		w.writerMu.Unlock()
+		w.mux.failRebuild(s, err.Error())
+		return
+	}
+	w.mux.swapMonitor(s, fresh)
+	w.writerMu.Unlock()
+	w.metrics.monRebuilds.Inc()
+	if w.logger != nil {
+		w.logger.Info("quarantined monitor rebuilt",
+			"window", w.cfg.Name, "monitor", s.name,
+			"elapsed", time.Since(start).Round(time.Millisecond))
+	}
 }

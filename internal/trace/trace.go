@@ -281,12 +281,14 @@ func (o Options) withDefaults() Options {
 // Recorder owns the per-window rings, the slow ring, and the optional
 // JSONL sink for slow traces.
 type Recorder struct {
-	opt    Options
-	mu     sync.RWMutex
-	rings  []*Ring
-	slow   *Ring
-	sinkMu sync.Mutex
-	sink   io.Writer
+	opt       Options
+	mu        sync.RWMutex
+	rings     []*Ring
+	slow      *Ring
+	sinkMu    sync.Mutex
+	sink      io.Writer
+	onSinkErr func(error)
+	sinkErrs  atomic.Int64
 }
 
 // New builds a Recorder.
@@ -313,6 +315,40 @@ func (rec *Recorder) SetSlowSink(w io.Writer) {
 	rec.sinkMu.Lock()
 	rec.sink = w
 	rec.sinkMu.Unlock()
+}
+
+// SinkErrors reports how many slow-trace sink appends failed (marshal
+// or write). Failed lines are dropped — this count is the only evidence
+// a sink is sick, so servers export it as a metric.
+func (rec *Recorder) SinkErrors() int64 {
+	if rec == nil {
+		return 0
+	}
+	return rec.sinkErrs.Load()
+}
+
+// SetSinkErrorHook installs fn to be invoked once, with the first sink
+// append failure. Subsequent failures only bump the SinkErrors counter,
+// keeping a persistently sick sink from flooding logs.
+func (rec *Recorder) SetSinkErrorHook(fn func(error)) {
+	if rec == nil {
+		return
+	}
+	rec.sinkMu.Lock()
+	rec.onSinkErr = fn
+	rec.sinkMu.Unlock()
+}
+
+func (rec *Recorder) noteSinkErr(err error) {
+	if rec.sinkErrs.Add(1) != 1 {
+		return
+	}
+	rec.sinkMu.Lock()
+	fn := rec.onSinkErr
+	rec.sinkMu.Unlock()
+	if fn != nil {
+		fn(err)
+	}
 }
 
 // Ring allocates a new ring for window name. monitors maps the Arg of
@@ -347,14 +383,19 @@ func (rec *Recorder) commitSlow(src *Ring, t *Trace) {
 	}
 	line, err := buildView(src, t).appendJSON(nil)
 	if err != nil {
+		rec.noteSinkErr(err)
 		return
 	}
 	line = append(line, '\n')
 	rec.sinkMu.Lock()
+	var werr error
 	if rec.sink != nil {
-		_, _ = rec.sink.Write(line)
+		_, werr = rec.sink.Write(line)
 	}
 	rec.sinkMu.Unlock()
+	if werr != nil {
+		rec.noteSinkErr(werr)
+	}
 }
 
 // Filter selects traces for Traces and the HTTP handler.

@@ -1,0 +1,163 @@
+package wal
+
+import (
+	"errors"
+	"strings"
+	"syscall"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// TestHealAfterAppendFault drives an injected EIO through Append, heals the
+// log, and proves appends resume on a fresh segment with the arrival
+// numbering advanced past the gap — the exact sequence the stream layer's
+// degraded-window re-arm performs.
+func TestHealAfterAppendFault(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	l, err := Open(dir, Options{SegmentBytes: 1 << 20, Sync: SyncNone, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	want := appendBatches(t, l, []int{3, 2})
+	failFrom := l.NextSeq()
+
+	// Every write fails until the rule is cleared.
+	id, err := inj.Set(fault.Rule{Op: fault.OpWrite, Kind: fault.KindEIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mkBatch(failFrom, 4)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append under fault = %v, want EIO", err)
+	}
+	if l.NextSeq() != failFrom {
+		t.Fatalf("failed append advanced nextSeq to %d", l.NextSeq())
+	}
+
+	// Device recovers; the failed batch's 4 edges are gone (the caller is
+	// responsible for superseding them with a snapshot). Heal, advance past
+	// the gap, and resume.
+	inj.Clear(id)
+	if err := l.Heal(); err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	l.AdvanceTo(failFrom + 4)
+	resumed := appendBatches(t, l, []int{2})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, _ := replayAll(t, l, 0)
+	want = append(want, resumed...)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || len(got[i].Edges) != len(want[i].Edges) {
+			t.Fatalf("record %d: seq %d/%d edges %d/%d", i, got[i].Seq, want[i].Seq, len(got[i].Edges), len(want[i].Edges))
+		}
+	}
+	if got[len(got)-1].Seq != failFrom+4 {
+		t.Fatalf("resumed record at seq %d, want %d", got[len(got)-1].Seq, failFrom+4)
+	}
+
+	// Replay above the post-gap watermark never touches the abandoned range.
+	above, _ := replayAll(t, l, failFrom+4)
+	if len(above) != 1 || above[0].Seq != failFrom+4 {
+		t.Fatalf("replay above gap = %+v", above)
+	}
+}
+
+// TestHealPoisonedRollback wedges the rollback too (write fails AND the
+// truncate rollback fails), leaving the log poisoned, then heals: the
+// poisoned segment held no complete record, so Heal truncates and reuses it.
+func TestHealPoisonedRollback(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	l, err := Open(dir, Options{SegmentBytes: 1 << 20, Sync: SyncNone, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	// First write of a fresh segment: short write lands half a record, then
+	// the rollback truncate fails → poison.
+	if _, err := inj.Set(fault.Rule{Op: fault.OpWrite, Kind: fault.KindShort, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.Set(fault.Rule{Op: fault.OpTruncate, Kind: fault.KindEIO, Count: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mkBatch(0, 3)); err == nil {
+		t.Fatal("Append under short-write fault succeeded")
+	}
+	if _, err := l.Append(mkBatch(0, 1)); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("poisoned append = %v", err)
+	}
+
+	if err := l.Heal(); err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	l.AdvanceTo(3)
+	if _, err := l.Append(mkBatch(3, 2)); err != nil {
+		t.Fatalf("post-heal append: %v", err)
+	}
+	got, _ := replayAll(t, l, 0)
+	if len(got) != 1 || got[0].Seq != 3 || len(got[0].Edges) != 2 {
+		t.Fatalf("replay after poisoned heal = %+v", got)
+	}
+	// Exactly one segment: the torn one was truncated and reused, so the
+	// half-written garbage cannot survive anywhere.
+	if l.Segments() != 1 {
+		t.Fatalf("segments = %d, want 1", l.Segments())
+	}
+}
+
+// TestHealKeepsCommittedRecords wedges fsync so rotation fails, then checks
+// Heal abandons the record-bearing segment without destroying its records.
+func TestHealKeepsCommittedRecords(t *testing.T) {
+	dir := t.TempDir()
+	inj := fault.NewInjector(nil, 1)
+	l, err := Open(dir, Options{SegmentBytes: 1 << 20, Sync: SyncBatch, FS: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	want := appendBatches(t, l, []int{5})
+	id, err := inj.Set(fault.Rule{Op: fault.OpSync, Kind: fault.KindEIO})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(mkBatch(5, 2)); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("Append with failing fsync = %v, want EIO", err)
+	}
+	// The record was written before the fsync failed, but after an EIO the
+	// kernel may have dropped the dirty pages — the heal path abandons the
+	// fd and treats the batch as gapped.
+	inj.Clear(id)
+	if err := l.Heal(); err != nil {
+		t.Fatalf("Heal: %v", err)
+	}
+	l.AdvanceTo(7 + 2) // gap: the fsync-failed batch [5,7) plus 2 skipped arrivals
+	resumed := appendBatches(t, l, []int{1})
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if l.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2 (old kept, fresh armed)", l.Segments())
+	}
+	got, _ := replayAll(t, l, 0)
+	if len(got) < 1+len(resumed) {
+		t.Fatalf("replayed %d records, want at least %d", len(got), 1+len(resumed))
+	}
+	if got[0].Seq != want[0].Seq {
+		t.Fatalf("first record seq %d, want %d", got[0].Seq, want[0].Seq)
+	}
+	if got[len(got)-1].Seq != 9 {
+		t.Fatalf("resumed seq %d, want 9", got[len(got)-1].Seq)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // ErrClosed is returned by operations on a closed log.
@@ -57,6 +59,11 @@ type Options struct {
 	// ObserveRepair fires when Open truncates a torn or corrupt tail,
 	// with the number of bytes discarded.
 	ObserveRepair func(bytes int64)
+
+	// FS abstracts the filesystem (default: the real one). Chaos tests and
+	// the /admin/fault plane hand in a fault.Injector here to exercise
+	// EIO/ENOSPC/short-write/fsync failures per operation.
+	FS fault.FS
 }
 
 func (o Options) withDefaults() Options {
@@ -65,6 +72,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SyncEvery <= 0 {
 		o.SyncEvery = 100 * time.Millisecond
+	}
+	if o.FS == nil {
+		o.FS = fault.OS()
 	}
 	return o
 }
@@ -84,7 +94,7 @@ type Log struct {
 	mu       sync.Mutex
 	dir      string
 	opt      Options
-	f        *os.File // active segment (nil until the first append)
+	f        fault.File // active segment (nil until the first append)
 	size     int64
 	segs     []uint64 // first seq of every segment file, ascending
 	nextSeq  uint64
@@ -104,14 +114,14 @@ func parseSegName(name string) (uint64, bool) { return parseSeqName(name, ".seg"
 // record, so the log always resumes appending after the last fully-written
 // batch.
 func Open(dir string, opt Options) (*Log, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	l := &Log{dir: dir, opt: opt.withDefaults(), lastSync: time.Now()}
+	if err := l.opt.FS.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	entries, err := os.ReadDir(dir)
+	entries, err := l.opt.FS.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{dir: dir, opt: opt.withDefaults(), lastSync: time.Now()}
 	for _, ent := range entries {
 		if seq, ok := parseSegName(ent.Name()); ok {
 			l.segs = append(l.segs, seq)
@@ -121,7 +131,7 @@ func Open(dir string, opt Options) (*Log, error) {
 			// it here or every crashed checkpoint leaks up to a full
 			// window's worth of bytes. No checkpoint can be writing one
 			// now: Open runs only at recovery or window creation.
-			_ = os.Remove(filepath.Join(dir, ent.Name()))
+			_ = l.opt.FS.Remove(filepath.Join(dir, ent.Name()))
 		}
 	}
 	sort.Slice(l.segs, func(i, j int) bool { return l.segs[i] < l.segs[j] })
@@ -138,7 +148,7 @@ func Open(dir string, opt Options) (*Log, error) {
 func (l *Log) openTail() error {
 	first := l.segs[len(l.segs)-1]
 	path := filepath.Join(l.dir, segName(first))
-	data, err := os.ReadFile(path)
+	data, err := l.opt.FS.ReadFile(path)
 	if err != nil {
 		return err
 	}
@@ -152,7 +162,7 @@ func (l *Log) openTail() error {
 		valid += n
 		end = rec.End()
 	}
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	f, err := l.opt.FS.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return err
 	}
@@ -321,14 +331,14 @@ func (l *Log) rotateLocked() error {
 		l.f = nil
 	}
 	path := filepath.Join(l.dir, segName(l.nextSeq))
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	f, err := l.opt.FS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
 		return err
 	}
 	l.f = f
 	l.size = 0
 	l.segs = append(l.segs, l.nextSeq)
-	syncDir(l.dir) // make the new file's directory entry durable
+	syncDir(l.opt.FS, l.dir) // make the new file's directory entry durable
 	return nil
 }
 
@@ -364,6 +374,66 @@ func (l *Log) syncLocked() error {
 	return err
 }
 
+// Heal abandons the active segment after an append or fsync failure and
+// arms a fresh one at nextSeq, clearing any poison. It never destroys
+// committed records: when the active segment already holds records (its
+// first seq is below nextSeq) it is left as-is — only its fd, whose dirty
+// pages the kernel may have dropped after an EIO, is abandoned — and a new
+// segment file takes over. When the active segment holds no complete record
+// (first seq == nextSeq), its bytes are at most a torn write with a failed
+// rollback, so it is truncated to zero and reused.
+//
+// Heal restores append health only. The arrival gap left by appends that
+// failed (or were skipped while degraded) is NOT closed here; the caller
+// must supersede it — AdvanceTo past the gap plus a snapshot covering it —
+// before recovery is correct again.
+func (l *Log) Heal() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.f == nil && l.poisoned == nil {
+		return nil // nothing ever went wrong, or nothing was ever opened
+	}
+	if l.f != nil {
+		_ = l.f.Close() // fd state is unknown after EIO; errors are moot
+		l.f = nil
+	}
+	if len(l.segs) > 0 && l.segs[len(l.segs)-1] == l.nextSeq {
+		// Active segment has no surviving record: truncate and reuse so the
+		// segment name (= first seq it will hold) stays correct.
+		path := filepath.Join(l.dir, segName(l.nextSeq))
+		f, err := l.opt.FS.OpenFile(path, os.O_RDWR, 0)
+		if err != nil {
+			return err
+		}
+		if err := f.Truncate(0); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			_ = f.Close()
+			return err
+		}
+		l.f = f
+	} else {
+		path := filepath.Join(l.dir, segName(l.nextSeq))
+		f, err := l.opt.FS.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+		if err != nil {
+			return err
+		}
+		l.f = f
+		l.segs = append(l.segs, l.nextSeq)
+		syncDir(l.opt.FS, l.dir)
+	}
+	l.size = 0
+	l.dirty = false
+	l.poisoned = nil
+	l.lastSync = time.Now()
+	return nil
+}
+
 // Prune deletes segments that hold only expired arrivals: every segment
 // whose successor's first seq is at or below the watermark. The active
 // segment is never deleted. Call only after the manifest recording this
@@ -375,14 +445,14 @@ func (l *Log) Prune(watermark uint64) (pruned int, err error) {
 		return 0, ErrClosed
 	}
 	for len(l.segs) >= 2 && l.segs[1] <= watermark {
-		if err := os.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
+		if err := l.opt.FS.Remove(filepath.Join(l.dir, segName(l.segs[0]))); err != nil {
 			return pruned, err
 		}
 		l.segs = l.segs[1:]
 		pruned++
 	}
 	if pruned > 0 {
-		syncDir(l.dir)
+		syncDir(l.opt.FS, l.dir)
 	}
 	return pruned, nil
 }
@@ -407,7 +477,7 @@ func (l *Log) Replay(watermark uint64, fn func(Record) error) (ReplayStats, erro
 		if !last && l.segs[i+1] <= watermark {
 			continue // every record in this segment is expired
 		}
-		data, err := os.ReadFile(filepath.Join(l.dir, segName(first)))
+		data, err := l.opt.FS.ReadFile(filepath.Join(l.dir, segName(first)))
 		if err != nil {
 			return st, err
 		}
@@ -457,9 +527,6 @@ func (l *Log) Close() error {
 
 // syncDir fsyncs a directory so renames and file creations in it survive
 // power loss. Best-effort: some platforms reject fsync on directories.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		_ = d.Sync()
-		d.Close()
-	}
+func syncDir(fsys fault.FS, dir string) {
+	_ = fsys.SyncDir(dir)
 }

@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"io/fs"
-	"os"
 	"path/filepath"
+
+	"repro/internal/fault"
 )
 
 // ManifestName is the manifest's filename inside the data directory.
@@ -45,6 +46,15 @@ type WindowState struct {
 	// recovery without its suffix.
 	Snapshot    string `json:"snapshot,omitempty"`
 	SnapshotEnd uint64 `json:"snapshot_end,omitempty"`
+	// Degraded records that the window's WAL was in the degraded state
+	// (appends suspended after a failure) when this manifest was written,
+	// with GapEdges acknowledged arrivals that never reached the log. A
+	// crash before the window heals makes those edges unrecoverable;
+	// recovery surfaces the marker loudly instead of silently diverging.
+	// The self-heal path clears both fields when it commits the gap-closing
+	// snapshot.
+	Degraded bool   `json:"degraded,omitempty"`
+	GapEdges uint64 `json:"gap_edges,omitempty"`
 }
 
 // ManifestVersion is the current manifest format version.
@@ -52,8 +62,11 @@ const ManifestVersion = 1
 
 // LoadManifest reads the manifest in dir. A missing file is an empty
 // manifest, not an error — a fresh data directory recovers zero windows.
-func LoadManifest(dir string) (*Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(dir, ManifestName))
+func LoadManifest(dir string) (*Manifest, error) { return LoadManifestFS(fault.OS(), dir) }
+
+// LoadManifestFS is LoadManifest through an injectable filesystem.
+func LoadManifestFS(fsys fault.FS, dir string) (*Manifest, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, ManifestName))
 	if errors.Is(err, fs.ErrNotExist) {
 		return &Manifest{Version: ManifestVersion, Windows: map[string]WindowState{}}, nil
 	}
@@ -74,7 +87,10 @@ func LoadManifest(dir string) (*Manifest, error) {
 // written to a temp file, fsynced, and renamed over the old manifest, then
 // the directory entry is fsynced. Readers observe either the old manifest
 // or the new one, never a torn mixture.
-func SaveManifest(dir string, m *Manifest) error {
+func SaveManifest(dir string, m *Manifest) error { return SaveManifestFS(fault.OS(), dir, m) }
+
+// SaveManifestFS is SaveManifest through an injectable filesystem.
+func SaveManifestFS(fsys fault.FS, dir string, m *Manifest) error {
 	if m.Version == 0 {
 		m.Version = ManifestVersion
 	}
@@ -83,12 +99,12 @@ func SaveManifest(dir string, m *Manifest) error {
 		return err
 	}
 	data = append(data, '\n')
-	tmp, err := os.CreateTemp(dir, ManifestName+".tmp-*")
+	tmp, err := fsys.CreateTemp(dir, ManifestName+".tmp-*")
 	if err != nil {
 		return err
 	}
 	tmpName := tmp.Name()
-	defer os.Remove(tmpName) // no-op after a successful rename
+	defer fsys.Remove(tmpName) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -100,9 +116,9 @@ func SaveManifest(dir string, m *Manifest) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
+	if err := fsys.Rename(tmpName, filepath.Join(dir, ManifestName)); err != nil {
 		return err
 	}
-	syncDir(dir)
+	syncDir(fsys, dir)
 	return nil
 }

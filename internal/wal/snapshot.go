@@ -6,9 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io/fs"
-	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/fault"
 )
 
 // Snapshot files are the compaction layer over the segment log: a window's
@@ -69,8 +70,11 @@ func ParseSnapshotName(name string) (uint64, bool) { return parseSeqName(name, "
 
 // Snapshots lists the watermarks of the snapshot files in dir, ascending.
 // A missing directory is an empty list, not an error.
-func Snapshots(dir string) ([]uint64, error) {
-	entries, err := os.ReadDir(dir)
+func Snapshots(dir string) ([]uint64, error) { return SnapshotsFS(fault.OS(), dir) }
+
+// SnapshotsFS is Snapshots through an injectable filesystem.
+func SnapshotsFS(fsys fault.FS, dir string) ([]uint64, error) {
+	entries, err := fsys.ReadDir(dir)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -91,20 +95,25 @@ func Snapshots(dir string) ([]uint64, error) {
 // after the manifest pointing at keep is durable: until then an older
 // snapshot may still be the one a crashed restart needs.
 func PruneSnapshots(dir, keep string) (pruned int, err error) {
-	entries, err := os.ReadDir(dir)
+	return PruneSnapshotsFS(fault.OS(), dir, keep)
+}
+
+// PruneSnapshotsFS is PruneSnapshots through an injectable filesystem.
+func PruneSnapshotsFS(fsys fault.FS, dir, keep string) (pruned int, err error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, err
 	}
 	for _, ent := range entries {
 		if _, ok := ParseSnapshotName(ent.Name()); ok && ent.Name() != keep {
-			if err := os.Remove(filepath.Join(dir, ent.Name())); err != nil {
+			if err := fsys.Remove(filepath.Join(dir, ent.Name())); err != nil {
 				return pruned, err
 			}
 			pruned++
 		}
 	}
 	if pruned > 0 {
-		syncDir(dir)
+		syncDir(fsys, dir)
 	}
 	return pruned, nil
 }
@@ -158,8 +167,11 @@ func DecodeSnapshot(data []byte) (Snapshot, error) {
 }
 
 // ReadSnapshot loads and validates the snapshot file at path.
-func ReadSnapshot(path string) (Snapshot, error) {
-	data, err := os.ReadFile(path)
+func ReadSnapshot(path string) (Snapshot, error) { return ReadSnapshotFS(fault.OS(), path) }
+
+// ReadSnapshotFS is ReadSnapshot through an injectable filesystem.
+func ReadSnapshotFS(fsys fault.FS, path string) (Snapshot, error) {
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		return Snapshot{}, err
 	}
@@ -171,8 +183,9 @@ func ReadSnapshot(path string) (Snapshot, error) {
 // CRC trailer, fsyncs, and atomically renames the temp file into place.
 // Anything short of a successful Commit leaves no *.snap file behind.
 type SnapshotWriter struct {
+	fs        fault.FS
 	dir, tmp  string
-	f         *os.File
+	f         fault.File
 	crc       uint32
 	want, got uint64
 	watermark uint64
@@ -188,7 +201,12 @@ const snapTmpPrefix = ".snap-tmp-"
 // is absolute arrival watermark. The count is fixed up front (it is in the
 // CRC-protected header); Commit fails if the appended total disagrees.
 func CreateSnapshot(dir string, watermark, count uint64) (*SnapshotWriter, error) {
-	f, err := os.CreateTemp(dir, snapTmpPrefix+"*")
+	return CreateSnapshotFS(fault.OS(), dir, watermark, count)
+}
+
+// CreateSnapshotFS is CreateSnapshot through an injectable filesystem.
+func CreateSnapshotFS(fsys fault.FS, dir string, watermark, count uint64) (*SnapshotWriter, error) {
+	f, err := fsys.CreateTemp(dir, snapTmpPrefix+"*")
 	if err != nil {
 		return nil, err
 	}
@@ -200,10 +218,10 @@ func CreateSnapshot(dir string, watermark, count uint64) (*SnapshotWriter, error
 	binary.LittleEndian.PutUint32(hdr[28:], crc32.Checksum(hdr[:snapHeaderSize-4], castagnoli))
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
-		os.Remove(f.Name())
+		fsys.Remove(f.Name())
 		return nil, err
 	}
-	return &SnapshotWriter{dir: dir, tmp: f.Name(), f: f, want: count, watermark: watermark}, nil
+	return &SnapshotWriter{fs: fsys, dir: dir, tmp: f.Name(), f: f, want: count, watermark: watermark}, nil
 }
 
 // Append encodes and writes a run of edges.
@@ -247,16 +265,16 @@ func (w *SnapshotWriter) Commit() (string, error) {
 	}
 	if err := w.f.Close(); err != nil {
 		w.done = true
-		os.Remove(w.tmp)
+		w.fs.Remove(w.tmp)
 		return "", err
 	}
 	w.done = true
 	name := SnapshotName(w.watermark)
-	if err := os.Rename(w.tmp, filepath.Join(w.dir, name)); err != nil {
-		os.Remove(w.tmp)
+	if err := w.fs.Rename(w.tmp, filepath.Join(w.dir, name)); err != nil {
+		w.fs.Remove(w.tmp)
 		return "", err
 	}
-	syncDir(w.dir)
+	syncDir(w.fs, w.dir)
 	return name, nil
 }
 
@@ -267,5 +285,5 @@ func (w *SnapshotWriter) Abort() {
 	}
 	w.done = true
 	w.f.Close()
-	os.Remove(w.tmp)
+	w.fs.Remove(w.tmp)
 }
